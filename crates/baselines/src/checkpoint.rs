@@ -1,0 +1,136 @@
+//! Igor / Recap / Boothe-style checkpointing (paper §5): periodic full
+//! program-state snapshots enabling "reverse execution" by restoring a
+//! checkpoint and re-executing forward.
+//!
+//! The paper's critique is the space/time cost of snapshots; combined with
+//! a DejaVu trace, checkpoints buy *time travel*: restore the latest
+//! snapshot at or before the target, then deterministically replay forward.
+//! The debugger uses this for reverse-step.
+
+use dejavu::{DejaVuReplayer, SymmetryConfig, Trace};
+use djvm::hook::ExecHook;
+use djvm::vm::VmSnapshot;
+use djvm::{interp, Vm, VmStatus};
+
+/// One checkpoint: guest state plus the replay cursor that goes with it.
+pub struct Checkpoint {
+    /// Steps executed when the snapshot was taken.
+    pub at_step: u64,
+    snapshot: VmSnapshot,
+    replayer: DejaVuReplayer,
+    /// Approximate serialized size (bytes).
+    pub bytes: usize,
+}
+
+/// A replaying VM with periodic checkpoints and random access by step
+/// index (forward and backward).
+pub struct TimeTravel {
+    vm: Vm,
+    replayer: DejaVuReplayer,
+    pub checkpoints: Vec<Checkpoint>,
+    interval: u64,
+    /// Steps executed since replay start.
+    pub step: u64,
+    /// Restores performed (experiment counter).
+    pub restores: u64,
+    /// Steps re-executed due to restores (experiment counter).
+    pub reexecuted: u64,
+}
+
+impl TimeTravel {
+    /// Wrap a freshly booted replay VM. `interval` = steps between
+    /// checkpoints (the space/time knob the paper discusses).
+    pub fn new(mut vm: Vm, trace: Trace, sym: SymmetryConfig, interval: u64) -> Self {
+        assert!(interval > 0);
+        let mut replayer = DejaVuReplayer::new(trace, sym);
+        replayer.on_init(&mut vm);
+        let mut tt = Self {
+            vm,
+            replayer,
+            checkpoints: Vec::new(),
+            interval,
+            step: 0,
+            restores: 0,
+            reexecuted: 0,
+        };
+        tt.take_checkpoint();
+        tt
+    }
+
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    pub fn status(&self) -> VmStatus {
+        self.vm.status
+    }
+
+    fn take_checkpoint(&mut self) {
+        let snapshot = self.vm.snapshot();
+        let bytes = self.vm.snapshot_size_bytes();
+        self.checkpoints.push(Checkpoint {
+            at_step: self.step,
+            snapshot,
+            replayer: self.replayer.clone(),
+            bytes,
+        });
+    }
+
+    /// Execute exactly one replayed instruction (checkpointing on the
+    /// configured cadence).
+    pub fn step_once(&mut self) {
+        if !self.vm.status.is_running() {
+            return;
+        }
+        interp::step(&mut self.vm, &mut self.replayer);
+        self.step += 1;
+        if self.step % self.interval == 0 {
+            self.take_checkpoint();
+        }
+    }
+
+    /// Run forward `n` steps (or until the VM stops).
+    pub fn advance(&mut self, n: u64) {
+        for _ in 0..n {
+            if !self.vm.status.is_running() {
+                break;
+            }
+            self.step_once();
+        }
+    }
+
+    /// Travel to an absolute step index — backward via checkpoint restore
+    /// plus deterministic forward re-execution ("reverse execution" per
+    /// Igor/Boothe).
+    pub fn seek(&mut self, target: u64) {
+        let mut restored = false;
+        if target < self.step {
+            // restore the newest checkpoint at or before target
+            let idx = self
+                .checkpoints
+                .partition_point(|c| c.at_step <= target)
+                .saturating_sub(1);
+            let cp = &self.checkpoints[idx];
+            self.vm.restore(&cp.snapshot);
+            self.replayer = cp.replayer.clone();
+            self.step = cp.at_step;
+            self.restores += 1;
+            restored = true;
+            // drop checkpoints from the future
+            self.checkpoints.truncate(idx + 1);
+        }
+        let before = self.step;
+        while self.step < target && self.vm.status.is_running() {
+            self.step_once();
+        }
+        if restored {
+            // only restore-induced catch-up counts as re-execution
+            self.reexecuted += self.step - before;
+        }
+    }
+
+    /// Total checkpoint storage (bytes) currently held.
+    pub fn storage_bytes(&self) -> usize {
+        self.checkpoints.iter().map(|c| c.bytes).sum()
+    }
+}

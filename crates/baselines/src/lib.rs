@@ -1,0 +1,183 @@
+//! # baselines — the replay schemes DejaVu is compared against (paper §5)
+//!
+//! Every scheme is implemented against the same `djvm` substrate and the
+//! same hook seams, so the comparison isolates *what is logged*:
+//!
+//! | Scheme | Logs | Module |
+//! |---|---|---|
+//! | **DejaVu** (crate `dejavu`) | preemptive switches (`nyp` deltas) + non-deterministic data | — |
+//! | Russinovich–Cogswell | *every* dispatch + thread-id mapping at replay | [`thread_map`] |
+//! | Instant Replay (CREW) | every shared-object access (object, version) | [`instant_replay`] |
+//! | Recap / PPD | the *value* of every shared read | [`shared_reads`] |
+//! | Igor / Boothe | periodic full-state checkpoints (time travel) | [`checkpoint`] |
+//!
+//! [`trace_size_comparison`] produces the E5 table row for a workload;
+//! the `rc_record_replay` / `ir_record_replay` / `readlog_record_replay`
+//! helpers run full record→replay cycles for accuracy and overhead
+//! measurements (E7).
+
+pub mod checkpoint;
+pub mod instant_replay;
+pub mod shared_reads;
+pub mod thread_map;
+
+use dejavu::{ExecSpec, SymmetryConfig};
+use djvm::hook::ExecHook;
+use djvm::{interp, Vm, VmStatus};
+use std::time::{Duration, Instant};
+
+pub use checkpoint::TimeTravel;
+pub use instant_replay::{IrRecorder, IrReplayer, IrTrace};
+pub use shared_reads::{ReadLogRecorder, ReadLogReplayer, ReadTrace};
+pub use thread_map::{RcRecorder, RcReplayer, RcTrace};
+
+/// Outcome of a baseline run (weaker observables than
+/// [`dejavu::RunReport`], matching each scheme's weaker guarantees).
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    pub status: VmStatus,
+    pub output: String,
+    pub steps: u64,
+    pub wall_time: Duration,
+}
+
+fn build_live(spec: &ExecSpec, natives: impl FnOnce(&mut Vm)) -> Vm {
+    // Reuse dejavu's construction path via a passthrough record (cheap):
+    // ExecSpec holds everything needed; we just boot the same way.
+    let mut vm = djvm::Vm::boot(
+        std::sync::Arc::clone(&spec.program),
+        spec.vm.clone(),
+        Box::new(djvm::JitteredTimer::new(
+            spec.seed,
+            spec.timer_base,
+            spec.timer_jitter,
+        )),
+        Box::new(djvm::JitteredClock::new(
+            spec.seed,
+            spec.clock_origin,
+            spec.cycles_per_ms,
+            spec.clock_noise,
+        )),
+    )
+    .expect("boot");
+    natives(&mut vm);
+    vm
+}
+
+fn build_replay(spec: &ExecSpec) -> Vm {
+    djvm::Vm::boot(
+        std::sync::Arc::clone(&spec.program),
+        spec.vm.clone(),
+        Box::new(djvm::JitteredTimer::new(
+            spec.seed,
+            spec.timer_base,
+            spec.timer_jitter,
+        )),
+        Box::new(djvm::CycleClock::new(spec.clock_origin, spec.cycles_per_ms)),
+    )
+    .expect("boot")
+}
+
+fn drive(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> BaselineReport {
+    hook.on_init(vm);
+    let t0 = Instant::now();
+    interp::run(vm, hook, max_steps);
+    BaselineReport {
+        status: vm.status,
+        output: vm.output.clone(),
+        steps: vm.counters.steps,
+        wall_time: t0.elapsed(),
+    }
+}
+
+/// Record with the Russinovich–Cogswell scheme.
+pub fn rc_record(spec: &ExecSpec, natives: impl FnOnce(&mut Vm)) -> (BaselineReport, RcTrace) {
+    let mut vm = build_live(spec, natives);
+    let mut hook = RcRecorder::new();
+    let rep = drive(&mut vm, &mut hook, spec.max_steps);
+    (rep, hook.into_trace())
+}
+
+/// Replay a Russinovich–Cogswell trace; returns the report plus the
+/// mapping-lookup count (the per-dispatch cost DejaVu avoids).
+pub fn rc_replay(spec: &ExecSpec, trace: RcTrace) -> (BaselineReport, u64, u64) {
+    let mut vm = build_replay(spec);
+    let mut hook = RcReplayer::new(trace);
+    let rep = drive(&mut vm, &mut hook, spec.max_steps);
+    (rep, hook.lookups, hook.mismatches)
+}
+
+/// Record with Instant Replay (CREW access logging).
+pub fn ir_record(spec: &ExecSpec, natives: impl FnOnce(&mut Vm)) -> (BaselineReport, IrTrace) {
+    let mut vm = build_live(spec, natives);
+    let mut hook = IrRecorder::new();
+    let rep = drive(&mut vm, &mut hook, spec.max_steps);
+    (rep, hook.into_trace())
+}
+
+/// Replay an Instant Replay trace (access-order enforcement).
+pub fn ir_replay(spec: &ExecSpec, trace: IrTrace) -> (BaselineReport, u64, u64) {
+    let mut vm = build_replay(spec);
+    let mut hook = IrReplayer::new(trace);
+    let rep = drive(&mut vm, &mut hook, spec.max_steps);
+    (rep, hook.delays, hook.order_violations)
+}
+
+/// Record with Recap/PPD-style read-value logging.
+pub fn readlog_record(
+    spec: &ExecSpec,
+    natives: impl FnOnce(&mut Vm),
+) -> (BaselineReport, ReadTrace) {
+    let mut vm = build_live(spec, natives);
+    let mut hook = ReadLogRecorder::new();
+    let rep = drive(&mut vm, &mut hook, spec.max_steps);
+    (rep, hook.into_trace())
+}
+
+/// Replay with read-value substitution.
+pub fn readlog_replay(spec: &ExecSpec, trace: ReadTrace) -> (BaselineReport, u64, u64) {
+    let mut vm = build_replay(spec);
+    let mut hook = ReadLogReplayer::new(trace);
+    let rep = drive(&mut vm, &mut hook, spec.max_steps);
+    (rep, hook.substituted, hook.underruns)
+}
+
+/// One row of the E5 trace-size table: bytes per scheme for the *same*
+/// seeded execution of a workload.
+#[derive(Debug, Clone)]
+pub struct TraceSizeRow {
+    pub workload: String,
+    pub steps: u64,
+    pub dejavu_bytes: usize,
+    pub dejavu_switches: usize,
+    pub rc_bytes: usize,
+    pub rc_dispatches: usize,
+    pub ir_bytes: usize,
+    pub ir_accesses: usize,
+    pub readlog_bytes: usize,
+    pub readlog_reads: usize,
+}
+
+/// Run the same workload under all four recorders and report trace sizes.
+pub fn trace_size_comparison(
+    name: &str,
+    spec: &ExecSpec,
+    natives: fn(&mut Vm),
+) -> TraceSizeRow {
+    let (dj_rep, dj_trace) = dejavu::record_run(spec, natives, SymmetryConfig::full(), false);
+    let (_, rc_trace) = rc_record(spec, natives);
+    let (_, ir_trace) = ir_record(spec, natives);
+    let (_, rl_trace) = readlog_record(spec, natives);
+    TraceSizeRow {
+        workload: name.to_string(),
+        steps: dj_rep.counters.steps,
+        dejavu_bytes: dj_trace.stats().total_bytes,
+        dejavu_switches: dj_trace.stats().switch_count,
+        rc_bytes: rc_trace.encoded_len(),
+        rc_dispatches: rc_trace.dispatches.len(),
+        ir_bytes: ir_trace.encoded_len(),
+        ir_accesses: ir_trace.accesses.len(),
+        readlog_bytes: rl_trace.encoded_len(),
+        readlog_reads: rl_trace.total_reads(),
+    }
+}

@@ -1,0 +1,62 @@
+//! E8 — remote-reflection query latency (paper §3): the Figure-3
+//! `lineNumberOf` query through the in-process (ptrace-style) memory vs a
+//! snapshot image, and the raw word-read cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use djvm::{interp, CycleClock, FixedTimer, Passthrough, ProgramBuilder, Vm, VmConfig};
+use reflect::{LocalVmMemory, ProcessMemory, RemoteReflector, SnapshotMemory};
+use std::sync::Arc;
+
+fn app() -> (Vm, Arc<djvm::Program>) {
+    let mut pb = ProgramBuilder::new();
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.line(1).iconst(0).store(0);
+        a.label("top");
+        a.line(2).load(0).iconst(100).ge().if_nz("done");
+        a.line(3).load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.line(4).halt();
+    });
+    let p = Arc::new(pb.finish(m).unwrap());
+    let mut vm = Vm::boot(
+        Arc::clone(&p),
+        VmConfig::default(),
+        Box::new(FixedTimer::new(1 << 20)),
+        Box::new(CycleClock::new(0, 100)),
+    )
+    .unwrap();
+    let mut hook = Passthrough;
+    interp::run(&mut vm, &mut hook, 1_000_000);
+    (vm, p)
+}
+
+fn reflection_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reflection_latency");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let (vm, program) = app();
+    let table = vm.boot_image.method_table;
+    let entry = program.entry;
+
+    g.bench_function("fig3_query_local_memory", |b| {
+        let mem = LocalVmMemory::new(&vm);
+        let mut refl = RemoteReflector::new(Arc::clone(&program), &mem);
+        refl.map_boot_method_table(table);
+        b.iter(|| refl.line_number_of(entry, 3).unwrap())
+    });
+    g.bench_function("fig3_query_snapshot_memory", |b| {
+        let snap = SnapshotMemory::from_vm(&vm);
+        let mut refl = RemoteReflector::new(Arc::clone(&program), &snap);
+        refl.map_boot_method_table(table);
+        b.iter(|| refl.line_number_of(entry, 3).unwrap())
+    });
+    g.bench_function("raw_remote_word_read", |b| {
+        let mem = LocalVmMemory::new(&vm);
+        b.iter(|| mem.read_word(table).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, reflection_latency);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E3 — per-yield-point instrumentation cost (paper Fig. 2): a tight loop
+//! whose backedge is a yield point, executed under passthrough vs the
+//! record-mode hook. The difference divided by the yield-point count is
+//! the marginal cost of the Figure-2 instrumentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dejavu::{ExecSpec, SymmetryConfig};
+use djvm::ProgramBuilder;
+
+/// A loop of `n` iterations — every iteration takes the backedge (one
+/// yield point per 6 instructions).
+fn loop_program(n: i64) -> djvm::Program {
+    let mut pb = ProgramBuilder::new();
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(n).ge().if_nz("done");
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+fn yieldpoint_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yieldpoint_overhead");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mut spec = ExecSpec::new(loop_program(50_000));
+    spec.timer_base = 997;
+    spec.timer_jitter = 100;
+    g.bench_function("passthrough_50k_yieldpoints", |b| {
+        b.iter(|| dejavu::passthrough_run(&spec, |_| {}))
+    });
+    g.bench_function("record_50k_yieldpoints", |b| {
+        b.iter(|| dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false))
+    });
+    g.bench_function("replay_50k_yieldpoints", |b| {
+        let (_, trace) = dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false);
+        b.iter(|| dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, yieldpoint_overhead);
+criterion_main!(benches);

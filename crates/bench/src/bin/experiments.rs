@@ -1,0 +1,433 @@
+//! Regenerates every quantitative table of EXPERIMENTS.md.
+//!
+//! Run with `cargo run -p bench --bin experiments --release`.
+//! Wall-clock numbers are machine-dependent; shapes (who wins, by what
+//! factor) are the reproduction target.
+
+use baselines::{ir_record, ir_replay, rc_record, rc_replay, trace_size_comparison, TimeTravel};
+use bench::{bench_spec, sized_spec};
+use dejavu::{passthrough_run, record_replay, record_run, replay_run, Ablation, ExecSpec, SymmetryConfig};
+use djvm::{Program, ProgramBuilder, Ty, Vm};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() {
+    println!("# DejaVu reproduction — experiment tables\n");
+    e1_fig1_ab();
+    e2_fig1_cd();
+    e4_record_overhead();
+    e5_trace_sizes();
+    e6_accuracy_matrix();
+    e7_replay_costs();
+    e8_reflection();
+    e10_ablations();
+    e13_scalability();
+    e14_checkpoints();
+}
+
+fn e1_fig1_ab() {
+    println!("## E1 — Figure 1 (A)/(B): preemption-timing non-determinism\n");
+    println!("| printed value | runs (of 60 seeds) | replay accurate |");
+    println!("|---|---|---|");
+    let mut outcomes: BTreeMap<String, (u32, bool)> = BTreeMap::new();
+    for seed in 0..60u64 {
+        let mut s = ExecSpec::new(workloads::fig1::fig1_ab()).with_seed(seed);
+        s.timer_base = 11;
+        s.timer_jitter = 5;
+        let (rec, _rep, ok) = record_replay(&s, |_| {}, SymmetryConfig::full());
+        let e = outcomes
+            .entry(rec.output.trim().to_string())
+            .or_insert((0, true));
+        e.0 += 1;
+        e.1 &= ok;
+    }
+    for (v, (n, ok)) in &outcomes {
+        println!("| {v} | {n} | {} |", if *ok { "yes" } else { "NO" });
+    }
+    println!();
+}
+
+fn e2_fig1_cd() {
+    println!("## E2 — Figure 1 (C)/(D): wall-clock-driven branch + wait/notify\n");
+    let mut wait_runs = 0;
+    let mut skip_runs = 0;
+    let mut all_ok = true;
+    for seed in 0..60u64 {
+        let mut s = ExecSpec::new(workloads::fig1::fig1_cd()).with_seed(seed);
+        s.clock_noise = 40;
+        let (rec, _rep, ok) = record_replay(&s, |_| {}, SymmetryConfig::full());
+        all_ok &= ok;
+        if rec.output.lines().next() == Some("1") {
+            wait_runs += 1;
+        } else {
+            skip_runs += 1;
+        }
+    }
+    println!("case (C) wait-branch runs: {wait_runs}/60");
+    println!("case (D) skip-branch runs: {skip_runs}/60");
+    println!("replay accurate on all: {}\n", if all_ok { "yes" } else { "NO" });
+}
+
+fn e4_record_overhead() {
+    println!("## E4 — record-mode overhead (precision)\n");
+    println!("| workload | passthrough | dejavu record | overhead | RC record | IR record | read-log record |");
+    println!("|---|---|---|---|---|---|---|");
+    for name in bench::BENCH_WORKLOADS {
+        let (s, natives) = bench_spec(name, 1);
+        let time = |f: &mut dyn FnMut()| {
+            // best of 3
+            (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    f();
+                    t.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let base = time(&mut || {
+            passthrough_run(&s, natives);
+        });
+        let rec = time(&mut || {
+            record_run(&s, natives, SymmetryConfig::full(), false);
+        });
+        let rc = time(&mut || {
+            rc_record(&s, natives);
+        });
+        let ir = time(&mut || {
+            ir_record(&s, natives);
+        });
+        let rl = time(&mut || {
+            baselines::readlog_record(&s, natives);
+        });
+        println!(
+            "| {name} | {base:.2?} | {rec:.2?} | {:+.1}% | {rc:.2?} | {ir:.2?} | {rl:.2?} |",
+            (rec.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0
+        );
+    }
+    println!();
+}
+
+fn e5_trace_sizes() {
+    println!("## E5 — trace size per scheme (same execution, realistic quantum)\n");
+    println!("| workload | steps | DejaVu bytes (switch recs) | RC bytes (dispatches) | InstantReplay bytes (accesses) | read-log bytes (reads) |");
+    println!("|---|---|---|---|---|---|");
+    for name in bench::BENCH_WORKLOADS {
+        let (s, natives) = sized_spec(name, 5);
+        let r = trace_size_comparison(name, &s, natives);
+        println!(
+            "| {} | {} | {} ({}) | {} ({}) | {} ({}) | {} ({}) |",
+            r.workload,
+            r.steps,
+            r.dejavu_bytes,
+            r.dejavu_switches,
+            r.rc_bytes,
+            r.rc_dispatches,
+            r.ir_bytes,
+            r.ir_accesses,
+            r.readlog_bytes,
+            r.readlog_reads
+        );
+    }
+    println!();
+}
+
+fn e6_accuracy_matrix() {
+    println!("## E6 — replay accuracy (fingerprint + state digest + output)\n");
+    println!("| workload | seeds tested | accurate |");
+    println!("|---|---|---|");
+    for w in workloads::registry() {
+        let mut ok_count = 0;
+        let seeds = [1u64, 7, 23, 41];
+        for &seed in &seeds {
+            let mut s = ExecSpec::new((w.build)()).with_seed(seed);
+            s.timer_base = 53;
+            s.timer_jitter = 19;
+            let (_, _, ok) = record_replay(&s, w.natives, SymmetryConfig::full());
+            ok_count += ok as u32;
+        }
+        println!("| {} | {} | {}/{} |", w.name, seeds.len(), ok_count, seeds.len());
+    }
+    println!();
+}
+
+fn e7_replay_costs() {
+    println!("## E7 — replay cost: replaying the thread package vs steering it\n");
+    println!("| workload | dejavu replay | RC replay | RC map lookups | IR replay | IR delays |");
+    println!("|---|---|---|---|---|---|");
+    for name in ["racy_counter", "producer_consumer", "bank_transfer"] {
+        let (s, natives) = bench_spec(name, 2);
+        let (_, dj_trace) = record_run(&s, natives, SymmetryConfig::full(), false);
+        let (_, rc_trace) = rc_record(&s, natives);
+        let (_, ir_trace) = ir_record(&s, natives);
+        let t0 = Instant::now();
+        let _ = replay_run(&s, dj_trace, SymmetryConfig::full());
+        let dj = t0.elapsed();
+        let t0 = Instant::now();
+        let (_, lookups, _) = rc_replay(&s, rc_trace);
+        let rc = t0.elapsed();
+        let t0 = Instant::now();
+        let (_, delays, _) = ir_replay(&s, ir_trace);
+        let ir = t0.elapsed();
+        println!("| {name} | {dj:.2?} | {rc:.2?} | {lookups} | {ir:.2?} | {delays} |");
+    }
+    println!();
+}
+
+fn e8_reflection() {
+    println!("## E8 — remote reflection (Figure 3)\n");
+    let (s, natives) = bench_spec("racy_counter", 5);
+    let (rec, trace) = record_run(&s, natives, SymmetryConfig::full(), true);
+    let program = std::sync::Arc::clone(&s.program);
+    let mut vm = Vm::boot(
+        program.clone(),
+        s.vm.clone(),
+        Box::new(djvm::FixedTimer::new(1 << 30)),
+        Box::new(djvm::CycleClock::new(0, 100)),
+    )
+    .unwrap();
+    let mut replayer = dejavu::DejaVuReplayer::new(trace, SymmetryConfig::full());
+    {
+        use djvm::hook::ExecHook;
+        replayer.on_init(&mut vm);
+    }
+    djvm::interp::run(&mut vm, &mut replayer, 15_000);
+    let before = vm.state_digest();
+    let (reads, interp_steps, queries) = {
+        let mem = reflect::CountingMemory::new(reflect::LocalVmMemory::new(&vm));
+        let mut refl = reflect::RemoteReflector::new(program.clone(), &mem);
+        refl.map_boot_method_table(vm.boot_image.method_table);
+        let mut q = 0;
+        for mid in 0..program.methods.len() as u32 {
+            for off in 0..4 {
+                let _ = refl.line_number_of(mid, off);
+                q += 1;
+            }
+        }
+        (mem.reads(), refl.steps, q)
+    };
+    let unperturbed = vm.state_digest() == before;
+    djvm::interp::run(&mut vm, &mut replayer, u64::MAX >> 1);
+    let resumed_ok = vm.fingerprint.digest() == rec.fingerprint;
+    println!("queries executed: {queries}");
+    println!("remote word reads: {reads} ({:.1}/query)", reads as f64 / queries as f64);
+    println!("tool-side interpreted bytecodes: {interp_steps}");
+    println!("application VM perturbed: {}", if unperturbed { "no" } else { "YES" });
+    println!(
+        "replay resumed accurately after inspection: {}\n",
+        if resumed_ok { "yes" } else { "NO" }
+    );
+}
+
+fn e10_ablations() {
+    println!("## E10 — symmetry ablations (observer workload, 6 seeds each)\n");
+    println!("| symmetry disabled | replay diverged on some seed |");
+    println!("|---|---|");
+    // observer workload inline (same as the ablation test's)
+    fn observer() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb
+            .class("G")
+            .static_field("count", Ty::Int)
+            .static_field("hashmix", Ty::Int)
+            .build();
+        let cls = pb.class("O").field("x", Ty::Int).build();
+        let worker = pb.method("worker", 0, 3).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(300).ge().if_nz("done");
+            a.get_static(g, 0).store(1);
+            a.iconst(0).store(2);
+            a.label("delay");
+            a.load(2).iconst(2).ge().if_nz("dd");
+            a.load(2).iconst(1).add().store(2);
+            a.goto("delay");
+            a.label("dd");
+            a.load(1).iconst(1).add().put_static(g, 0);
+            a.get_static(g, 1).new(cls).identity_hash().bxor().put_static(g, 1);
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.ret();
+        });
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.spawn(worker, 0).store(0);
+            a.spawn(worker, 0).store(1);
+            a.load(0).join();
+            a.load(1).join();
+            a.get_static(g, 0).print();
+            a.get_static(g, 1).print();
+            a.halt();
+        });
+        pb.finish(m).unwrap()
+    }
+    // Deep varying-depth recursion with hash observation: the workload
+    // whose stack sits near the boundary when helpers run (the only
+    // channel through which stack-growth asymmetry is observable).
+    fn deep_stack() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.class("G").static_field("acc", Ty::Int).build();
+        let cls = pb.class("O").field("x", Ty::Int).build();
+        let spin = pb.method("spin", 1, 2).code(|a| {
+            a.iconst(0).store(1);
+            a.label("top");
+            a.load(1).load(0).ge().if_nz("done");
+            a.get_static(g, 0).new(cls).identity_hash().bxor().put_static(g, 0);
+            a.load(1).iconst(1).add().store(1);
+            a.goto("top");
+            a.label("done");
+            a.ret();
+        });
+        let down = pb.func("down", 1, 1).code(|a| {
+            a.load(0).if_z("base");
+            a.load(0).iconst(1).sub().call(1);
+            a.ret_val();
+            a.label("base");
+            a.iconst(40).call(spin);
+            a.iconst(0).ret_val();
+        });
+        assert_eq!(down, 1);
+        let worker = pb.method("worker", 0, 2).code(|a| {
+            a.iconst(1).store(0);
+            a.label("top");
+            a.load(0).iconst(16).gt().if_nz("done");
+            a.load(0).call(down).pop();
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.ret();
+        });
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.spawn(worker, 0).store(0);
+            a.spawn(worker, 0).store(1);
+            a.load(0).join();
+            a.load(1).join();
+            a.get_static(g, 0).print();
+            a.halt();
+        });
+        pb.finish(m).unwrap()
+    }
+    for abl in Ablation::ALL {
+        let mut diverged = false;
+        'seeds: for seed in 0..8u64 {
+            let stacks: &[usize] = if abl == Ablation::EagerStackGrowth {
+                &[88, 96, 104, 112, 128]
+            } else {
+                &[256]
+            };
+            for &stack in stacks {
+                let mut s = if abl == Ablation::EagerStackGrowth {
+                    ExecSpec::new(deep_stack()).with_seed(seed)
+                } else {
+                    ExecSpec::new(observer()).with_seed(seed)
+                };
+                s.timer_base = 31;
+                s.timer_jitter = 11;
+                s.vm.initial_stack = stack;
+                let (_, _, ok) = record_replay(&s, |_| {}, SymmetryConfig::ablate(abl));
+                if !ok {
+                    diverged = true;
+                    break 'seeds;
+                }
+            }
+        }
+        println!("| {} | {} |", abl.name(), if diverged { "yes" } else { "no (!)" });
+    }
+    println!("| (none — full symmetry) | no |\n");
+}
+
+fn e13_scalability() {
+    println!("## E13 — scalability: threads and preemption rate\n");
+    fn racy_n(nthreads: i64, iters: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.class("G").static_field("count", Ty::Int).build();
+        let worker = pb.method("worker", 0, 2).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(iters).ge().if_nz("done");
+            a.get_static(g, 0).iconst(1).add().put_static(g, 0);
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.ret();
+        });
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.iconst(nthreads).new_array_ref().store(0);
+            a.iconst(0).store(1);
+            a.label("spawn");
+            a.load(1).iconst(nthreads).ge().if_nz("spawned");
+            a.load(0).load(1).spawn(worker, 0).astore_ref();
+            a.load(1).iconst(1).add().store(1);
+            a.goto("spawn");
+            a.label("spawned");
+            a.iconst(0).store(1);
+            a.label("join");
+            a.load(1).iconst(nthreads).ge().if_nz("joined");
+            a.load(0).load(1).aload_ref().join();
+            a.load(1).iconst(1).add().store(1);
+            a.goto("join");
+            a.label("joined");
+            a.get_static(g, 0).print();
+            a.halt();
+        });
+        pb.finish(m).unwrap()
+    }
+    println!("| threads | steps | trace bytes | switches | accurate |");
+    println!("|---|---|---|---|---|");
+    for n in [2i64, 4, 8, 16] {
+        let mut s = ExecSpec::new(racy_n(n, 300)).with_seed(7);
+        s.timer_base = 101;
+        s.timer_jitter = 30;
+        let (rec, trace) = record_run(&s, |_| {}, SymmetryConfig::full(), false);
+        let (rep, desyncs) = replay_run(&s, trace.clone(), SymmetryConfig::full());
+        let ok = rec.matches(&rep) && desyncs.is_empty();
+        println!(
+            "| {n} | {} | {} | {} | {} |",
+            rec.counters.steps,
+            trace.stats().total_bytes,
+            trace.stats().switch_count,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!("\n| preempt quantum (cycles) | trace bytes | bytes/1k steps |");
+    println!("|---|---|---|");
+    for q in [50u64, 200, 1000, 5000] {
+        let mut s = ExecSpec::new(racy_n(4, 300)).with_seed(7);
+        s.timer_base = q;
+        s.timer_jitter = q / 4;
+        let (rec, trace) = record_run(&s, |_| {}, SymmetryConfig::full(), false);
+        let b = trace.stats().total_bytes;
+        println!(
+            "| {q} | {b} | {:.2} |",
+            b as f64 * 1000.0 / rec.counters.steps as f64
+        );
+    }
+    println!();
+}
+
+fn e14_checkpoints() {
+    println!("## E14 — checkpointing (Igor/Boothe) on top of DejaVu replay\n");
+    let (s, natives) = bench_spec("racy_counter", 11);
+    let (_, trace) = record_run(&s, natives, SymmetryConfig::full(), false);
+    println!("| checkpoint interval (steps) | checkpoints | storage bytes | reverse-seek re-exec steps |");
+    println!("|---|---|---|---|");
+    for interval in [1_000u64, 5_000, 20_000] {
+        let vm = Vm::boot(
+            std::sync::Arc::clone(&s.program),
+            s.vm.clone(),
+            Box::new(djvm::FixedTimer::new(1 << 30)),
+            Box::new(djvm::CycleClock::new(0, 100)),
+        )
+        .unwrap();
+        let mut tt = TimeTravel::new(vm, trace.clone(), SymmetryConfig::full(), interval);
+        tt.seek(30_000);
+        tt.seek(15_500); // one reverse seek
+        println!(
+            "| {interval} | {} | {} | {} |",
+            tt.checkpoints.len(),
+            tt.storage_bytes(),
+            tt.reexecuted
+        );
+    }
+    println!();
+}

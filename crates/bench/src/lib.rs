@@ -1,0 +1,33 @@
+//! Shared helpers for the benchmark harness and the `experiments` binary.
+
+use dejavu::ExecSpec;
+use djvm::Vm;
+
+/// Standard spec used across benches: moderate preemption rate.
+pub fn bench_spec(name: &str, seed: u64) -> (ExecSpec, fn(&mut Vm)) {
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("no workload {name}"));
+    let mut s = ExecSpec::new((w.build)()).with_seed(seed);
+    s.timer_base = 211;
+    s.timer_jitter = 60;
+    (s, w.natives)
+}
+
+/// Realistic (long) preemption quantum for trace-size comparisons.
+pub fn sized_spec(name: &str, seed: u64) -> (ExecSpec, fn(&mut Vm)) {
+    let (mut s, n) = bench_spec(name, seed);
+    s.timer_base = 2001;
+    s.timer_jitter = 500;
+    (s, n)
+}
+
+/// The workloads used for timing benches (bounded runtimes).
+pub const BENCH_WORKLOADS: &[&str] = &[
+    "racy_counter",
+    "producer_consumer",
+    "gc_churn",
+    "bank_transfer",
+    "server_loop",
+];

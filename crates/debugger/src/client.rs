@@ -1,0 +1,65 @@
+//! The GUI-tier client (paper §4): a thin typed wrapper over the JSON-line
+//! protocol, suitable for a CLI front end or tests. Runs in its own
+//! process, talking to the debugger tier over TCP.
+
+use crate::protocol::{Command, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected debugger client.
+pub struct DebugClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl DebugClient {
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Send a command and await its response.
+    pub fn request(&mut self, cmd: &Command) -> std::io::Result<Response> {
+        let mut s = serde_json::to_string(cmd).expect("serialize");
+        s.push('\n');
+        self.stream.write_all(s.as_bytes())?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        serde_json::from_str(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    pub fn brk(&mut self, method: u32, pc: u32) -> std::io::Result<Response> {
+        self.request(&Command::Break { method, pc })
+    }
+
+    pub fn cont(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::Continue)
+    }
+
+    pub fn step(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::Step)
+    }
+
+    pub fn step_back(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::StepBack)
+    }
+
+    pub fn stack(&mut self, tid: u32) -> std::io::Result<Response> {
+        self.request(&Command::Stack { tid })
+    }
+
+    pub fn threads(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::Threads)
+    }
+
+    pub fn output(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::Output)
+    }
+
+    pub fn quit(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::Quit)
+    }
+}

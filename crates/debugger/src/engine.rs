@@ -1,0 +1,256 @@
+//! The debugger engine (paper §3-§4).
+//!
+//! The session drives a **replaying** application VM (so execution is the
+//! recorded one, exactly), supports breakpoints, single-stepping, and —
+//! thanks to checkpoints — *reverse* stepping. All inspection goes through
+//! **remote reflection** against the paused VM's address space: "the
+//! execution must not be perturbed by normal debugger operations such as
+//! stopping and continuing, querying objects and program states, setting
+//! breakpoints."
+
+use baselines::TimeTravel;
+use dejavu::{SymmetryConfig, Trace};
+use djvm::heap::Addr;
+use djvm::thread::ThreadStatus;
+use djvm::{CycleClock, FixedTimer, MethodId, Program, Tid, Vm, VmConfig, VmStatus};
+use reflect::{mirror, LocalVmMemory, RemoteReflector};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Why the session stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    Breakpoint { method: u32, pc: u32, tid: u32 },
+    StepDone,
+    Halted,
+    Deadlocked,
+    Error(String),
+}
+
+/// One frame of a stack trace, resolved via remote reflection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameInfo {
+    pub method: u32,
+    pub method_name: String,
+    pub pc: u32,
+    /// Source line, obtained by the Figure-3 reflective query against the
+    /// application VM's address space.
+    pub line: i64,
+    pub op: String,
+}
+
+/// Thread-viewer row (paper §4: "A thread viewer is useful for finding
+/// subtle bugs in multithreaded applications").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadInfo {
+    pub tid: u32,
+    pub name: String,
+    pub status: String,
+    pub method_name: String,
+    pub pc: u32,
+    pub yield_points: u64,
+}
+
+/// A perturbation-free debug session over a recorded execution.
+pub struct DebugSession {
+    tt: TimeTravel,
+    program: Arc<Program>,
+    breakpoints: BTreeSet<(MethodId, u32)>,
+}
+
+impl DebugSession {
+    /// Start a session replaying `trace` of `program` (checkpoints every
+    /// `checkpoint_interval` steps enable reverse execution).
+    pub fn new(
+        program: Arc<Program>,
+        vm_config: VmConfig,
+        trace: Trace,
+        checkpoint_interval: u64,
+    ) -> Self {
+        let vm = Vm::boot(
+            Arc::clone(&program),
+            vm_config,
+            Box::new(FixedTimer::new(1 << 30)), // replay ignores the timer
+            Box::new(CycleClock::new(0, 100)),  // and never reads the clock
+        )
+        .expect("boot");
+        let tt = TimeTravel::new(vm, trace, SymmetryConfig::full(), checkpoint_interval);
+        Self {
+            tt,
+            program,
+            breakpoints: BTreeSet::new(),
+        }
+    }
+
+    pub fn vm(&self) -> &Vm {
+        &self.tt.vm()
+    }
+
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    pub fn step_index(&self) -> u64 {
+        self.tt.step
+    }
+
+    pub fn add_breakpoint(&mut self, method: MethodId, pc: u32) {
+        self.breakpoints.insert((method, pc));
+    }
+
+    pub fn remove_breakpoint(&mut self, method: MethodId, pc: u32) {
+        self.breakpoints.remove(&(method, pc));
+    }
+
+    pub fn breakpoints(&self) -> Vec<(MethodId, u32)> {
+        self.breakpoints.iter().copied().collect()
+    }
+
+    /// Find a breakpoint location by method name + source line.
+    pub fn resolve_line(&self, method_name: &str, line: u32) -> Option<(MethodId, u32)> {
+        let mid = self.program.method_id_by_name(method_name)?;
+        let pc = self
+            .program
+            .method(mid)
+            .lines
+            .iter()
+            .position(|&l| l == line)? as u32;
+        Some((mid, pc))
+    }
+
+    fn status_reason(&self) -> Option<StopReason> {
+        match self.vm().status {
+            VmStatus::Running => None,
+            VmStatus::Halted => Some(StopReason::Halted),
+            VmStatus::Deadlocked => Some(StopReason::Deadlocked),
+            VmStatus::Error(e) => Some(StopReason::Error(e.to_string())),
+        }
+    }
+
+    fn at_breakpoint(&self) -> Option<StopReason> {
+        let vm = self.vm();
+        let t = vm.current_thread();
+        if self.breakpoints.contains(&(t.method, t.pc)) {
+            Some(StopReason::Breakpoint {
+                method: t.method,
+                pc: t.pc,
+                tid: t.tid,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Continue until a breakpoint (checked before each instruction) or
+    /// termination.
+    pub fn cont(&mut self) -> StopReason {
+        // Always make at least one step of progress so `cont` at a
+        // breakpoint moves past it.
+        if let Some(r) = self.status_reason() {
+            return r;
+        }
+        self.tt.step_once();
+        loop {
+            if let Some(r) = self.status_reason() {
+                return r;
+            }
+            if let Some(r) = self.at_breakpoint() {
+                return r;
+            }
+            self.tt.step_once();
+        }
+    }
+
+    /// Execute exactly one instruction.
+    pub fn step(&mut self) -> StopReason {
+        if let Some(r) = self.status_reason() {
+            return r;
+        }
+        self.tt.step_once();
+        self.status_reason()
+            .or_else(|| self.at_breakpoint())
+            .unwrap_or(StopReason::StepDone)
+    }
+
+    /// Step *backwards* one instruction (checkpoint restore + forward
+    /// replay — the Igor/Boothe "reverse execution" on top of DejaVu).
+    pub fn step_back(&mut self) -> StopReason {
+        let target = self.tt.step.saturating_sub(1);
+        self.tt.seek(target);
+        StopReason::StepDone
+    }
+
+    /// Travel to an absolute step index.
+    pub fn seek(&mut self, step: u64) {
+        self.tt.seek(step);
+    }
+
+    /// Stack trace of a thread, lines resolved by remote reflection.
+    pub fn stack_trace(&mut self, tid: Tid) -> Vec<FrameInfo> {
+        let frames = self.vm().frames(tid);
+        let vm = self.tt.vm();
+        let mem = LocalVmMemory::new(vm);
+        let mut refl = RemoteReflector::new(Arc::clone(&self.program), &mem);
+        refl.map_boot_method_table(vm.boot_image.method_table);
+        frames
+            .iter()
+            .map(|f| {
+                let line = refl.line_number_of(f.method, f.pc).unwrap_or(-1);
+                let m = self.program.method(f.method);
+                FrameInfo {
+                    method: f.method,
+                    method_name: m.qualified_name(&self.program),
+                    pc: f.pc,
+                    line,
+                    op: format!("{:?}", m.ops[f.pc as usize]),
+                }
+            })
+            .collect()
+    }
+
+    /// The thread viewer.
+    pub fn threads(&self) -> Vec<ThreadInfo> {
+        self.vm()
+            .threads
+            .iter()
+            .map(|t| ThreadInfo {
+                tid: t.tid,
+                name: t.name.clone(),
+                status: match t.status {
+                    ThreadStatus::Ready => "ready".into(),
+                    ThreadStatus::Running => "running".into(),
+                    ThreadStatus::BlockedMonitor(a) => format!("blocked(monitor@{a})"),
+                    ThreadStatus::Waiting(a) => format!("waiting(monitor@{a})"),
+                    ThreadStatus::TimedWaiting(a) => format!("timed-waiting(monitor@{a})"),
+                    ThreadStatus::Sleeping => "sleeping".into(),
+                    ThreadStatus::JoinWaiting(x) => format!("joining(t{x})"),
+                    ThreadStatus::Terminated => "terminated".into(),
+                },
+                method_name: self
+                    .program
+                    .method(t.method)
+                    .qualified_name(&self.program),
+                pc: t.pc,
+                yield_points: t.yield_points,
+            })
+            .collect()
+    }
+
+    /// Inspect an object via remote reflection mirrors.
+    pub fn inspect(&self, addr: Addr) -> String {
+        let mem = LocalVmMemory::new(self.vm());
+        mirror::describe(&mem, &self.program, addr)
+    }
+
+    /// Console output so far.
+    pub fn output(&self) -> String {
+        self.vm().output.clone()
+    }
+
+    /// Instruction listing of a method (paper §4: the machine-instruction
+    /// view), with yield points marked and source lines inline.
+    pub fn disassemble(&self, method: MethodId) -> String {
+        djvm::dis::disassemble(&self.program, method)
+    }
+}

@@ -1,0 +1,94 @@
+//! The tool↔GUI wire protocol (paper §4).
+//!
+//! The GUI "is designed to run on yet a third JVM, communicating with the
+//! debugger JVM through TCP. (Bandwidth is minimized by transmitting small
+//! packets of data rather than large images.)" Our protocol is JSON lines:
+//! one request and one response object per line, each a small structured
+//! packet.
+
+use crate::engine::{FrameInfo, StopReason, ThreadInfo};
+use serde::{Deserialize, Serialize};
+
+/// Requests the client (GUI tier) sends.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "cmd", rename_all = "snake_case")]
+pub enum Command {
+    /// Set a breakpoint at (method id, pc).
+    Break { method: u32, pc: u32 },
+    /// Set a breakpoint by method name + source line.
+    BreakLine { method: String, line: u32 },
+    ClearBreak { method: u32, pc: u32 },
+    Continue,
+    Step,
+    StepBack,
+    Seek { step: u64 },
+    Stack { tid: u32 },
+    Threads,
+    Inspect { addr: u64 },
+    Disassemble { method: u32 },
+    Output,
+    Where,
+    Quit,
+}
+
+/// Responses the debugger tier returns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "resp", rename_all = "snake_case")]
+pub enum Response {
+    Ok,
+    Stopped { reason: StopReason, step: u64 },
+    Stack { frames: Vec<FrameInfo> },
+    Threads { threads: Vec<ThreadInfo> },
+    Object { description: String },
+    Listing { text: String },
+    Output { text: String },
+    Location { method: String, pc: u32, line: i64, step: u64 },
+    Error { message: String },
+    Bye,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_roundtrip_json() {
+        let cmds = vec![
+            Command::Break { method: 3, pc: 7 },
+            Command::BreakLine {
+                method: "main".into(),
+                line: 5,
+            },
+            Command::Continue,
+            Command::StepBack,
+            Command::Seek { step: 1234 },
+            Command::Inspect { addr: 99 },
+            Command::Quit,
+        ];
+        for c in cmds {
+            let s = serde_json::to_string(&c).unwrap();
+            let back: Command = serde_json::from_str(&s).unwrap();
+            assert_eq!(format!("{c:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_json() {
+        let rs = vec![
+            Response::Ok,
+            Response::Stopped {
+                reason: StopReason::Halted,
+                step: 10,
+            },
+            Response::Error {
+                message: "nope".into(),
+            },
+            Response::Bye,
+        ];
+        for r in rs {
+            let s = serde_json::to_string(&r).unwrap();
+            let back: Response = serde_json::from_str(&s).unwrap();
+            assert_eq!(format!("{r:?}"), format!("{back:?}"));
+        }
+    }
+}

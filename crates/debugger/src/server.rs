@@ -1,0 +1,128 @@
+//! The debugger tier: hosts a [`DebugSession`] and serves the JSON-line
+//! protocol over TCP to the GUI tier (paper Fig. 4's three-process split,
+//! with our CLI client standing in for the Swing GUI).
+
+use crate::engine::DebugSession;
+use crate::protocol::{Command, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+/// Serve one client connection, then return the session.
+pub fn serve_one(mut session: DebugSession, listener: TcpListener) -> std::io::Result<DebugSession> {
+    let (conn, _) = listener.accept()?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut conn = conn;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let cmd: Command = match serde_json::from_str(line.trim()) {
+            Ok(c) => c,
+            Err(e) => {
+                send(&mut conn, &Response::Error {
+                    message: format!("bad command: {e}"),
+                })?;
+                continue;
+            }
+        };
+        let quit = matches!(cmd, Command::Quit);
+        let resp = handle(&mut session, cmd);
+        send(&mut conn, &resp)?;
+        if quit {
+            break;
+        }
+    }
+    Ok(session)
+}
+
+fn send(conn: &mut std::net::TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut s = serde_json::to_string(resp).expect("serialize");
+    s.push('\n');
+    conn.write_all(s.as_bytes())
+}
+
+/// Execute one command against the session.
+pub fn handle(session: &mut DebugSession, cmd: Command) -> Response {
+    match cmd {
+        Command::Break { method, pc } => {
+            session.add_breakpoint(method, pc);
+            Response::Ok
+        }
+        Command::BreakLine { method, line } => match session.resolve_line(&method, line) {
+            Some((m, pc)) => {
+                session.add_breakpoint(m, pc);
+                Response::Ok
+            }
+            None => Response::Error {
+                message: format!("no such location {method}:{line}"),
+            },
+        },
+        Command::ClearBreak { method, pc } => {
+            session.remove_breakpoint(method, pc);
+            Response::Ok
+        }
+        Command::Continue => {
+            let reason = session.cont();
+            Response::Stopped {
+                reason,
+                step: session.step_index(),
+            }
+        }
+        Command::Step => {
+            let reason = session.step();
+            Response::Stopped {
+                reason,
+                step: session.step_index(),
+            }
+        }
+        Command::StepBack => {
+            let reason = session.step_back();
+            Response::Stopped {
+                reason,
+                step: session.step_index(),
+            }
+        }
+        Command::Seek { step } => {
+            session.seek(step);
+            Response::Stopped {
+                reason: crate::engine::StopReason::StepDone,
+                step: session.step_index(),
+            }
+        }
+        Command::Stack { tid } => Response::Stack {
+            frames: session.stack_trace(tid),
+        },
+        Command::Threads => Response::Threads {
+            threads: session.threads(),
+        },
+        Command::Inspect { addr } => Response::Object {
+            description: session.inspect(addr),
+        },
+        Command::Disassemble { method } => Response::Listing {
+            text: session.disassemble(method),
+        },
+        Command::Output => Response::Output {
+            text: session.output(),
+        },
+        Command::Where => {
+            let vm = session.vm();
+            let t = vm.current_thread();
+            let (method, pc) = (t.method, t.pc);
+            let name = session
+                .program()
+                .method(method)
+                .qualified_name(session.program());
+            let frames = session.stack_trace(vm.sched.current);
+            let line = frames.first().map(|f| f.line).unwrap_or(-1);
+            Response::Location {
+                method: name,
+                pc,
+                line,
+                step: session.step_index(),
+            }
+        }
+        Command::Quit => Response::Bye,
+    }
+}

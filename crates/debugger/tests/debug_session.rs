@@ -1,0 +1,173 @@
+//! E9: the debugger — breakpoints, stepping, reverse execution, stack and
+//! thread views, and the 3-tier TCP split — all perturbation-free.
+
+use debugger::{Command, DebugClient, DebugSession, Response, StopReason};
+use dejavu::{record_run, ExecSpec, SymmetryConfig};
+use djvm::{Program, VmStatus};
+use std::sync::Arc;
+
+fn recorded(name: &str, seed: u64) -> (Arc<Program>, djvm::VmConfig, dejavu::Trace, String) {
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap();
+    let mut s = ExecSpec::new((w.build)()).with_seed(seed);
+    s.timer_base = 53;
+    s.timer_jitter = 19;
+    let (rec, trace) = record_run(&s, w.natives, SymmetryConfig::full(), true);
+    (s.program, s.vm, trace, rec.output)
+}
+
+fn session(name: &str, seed: u64) -> (DebugSession, String) {
+    let (program, vmc, trace, output) = recorded(name, seed);
+    (DebugSession::new(program, vmc, trace, 5_000), output)
+}
+
+#[test]
+fn breakpoint_hits_and_resume_is_accurate() {
+    let (mut s, rec_output) = session("racy_counter", 3);
+    let worker = s.program().method_id_by_name("worker").unwrap();
+    s.add_breakpoint(worker, 0);
+    let stop = s.cont();
+    assert!(
+        matches!(stop, StopReason::Breakpoint { method, pc: 0, .. } if method == worker),
+        "{stop:?}"
+    );
+    // Inspect at the stop: stack trace resolves lines via remote reflection.
+    let tid = s.vm().sched.current;
+    let frames = s.stack_trace(tid);
+    assert_eq!(frames[0].method_name, "worker");
+    // Resume all the way: the replay (despite debugging) matches the record.
+    s.remove_breakpoint(worker, 0);
+    let stop = s.cont();
+    assert_eq!(stop, StopReason::Halted);
+    assert_eq!(s.output(), rec_output, "debugging must not perturb replay");
+}
+
+#[test]
+fn single_step_and_where() {
+    let (mut s, _) = session("racy_counter", 4);
+    for _ in 0..10 {
+        let r = s.step();
+        assert_eq!(r, StopReason::StepDone);
+    }
+    assert_eq!(s.step_index(), 10);
+}
+
+#[test]
+fn reverse_step_returns_to_identical_state() {
+    let (mut s, _) = session("racy_counter", 5);
+    for _ in 0..5_000 {
+        s.step();
+    }
+    let digest = s.vm().state_digest();
+    let here = s.step_index();
+    // forward a bit, then step back to exactly here
+    for _ in 0..400 {
+        s.step();
+    }
+    s.seek(here);
+    assert_eq!(s.step_index(), here);
+    assert_eq!(s.vm().state_digest(), digest, "reverse execution is exact");
+    // single reverse step
+    s.step_back();
+    assert_eq!(s.step_index(), here - 1);
+}
+
+#[test]
+fn thread_viewer_shows_states() {
+    let (mut s, _) = session("producer_consumer", 2);
+    for _ in 0..4_000 {
+        s.step();
+    }
+    let threads = s.threads();
+    assert!(threads.len() >= 3, "main + producer + consumer");
+    assert!(threads.iter().any(|t| t.status == "running"));
+    // every thread resolves a method name
+    assert!(threads.iter().all(|t| !t.method_name.is_empty()));
+}
+
+#[test]
+fn inspect_objects_via_remote_reflection() {
+    let (mut s, _) = session("gc_churn", 1);
+    for _ in 0..3_000 {
+        s.step();
+    }
+    let tobj = s.vm().threads[0].thread_obj;
+    let desc = s.inspect(tobj);
+    assert!(desc.contains("Thread"), "{desc}");
+}
+
+#[test]
+fn breakpoints_by_source_line() {
+    let (mut s, _) = session("fig1_ab", 7);
+    // fig1_ab's main sets y = 1 at line 4.
+    let loc = s.resolve_line("main", 4).expect("line 4 exists");
+    s.add_breakpoint(loc.0, loc.1);
+    let stop = s.cont();
+    assert!(matches!(stop, StopReason::Breakpoint { .. }), "{stop:?}");
+    let frames = s.stack_trace(s.vm().sched.current);
+    assert_eq!(frames[0].line, 4, "stopped at source line 4");
+}
+
+#[test]
+fn e9_three_tier_tcp_session() {
+    let (program, vmc, trace, rec_output) = recorded("racy_counter", 9);
+    let worker = program.method_id_by_name("worker").unwrap();
+    let session = DebugSession::new(program, vmc, trace, 5_000);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+
+    let mut client = DebugClient::connect(&addr.to_string()).unwrap();
+    assert!(matches!(client.brk(worker, 0).unwrap(), Response::Ok));
+    let r = client.cont().unwrap();
+    assert!(
+        matches!(
+            r,
+            Response::Stopped {
+                reason: StopReason::Breakpoint { .. },
+                ..
+            }
+        ),
+        "{r:?}"
+    );
+    // stack over the wire
+    let Response::Threads { threads } = client.threads().unwrap() else {
+        panic!("expected threads");
+    };
+    let running = threads.iter().find(|t| t.status == "running").unwrap();
+    let Response::Stack { frames } = client.stack(running.tid).unwrap() else {
+        panic!("expected stack");
+    };
+    assert_eq!(frames[0].method_name, "worker");
+    // step back over the wire
+    let r = client.step().unwrap();
+    assert!(matches!(r, Response::Stopped { .. }));
+    let r = client.step_back().unwrap();
+    assert!(matches!(r, Response::Stopped { .. }));
+    // clear and run to completion
+    assert!(matches!(
+        client.request(&Command::ClearBreak { method: worker, pc: 0 }).unwrap(),
+        Response::Ok
+    ));
+    let r = client.cont().unwrap();
+    assert!(
+        matches!(
+            r,
+            Response::Stopped {
+                reason: StopReason::Halted,
+                ..
+            }
+        ),
+        "{r:?}"
+    );
+    let Response::Output { text } = client.output().unwrap() else {
+        panic!("expected output");
+    };
+    assert_eq!(text, rec_output, "replayed-through-debugger output matches record");
+    client.quit().unwrap();
+    let final_session = server.join().unwrap();
+    assert_eq!(final_session.vm().status, VmStatus::Halted);
+}

@@ -1,0 +1,207 @@
+//! Orchestration: build VMs, record executions, replay traces, and verify
+//! accuracy by the paper's own criterion (identical event sequences and
+//! identical program states — checked via execution fingerprints and
+//! reachable-state digests).
+
+use crate::record::DejaVuRecorder;
+use crate::replay::{DejaVuReplayer, Desync};
+use crate::symmetry::SymmetryConfig;
+use crate::trace::Trace;
+use djvm::clock::{CycleClock, JitteredClock, JitteredTimer};
+use djvm::hook::Passthrough;
+use djvm::vm::VmCounters;
+use djvm::{interp, FingerprintMode, Program, Vm, VmConfig, VmStatus};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything needed to (re)construct an execution environment. The `seed`
+/// selects one "physical machine behaviour": a timer-interrupt jitter
+/// sequence and a wall-clock noise sequence. Different seeds model the
+/// different executions a non-deterministic program exhibits in the wild.
+#[derive(Debug, Clone)]
+pub struct ExecSpec {
+    pub program: Arc<Program>,
+    pub vm: VmConfig,
+    pub seed: u64,
+    /// Mean cycles between preemption-timer interrupts.
+    pub timer_base: u64,
+    /// Max deviation from `timer_base`.
+    pub timer_jitter: u64,
+    /// Wall-clock origin (ms) and rate.
+    pub clock_origin: i64,
+    pub cycles_per_ms: u64,
+    /// Max per-read wall-clock noise (ms).
+    pub clock_noise: i64,
+    /// Execution step budget (guards against runaway guests).
+    pub max_steps: u64,
+}
+
+impl ExecSpec {
+    pub fn new(program: Program) -> Self {
+        Self {
+            program: Arc::new(program),
+            vm: VmConfig::default(),
+            seed: 1,
+            timer_base: 200,
+            timer_jitter: 60,
+            clock_origin: 1_000_000,
+            cycles_per_ms: 50,
+            clock_noise: 3,
+            max_steps: 200_000_000,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn build_live_vm(&self) -> Vm {
+        Vm::boot(
+            Arc::clone(&self.program),
+            self.vm.clone(),
+            Box::new(JitteredTimer::new(
+                self.seed,
+                self.timer_base,
+                self.timer_jitter,
+            )),
+            Box::new(JitteredClock::new(
+                self.seed,
+                self.clock_origin,
+                self.cycles_per_ms,
+                self.clock_noise,
+            )),
+        )
+        .expect("boot failed")
+    }
+
+    fn build_replay_vm(&self) -> Vm {
+        // Replay ignores both sources; deterministic stand-ins are used.
+        Vm::boot(
+            Arc::clone(&self.program),
+            self.vm.clone(),
+            Box::new(JitteredTimer::new(
+                self.seed,
+                self.timer_base,
+                self.timer_jitter,
+            )),
+            Box::new(CycleClock::new(self.clock_origin, self.cycles_per_ms)),
+        )
+        .expect("boot failed")
+    }
+}
+
+/// The observable outcome of one run — everything the paper's definition
+/// of "identical execution behaviour" quantifies over.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub status: VmStatus,
+    pub output: String,
+    /// Rolling event-sequence fingerprint.
+    pub fingerprint: u64,
+    /// Final reachable-program-state digest.
+    pub state_digest: u64,
+    pub counters: VmCounters,
+    pub gc_collections: u64,
+    pub cycles: u64,
+    pub wall_time: Duration,
+}
+
+impl RunReport {
+    fn from_vm(vm: &Vm, wall_time: Duration) -> Self {
+        Self {
+            status: vm.status,
+            output: vm.output.clone(),
+            fingerprint: vm.fingerprint.digest(),
+            state_digest: vm.state_digest(),
+            counters: vm.counters,
+            gc_collections: vm.heap.stats.collections,
+            cycles: vm.cycles,
+            wall_time,
+        }
+    }
+
+    /// The paper's accuracy criterion: identical event sequence and
+    /// identical program states (plus identical console output and
+    /// termination status, which follow from those but are checked
+    /// independently for diagnosability).
+    pub fn matches(&self, other: &RunReport) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.state_digest == other.state_digest
+            && self.output == other.output
+            && self.status == other.status
+    }
+}
+
+/// Run uninstrumented (the precision baseline).
+pub fn passthrough_run(spec: &ExecSpec, natives: impl FnOnce(&mut Vm)) -> RunReport {
+    let mut vm = spec.build_live_vm();
+    natives(&mut vm);
+    let mut hook = Passthrough;
+    let t0 = Instant::now();
+    interp::run(&mut vm, &mut hook, spec.max_steps);
+    RunReport::from_vm(&vm, t0.elapsed())
+}
+
+/// Record an execution: returns the report and the DejaVu trace.
+pub fn record_run(
+    spec: &ExecSpec,
+    natives: impl FnOnce(&mut Vm),
+    sym: SymmetryConfig,
+    paranoid: bool,
+) -> (RunReport, Trace) {
+    let mut vm = spec.build_live_vm();
+    natives(&mut vm);
+    let mut hook = DejaVuRecorder::new(sym, paranoid);
+    hook.on_init_public(&mut vm);
+    let t0 = Instant::now();
+    interp::run(&mut vm, &mut hook, spec.max_steps);
+    let report = RunReport::from_vm(&vm, t0.elapsed());
+    (report, hook.into_trace())
+}
+
+/// Replay a trace: natives are *not* registered — replay never calls them,
+/// which is itself part of the determinism story (§2.5).
+pub fn replay_run(spec: &ExecSpec, trace: Trace, sym: SymmetryConfig) -> (RunReport, Vec<Desync>) {
+    let mut vm = spec.build_replay_vm();
+    let mut hook = DejaVuReplayer::new(trace, sym);
+    hook.on_init_public(&mut vm);
+    let t0 = Instant::now();
+    interp::run(&mut vm, &mut hook, spec.max_steps);
+    let report = RunReport::from_vm(&vm, t0.elapsed());
+    (report, hook.into_desyncs())
+}
+
+/// Record then replay, returning both reports and whether replay was
+/// accurate.
+pub fn record_replay(
+    spec: &ExecSpec,
+    natives: impl FnOnce(&mut Vm),
+    sym: SymmetryConfig,
+) -> (RunReport, RunReport, bool) {
+    let (rec, trace) = record_run(spec, natives, sym, true);
+    let (rep, desyncs) = replay_run(spec, trace, sym);
+    let ok = rec.matches(&rep) && desyncs.is_empty();
+    (rec, rep, ok)
+}
+
+/// Convenience used in assertions: full-fidelity fingerprinting.
+pub fn full_fidelity(mut spec: ExecSpec) -> ExecSpec {
+    spec.vm.fingerprint = FingerprintMode::Full;
+    spec
+}
+
+// Allow the driver to call on_init without exposing ExecHook publicly odd.
+impl DejaVuRecorder {
+    pub fn on_init_public(&mut self, vm: &mut Vm) {
+        use djvm::hook::ExecHook;
+        self.on_init(vm);
+    }
+}
+
+impl DejaVuReplayer {
+    pub fn on_init_public(&mut self, vm: &mut Vm) {
+        use djvm::hook::ExecHook;
+        self.on_init(vm);
+    }
+}

@@ -1,0 +1,183 @@
+//! Replay mode: Figure 2-(B) of the paper.
+//!
+//! The replayer ignores the hardware preempt bit entirely. It counts down
+//! the recorded yield-point delta and forces a thread switch when it
+//! reaches zero; wall-clock reads and native calls are *not* performed —
+//! their recorded out-states are regenerated (§2.1). Synchronization
+//! switches, GC, allocation, class loading and the scheduler's queue
+//! rotations need nothing at all: replaying the non-deterministic inputs
+//! replays the whole thread package (§2.2).
+
+use crate::record::InstrCommon;
+use crate::symmetry::SymmetryConfig;
+use crate::trace::{DataRec, SwitchRec, Trace};
+use djvm::hook::{ExecHook, YieldAction};
+use djvm::vm::Vm;
+use djvm::{CallbackReq, NativeId, NativeOutcome};
+use std::collections::VecDeque;
+
+/// A detected record/replay desynchronization (diagnostics; an accurate
+/// replay produces none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Desync {
+    /// A forced switch fired while a different thread was running than
+    /// during record (paranoid traces only).
+    SwitchTidMismatch {
+        switch_index: u64,
+        recorded: u32,
+        observed: u32,
+    },
+    /// Replay asked for a clock value but the data stream was exhausted or
+    /// held a different event kind.
+    ClockStream { reads_so_far: u64 },
+    /// Replay reached a native call whose record is missing or mismatched.
+    NativeStream { calls_so_far: u64 },
+}
+
+/// The current countdown: remaining yield points plus the tid recorded for
+/// validation.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    remaining: u64,
+    check_tid: u32,
+}
+
+/// The replay-mode hook (Fig. 2-B).
+#[derive(Clone)]
+pub struct DejaVuReplayer {
+    common: InstrCommon,
+    switches: VecDeque<SwitchRec>,
+    data: VecDeque<DataRec>,
+    paranoid: bool,
+    /// Countdown to the next forced switch (`None` = switch stream done).
+    pending: Option<Pending>,
+    switch_index: u64,
+    clock_reads: u64,
+    native_calls: u64,
+    desyncs: Vec<Desync>,
+}
+
+impl DejaVuReplayer {
+    pub fn new(trace: Trace, sym: SymmetryConfig) -> Self {
+        let paranoid = trace.paranoid;
+        let mut switches: VecDeque<SwitchRec> = trace.switches.into();
+        let pending = switches.pop_front().map(|s| Pending {
+            remaining: s.nyp,
+            check_tid: s.check_tid,
+        });
+        Self {
+            common: InstrCommon::new(sym),
+            switches,
+            data: trace.data.into(),
+            paranoid,
+            pending,
+            switch_index: 0,
+            clock_reads: 0,
+            native_calls: 0,
+            desyncs: Vec::new(),
+        }
+    }
+
+    /// Desyncs observed so far (empty for an accurate replay).
+    pub fn desyncs(&self) -> &[Desync] {
+        &self.desyncs
+    }
+
+    pub fn into_desyncs(self) -> Vec<Desync> {
+        self.desyncs
+    }
+}
+
+impl ExecHook for DejaVuReplayer {
+    fn on_init(&mut self, vm: &mut Vm) {
+        self.common.init(vm);
+    }
+
+    fn on_yield_point(&mut self, vm: &mut Vm) -> YieldAction {
+        // Fig. 2-(B): the preempt bit is ignored during replay.
+        let Some(p) = self.pending.as_mut() else {
+            return YieldAction::NONE;
+        };
+        p.remaining -= 1;
+        if p.remaining > 0 {
+            return YieldAction::NONE;
+        }
+        // The recorded delta expired: this is the yield point at which the
+        // recorded execution performed its preemptive switch.
+        if self.paranoid && p.check_tid != u32::MAX && p.check_tid != vm.sched.current {
+            self.desyncs.push(Desync::SwitchTidMismatch {
+                switch_index: self.switch_index,
+                recorded: p.check_tid,
+                observed: vm.sched.current,
+            });
+        }
+        self.common.touch_buffer(vm, self.switch_index, 0, false);
+        self.switch_index += 1;
+        self.pending = self.switches.pop_front().map(|s: SwitchRec| Pending {
+            remaining: s.nyp,
+            check_tid: s.check_tid,
+        });
+        let run_helper = self.common.helper_due(vm, false);
+        YieldAction {
+            switch_now: true,
+            run_helper,
+        }
+    }
+
+    fn on_instr_yield_point(&mut self, _vm: &mut Vm) -> YieldAction {
+        if !self.common.sym.live_clock {
+            // Ablated liveClock: instrumentation yield points erroneously
+            // tick the logical clock, desynchronizing it from the record
+            // (the fill helper executes a different number of yield points
+            // than the flush helper did).
+            if let Some(p) = self.pending.as_mut() {
+                p.remaining = p.remaining.saturating_sub(1).max(1);
+            }
+        }
+        YieldAction::NONE
+    }
+
+    fn on_clock_read(&mut self, _vm: &mut Vm) -> i64 {
+        self.clock_reads += 1;
+        match self.data.pop_front() {
+            Some(DataRec::Clock(v)) => v,
+            other => {
+                if let Some(rec) = other {
+                    self.data.push_front(rec);
+                }
+                self.desyncs.push(Desync::ClockStream {
+                    reads_so_far: self.clock_reads,
+                });
+                0
+            }
+        }
+    }
+
+    fn on_native_call(&mut self, _vm: &mut Vm, _native: NativeId, _args: &[i64]) -> NativeOutcome {
+        // The native is NOT executed: its recorded out-state is
+        // regenerated (§2.5).
+        self.native_calls += 1;
+        match self.data.pop_front() {
+            Some(DataRec::Native { ret, callbacks }) => NativeOutcome {
+                ret,
+                callbacks: callbacks
+                    .into_iter()
+                    .map(|(method, args)| CallbackReq { method, args })
+                    .collect(),
+            },
+            other => {
+                if let Some(rec) = other {
+                    self.data.push_front(rec);
+                }
+                self.desyncs.push(Desync::NativeStream {
+                    calls_so_far: self.native_calls,
+                });
+                NativeOutcome::value(0)
+            }
+        }
+    }
+
+    fn mode_name(&self) -> &'static str {
+        "dejavu-replay"
+    }
+}

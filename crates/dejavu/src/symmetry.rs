@@ -1,0 +1,170 @@
+//! Symmetric instrumentation (paper §2.4) — with each symmetry
+//! individually defeatable for the ablation experiments (E10).
+//!
+//! DejaVu cannot replay its own instrumentation: record *writes* the trace
+//! while replay *reads* it, so the instrumentation's guest-visible side
+//! effects differ between modes "by definition". Accuracy therefore demands
+//! that every such side effect be made identical in both modes:
+//!
+//! | Symmetry | Hazard it closes | Paper mechanism |
+//! |---|---|---|
+//! | `preallocate_buffer` | record lazily allocates its trace buffer; replay never needs one → allocation serials shift | pre-allocate the same buffer in both modes at init |
+//! | `preload_compile` | record lazily compiles `sys$flushTrace` (+ its leaf callee); replay compiles `sys$fillTrace` → different code-object allocations | pre-load/pre-compile all DejaVu methods at init |
+//! | `warmup_io` | record touches the output path (1 alloc); replay touches the input path (2 allocs) | write-then-read a warm-up file at init in both modes |
+//! | `eager_stack_growth` | flush frames are bigger than fill frames → stack overflow (a heap allocation) fires at different points | grow the stack eagerly before instrumentation calls when headroom is low |
+//! | `live_clock` | flush executes more yield points than fill → nyp counts diverge | pause the logical clock inside instrumentation (`liveClock`) |
+//!
+//! With every flag on, `fingerprint(record) == fingerprint(replay)`. The
+//! ablation tests disable one flag at a time and watch replay diverge.
+
+/// Which symmetries are active. [`SymmetryConfig::full`] is DejaVu proper;
+/// anything else is a deliberately broken variant for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymmetryConfig {
+    /// Pre-allocate the trace buffer at init in both modes
+    /// ("Symmetry in Allocation").
+    pub preallocate_buffer: bool,
+    /// Pre-compile the flush/fill helper methods at init in both modes
+    /// ("Symmetry in Loading and Compilation").
+    pub preload_compile: bool,
+    /// Touch both the write and read I/O paths at init in both modes
+    /// (the write-then-read warm-up file).
+    pub warmup_io: bool,
+    /// Eagerly grow the activation stack before instrumentation helper
+    /// calls ("Symmetry in Stack Overflow").
+    pub eager_stack_growth: bool,
+    /// Do not count instrumentation-executed yield points on the logical
+    /// clock ("Symmetry in Updating the Logical Clock", the liveClock flag
+    /// of Fig. 2).
+    pub live_clock: bool,
+}
+
+impl SymmetryConfig {
+    /// Full symmetry: DejaVu as published.
+    pub const fn full() -> Self {
+        Self {
+            preallocate_buffer: true,
+            preload_compile: true,
+            warmup_io: true,
+            eager_stack_growth: true,
+            live_clock: true,
+        }
+    }
+
+    /// Everything off: the naive instrumentation a first implementation
+    /// would write.
+    pub const fn naive() -> Self {
+        Self {
+            preallocate_buffer: false,
+            preload_compile: false,
+            warmup_io: false,
+            eager_stack_growth: false,
+            live_clock: false,
+        }
+    }
+
+    /// Full symmetry with exactly one mechanism disabled (for ablation).
+    pub fn ablate(which: Ablation) -> Self {
+        let mut s = Self::full();
+        match which {
+            Ablation::PreallocateBuffer => s.preallocate_buffer = false,
+            Ablation::PreloadCompile => s.preload_compile = false,
+            Ablation::WarmupIo => s.warmup_io = false,
+            Ablation::EagerStackGrowth => s.eager_stack_growth = false,
+            Ablation::LiveClock => s.live_clock = false,
+        }
+        s
+    }
+
+    pub fn is_full(&self) -> bool {
+        *self == Self::full()
+    }
+}
+
+impl Default for SymmetryConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// The individually ablatable symmetry mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    PreallocateBuffer,
+    PreloadCompile,
+    WarmupIo,
+    EagerStackGrowth,
+    LiveClock,
+}
+
+impl Ablation {
+    pub const ALL: [Ablation; 5] = [
+        Ablation::PreallocateBuffer,
+        Ablation::PreloadCompile,
+        Ablation::WarmupIo,
+        Ablation::EagerStackGrowth,
+        Ablation::LiveClock,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::PreallocateBuffer => "allocation",
+            Ablation::PreloadCompile => "loading+compilation",
+            Ablation::WarmupIo => "warm-up I/O",
+            Ablation::EagerStackGrowth => "stack overflow",
+            Ablation::LiveClock => "logical clock (liveClock)",
+        }
+    }
+}
+
+/// Words of the guest-heap trace buffer both modes allocate at init.
+pub const TRACE_BUFFER_WORDS: usize = 256;
+
+/// Stack headroom (words) ensured before an instrumentation helper call;
+/// must cover the larger of the flush/fill frame footprints.
+pub const HELPER_HEADROOM: u64 = 64;
+
+/// Run an instrumentation helper every this many preemptive switches.
+pub const FLUSH_PERIOD: u32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_is_full() {
+        assert!(SymmetryConfig::full().is_full());
+        assert!(!SymmetryConfig::naive().is_full());
+    }
+
+    #[test]
+    fn each_ablation_differs_from_full_in_one_flag() {
+        for a in Ablation::ALL {
+            let s = SymmetryConfig::ablate(a);
+            assert!(!s.is_full());
+            let flags = |c: SymmetryConfig| {
+                [
+                    c.preallocate_buffer,
+                    c.preload_compile,
+                    c.warmup_io,
+                    c.eager_stack_growth,
+                    c.live_clock,
+                ]
+            };
+            let diff = flags(s)
+                .iter()
+                .zip(flags(SymmetryConfig::full()).iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, 1, "{:?}", a);
+        }
+    }
+
+    #[test]
+    fn ablation_names_unique() {
+        let mut names: Vec<_> = Ablation::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Ablation::ALL.len());
+    }
+}

@@ -1,0 +1,328 @@
+//! The DejaVu trace: what record captures and replay consumes.
+//!
+//! A trace has two logical streams, matching the paper's design:
+//!
+//! * the **switch stream** — one record per *preemptive* thread switch,
+//!   carrying only the yield-point delta `nyp` since the previous switch
+//!   (Fig. 2). Deterministic switches (synchronization) are *not* logged;
+//!   that is DejaVu's headline trace-size advantage over schemes that log
+//!   every critical event (§5).
+//! * the **data stream** — the out-states of non-deterministic operations
+//!   in execution order: wall-clock reads (§2.2) and native-call outcomes
+//!   including callback parameters (§2.5).
+//!
+//! The binary encoding is varint-based; [`Trace::encoded`] /
+//! [`Trace::decode`] round-trip it, and [`TraceStats`] reports the sizes
+//! the trace-size experiment (E5) compares against the baselines.
+//!
+//! In *paranoid* mode each switch record additionally carries the thread
+//! id observed during record, used purely as a replay-desync detector —
+//! the paper's minimal trace does not need it.
+
+use djvm::MethodId;
+
+/// One preemptive thread switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchRec {
+    /// Yield points executed (on the logical clock) since the last
+    /// preemptive switch.
+    pub nyp: u64,
+    /// Thread that was running when the switch happened (paranoid mode
+    /// only; `u32::MAX` when absent).
+    pub check_tid: u32,
+}
+
+/// One non-deterministic data event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataRec {
+    /// A wall-clock read (an `Op::Now`, a timed-wait/sleep deadline
+    /// computation, or a scheduler idle-wake read).
+    Clock(i64),
+    /// A native call's observable outcome.
+    Native {
+        ret: i64,
+        callbacks: Vec<(MethodId, Vec<i64>)>,
+    },
+}
+
+/// A complete recording of one execution's non-determinism.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub paranoid: bool,
+    pub switches: Vec<SwitchRec>,
+    pub data: Vec<DataRec>,
+}
+
+/// Byte-level size breakdown (experiment E5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceStats {
+    pub switch_count: usize,
+    pub clock_count: usize,
+    pub native_count: usize,
+    pub switch_bytes: usize,
+    pub data_bytes: usize,
+    pub total_bytes: usize,
+}
+
+const MAGIC: &[u8; 4] = b"DJV1";
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+impl Trace {
+    /// Encode to the binary on-disk format.
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(self.paranoid as u8);
+        put_varint(&mut out, self.switches.len() as u64);
+        for s in &self.switches {
+            put_varint(&mut out, s.nyp);
+            if self.paranoid {
+                put_varint(&mut out, s.check_tid as u64);
+            }
+        }
+        put_varint(&mut out, self.data.len() as u64);
+        for d in &self.data {
+            match d {
+                DataRec::Clock(v) => {
+                    out.push(0);
+                    put_varint(&mut out, zigzag(*v));
+                }
+                DataRec::Native { ret, callbacks } => {
+                    out.push(1);
+                    put_varint(&mut out, zigzag(*ret));
+                    put_varint(&mut out, callbacks.len() as u64);
+                    for (m, args) in callbacks {
+                        put_varint(&mut out, *m as u64);
+                        put_varint(&mut out, args.len() as u64);
+                        for &a in args {
+                            put_varint(&mut out, zigzag(a));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode the binary format; `None` on corruption.
+    pub fn decode(buf: &[u8]) -> Option<Trace> {
+        if buf.len() < 5 || &buf[..4] != MAGIC {
+            return None;
+        }
+        let paranoid = buf[4] != 0;
+        let mut pos = 5;
+        let nswitch = get_varint(buf, &mut pos)? as usize;
+        let mut switches = Vec::with_capacity(nswitch.min(1 << 20));
+        for _ in 0..nswitch {
+            let nyp = get_varint(buf, &mut pos)?;
+            let check_tid = if paranoid {
+                get_varint(buf, &mut pos)? as u32
+            } else {
+                u32::MAX
+            };
+            switches.push(SwitchRec { nyp, check_tid });
+        }
+        let ndata = get_varint(buf, &mut pos)? as usize;
+        let mut data = Vec::with_capacity(ndata.min(1 << 20));
+        for _ in 0..ndata {
+            let tag = *buf.get(pos)?;
+            pos += 1;
+            match tag {
+                0 => data.push(DataRec::Clock(unzigzag(get_varint(buf, &mut pos)?))),
+                1 => {
+                    let ret = unzigzag(get_varint(buf, &mut pos)?);
+                    let ncb = get_varint(buf, &mut pos)? as usize;
+                    let mut callbacks = Vec::with_capacity(ncb.min(1 << 16));
+                    for _ in 0..ncb {
+                        let m = get_varint(buf, &mut pos)? as MethodId;
+                        let nargs = get_varint(buf, &mut pos)? as usize;
+                        let mut args = Vec::with_capacity(nargs.min(1 << 16));
+                        for _ in 0..nargs {
+                            args.push(unzigzag(get_varint(buf, &mut pos)?));
+                        }
+                        callbacks.push((m, args));
+                    }
+                    data.push(DataRec::Native { ret, callbacks });
+                }
+                _ => return None,
+            }
+        }
+        if pos != buf.len() {
+            return None;
+        }
+        Some(Trace {
+            paranoid,
+            switches,
+            data,
+        })
+    }
+
+    /// Size breakdown of the encoded trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut sw = Vec::new();
+        for s in &self.switches {
+            put_varint(&mut sw, s.nyp);
+            if self.paranoid {
+                put_varint(&mut sw, s.check_tid as u64);
+            }
+        }
+        let total = self.encoded().len();
+        let clock_count = self
+            .data
+            .iter()
+            .filter(|d| matches!(d, DataRec::Clock(_)))
+            .count();
+        TraceStats {
+            switch_count: self.switches.len(),
+            clock_count,
+            native_count: self.data.len() - clock_count,
+            switch_bytes: sw.len(),
+            data_bytes: total - sw.len() - 5,
+            total_bytes: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(paranoid: bool) -> Trace {
+        Trace {
+            paranoid,
+            switches: vec![
+                SwitchRec {
+                    nyp: 1,
+                    check_tid: if paranoid { 0 } else { u32::MAX },
+                },
+                SwitchRec {
+                    nyp: 100_000,
+                    check_tid: if paranoid { 3 } else { u32::MAX },
+                },
+            ],
+            data: vec![
+                DataRec::Clock(0),
+                DataRec::Clock(-5),
+                DataRec::Clock(i64::MAX),
+                DataRec::Native {
+                    ret: -42,
+                    callbacks: vec![(7, vec![1, -2, 3]), (9, vec![])],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let t = sample(false);
+        assert_eq!(Trace::decode(&t.encoded()).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_paranoid() {
+        let t = sample(true);
+        assert_eq!(Trace::decode(&t.encoded()).unwrap(), t);
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        let t = sample(false);
+        let mut buf = t.encoded();
+        buf[0] = b'X';
+        assert!(Trace::decode(&buf).is_none());
+        let mut buf2 = t.encoded();
+        buf2.truncate(buf2.len() - 1);
+        assert!(Trace::decode(&buf2).is_none());
+        let mut buf3 = t.encoded();
+        buf3.push(0);
+        assert!(Trace::decode(&buf3).is_none());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let mut buf = Vec::new();
+        for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn stats_count_streams() {
+        let t = sample(false);
+        let s = t.stats();
+        assert_eq!(s.switch_count, 2);
+        assert_eq!(s.clock_count, 3);
+        assert_eq!(s.native_count, 1);
+        assert_eq!(s.total_bytes, t.encoded().len());
+        assert!(s.switch_bytes < s.total_bytes);
+    }
+
+    #[test]
+    fn paranoid_mode_costs_bytes() {
+        let plain = sample(false).stats().total_bytes;
+        let paranoid = sample(true).stats().total_bytes;
+        assert!(paranoid > plain);
+    }
+
+    #[test]
+    fn switch_stream_is_tiny() {
+        // A million-yield-point delta still fits in 3 bytes: the essence of
+        // the nyp-delta encoding.
+        let t = Trace {
+            paranoid: false,
+            switches: vec![SwitchRec {
+                nyp: 1_000_000,
+                check_tid: u32::MAX,
+            }],
+            data: vec![],
+        };
+        assert!(t.stats().switch_bytes <= 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Symmetry ablations (paper §2.4, experiment E10).
+//!
+//! DejaVu's instrumentation behaves differently in record and replay mode
+//! by definition; the paper's symmetry machinery makes its guest-visible
+//! side effects identical anyway. These tests disable one mechanism at a
+//! time and demonstrate that replay then *diverges* on a workload that can
+//! observe the perturbation — and that the very same workload replays
+//! accurately with full symmetry. This shows each mechanism is necessary,
+//! not decorative.
+
+use dejavu::{record_replay, Ablation, ExecSpec, SymmetryConfig};
+use djvm::{Program, ProgramBuilder, Ty};
+
+/// A workload that observes the perturbation channels:
+/// * racy shared counter with yield points in the window (scheduling),
+/// * `identityHashCode` of fresh allocations folded into the output
+///   (allocation-order sensitivity — the serial number channel),
+/// * enough preemptive switches that the flush/fill helpers run.
+fn observer_workload(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("count", Ty::Int)
+        .static_field("hashmix", Ty::Int)
+        .build();
+    let cls = pb.class("O").field("x", Ty::Int).build();
+    let worker = pb.method("worker", 0, 3).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(iters).ge().if_nz("done");
+        a.get_static(g, 0).store(1);
+        // delay loop: yield points inside the racy window
+        a.iconst(0).store(2);
+        a.label("delay");
+        a.load(2).iconst(2).ge().if_nz("delay_done");
+        a.load(2).iconst(1).add().store(2);
+        a.goto("delay");
+        a.label("delay_done");
+        a.load(1).iconst(1).add().put_static(g, 0);
+        // fold a fresh allocation's identity hash into shared state
+        a.get_static(g, 1).new(cls).identity_hash().bxor().put_static(g, 1);
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.iconst(0).put_static(g, 1);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.get_static(g, 1).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Recursion to a varying depth with switch activity at depth: puts `sp`
+/// near the stack boundary when instrumentation helpers run, exposing the
+/// stack-overflow asymmetry.
+fn deep_stack_workload() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("acc", Ty::Int).build();
+    let cls = pb.class("O").field("x", Ty::Int).build();
+    // spin folds the identity hash (allocation serial) of fresh objects
+    // into shared state, so any instrumentation-induced allocation (like a
+    // stack-growth array) shifts subsequent serials observably.
+    let spin = pb.method("spin", 1, 2).code(|a| {
+        a.iconst(0).store(1);
+        a.label("top");
+        a.load(1).load(0).ge().if_nz("done");
+        a.get_static(g, 0).new(cls).identity_hash().bxor().put_static(g, 0);
+        a.load(1).iconst(1).add().store(1);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    // down is method id 1 (spin is 0): recurse into itself by id.
+    let down = pb.func("down", 1, 1).code(|a| {
+        a.load(0).if_z("base");
+        a.load(0).iconst(1).sub().call(1);
+        a.ret_val();
+        a.label("base");
+        a.iconst(40).call(spin);
+        a.iconst(0).ret_val();
+    });
+    assert_eq!(down, 1);
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        // vary the depth across iterations: 1..=16
+        a.iconst(1).store(0);
+        a.label("top");
+        a.load(0).iconst(16).gt().if_nz("done");
+        a.load(0).call(down).pop();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+fn spec(p: Program, seed: u64) -> ExecSpec {
+    let mut s = ExecSpec::new(p).with_seed(seed);
+    s.timer_base = 31;
+    s.timer_jitter = 11;
+    s
+}
+
+/// With full symmetry the observer workload replays accurately on every
+/// seed we test; with a given ablation it diverges on at least one.
+fn ablation_diverges(ablation: Ablation, build: fn() -> Program, seeds: std::ops::Range<u64>) {
+    let mut diverged = false;
+    for seed in seeds.clone() {
+        let s = spec(build(), seed);
+        let (_, _, full_ok) = record_replay(&s, |_| {}, SymmetryConfig::full());
+        assert!(full_ok, "full symmetry must stay accurate (seed {seed})");
+    }
+    'outer: for seed in seeds {
+        let stacks: &[usize] = if ablation == Ablation::EagerStackGrowth {
+            &[88, 96, 104, 112, 128] // sweep near the boundary
+        } else {
+            &[256]
+        };
+        for &stack in stacks {
+            let mut s = spec(build(), seed);
+            s.vm.initial_stack = stack;
+            let (_, _, ok) = record_replay(&s, |_| {}, SymmetryConfig::ablate(ablation));
+            if !ok {
+                diverged = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        diverged,
+        "ablating {:?} should break replay on some seed",
+        ablation
+    );
+}
+
+fn observer_300() -> Program {
+    observer_workload(300)
+}
+
+#[test]
+fn ablate_allocation_symmetry_diverges() {
+    ablation_diverges(Ablation::PreallocateBuffer, observer_300, 0..6);
+}
+
+#[test]
+fn ablate_preload_compile_diverges() {
+    ablation_diverges(Ablation::PreloadCompile, observer_300, 0..6);
+}
+
+#[test]
+fn ablate_warmup_io_diverges() {
+    ablation_diverges(Ablation::WarmupIo, observer_300, 0..6);
+}
+
+#[test]
+fn ablate_live_clock_diverges() {
+    ablation_diverges(Ablation::LiveClock, observer_300, 0..6);
+}
+
+#[test]
+fn ablate_eager_stack_growth_diverges() {
+    ablation_diverges(Ablation::EagerStackGrowth, deep_stack_workload, 0..10);
+}
+
+#[test]
+fn naive_instrumentation_diverges() {
+    let mut diverged = false;
+    for seed in 0..4 {
+        let s = spec(observer_workload(300), seed);
+        let (_, _, ok) = record_replay(&s, |_| {}, SymmetryConfig::naive());
+        if !ok {
+            diverged = true;
+        }
+    }
+    assert!(diverged, "fully naive instrumentation cannot replay");
+}
+
+#[test]
+fn full_symmetry_accuracy_rate_is_total() {
+    // E6-style sweep on the observer workload: 100% accuracy.
+    for seed in 0..10 {
+        let s = spec(observer_workload(200), seed);
+        let (_, _, ok) = record_replay(&s, |_| {}, SymmetryConfig::full());
+        assert!(ok, "seed {seed}");
+    }
+}

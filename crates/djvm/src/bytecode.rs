@@ -1,0 +1,241 @@
+//! The bytecode instruction set of the djvm guest machine.
+//!
+//! The guest ISA is a stack machine over 64-bit words, modeled after the
+//! subset of JVM bytecode that the paper's examples exercise: integer
+//! arithmetic, object/array access, virtual dispatch, monitors,
+//! `wait`/`notify`/`sleep`, thread spawn/join, wall-clock reads, and a
+//! JNI-like native-call escape hatch.
+//!
+//! Control-flow targets are absolute instruction indices within a method.
+//! A branch whose target is not greater than its own pc is a *backedge*;
+//! together with method prologues, backedges are the VM's **yield points**
+//! (the only program points at which a preemptive thread switch may occur —
+//! exactly Jalapeño's discipline, which DejaVu's `nyp` counter relies on).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a class within a [`crate::program::Program`].
+pub type ClassId = u32;
+/// Index of a method within a [`crate::program::Program`].
+pub type MethodId = u32;
+/// Index into the program's interned-string pool.
+pub type StrId = u32;
+/// Identifier of a registered native (JNI-like) function.
+pub type NativeId = u32;
+
+/// Static type of a slot: either a raw integer word or a heap reference.
+///
+/// The baseline compiler's dataflow pass infers one of these for every
+/// local and operand-stack slot at every pc; the resulting *reference maps*
+/// are what make the garbage collector type-accurate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ty {
+    /// 64-bit signed integer (also used for booleans and millisecond counts).
+    Int,
+    /// Heap reference (word address; 0 is null).
+    Ref,
+}
+
+/// A single guest instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    // ---- constants, locals, operand-stack shuffling ----
+    /// Push an integer constant.
+    Const(i64),
+    /// Push the null reference.
+    Null,
+    /// Push a reference to the interned string object for `StrId`.
+    Str(StrId),
+    /// Push local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Pop and discard the top of stack.
+    Pop,
+    /// Swap the top two stack slots.
+    Swap,
+
+    // ---- integer arithmetic / logic (operate on the top of stack) ----
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero terminates the thread with a
+    /// deterministic runtime error.
+    Div,
+    Rem,
+    Neg,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+
+    // ---- comparisons (pop two ints, push 0 or 1) ----
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Pop two refs, push 1 if they are the same object.
+    RefEq,
+
+    // ---- control flow ----
+    /// Unconditional jump to absolute pc.
+    Goto(u32),
+    /// Pop an int; jump if non-zero.
+    If(u32),
+    /// Pop an int; jump if zero.
+    IfZ(u32),
+
+    // ---- objects and arrays ----
+    /// Allocate a scalar instance of the class; push its reference.
+    /// May trigger garbage collection and lazy class loading.
+    New(ClassId),
+    /// Pop a receiver ref, push the value of instance field `idx`. `ty` is
+    /// the declared field type (like a JVM field descriptor); it types the
+    /// verifier's dataflow and is checked against the receiver's actual
+    /// layout at run time.
+    GetField { idx: u16, ty: Ty },
+    /// Pop a value then a receiver ref; store into instance field `idx`.
+    PutField { idx: u16, ty: Ty },
+    /// Push the value of static field `n` of the class (loads the class
+    /// lazily on first touch, which allocates its class object).
+    GetStatic(ClassId, u16),
+    /// Pop a value into static field `n` of the class.
+    PutStatic(ClassId, u16),
+    /// Pop a length; allocate an array with elements of type `Ty`
+    /// (zero/null initialized); push its reference.
+    NewArray(Ty),
+    /// Pop index then array ref; push element. `Ty` must match the array's
+    /// element kind (checked at run time).
+    ALoad(Ty),
+    /// Pop value, index, array ref; store element.
+    AStore(Ty),
+    /// Pop an array ref; push its length.
+    ArrayLen,
+    /// Pop a ref; push its identity hash code (the object's allocation
+    /// serial number — stable under copying GC but sensitive to allocation
+    /// order, the key perturbation channel of §2.4 of the paper).
+    IdentityHash,
+    /// Pop a ref; push 1 if it is an instance of the class (or a subclass).
+    InstanceOf(ClassId),
+
+    // ---- calls ----
+    /// Call a static/direct method. Arguments are popped (rightmost on top).
+    Call(MethodId),
+    /// Virtual dispatch: `class` is the *static* receiver type (like the
+    /// symbolic method reference of JVM `invokevirtual`) and `slot` its
+    /// vtable slot; the callee is resolved through the *dynamic* receiver's
+    /// vtable at run time. The receiver sits deepest among the arguments.
+    CallVirtual { class: ClassId, slot: u16 },
+    /// Return with no value.
+    Ret,
+    /// Pop a value and return it to the caller.
+    RetVal,
+
+    // ---- synchronization (the deterministic-switch operations of §2.2) ----
+    /// Pop an object ref; acquire its monitor (recursive). Blocks — and
+    /// deterministically switches threads — if the monitor is held.
+    MonitorEnter,
+    /// Pop an object ref; release its monitor.
+    MonitorExit,
+    /// Pop an object ref; wait on its monitor (releasing it). Pushes a
+    /// status on resume: 0 = notified, 1 = interrupted.
+    Wait,
+    /// Pop millis then object ref; timed wait. Status: 0 = notified,
+    /// 1 = interrupted, 2 = timed out.
+    TimedWait,
+    /// Pop an object ref; wake one waiter (FIFO), if any.
+    Notify,
+    /// Pop an object ref; wake all waiters.
+    NotifyAll,
+
+    // ---- threading ----
+    /// Pop `nargs` arguments; spawn a new thread running the method; push
+    /// a reference to the new Thread object.
+    Spawn { method: MethodId, nargs: u8 },
+    /// Pop a Thread object ref; block until that thread terminates.
+    Join,
+    /// Pop a Thread object ref; interrupt that thread.
+    Interrupt,
+    /// Voluntarily yield the processor (moves to the back of the ready
+    /// queue). Deterministic.
+    YieldNow,
+    /// Pop millis; sleep. Status pushed on wake: 0 = slept, 1 = interrupted.
+    /// Timer expiry is driven by recorded wall-clock reads (§2.2).
+    Sleep,
+    /// Push a reference to the current thread's Thread object.
+    CurrentThread,
+
+    // ---- environment (the non-deterministic operations of §2.1) ----
+    /// Push the current wall-clock value in milliseconds. Non-deterministic;
+    /// recorded during record mode and reproduced during replay.
+    Now,
+    /// Call a registered native function with `nargs` popped arguments and
+    /// push its result. Return values (and any callback invocations the
+    /// native requests) are captured during record and regenerated during
+    /// replay (§2.5).
+    NativeCall { native: NativeId, nargs: u8 },
+
+    // ---- output ----
+    /// Pop an int and append its decimal form plus newline to VM output.
+    Print,
+    /// Append the interned string (no newline) to VM output.
+    PrintStr(StrId),
+
+    /// Terminate the entire VM (all threads).
+    Halt,
+}
+
+impl Op {
+    /// True if this instruction can directly block the current thread,
+    /// producing a *deterministic* thread switch (paper §2.2).
+    pub fn can_block(self) -> bool {
+        matches!(
+            self,
+            Op::MonitorEnter | Op::Wait | Op::TimedWait | Op::Join | Op::Sleep
+        )
+    }
+
+    /// The branch target, if this is a branch.
+    pub fn branch_target(self) -> Option<u32> {
+        match self {
+            Op::Goto(t) | Op::If(t) | Op::IfZ(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Op::Goto(3).branch_target(), Some(3));
+        assert_eq!(Op::If(7).branch_target(), Some(7));
+        assert_eq!(Op::IfZ(0).branch_target(), Some(0));
+        assert_eq!(Op::Add.branch_target(), None);
+    }
+
+    #[test]
+    fn blocking_ops() {
+        assert!(Op::MonitorEnter.can_block());
+        assert!(Op::Wait.can_block());
+        assert!(Op::TimedWait.can_block());
+        assert!(Op::Join.can_block());
+        assert!(Op::Sleep.can_block());
+        assert!(!Op::Notify.can_block());
+        assert!(!Op::MonitorExit.can_block());
+        assert!(!Op::YieldNow.can_block());
+    }
+
+    #[test]
+    fn op_is_small() {
+        // The interpreter copies ops by value in its hot loop.
+        assert!(std::mem::size_of::<Op>() <= 16);
+    }
+}

@@ -1,0 +1,229 @@
+//! Wall clock and preemption timer — the VM's non-determinism sources.
+//!
+//! The paper's Jalapeño preempts a thread at the first yield point after a
+//! periodic *wall-clock* timer interrupt; because the number of
+//! instructions executed per wall-clock interval varies with caching,
+//! paging, and machine load, the preemption points are non-deterministic
+//! (§2.3). We model this with a [`TimerSource`] that yields a *jittered*
+//! number of interpreted cycles between interrupts, and a [`WallClock`]
+//! whose readings carry jittered skew. Both are seeded so the experiment
+//! harness can enumerate distinct "runs of the machine" reproducibly,
+//! while each individual run is non-deterministic from the guest's
+//! perspective — exactly the property DejaVu must tame.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Produces the interval (in interpreted cycles) until the next preemption
+/// timer interrupt.
+pub trait TimerSource: Send {
+    fn next_interval(&mut self) -> u64;
+}
+
+/// Produces wall-clock readings (milliseconds) as a function of executed
+/// cycles. Must be monotonically non-decreasing.
+pub trait WallClock: Send {
+    fn now(&mut self, cycles: u64) -> i64;
+    /// Warp forward so the next reading is at least `target` — the idle
+    /// "sleep skip" used when every thread is sleeping.
+    fn warp_to(&mut self, target: i64);
+}
+
+/// Fixed-period timer: fully deterministic preemption (useful as a control
+/// in experiments and for differential tests).
+#[derive(Debug, Clone)]
+pub struct FixedTimer {
+    pub period: u64,
+}
+
+impl FixedTimer {
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0);
+        Self { period }
+    }
+}
+
+impl TimerSource for FixedTimer {
+    fn next_interval(&mut self) -> u64 {
+        self.period
+    }
+}
+
+/// Jittered timer: interval is `base ± jitter`, drawn from a seeded RNG.
+/// Different seeds model different physical executions of the same program.
+pub struct JitteredTimer {
+    rng: StdRng,
+    base: u64,
+    jitter: u64,
+}
+
+impl JitteredTimer {
+    pub fn new(seed: u64, base: u64, jitter: u64) -> Self {
+        assert!(base > jitter, "base interval must exceed jitter");
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x7161_7565_7565_6421),
+            base,
+            jitter,
+        }
+    }
+}
+
+impl TimerSource for JitteredTimer {
+    fn next_interval(&mut self) -> u64 {
+        if self.jitter == 0 {
+            return self.base;
+        }
+        let lo = self.base - self.jitter;
+        let hi = self.base + self.jitter;
+        self.rng.gen_range(lo..=hi)
+    }
+}
+
+/// Deterministic wall clock: a pure function of the cycle count.
+#[derive(Debug, Clone)]
+pub struct CycleClock {
+    pub origin: i64,
+    pub cycles_per_ms: u64,
+    /// Minimum value the next reading must reach (set by `warp_to`).
+    floor: i64,
+    last: i64,
+}
+
+impl CycleClock {
+    pub fn new(origin: i64, cycles_per_ms: u64) -> Self {
+        assert!(cycles_per_ms > 0);
+        Self {
+            origin,
+            cycles_per_ms,
+            floor: i64::MIN,
+            last: i64::MIN,
+        }
+    }
+}
+
+impl WallClock for CycleClock {
+    fn now(&mut self, cycles: u64) -> i64 {
+        let t = self.origin + (cycles / self.cycles_per_ms) as i64;
+        self.last = self.last.max(t).max(self.floor);
+        self.last
+    }
+
+    fn warp_to(&mut self, target: i64) {
+        // Guarantee the *next* reading reaches `target` (idle sleep-skip).
+        self.floor = self.floor.max(target);
+    }
+}
+
+/// Jittered wall clock: cycle-proportional time plus seeded noise — the
+/// `Date()` of Figure 1 (C)/(D), whose value steers branches and hence
+/// thread switches.
+pub struct JitteredClock {
+    rng: StdRng,
+    origin: i64,
+    cycles_per_ms: u64,
+    max_noise: i64,
+    floor: i64,
+    last: i64,
+}
+
+impl JitteredClock {
+    pub fn new(seed: u64, origin: i64, cycles_per_ms: u64, max_noise: i64) -> Self {
+        assert!(cycles_per_ms > 0);
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x636c_6f63_6b21),
+            origin,
+            cycles_per_ms,
+            max_noise,
+            floor: i64::MIN,
+            last: i64::MIN,
+        }
+    }
+}
+
+impl WallClock for JitteredClock {
+    fn now(&mut self, cycles: u64) -> i64 {
+        let noise = if self.max_noise > 0 {
+            self.rng.gen_range(0..=self.max_noise)
+        } else {
+            0
+        };
+        let t = self.origin + (cycles / self.cycles_per_ms) as i64 + noise;
+        self.last = self.last.max(t).max(self.floor);
+        self.last
+    }
+
+    fn warp_to(&mut self, target: i64) {
+        // Guarantee the *next* reading reaches `target` (idle sleep-skip).
+        self.floor = self.floor.max(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_timer_is_constant() {
+        let mut t = FixedTimer::new(100);
+        assert_eq!(t.next_interval(), 100);
+        assert_eq!(t.next_interval(), 100);
+    }
+
+    #[test]
+    fn jittered_timer_stays_in_band_and_varies() {
+        let mut t = JitteredTimer::new(7, 1000, 300);
+        let xs: Vec<u64> = (0..100).map(|_| t.next_interval()).collect();
+        assert!(xs.iter().all(|&x| (700..=1300).contains(&x)));
+        assert!(xs.windows(2).any(|w| w[0] != w[1]), "should vary");
+    }
+
+    #[test]
+    fn jittered_timer_is_seed_deterministic() {
+        let mut a = JitteredTimer::new(42, 1000, 300);
+        let mut b = JitteredTimer::new(42, 1000, 300);
+        for _ in 0..50 {
+            assert_eq!(a.next_interval(), b.next_interval());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = JitteredTimer::new(1, 1000, 300);
+        let mut b = JitteredTimer::new(2, 1000, 300);
+        let va: Vec<u64> = (0..20).map(|_| a.next_interval()).collect();
+        let vb: Vec<u64> = (0..20).map(|_| b.next_interval()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn cycle_clock_is_monotone_and_warps() {
+        let mut c = CycleClock::new(1000, 10);
+        let t0 = c.now(0);
+        let t1 = c.now(100);
+        assert!(t1 >= t0);
+        assert_eq!(t1, 1010);
+        c.warp_to(5000);
+        assert!(c.now(100) >= 5000);
+        // still monotone after warp
+        assert!(c.now(110) >= 5000);
+    }
+
+    #[test]
+    fn jittered_clock_is_monotone() {
+        let mut c = JitteredClock::new(3, 0, 10, 50);
+        let mut last = i64::MIN;
+        for i in 0..200 {
+            let t = c.now(i * 3);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn jittered_clock_warp_wakes_sleepers() {
+        let mut c = JitteredClock::new(3, 0, 10, 5);
+        let _ = c.now(0);
+        c.warp_to(10_000);
+        assert!(c.now(1) >= 10_000);
+    }
+}

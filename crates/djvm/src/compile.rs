@@ -1,0 +1,1126 @@
+//! The baseline compiler: verification, reference maps, yield points.
+//!
+//! DejaVu runs on Jalapeño's *baseline* compiler (paper §1, footnote 2).
+//! Our analogue performs, per method:
+//!
+//! 1. **Verification** — an abstract interpretation over slot types
+//!    (`Int` / `Ref` / dead) that rejects stack underflow, type confusion,
+//!    bad branch targets and signature mismatches.
+//! 2. **Reference maps** (paper §1: "Jalapeño reference maps specify these
+//!    locations for predefined safe-points") — for *every* pc, which locals
+//!    and operand-stack slots hold references. The type-accurate GC walks
+//!    paused frames with these maps.
+//! 3. **Yield-point identification** — method prologues plus loop
+//!    backedges, the only program points where a preemptive thread switch
+//!    may occur, and hence the ticks of DejaVu's logical clock.
+//! 4. **Frame sizing** — max operand-stack depth, so activation-stack
+//!    overflow checks (and the eager-growth symmetry of §2.4) are exact.
+//!
+//! The pass also injects the VM's builtin classes and the interpreted
+//! instrumentation helper methods (the boot-image analogue).
+
+use crate::bytecode::{ClassId, MethodId, Op, Ty};
+use crate::program::{Class, FieldDecl, Method, Program};
+use std::collections::{HashMap, VecDeque};
+
+/// Verifier slot type: `Dead` slots are unusable (uninitialized or merge of
+/// incompatible types); they are treated as non-references by the GC, which
+/// is sound because the verifier rejects any *use* of a dead slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsTy {
+    Dead,
+    Int,
+    Ref,
+}
+
+impl AbsTy {
+    fn merge(self, other: AbsTy) -> AbsTy {
+        if self == other {
+            self
+        } else {
+            AbsTy::Dead
+        }
+    }
+
+    fn of(ty: Ty) -> AbsTy {
+        match ty {
+            Ty::Int => AbsTy::Int,
+            Ty::Ref => AbsTy::Ref,
+        }
+    }
+
+}
+
+/// Which slots of a frame hold references at a given pc (state *before*
+/// executing the instruction at that pc).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefMap {
+    /// Operand stack depth at this pc.
+    pub stack_depth: u16,
+    /// Bit i set => local slot i holds a reference.
+    pub locals: BitSet,
+    /// Bit i set => operand-stack slot i (from the bottom) holds a reference.
+    pub stack: BitSet,
+}
+
+/// A compact bitset over frame slots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    pub fn set(&mut self, i: usize, v: bool) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if v {
+            self.words[w] |= 1 << (i % 64);
+        } else {
+            self.words[w] &= !(1 << (i % 64));
+        }
+    }
+
+    pub fn get(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * 64 + b))
+        })
+    }
+}
+
+/// Baseline-compiler output attached to each method.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledMethod {
+    /// Maximum operand-stack depth over all pcs.
+    pub max_stack: u16,
+    /// Words needed for a frame: header (3) + locals + max_stack.
+    pub frame_words: u32,
+    /// `backedge[pc]` — instruction at `pc` is a branch whose target is
+    /// not after it. Taking it is a yield point.
+    pub backedge: Vec<bool>,
+    /// Per-pc reference maps (None for unreachable code).
+    pub ref_maps: Vec<Option<RefMap>>,
+}
+
+/// Words of frame header: saved fp, method id, saved pc/flags.
+pub const FRAME_HEADER_WORDS: u32 = 3;
+
+/// Verification / compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    StackUnderflow { method: String, pc: usize },
+    StackOverflowStatic { method: String, pc: usize },
+    TypeMismatch { method: String, pc: usize, expected: &'static str, found: &'static str },
+    BadLocal { method: String, pc: usize, local: u16 },
+    DeadSlotUse { method: String, pc: usize, local: u16 },
+    BadBranchTarget { method: String, pc: usize, target: u32 },
+    FallsOffEnd { method: String },
+    BadCallee { method: String, pc: usize },
+    SignatureMismatch { method: String, pc: usize, detail: String },
+    InconsistentStackDepth { method: String, pc: usize },
+    BadStaticField { method: String, pc: usize },
+    ReturnMismatch { method: String, pc: usize },
+    EmptyMethod { method: String },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::StackUnderflow { method, pc } => {
+                write!(f, "{method}@{pc}: operand stack underflow")
+            }
+            CompileError::StackOverflowStatic { method, pc } => {
+                write!(f, "{method}@{pc}: operand stack exceeds limit")
+            }
+            CompileError::TypeMismatch { method, pc, expected, found } => {
+                write!(f, "{method}@{pc}: expected {expected}, found {found}")
+            }
+            CompileError::BadLocal { method, pc, local } => {
+                write!(f, "{method}@{pc}: local {local} out of range")
+            }
+            CompileError::DeadSlotUse { method, pc, local } => {
+                write!(f, "{method}@{pc}: use of dead/uninitialized local {local}")
+            }
+            CompileError::BadBranchTarget { method, pc, target } => {
+                write!(f, "{method}@{pc}: branch target {target} out of range")
+            }
+            CompileError::FallsOffEnd { method } => {
+                write!(f, "{method}: control falls off the end of the method")
+            }
+            CompileError::BadCallee { method, pc } => {
+                write!(f, "{method}@{pc}: callee does not exist")
+            }
+            CompileError::SignatureMismatch { method, pc, detail } => {
+                write!(f, "{method}@{pc}: signature mismatch: {detail}")
+            }
+            CompileError::InconsistentStackDepth { method, pc } => {
+                write!(f, "{method}@{pc}: inconsistent stack depth at merge point")
+            }
+            CompileError::BadStaticField { method, pc } => {
+                write!(f, "{method}@{pc}: static field out of range")
+            }
+            CompileError::ReturnMismatch { method, pc } => {
+                write!(f, "{method}@{pc}: return does not match method signature")
+            }
+            CompileError::EmptyMethod { method } => write!(f, "{method}: empty body"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Hard cap on operand-stack depth per frame (catches runaway codegen).
+const MAX_OPERAND_STACK: usize = 4096;
+
+/// Inject builtins, compute layouts, verify and compile every method.
+pub fn compile_program(program: &mut Program) -> Result<(), CompileError> {
+    inject_builtins(program);
+    program.field_layouts = (0..program.classes.len())
+        .map(|c| {
+            program
+                .flattened_fields(c as ClassId)
+                .iter()
+                .map(|f| f.ty)
+                .collect()
+        })
+        .collect();
+    program.static_layouts = program
+        .classes
+        .iter()
+        .map(|c| c.statics.iter().map(|f| f.ty).collect())
+        .collect();
+
+    for id in 0..program.methods.len() {
+        let compiled = compile_method(program, id as MethodId)?;
+        program.methods[id].compiled = Some(compiled);
+    }
+    Ok(())
+}
+
+fn inject_builtins(program: &mut Program) {
+    let mut class_by_name: HashMap<String, ClassId> = program
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.clone(), i as ClassId))
+        .collect();
+    let mut ensure_class = |program: &mut Program, name: &str, fields: Vec<(&str, Ty)>| {
+        if let Some(&id) = class_by_name.get(name) {
+            return id;
+        }
+        program.classes.push(Class {
+            name: name.to_string(),
+            super_class: None,
+            fields: fields
+                .into_iter()
+                .map(|(n, ty)| FieldDecl { name: n.into(), ty })
+                .collect(),
+            statics: vec![],
+            vtable: vec![],
+            vslots: HashMap::new(),
+        });
+        let id = (program.classes.len() - 1) as ClassId;
+        class_by_name.insert(name.to_string(), id);
+        id
+    };
+
+    let thread_class = ensure_class(program, "Thread", vec![("tid", Ty::Int)]);
+    let string_class = ensure_class(program, "String", vec![("chars", Ty::Ref)]);
+    let vm_method_class = ensure_class(
+        program,
+        "VM_Method",
+        vec![("methodId", Ty::Int), ("name", Ty::Ref), ("lineTable", Ty::Ref)],
+    );
+
+    // VM_Method.getLineNumberAt(offset): the reflective query of Fig. 3.
+    //   if (offset >= lineTable.length) return 0; return lineTable[offset];
+    let get_line_number_at = {
+        let line_table_idx = 2u16; // third field of VM_Method
+        let ops = vec![
+            Op::Load(0),                                    // this
+            Op::GetField { idx: line_table_idx, ty: Ty::Ref }, // lineTable
+            Op::Store(2),
+            Op::Load(1),                                    // offset
+            Op::Load(2),
+            Op::ArrayLen,
+            Op::Lt,
+            Op::If(10),
+            Op::Const(0),
+            Op::RetVal,
+            Op::Load(2), // pc 10
+            Op::Load(1),
+            Op::ALoad(Ty::Int),
+            Op::RetVal,
+        ];
+        let lines = vec![1; ops.len()];
+        program.methods.push(Method {
+            name: "getLineNumberAt".into(),
+            owner: Some(vm_method_class),
+            nargs: 2,
+            nlocals: 3,
+            arg_types: vec![Ty::Ref, Ty::Int],
+            ret: Some(Ty::Int),
+            ops,
+            lines,
+            compiled: None,
+        });
+        let id = (program.methods.len() - 1) as MethodId;
+        let c = &mut program.classes[vm_method_class as usize];
+        let slot = c.vtable.len() as u16;
+        c.vtable.push(id);
+        c.vslots.insert("getLineNumberAt".into(), slot);
+        id
+    };
+
+    // Interpreted instrumentation helpers. Both loop (so they execute yield
+    // points), but with *different* trip counts, frame sizes and call
+    // depth: record's flush is deliberately heavier than replay's fill.
+    // These asymmetries are what §2.4's symmetry machinery must hide — the
+    // logical clock (liveClock) hides the differing yield-point counts,
+    // pre-compilation hides the differing lazy-compilation footprints, and
+    // eager stack growth hides the differing frame sizes.
+    let make_helper = |program: &mut Program,
+                       name: &str,
+                       iters: i64,
+                       body_pad: usize,
+                       nlocals: u16,
+                       nested: Option<MethodId>| {
+        let mut ops = vec![Op::Const(0), Op::Store(1)];
+        if let Some(callee) = nested {
+            ops.push(Op::Const(2));
+            ops.push(Op::Call(callee));
+            ops.push(Op::Pop);
+        }
+        let loop_top = ops.len() as u32;
+        ops.push(Op::Load(1)); // pc loop_top
+        ops.push(Op::Const(iters));
+        ops.push(Op::Ge);
+        let exit_fix = ops.len();
+        ops.push(Op::If(u32::MAX)); // patched below
+        for _ in 0..body_pad {
+            ops.push(Op::Load(0));
+            ops.push(Op::Const(3));
+            ops.push(Op::Add);
+            ops.push(Op::Store(0));
+        }
+        ops.push(Op::Load(1));
+        ops.push(Op::Const(1));
+        ops.push(Op::Add);
+        ops.push(Op::Store(1));
+        ops.push(Op::Goto(loop_top));
+        let exit = ops.len() as u32;
+        ops[exit_fix] = Op::If(exit);
+        ops.push(Op::Load(0));
+        ops.push(Op::RetVal);
+        let lines = vec![1; ops.len()];
+        program.methods.push(Method {
+            name: name.to_string(),
+            owner: None,
+            nargs: 1,
+            nlocals,
+            arg_types: vec![Ty::Int],
+            ret: Some(Ty::Int),
+            ops,
+            lines,
+            compiled: None,
+        });
+        (program.methods.len() - 1) as MethodId
+    };
+
+    // Leaf helper used only by the record-side flush: lazily compiling it
+    // is an extra allocation that replay would never perform.
+    let flush_low = program
+        .method_id_by_name("sys$flushLow")
+        .unwrap_or_else(|| make_helper(program, "sys$flushLow", 2, 0, 2, None));
+    let flush_method = program
+        .method_id_by_name("sys$flushTrace")
+        .unwrap_or_else(|| make_helper(program, "sys$flushTrace", 8, 3, 10, Some(flush_low)));
+    let fill_method = program
+        .method_id_by_name("sys$fillTrace")
+        .unwrap_or_else(|| make_helper(program, "sys$fillTrace", 5, 1, 2, None));
+
+    // sys$getMethods: the VM_Dictionary.getMethods() analogue. Stub body —
+    // a tool JVM *maps* this method (intercepting its invocation to return
+    // a remote object); it is never meant to execute.
+    let get_methods = {
+        program.methods.push(Method {
+            name: "sys$getMethods".into(),
+            owner: None,
+            nargs: 0,
+            nlocals: 0,
+            arg_types: vec![],
+            ret: Some(Ty::Ref),
+            ops: vec![Op::Null, Op::RetVal],
+            lines: vec![1, 1],
+            compiled: None,
+        });
+        (program.methods.len() - 1) as MethodId
+    };
+
+    // sys$lineNumberOf(methodNumber, offset): the paper's Figure 3 query:
+    //   VM_Method[] mtable = VM_Dictionary.getMethods();
+    //   VM_Method candidate = mtable[methodNumber];
+    //   return candidate.getLineNumberAt(offset);
+    let line_number_of = {
+        let slot = program.classes[vm_method_class as usize].vslots["getLineNumberAt"];
+        program.methods.push(Method {
+            name: "sys$lineNumberOf".into(),
+            owner: None,
+            nargs: 2,
+            nlocals: 3,
+            arg_types: vec![Ty::Int, Ty::Int],
+            ret: Some(Ty::Int),
+            ops: vec![
+                Op::Call(get_methods),   // mtable
+                Op::Load(0),             // methodNumber
+                Op::ALoad(Ty::Ref),      // candidate
+                Op::Store(2),
+                Op::Load(2),
+                Op::Load(1),             // offset
+                Op::CallVirtual {
+                    class: vm_method_class,
+                    slot,
+                },
+                Op::RetVal,
+            ],
+            lines: vec![2, 3, 3, 3, 4, 4, 4, 4],
+            compiled: None,
+        });
+        (program.methods.len() - 1) as MethodId
+    };
+
+    program.builtins = crate::program::Builtins {
+        thread_class,
+        string_class,
+        vm_method_class,
+        flush_method,
+        fill_method,
+        get_methods,
+        line_number_of,
+        get_line_number_at,
+    };
+}
+
+struct Verifier<'p> {
+    program: &'p Program,
+    method: &'p Method,
+    name: String,
+}
+
+type State = (Vec<AbsTy>, Vec<AbsTy>); // (locals, stack)
+
+impl<'p> Verifier<'p> {
+    fn err_ty(&self, pc: usize, expected: &'static str, found: AbsTy) -> CompileError {
+        CompileError::TypeMismatch {
+            method: self.name.clone(),
+            pc,
+            expected,
+            found: match found {
+                AbsTy::Dead => "dead",
+                AbsTy::Int => "int",
+                AbsTy::Ref => "ref",
+            },
+        }
+    }
+
+    fn pop(&self, pc: usize, stack: &mut Vec<AbsTy>) -> Result<AbsTy, CompileError> {
+        stack.pop().ok_or(CompileError::StackUnderflow {
+            method: self.name.clone(),
+            pc,
+        })
+    }
+
+    fn pop_expect(
+        &self,
+        pc: usize,
+        stack: &mut Vec<AbsTy>,
+        want: AbsTy,
+        what: &'static str,
+    ) -> Result<(), CompileError> {
+        let got = self.pop(pc, stack)?;
+        if got != want {
+            return Err(self.err_ty(pc, what, got));
+        }
+        Ok(())
+    }
+
+    fn check_args(
+        &self,
+        pc: usize,
+        stack: &mut Vec<AbsTy>,
+        callee: &Method,
+    ) -> Result<(), CompileError> {
+        // Args were pushed left to right: rightmost on top.
+        for i in (0..callee.nargs as usize).rev() {
+            let got = self.pop(pc, stack)?;
+            let want = AbsTy::of(callee.arg_types[i]);
+            if got != want {
+                return Err(CompileError::SignatureMismatch {
+                    method: self.name.clone(),
+                    pc,
+                    detail: format!("argument {i} of {}", callee.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> Result<CompiledMethod, CompileError> {
+        let m = self.method;
+        let n = m.ops.len();
+        if n == 0 {
+            return Err(CompileError::EmptyMethod {
+                method: self.name.clone(),
+            });
+        }
+        // Entry state: args in locals 0..nargs, rest dead, empty stack.
+        let mut entry_locals = vec![AbsTy::Dead; m.nlocals as usize];
+        for (i, &t) in m.arg_types.iter().enumerate() {
+            entry_locals[i] = AbsTy::of(t);
+        }
+        let mut states: Vec<Option<State>> = vec![None; n];
+        states[0] = Some((entry_locals, Vec::new()));
+        let mut work: VecDeque<usize> = VecDeque::from([0]);
+
+        let flow_to =
+            |states: &mut Vec<Option<State>>, work: &mut VecDeque<usize>, pc: usize, to: usize, st: &State| -> Result<(), CompileError> {
+                if to >= n {
+                    return Err(CompileError::BadBranchTarget {
+                        method: self.name.clone(),
+                        pc,
+                        target: to as u32,
+                    });
+                }
+                match &mut states[to] {
+                    None => {
+                        states[to] = Some(st.clone());
+                        work.push_back(to);
+                    }
+                    Some(existing) => {
+                        if existing.1.len() != st.1.len() {
+                            return Err(CompileError::InconsistentStackDepth {
+                                method: self.name.clone(),
+                                pc: to,
+                            });
+                        }
+                        let mut changed = false;
+                        for (e, &v) in existing.0.iter_mut().zip(st.0.iter()) {
+                            let merged = e.merge(v);
+                            if merged != *e {
+                                *e = merged;
+                                changed = true;
+                            }
+                        }
+                        for (e, &v) in existing.1.iter_mut().zip(st.1.iter()) {
+                            let merged = e.merge(v);
+                            if merged != *e {
+                                *e = merged;
+                                changed = true;
+                            }
+                        }
+                        if changed {
+                            work.push_back(to);
+                        }
+                    }
+                }
+                Ok(())
+            };
+
+        while let Some(pc) = work.pop_front() {
+            let (mut locals, mut stack) = states[pc].clone().expect("state present");
+            let op = m.ops[pc];
+            let mut next: Vec<usize> = Vec::with_capacity(2);
+            let mut terminal = false;
+
+            macro_rules! bin_int {
+                () => {{
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int")?;
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int")?;
+                    stack.push(AbsTy::Int);
+                }};
+            }
+
+            match op {
+                Op::Const(_) => stack.push(AbsTy::Int),
+                Op::Null | Op::Str(_) => stack.push(AbsTy::Ref),
+                Op::Load(i) => {
+                    let i = i as usize;
+                    if i >= locals.len() {
+                        return Err(CompileError::BadLocal {
+                            method: self.name.clone(),
+                            pc,
+                            local: i as u16,
+                        });
+                    }
+                    if locals[i] == AbsTy::Dead {
+                        return Err(CompileError::DeadSlotUse {
+                            method: self.name.clone(),
+                            pc,
+                            local: i as u16,
+                        });
+                    }
+                    stack.push(locals[i]);
+                }
+                Op::Store(i) => {
+                    let i = i as usize;
+                    if i >= locals.len() {
+                        return Err(CompileError::BadLocal {
+                            method: self.name.clone(),
+                            pc,
+                            local: i as u16,
+                        });
+                    }
+                    let v = self.pop(pc, &mut stack)?;
+                    if v == AbsTy::Dead {
+                        return Err(self.err_ty(pc, "live value", v));
+                    }
+                    locals[i] = v;
+                }
+                Op::Dup => {
+                    let v = self.pop(pc, &mut stack)?;
+                    stack.push(v);
+                    stack.push(v);
+                }
+                Op::Pop => {
+                    self.pop(pc, &mut stack)?;
+                }
+                Op::Swap => {
+                    let a = self.pop(pc, &mut stack)?;
+                    let b = self.pop(pc, &mut stack)?;
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::BitAnd | Op::BitOr
+                | Op::BitXor | Op::Shl | Op::Shr => bin_int!(),
+                Op::Neg => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int")?;
+                    stack.push(AbsTy::Int);
+                }
+                Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => bin_int!(),
+                Op::RefEq => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "ref")?;
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "ref")?;
+                    stack.push(AbsTy::Int);
+                }
+                Op::Goto(t) => {
+                    next.push(t as usize);
+                    terminal = true;
+                }
+                Op::If(t) | Op::IfZ(t) => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int")?;
+                    next.push(t as usize);
+                }
+                Op::New(c) => {
+                    if c as usize >= self.program.classes.len() {
+                        return Err(CompileError::BadCallee {
+                            method: self.name.clone(),
+                            pc,
+                        });
+                    }
+                    stack.push(AbsTy::Ref);
+                }
+                Op::GetField { ty, .. } => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "ref")?;
+                    stack.push(AbsTy::of(ty));
+                }
+                Op::PutField { ty, .. } => {
+                    self.pop_expect(pc, &mut stack, AbsTy::of(ty), "field value")?;
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "ref")?;
+                }
+                Op::GetStatic(c, i) => {
+                    let layout = self
+                        .program
+                        .classes
+                        .get(c as usize)
+                        .ok_or(CompileError::BadStaticField {
+                            method: self.name.clone(),
+                            pc,
+                        })?;
+                    let decl = layout.statics.get(i as usize).ok_or(
+                        CompileError::BadStaticField {
+                            method: self.name.clone(),
+                            pc,
+                        },
+                    )?;
+                    stack.push(AbsTy::of(decl.ty));
+                }
+                Op::PutStatic(c, i) => {
+                    let layout = self
+                        .program
+                        .classes
+                        .get(c as usize)
+                        .ok_or(CompileError::BadStaticField {
+                            method: self.name.clone(),
+                            pc,
+                        })?;
+                    let decl = layout.statics.get(i as usize).ok_or(
+                        CompileError::BadStaticField {
+                            method: self.name.clone(),
+                            pc,
+                        },
+                    )?;
+                    self.pop_expect(pc, &mut stack, AbsTy::of(decl.ty), "static value")?;
+                }
+                Op::NewArray(_) => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int length")?;
+                    stack.push(AbsTy::Ref);
+                }
+                Op::ALoad(ty) => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int index")?;
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "array ref")?;
+                    stack.push(AbsTy::of(ty));
+                }
+                Op::AStore(ty) => {
+                    self.pop_expect(pc, &mut stack, AbsTy::of(ty), "element value")?;
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int index")?;
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "array ref")?;
+                }
+                Op::ArrayLen | Op::IdentityHash => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "ref")?;
+                    stack.push(AbsTy::Int);
+                }
+                Op::InstanceOf(_) => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "ref")?;
+                    stack.push(AbsTy::Int);
+                }
+                Op::Call(callee) => {
+                    let callee = self.program.methods.get(callee as usize).ok_or(
+                        CompileError::BadCallee {
+                            method: self.name.clone(),
+                            pc,
+                        },
+                    )?;
+                    self.check_args(pc, &mut stack, callee)?;
+                    if let Some(r) = callee.ret {
+                        stack.push(AbsTy::of(r));
+                    }
+                }
+                Op::CallVirtual { class, slot } => {
+                    let c = self.program.classes.get(class as usize).ok_or(
+                        CompileError::BadCallee {
+                            method: self.name.clone(),
+                            pc,
+                        },
+                    )?;
+                    let &mid = c.vtable.get(slot as usize).ok_or(CompileError::BadCallee {
+                        method: self.name.clone(),
+                        pc,
+                    })?;
+                    let callee = &self.program.methods[mid as usize];
+                    self.check_args(pc, &mut stack, callee)?;
+                    if let Some(r) = callee.ret {
+                        stack.push(AbsTy::of(r));
+                    }
+                }
+                Op::Ret => {
+                    if m.ret.is_some() {
+                        return Err(CompileError::ReturnMismatch {
+                            method: self.name.clone(),
+                            pc,
+                        });
+                    }
+                    terminal = true;
+                }
+                Op::RetVal => {
+                    let want = m.ret.ok_or(CompileError::ReturnMismatch {
+                        method: self.name.clone(),
+                        pc,
+                    })?;
+                    self.pop_expect(pc, &mut stack, AbsTy::of(want), "return value")?;
+                    terminal = true;
+                }
+                Op::MonitorEnter | Op::MonitorExit | Op::Notify | Op::NotifyAll => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "monitor ref")?;
+                }
+                Op::Wait => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "monitor ref")?;
+                    stack.push(AbsTy::Int); // status
+                }
+                Op::TimedWait => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "millis")?;
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "monitor ref")?;
+                    stack.push(AbsTy::Int);
+                }
+                Op::Spawn { method, nargs } => {
+                    let callee = self.program.methods.get(method as usize).ok_or(
+                        CompileError::BadCallee {
+                            method: self.name.clone(),
+                            pc,
+                        },
+                    )?;
+                    if callee.nargs != nargs as u16 {
+                        return Err(CompileError::SignatureMismatch {
+                            method: self.name.clone(),
+                            pc,
+                            detail: format!("Spawn nargs {} != {}", nargs, callee.nargs),
+                        });
+                    }
+                    self.check_args(pc, &mut stack, callee)?;
+                    stack.push(AbsTy::Ref); // Thread object
+                }
+                Op::Join | Op::Interrupt => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Ref, "thread ref")?;
+                }
+                Op::YieldNow => {}
+                Op::Sleep => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "millis")?;
+                    stack.push(AbsTy::Int); // status
+                }
+                Op::CurrentThread => stack.push(AbsTy::Ref),
+                Op::Now => stack.push(AbsTy::Int),
+                Op::NativeCall { native, nargs } => {
+                    let decl = self.program.natives.get(native as usize).ok_or(
+                        CompileError::BadCallee {
+                            method: self.name.clone(),
+                            pc,
+                        },
+                    )?;
+                    if decl.nargs != nargs {
+                        return Err(CompileError::SignatureMismatch {
+                            method: self.name.clone(),
+                            pc,
+                            detail: format!("native {} expects {} args", decl.name, decl.nargs),
+                        });
+                    }
+                    for _ in 0..nargs {
+                        self.pop_expect(pc, &mut stack, AbsTy::Int, "native arg")?;
+                    }
+                    if decl.returns {
+                        stack.push(AbsTy::Int);
+                    }
+                }
+                Op::Print => {
+                    self.pop_expect(pc, &mut stack, AbsTy::Int, "int")?;
+                }
+                Op::PrintStr(_) => {}
+                Op::Halt => terminal = true,
+            }
+
+            if stack.len() > MAX_OPERAND_STACK {
+                return Err(CompileError::StackOverflowStatic {
+                    method: self.name.clone(),
+                    pc,
+                });
+            }
+
+            if !terminal {
+                if pc + 1 >= n {
+                    return Err(CompileError::FallsOffEnd {
+                        method: self.name.clone(),
+                    });
+                }
+                next.push(pc + 1);
+            }
+            let st = (locals, stack);
+            for to in next {
+                flow_to(&mut states, &mut work, pc, to, &st)?;
+            }
+        }
+
+        // Build the compiled artifact from the fixed point.
+        let mut max_stack = 0u16;
+        let mut ref_maps = Vec::with_capacity(n);
+        for st in &states {
+            match st {
+                None => ref_maps.push(None),
+                Some((locals, stack)) => {
+                    max_stack = max_stack.max(stack.len() as u16);
+                    let mut lm = BitSet::with_capacity(locals.len());
+                    for (i, &t) in locals.iter().enumerate() {
+                        if t == AbsTy::Ref {
+                            lm.set(i, true);
+                        }
+                    }
+                    let mut sm = BitSet::with_capacity(stack.len());
+                    for (i, &t) in stack.iter().enumerate() {
+                        if t == AbsTy::Ref {
+                            sm.set(i, true);
+                        }
+                    }
+                    ref_maps.push(Some(RefMap {
+                        stack_depth: stack.len() as u16,
+                        locals: lm,
+                        stack: sm,
+                    }));
+                }
+            }
+        }
+
+        let backedge = m
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(pc, op)| op.branch_target().is_some_and(|t| t as usize <= pc))
+            .collect();
+
+        Ok(CompiledMethod {
+            max_stack,
+            frame_words: FRAME_HEADER_WORDS + m.nlocals as u32 + max_stack as u32,
+            backedge,
+            ref_maps,
+        })
+    }
+}
+
+fn compile_method(program: &Program, id: MethodId) -> Result<CompiledMethod, CompileError> {
+    let method = &program.methods[id as usize];
+    let v = Verifier {
+        program,
+        method,
+        name: method.qualified_name(program),
+    };
+    v.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn bitset_roundtrip() {
+        let mut b = BitSet::with_capacity(130);
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 129]);
+    }
+
+    #[test]
+    fn simple_loop_compiles_with_backedge() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(1).add().store(0);
+            a.load(0).iconst(5).lt().if_nz("top");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let c = p.compiled(m);
+        // Exactly one backedge: the conditional branch back to "top".
+        assert_eq!(c.backedge.iter().filter(|&&b| b).count(), 1);
+        assert!(c.max_stack >= 2);
+        assert_eq!(c.frame_words, 3 + 1 + c.max_stack as u32);
+    }
+
+    #[test]
+    fn refmap_tracks_reference_local() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("Box").field("v", Ty::Int).build();
+        let m = pb.method("m", 0, 2).code(|a| {
+            a.iconst(7).store(0); // local 0: int
+            a.new(cls).store(1); // local 1: ref
+            a.load(1).get_field(0).print();
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let c = p.compiled(m);
+        // After both stores (pc 4 = Load(1)), local 1 is a ref, local 0 not.
+        let rm = c.ref_maps[4].as_ref().unwrap();
+        assert!(rm.locals.get(1));
+        assert!(!rm.locals.get(0));
+    }
+
+    #[test]
+    fn refmap_tracks_stack_slots() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("Box").field("v", Ty::Int).build();
+        let m = pb.method("m", 0, 1).code(|a| {
+            a.new(cls); // stack: [ref]
+            a.iconst(3); // stack: [ref, int]
+            a.pop().pop();
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let c = p.compiled(m);
+        let rm = c.ref_maps[2].as_ref().unwrap(); // before first Pop
+        assert_eq!(rm.stack_depth, 2);
+        assert!(rm.stack.get(0));
+        assert!(!rm.stack.get(1));
+    }
+
+    #[test]
+    fn merge_of_int_and_ref_is_dead_and_unusable() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("Box").field("v", Ty::Int).build();
+        // local 0 is int on one path, ref on the other; using it after the
+        // merge must be rejected.
+        let m = pb.method("m", 1, 2).code(|a| {
+            a.load(0).if_nz("refpath");
+            a.iconst(1).store(1);
+            a.goto("merge");
+            a.label("refpath");
+            a.new(cls).store(1);
+            a.label("merge");
+            a.load(1).pop();
+            a.halt();
+        });
+        let err = pb.finish(m).unwrap_err();
+        assert!(matches!(err, CompileError::DeadSlotUse { .. }));
+    }
+
+    #[test]
+    fn dead_merge_slot_is_not_in_refmap() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("Box").field("v", Ty::Int).build();
+        let m = pb.method("m", 1, 2).code(|a| {
+            a.load(0).if_nz("refpath");
+            a.iconst(1).store(1);
+            a.goto("merge");
+            a.label("refpath");
+            a.new(cls).store(1);
+            a.label("merge");
+            a.halt(); // never uses local 1
+        });
+        let p = pb.finish(m).unwrap();
+        let c = p.compiled(m);
+        let halt_pc = p.methods[m as usize].ops.len() - 1;
+        let rm = c.ref_maps[halt_pc].as_ref().unwrap();
+        assert!(!rm.locals.get(1), "dead merged slot must not be marked ref");
+    }
+
+    #[test]
+    fn stack_underflow_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 0).code(|a| {
+            a.add().halt();
+        });
+        assert!(matches!(
+            pb.finish(m).unwrap_err(),
+            CompileError::StackUnderflow { .. }
+        ));
+    }
+
+    #[test]
+    fn type_confusion_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 0).code(|a| {
+            a.null().iconst(1).add().pop().halt();
+        });
+        assert!(matches!(
+            pb.finish(m).unwrap_err(),
+            CompileError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn falls_off_end_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 0).code(|a| {
+            a.iconst(1).pop();
+        });
+        assert!(matches!(
+            pb.finish(m).unwrap_err(),
+            CompileError::FallsOffEnd { .. }
+        ));
+    }
+
+    #[test]
+    fn inconsistent_merge_depth_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 1, 1).code(|a| {
+            a.load(0).if_nz("push2");
+            a.iconst(1);
+            a.goto("merge");
+            a.label("push2");
+            a.iconst(1).iconst(2);
+            a.label("merge");
+            a.pop().halt();
+        });
+        assert!(matches!(
+            pb.finish(m).unwrap_err(),
+            CompileError::InconsistentStackDepth { .. }
+        ));
+    }
+
+    #[test]
+    fn return_type_checked() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 0).code(|a| {
+            a.iconst(1).ret_val(); // method declared with no return
+        });
+        assert!(matches!(
+            pb.finish(m).unwrap_err(),
+            CompileError::ReturnMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn builtins_are_injected_and_helper_methods_verify() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let b = p.builtins;
+        assert_eq!(p.class(b.thread_class).name, "Thread");
+        assert_eq!(p.class(b.string_class).name, "String");
+        assert_eq!(p.class(b.vm_method_class).name, "VM_Method");
+        // The instrumentation helpers verified (they have compiled forms)
+        // and contain at least one backedge each (a yield point inside
+        // instrumentation — the liveClock hazard).
+        for helper in [b.flush_method, b.fill_method] {
+            let c = p.compiled(helper);
+            assert!(c.backedge.iter().any(|&x| x));
+        }
+        // getLineNumberAt sits in VM_Method's vtable.
+        assert_eq!(
+            p.class(b.vm_method_class).vtable
+                [p.class(b.vm_method_class).vslots["getLineNumberAt"] as usize],
+            b.get_line_number_at
+        );
+    }
+
+    #[test]
+    fn call_signature_checked() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.func("f", 1, 1).code(|a| {
+            a.load(0).ret_val();
+        });
+        let m = pb.method("m", 0, 0).code(|a| {
+            a.null().call(callee).pop().halt(); // ref where int expected
+        });
+        assert!(matches!(
+            pb.finish(m).unwrap_err(),
+            CompileError::SignatureMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn virtual_call_types_its_result() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C").build();
+        pb.virtual_method(cls, "f", vec![], 1, Some(Ty::Int))
+            .code(|a| {
+                a.iconst(42).ret_val();
+            });
+        let slot = pb.vslot(cls, "f");
+        let m = pb.method("m", 0, 1).code(|a| {
+            a.new(cls).store(0);
+            a.load(0).call_virtual(cls, slot).print();
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        assert!(p.compiled(m).max_stack >= 1);
+    }
+}

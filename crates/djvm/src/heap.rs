@@ -1,0 +1,522 @@
+//! The word-addressed guest heap.
+//!
+//! Everything the guest can observe lives here: scalar objects, arrays,
+//! interned strings, lazily loaded class objects (statics), reflection
+//! metadata — and, as in Jalapeño, the threads' **activation stacks**
+//! (growable arrays flagged opaque so the GC scans them precisely through
+//! frame reference maps rather than as ordinary arrays).
+//!
+//! Addresses are indices into a flat `Vec<u64>`; address 0 is null. This
+//! flat representation is what makes **remote reflection** possible: a tool
+//! process can interpret the application VM's state purely by reading words
+//! at addresses (the `ptrace` analogue), without the application executing
+//! any code.
+//!
+//! ## Object layout
+//!
+//! ```text
+//! scalar:      [ header ][ field 0 ][ field 1 ] ...
+//! array:       [ header ][ length ][ elem 0 ] ...
+//! class object:[ header ][ static 0 ] ...          (classobj flag set)
+//! ```
+//!
+//! ## Header encoding (one word)
+//!
+//! ```text
+//! bit 63    forwarded      (copying GC: bits 0..62 hold the new address)
+//! bit 62    mark           (mark-sweep GC)
+//! bit 61    array
+//! bit 60    stack          (activation-stack array: opaque to scanning)
+//! bit 59    ref-elements   (array of references)
+//! bit 58    class object   (layout = the class's statics)
+//! bits 22..57  allocation serial  (identityHashCode; stable under copying
+//!              GC but sensitive to allocation order — the perturbation
+//!              channel that §2.4's "symmetry in allocation" exists for)
+//! bits 0..21   class id
+//! ```
+
+use crate::bytecode::ClassId;
+
+/// A raw 64-bit guest word.
+pub type Word = u64;
+/// A heap address (word index). 0 is null.
+pub type Addr = u64;
+
+pub const NULL: Addr = 0;
+/// Low words are reserved so that small integers never alias valid objects.
+pub const RESERVED: usize = 16;
+
+const FORWARD_BIT: u64 = 1 << 63;
+const MARK_BIT: u64 = 1 << 62;
+const ARRAY_BIT: u64 = 1 << 61;
+const STACK_BIT: u64 = 1 << 60;
+const REF_ELEM_BIT: u64 = 1 << 59;
+const CLASSOBJ_BIT: u64 = 1 << 58;
+const SERIAL_SHIFT: u32 = 22;
+const SERIAL_MASK: u64 = (1 << 36) - 1;
+const CLASS_MASK: u64 = (1 << 22) - 1;
+
+/// Decoded object header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    pub class_id: ClassId,
+    pub serial: u64,
+    pub is_array: bool,
+    pub is_stack: bool,
+    pub ref_elems: bool,
+    pub is_classobj: bool,
+    pub marked: bool,
+}
+
+impl Header {
+    pub fn encode(self) -> Word {
+        let mut w = (self.class_id as u64 & CLASS_MASK)
+            | ((self.serial & SERIAL_MASK) << SERIAL_SHIFT);
+        if self.is_array {
+            w |= ARRAY_BIT;
+        }
+        if self.is_stack {
+            w |= STACK_BIT;
+        }
+        if self.ref_elems {
+            w |= REF_ELEM_BIT;
+        }
+        if self.is_classobj {
+            w |= CLASSOBJ_BIT;
+        }
+        if self.marked {
+            w |= MARK_BIT;
+        }
+        w
+    }
+
+    pub fn decode(w: Word) -> Header {
+        debug_assert!(w & FORWARD_BIT == 0, "decoding a forwarding pointer");
+        Header {
+            class_id: (w & CLASS_MASK) as ClassId,
+            serial: (w >> SERIAL_SHIFT) & SERIAL_MASK,
+            is_array: w & ARRAY_BIT != 0,
+            is_stack: w & STACK_BIT != 0,
+            ref_elems: w & REF_ELEM_BIT != 0,
+            is_classobj: w & CLASSOBJ_BIT != 0,
+            marked: w & MARK_BIT != 0,
+        }
+    }
+}
+
+/// Is the raw header word a forwarding pointer (mid-copying-GC state)?
+pub fn is_forwarded(w: Word) -> bool {
+    w & FORWARD_BIT != 0
+}
+
+/// Encode/decode a forwarding pointer.
+pub fn forward_word(to: Addr) -> Word {
+    FORWARD_BIT | to
+}
+
+pub fn forward_target(w: Word) -> Addr {
+    w & !FORWARD_BIT
+}
+
+/// Which collector manages the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcKind {
+    /// Non-moving mark-sweep with an address-ordered first-fit free list.
+    #[default]
+    MarkSweep,
+    /// Semispace copying collector (moves objects; identity hash remains
+    /// stable because it is the allocation serial, as in type-accurate
+    /// copying collectors).
+    Copying,
+}
+
+/// Array element kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrKind {
+    Int,
+    Ref,
+    /// Activation stack: raw words, scanned via frame maps only.
+    Stack,
+}
+
+/// Allocation/GC counters, part of the experiment reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapStats {
+    pub allocations: u64,
+    pub words_allocated: u64,
+    pub collections: u64,
+    pub words_copied_or_swept: u64,
+}
+
+/// The guest heap.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    pub(crate) mem: Vec<Word>,
+    kind: GcKind,
+    /// Semispace: size of each half.
+    pub(crate) half: usize,
+    /// Semispace: base of the active (from-) space.
+    pub(crate) active_base: usize,
+    /// Semispace: bump pointer.
+    pub(crate) bump: usize,
+    /// Mark-sweep: address-ordered free blocks (addr, len).
+    pub(crate) free: Vec<(usize, usize)>,
+    serial: u64,
+    pub stats: HeapStats,
+}
+
+/// A full copy of heap state, for checkpoint/restore (Igor/Boothe-style
+/// time travel).
+#[derive(Debug, Clone)]
+pub struct HeapSnapshot {
+    mem: Vec<Word>,
+    half: usize,
+    active_base: usize,
+    bump: usize,
+    free: Vec<(usize, usize)>,
+    serial: u64,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Create a heap with `words` total words of storage (the copying
+    /// collector can only hand out half of it at a time).
+    pub fn new(kind: GcKind, words: usize) -> Heap {
+        assert!(words > RESERVED * 4, "heap too small");
+        let mem = vec![0; words];
+        let (half, active_base, bump, free) = match kind {
+            GcKind::Copying => {
+                let usable = words - RESERVED;
+                let half = usable / 2;
+                (half, RESERVED, RESERVED, Vec::new())
+            }
+            GcKind::MarkSweep => (0, 0, 0, vec![(RESERVED, words - RESERVED)]),
+        };
+        Heap {
+            mem,
+            kind,
+            half,
+            active_base,
+            bump,
+            free,
+            serial: 0,
+            stats: HeapStats::default(),
+        }
+    }
+
+    pub fn kind(&self) -> GcKind {
+        self.kind
+    }
+
+    pub fn total_words(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Words still allocatable without a collection.
+    pub fn free_words(&self) -> usize {
+        match self.kind {
+            GcKind::Copying => self.active_base + self.half - self.bump,
+            GcKind::MarkSweep => self.free.iter().map(|&(_, l)| l).sum(),
+        }
+    }
+
+    fn next_serial(&mut self) -> u64 {
+        self.serial += 1;
+        self.serial
+    }
+
+    /// Raw block allocation; `None` means a GC (or OOM) is needed.
+    fn alloc_block(&mut self, words: usize) -> Option<Addr> {
+        debug_assert!(words >= 1);
+        match self.kind {
+            GcKind::Copying => {
+                if self.bump + words <= self.active_base + self.half {
+                    let a = self.bump;
+                    self.bump += words;
+                    Some(a as Addr)
+                } else {
+                    None
+                }
+            }
+            GcKind::MarkSweep => {
+                // Address-ordered first fit keeps allocation deterministic.
+                for i in 0..self.free.len() {
+                    let (addr, len) = self.free[i];
+                    if len >= words {
+                        if len == words {
+                            self.free.remove(i);
+                        } else {
+                            self.free[i] = (addr + words, len - words);
+                        }
+                        return Some(addr as Addr);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Allocate a zeroed scalar object. Returns `None` if a GC is needed.
+    pub fn alloc_scalar(&mut self, class_id: ClassId, nfields: usize) -> Option<Addr> {
+        let words = 1 + nfields;
+        let addr = self.alloc_block(words)?;
+        let serial = self.next_serial();
+        let h = Header {
+            class_id,
+            serial,
+            is_array: false,
+            is_stack: false,
+            ref_elems: false,
+            is_classobj: false,
+            marked: false,
+        };
+        self.write_block(addr, words, h);
+        Some(addr)
+    }
+
+    /// Allocate a class object (statics holder) for `class_id`.
+    pub fn alloc_classobj(&mut self, class_id: ClassId, nstatics: usize) -> Option<Addr> {
+        let words = 1 + nstatics;
+        let addr = self.alloc_block(words)?;
+        let serial = self.next_serial();
+        let h = Header {
+            class_id,
+            serial,
+            is_array: false,
+            is_stack: false,
+            ref_elems: false,
+            is_classobj: true,
+            marked: false,
+        };
+        self.write_block(addr, words, h);
+        Some(addr)
+    }
+
+    /// Allocate a zeroed array. Returns `None` if a GC is needed.
+    pub fn alloc_array(&mut self, kind: ArrKind, len: usize) -> Option<Addr> {
+        let words = 2 + len;
+        let addr = self.alloc_block(words)?;
+        let serial = self.next_serial();
+        let h = Header {
+            class_id: 0,
+            serial,
+            is_array: true,
+            is_stack: kind == ArrKind::Stack,
+            ref_elems: kind == ArrKind::Ref,
+            is_classobj: false,
+            marked: false,
+        };
+        self.write_block(addr, words, h);
+        self.mem[addr as usize + 1] = len as Word;
+        Some(addr)
+    }
+
+    fn write_block(&mut self, addr: Addr, words: usize, h: Header) {
+        let a = addr as usize;
+        self.mem[a] = h.encode();
+        for w in &mut self.mem[a + 1..a + words] {
+            *w = 0;
+        }
+        self.stats.allocations += 1;
+        self.stats.words_allocated += words as u64;
+    }
+
+    // ---- accessors ----
+
+    pub fn header(&self, addr: Addr) -> Header {
+        Header::decode(self.mem[addr as usize])
+    }
+
+    pub fn raw_header(&self, addr: Addr) -> Word {
+        self.mem[addr as usize]
+    }
+
+    pub fn set_raw_header(&mut self, addr: Addr, w: Word) {
+        self.mem[addr as usize] = w;
+    }
+
+    pub fn array_len(&self, addr: Addr) -> usize {
+        self.mem[addr as usize + 1] as usize
+    }
+
+    pub fn get_elem(&self, addr: Addr, i: usize) -> Word {
+        self.mem[addr as usize + 2 + i]
+    }
+
+    pub fn set_elem(&mut self, addr: Addr, i: usize, v: Word) {
+        self.mem[addr as usize + 2 + i] = v;
+    }
+
+    pub fn get_field(&self, addr: Addr, i: usize) -> Word {
+        self.mem[addr as usize + 1 + i]
+    }
+
+    pub fn set_field(&mut self, addr: Addr, i: usize, v: Word) {
+        self.mem[addr as usize + 1 + i] = v;
+    }
+
+    /// Read an arbitrary word (the remote-reflection primitive).
+    pub fn read_word(&self, addr: Addr) -> Option<Word> {
+        self.mem.get(addr as usize).copied()
+    }
+
+    /// Total size in words of the object at `addr`, given per-class layouts.
+    pub fn object_words(
+        &self,
+        addr: Addr,
+        field_layouts: &[Vec<crate::bytecode::Ty>],
+        static_layouts: &[Vec<crate::bytecode::Ty>],
+    ) -> usize {
+        let h = self.header(addr);
+        if h.is_array {
+            2 + self.array_len(addr)
+        } else if h.is_classobj {
+            1 + static_layouts[h.class_id as usize].len()
+        } else {
+            1 + field_layouts[h.class_id as usize].len()
+        }
+    }
+
+    /// Is `addr` plausibly an object start? (bounds only; used in debug
+    /// assertions and by the remote-memory server for sanity checks.)
+    pub fn in_bounds(&self, addr: Addr) -> bool {
+        (RESERVED..self.mem.len()).contains(&(addr as usize))
+    }
+
+    /// Copy of the raw word image (snapshot-based remote reflection).
+    pub fn mem_snapshot(&self) -> Vec<Word> {
+        self.mem.clone()
+    }
+
+    /// Capture the complete heap state.
+    pub fn snapshot(&self) -> HeapSnapshot {
+        HeapSnapshot {
+            mem: self.mem.clone(),
+            half: self.half,
+            active_base: self.active_base,
+            bump: self.bump,
+            free: self.free.clone(),
+            serial: self.serial,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore a previously captured heap state (collector kind must not
+    /// have changed).
+    pub fn restore(&mut self, s: &HeapSnapshot) {
+        self.mem.clone_from(&s.mem);
+        self.half = s.half;
+        self.active_base = s.active_base;
+        self.bump = s.bump;
+        self.free.clone_from(&s.free);
+        self.serial = s.serial;
+        self.stats = s.stats;
+    }
+
+    /// Snapshot payload size in bytes (checkpoint-cost experiments).
+    pub fn snapshot_bytes(&self) -> usize {
+        self.mem.len() * 8 + self.free.len() * 16 + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            class_id: 123,
+            serial: 99_999,
+            is_array: true,
+            is_stack: false,
+            ref_elems: true,
+            is_classobj: false,
+            marked: true,
+        };
+        assert_eq!(Header::decode(h.encode()), h);
+    }
+
+    #[test]
+    fn forwarding_pointer_roundtrip() {
+        let w = forward_word(0xABCD);
+        assert!(is_forwarded(w));
+        assert_eq!(forward_target(w), 0xABCD);
+        assert!(!is_forwarded(Header::decode(0).encode()));
+    }
+
+    #[test]
+    fn scalar_alloc_and_fields() {
+        let mut h = Heap::new(GcKind::MarkSweep, 1024);
+        let a = h.alloc_scalar(5, 3).unwrap();
+        assert!(a as usize >= RESERVED);
+        let hd = h.header(a);
+        assert_eq!(hd.class_id, 5);
+        assert!(!hd.is_array);
+        h.set_field(a, 1, 42);
+        assert_eq!(h.get_field(a, 1), 42);
+        assert_eq!(h.get_field(a, 0), 0); // zeroed
+    }
+
+    #[test]
+    fn array_alloc_and_elems() {
+        let mut h = Heap::new(GcKind::MarkSweep, 1024);
+        let a = h.alloc_array(ArrKind::Int, 10).unwrap();
+        assert_eq!(h.array_len(a), 10);
+        h.set_elem(a, 9, 7);
+        assert_eq!(h.get_elem(a, 9), 7);
+        let r = h.alloc_array(ArrKind::Ref, 4).unwrap();
+        assert!(h.header(r).ref_elems);
+        let s = h.alloc_array(ArrKind::Stack, 4).unwrap();
+        assert!(h.header(s).is_stack);
+    }
+
+    #[test]
+    fn serials_are_sequential_identity_hashes() {
+        let mut h = Heap::new(GcKind::MarkSweep, 1024);
+        let a = h.alloc_scalar(0, 1).unwrap();
+        let b = h.alloc_scalar(0, 1).unwrap();
+        assert_eq!(h.header(a).serial + 1, h.header(b).serial);
+    }
+
+    #[test]
+    fn marksweep_exhaustion_returns_none() {
+        let mut h = Heap::new(GcKind::MarkSweep, 128);
+        let mut n = 0;
+        while h.alloc_scalar(0, 9).is_some() {
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(h.free_words() < 10);
+    }
+
+    #[test]
+    fn copying_uses_only_half() {
+        let h = Heap::new(GcKind::Copying, 1000);
+        assert!(h.free_words() <= 500);
+        let mut h2 = Heap::new(GcKind::Copying, 1000);
+        let free_before = h2.free_words();
+        h2.alloc_scalar(0, 9).unwrap();
+        assert_eq!(h2.free_words(), free_before - 10);
+    }
+
+    #[test]
+    fn first_fit_reuses_address_order() {
+        let mut h = Heap::new(GcKind::MarkSweep, 1024);
+        let a = h.alloc_scalar(0, 3).unwrap();
+        let _b = h.alloc_scalar(0, 3).unwrap();
+        // Simulate a sweep freeing `a`: push its block back.
+        h.free.insert(0, (a as usize, 4));
+        let c = h.alloc_scalar(0, 3).unwrap();
+        assert_eq!(c, a, "first-fit must reuse the earliest free block");
+    }
+
+    #[test]
+    fn class_object_flag() {
+        let mut h = Heap::new(GcKind::MarkSweep, 1024);
+        let a = h.alloc_classobj(7, 2).unwrap();
+        let hd = h.header(a);
+        assert!(hd.is_classobj);
+        assert_eq!(hd.class_id, 7);
+    }
+}

@@ -1,0 +1,1472 @@
+//! The interpreter: executes guest bytecode one instruction per "cycle",
+//! driving the timer, the yield-point discipline, and the hook.
+//!
+//! Thread switches happen at exactly two kinds of places:
+//!
+//! * **Deterministic switches** — a synchronization operation blocks the
+//!   current thread (`monitorenter` on a held monitor, `wait`, `join`,
+//!   `sleep`). These need no logging: the thread package itself is
+//!   replayed (paper §2.2).
+//! * **Yield points** — method prologues and taken loop backedges, where
+//!   the hook decides (Fig. 2): passthrough switches iff the hardware
+//!   preempt bit is set; record logs the yield-point delta; replay forces
+//!   the switch when the recorded delta expires.
+
+use crate::bytecode::{MethodId, Op, Ty};
+use crate::heap::{Addr, Word, NULL};
+use crate::hook::{AccessDecision, ExecHook};
+use crate::sched::{EntryWaiter, Sleeper, WaitEntry};
+use crate::thread::{SavedPc, ThreadStatus, Tid};
+use crate::vm::{ArgSource, ErrKind, Vm, VmError, VmStatus};
+
+/// How the executed instruction affected the pc.
+enum Flow {
+    /// Fall through to pc+1.
+    Next,
+    /// Jump to an absolute pc; `backedge` says the branch was a taken
+    /// backward branch (a yield point).
+    Jump(u32, bool),
+    /// The handler updated thread state itself (call, return, block, halt).
+    Managed,
+}
+
+/// Execute instructions until the VM stops or `max_steps` elapse.
+/// Returns the final (or current) status.
+pub fn run(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
+    let mut n = 0;
+    while vm.status.is_running() && n < max_steps {
+        step(vm, hook);
+        n += 1;
+    }
+    vm.status
+}
+
+/// Execute until the VM stops (no budget). Guest programs that do not
+/// terminate will spin forever, as real ones do; tests use [`run`].
+pub fn run_to_completion(vm: &mut Vm, hook: &mut dyn ExecHook) -> VmStatus {
+    while vm.status.is_running() {
+        step(vm, hook);
+    }
+    vm.status
+}
+
+/// Execute one instruction of the current thread (plus any switch /
+/// instrumentation processing it triggers).
+pub fn step(vm: &mut Vm, hook: &mut dyn ExecHook) {
+    if !vm.status.is_running() {
+        return;
+    }
+    let cur = vm.sched.current as usize;
+    let (method, pc) = {
+        let t = &vm.threads[cur];
+        (t.method, t.pc)
+    };
+    let op = vm.program.method(method).ops[pc as usize];
+
+    vm.counters.steps += 1;
+    vm.cycles += 1;
+    if vm.instr_depth == 0 {
+        vm.fingerprint.step(vm.sched.current, method, pc);
+    }
+
+    // Timer interrupt (the asynchronous, non-deterministic event of §2.3).
+    vm.cycles_to_tick -= 1;
+    if vm.cycles_to_tick == 0 {
+        vm.preempt_bit = true;
+        vm.cycles_to_tick = vm.timer.next_interval();
+    }
+
+    let was_backedge = vm
+        .program
+        .compiled(method)
+        .backedge
+        .get(pc as usize)
+        .copied()
+        .unwrap_or(false);
+
+    match exec_op(vm, hook, op, pc) {
+        Ok(Flow::Next) => {
+            vm.threads[cur].pc = pc + 1;
+        }
+        Ok(Flow::Jump(target, taken_back)) => {
+            vm.threads[cur].pc = target;
+            if taken_back && was_backedge && vm.status.is_running() {
+                yield_point(vm, hook);
+            }
+        }
+        Ok(Flow::Managed) => {}
+        Err(e) => {
+            if vm.status.is_running() {
+                vm.status = VmStatus::Error(e);
+            }
+            vm.fingerprint.event(0xE44, e.kind as u64, e.pc as u64);
+            hook.on_halt(vm);
+        }
+    }
+}
+
+fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow, VmError> {
+    match op {
+        // ---- constants / locals / shuffling ----
+        Op::Const(v) => {
+            vm.push_word(v as Word);
+            Ok(Flow::Next)
+        }
+        Op::Null => {
+            vm.push_word(NULL);
+            Ok(Flow::Next)
+        }
+        Op::Str(id) => {
+            let a = vm.string_objects[id as usize];
+            vm.push_word(a);
+            Ok(Flow::Next)
+        }
+        Op::Load(i) => {
+            let cur = vm.sched.current as usize;
+            let base = vm.threads[cur].fp + 3;
+            let v = vm.heap.mem[(base + i as u64) as usize];
+            vm.push_word(v);
+            Ok(Flow::Next)
+        }
+        Op::Store(i) => {
+            let v = vm.pop_word();
+            let cur = vm.sched.current as usize;
+            let base = vm.threads[cur].fp + 3;
+            vm.heap.mem[(base + i as u64) as usize] = v;
+            Ok(Flow::Next)
+        }
+        Op::Dup => {
+            let v = vm.peek_word(0);
+            vm.push_word(v);
+            Ok(Flow::Next)
+        }
+        Op::Pop => {
+            vm.pop_word();
+            Ok(Flow::Next)
+        }
+        Op::Swap => {
+            let a = vm.pop_word();
+            let b = vm.pop_word();
+            vm.push_word(a);
+            vm.push_word(b);
+            Ok(Flow::Next)
+        }
+
+        // ---- arithmetic ----
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::BitAnd | Op::BitOr | Op::BitXor
+        | Op::Shl | Op::Shr => {
+            let b = vm.pop_word() as i64;
+            let a = vm.pop_word() as i64;
+            let r = match op {
+                Op::Add => a.wrapping_add(b),
+                Op::Sub => a.wrapping_sub(b),
+                Op::Mul => a.wrapping_mul(b),
+                Op::Div => {
+                    if b == 0 {
+                        return Err(vm.fail(ErrKind::DivideByZero));
+                    }
+                    a.wrapping_div(b)
+                }
+                Op::Rem => {
+                    if b == 0 {
+                        return Err(vm.fail(ErrKind::DivideByZero));
+                    }
+                    a.wrapping_rem(b)
+                }
+                Op::BitAnd => a & b,
+                Op::BitOr => a | b,
+                Op::BitXor => a ^ b,
+                Op::Shl => a.wrapping_shl(b as u32 & 63),
+                Op::Shr => a.wrapping_shr(b as u32 & 63),
+                _ => unreachable!(),
+            };
+            vm.push_word(r as Word);
+            Ok(Flow::Next)
+        }
+        Op::Neg => {
+            let a = vm.pop_word() as i64;
+            vm.push_word(a.wrapping_neg() as Word);
+            Ok(Flow::Next)
+        }
+
+        // ---- comparisons ----
+        Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            let b = vm.pop_word() as i64;
+            let a = vm.pop_word() as i64;
+            let r = match op {
+                Op::Eq => a == b,
+                Op::Ne => a != b,
+                Op::Lt => a < b,
+                Op::Le => a <= b,
+                Op::Gt => a > b,
+                Op::Ge => a >= b,
+                _ => unreachable!(),
+            };
+            vm.push_word(r as Word);
+            Ok(Flow::Next)
+        }
+        Op::RefEq => {
+            let b = vm.pop_word();
+            let a = vm.pop_word();
+            vm.push_word((a == b) as Word);
+            Ok(Flow::Next)
+        }
+
+        // ---- control flow ----
+        Op::Goto(t) => Ok(Flow::Jump(t, true)),
+        Op::If(t) => {
+            let c = vm.pop_word() as i64;
+            if c != 0 {
+                Ok(Flow::Jump(t, true))
+            } else {
+                Ok(Flow::Next)
+            }
+        }
+        Op::IfZ(t) => {
+            let c = vm.pop_word() as i64;
+            if c == 0 {
+                Ok(Flow::Jump(t, true))
+            } else {
+                Ok(Flow::Next)
+            }
+        }
+
+        // ---- objects / arrays ----
+        Op::New(class) => {
+            vm.ensure_class_loaded(class)?;
+            let nfields = vm.program.field_layouts[class as usize].len();
+            let a = vm.alloc_scalar(class, nfields)?;
+            vm.push_word(a);
+            Ok(Flow::Next)
+        }
+        Op::GetField { idx, ty } => {
+            let obj = vm.peek_word(0);
+            if obj != NULL && access_gate(vm, hook, obj, false)? {
+                return Ok(Flow::Managed); // retry after a switch
+            }
+            let obj = vm.pop_word();
+            check_scalar(vm, obj, idx, ty)?;
+            let v = vm.heap.get_field(obj, idx as usize);
+            let v = hook.on_shared_read_value(vm, v, ty == Ty::Ref);
+            vm.push_word(v);
+            Ok(Flow::Next)
+        }
+        Op::PutField { idx, ty } => {
+            let obj = vm.peek_word(1);
+            if obj != NULL && access_gate(vm, hook, obj, true)? {
+                return Ok(Flow::Managed);
+            }
+            let v = vm.pop_word();
+            let obj = vm.pop_word();
+            check_scalar(vm, obj, idx, ty)?;
+            vm.heap.set_field(obj, idx as usize, v);
+            Ok(Flow::Next)
+        }
+        Op::GetStatic(class, i) => {
+            let cobj = vm.ensure_class_loaded(class)?;
+            if access_gate(vm, hook, cobj, false)? {
+                return Ok(Flow::Managed);
+            }
+            let v = vm.heap.get_field(cobj, i as usize);
+            let is_ref = vm.program.static_layouts[class as usize][i as usize] == Ty::Ref;
+            let v = hook.on_shared_read_value(vm, v, is_ref);
+            vm.push_word(v);
+            Ok(Flow::Next)
+        }
+        Op::PutStatic(class, i) => {
+            let cobj = vm.ensure_class_loaded(class)?;
+            if access_gate(vm, hook, cobj, true)? {
+                return Ok(Flow::Managed);
+            }
+            let v = vm.pop_word();
+            vm.heap.set_field(cobj, i as usize, v);
+            Ok(Flow::Next)
+        }
+        Op::NewArray(ty) => {
+            let len = vm.pop_word() as i64;
+            if len < 0 {
+                return Err(vm.fail(ErrKind::IndexOutOfBounds));
+            }
+            let kind = match ty {
+                Ty::Int => crate::heap::ArrKind::Int,
+                Ty::Ref => crate::heap::ArrKind::Ref,
+            };
+            let a = vm.alloc_array(kind, len as usize)?;
+            vm.push_word(a);
+            Ok(Flow::Next)
+        }
+        Op::ALoad(ty) => {
+            let arr = vm.peek_word(1);
+            if arr != NULL && access_gate(vm, hook, arr, false)? {
+                return Ok(Flow::Managed);
+            }
+            let i = vm.pop_word() as i64;
+            let arr = vm.pop_word();
+            check_array(vm, arr, i, ty)?;
+            let v = vm.heap.get_elem(arr, i as usize);
+            let v = hook.on_shared_read_value(vm, v, ty == Ty::Ref);
+            vm.push_word(v);
+            Ok(Flow::Next)
+        }
+        Op::AStore(ty) => {
+            let arr = vm.peek_word(2);
+            if arr != NULL && access_gate(vm, hook, arr, true)? {
+                return Ok(Flow::Managed);
+            }
+            let v = vm.pop_word();
+            let i = vm.pop_word() as i64;
+            let arr = vm.pop_word();
+            check_array(vm, arr, i, ty)?;
+            vm.heap.set_elem(arr, i as usize, v);
+            Ok(Flow::Next)
+        }
+        Op::ArrayLen => {
+            let arr = vm.pop_word();
+            if arr == NULL {
+                return Err(vm.fail(ErrKind::NullDeref));
+            }
+            let h = vm.heap.header(arr);
+            if !h.is_array {
+                return Err(vm.fail(ErrKind::TypeConfusion));
+            }
+            vm.push_word(vm.heap.array_len(arr) as Word);
+            Ok(Flow::Next)
+        }
+        Op::IdentityHash => {
+            let obj = vm.pop_word();
+            if obj == NULL {
+                return Err(vm.fail(ErrKind::NullDeref));
+            }
+            vm.push_word(vm.heap.header(obj).serial);
+            Ok(Flow::Next)
+        }
+        Op::InstanceOf(class) => {
+            let obj = vm.pop_word();
+            let r = if obj == NULL {
+                false
+            } else {
+                let h = vm.heap.header(obj);
+                !h.is_array && !h.is_classobj && vm.program.is_subclass(h.class_id, class)
+            };
+            vm.push_word(r as Word);
+            Ok(Flow::Next)
+        }
+
+        // ---- calls ----
+        Op::Call(callee) => {
+            vm.push_frame(callee, true, &[], false, false)?;
+            // Method-prologue yield point.
+            if vm.status.is_running() {
+                yield_point(vm, hook);
+            }
+            Ok(Flow::Managed)
+        }
+        Op::CallVirtual { class, slot } => {
+            let static_callee = vm.program.class(class).vtable[slot as usize];
+            let nargs = vm.program.method(static_callee).nargs;
+            let recv = vm.peek_word(nargs as u64 - 1);
+            if recv == NULL {
+                return Err(vm.fail(ErrKind::NullDeref));
+            }
+            let h = vm.heap.header(recv);
+            if h.is_array || h.is_classobj || !vm.program.is_subclass(h.class_id, class) {
+                return Err(vm.fail(ErrKind::BadVirtualDispatch));
+            }
+            let callee = vm.program.class(h.class_id).vtable[slot as usize];
+            vm.push_frame(callee, true, &[], false, false)?;
+            if vm.status.is_running() {
+                yield_point(vm, hook);
+            }
+            Ok(Flow::Managed)
+        }
+        Op::Ret | Op::RetVal => {
+            let retv = if op == Op::RetVal {
+                Some(vm.pop_word())
+            } else {
+                None
+            };
+            do_return(vm, hook, retv);
+            Ok(Flow::Managed)
+        }
+
+        // ---- synchronization ----
+        Op::MonitorEnter => {
+            let obj = vm.peek_word(0);
+            if obj != NULL && access_gate(vm, hook, obj, true)? {
+                return Ok(Flow::Managed); // CREW-ordered lock acquisition
+            }
+            let obj = vm.pop_word();
+            if obj == NULL {
+                return Err(vm.fail(ErrKind::NullDeref));
+            }
+            let cur = vm.sched.current;
+            let mon = vm.sched.monitor_mut(obj);
+            match mon.owner {
+                None => {
+                    mon.owner = Some(cur);
+                    mon.recursion = 1;
+                    Ok(Flow::Next)
+                }
+                Some(o) if o == cur => {
+                    mon.recursion += 1;
+                    Ok(Flow::Next)
+                }
+                Some(_) => {
+                    // Deterministic switch: block until handed the monitor.
+                    mon.entry_queue.push_back(EntryWaiter {
+                        tid: cur,
+                        recursion: 1,
+                        push_status: None,
+                    });
+                    vm.threads[cur as usize].pc = pc + 1;
+                    vm.threads[cur as usize].status = ThreadStatus::BlockedMonitor(obj);
+                    schedule_next(vm, hook, false);
+                    Ok(Flow::Managed)
+                }
+            }
+        }
+        Op::MonitorExit => {
+            let obj = vm.peek_word(0);
+            if obj != NULL && access_gate(vm, hook, obj, true)? {
+                return Ok(Flow::Managed);
+            }
+            let obj = vm.pop_word();
+            if obj == NULL {
+                return Err(vm.fail(ErrKind::NullDeref));
+            }
+            let cur = vm.sched.current;
+            let owned = vm
+                .sched
+                .monitors
+                .get(&obj)
+                .is_some_and(|m| m.owner == Some(cur));
+            if !owned {
+                return Err(vm.fail(ErrKind::IllegalMonitorState));
+            }
+            let mon = vm.sched.monitor_mut(obj);
+            mon.recursion -= 1;
+            if mon.recursion == 0 {
+                mon.owner = None;
+                try_handoff(vm, obj);
+                vm.sched.prune_monitor(obj);
+            }
+            Ok(Flow::Next)
+        }
+        Op::Wait | Op::TimedWait => {
+            let obj_peek = vm.peek_word(if op == Op::TimedWait { 1 } else { 0 });
+            if obj_peek != NULL && access_gate(vm, hook, obj_peek, true)? {
+                return Ok(Flow::Managed);
+            }
+            let millis = if op == Op::TimedWait {
+                vm.pop_word() as i64
+            } else {
+                0
+            };
+            let obj = vm.pop_word();
+            if obj == NULL {
+                return Err(vm.fail(ErrKind::NullDeref));
+            }
+            let cur = vm.sched.current;
+            let owned = vm
+                .sched
+                .monitors
+                .get(&obj)
+                .is_some_and(|m| m.owner == Some(cur));
+            if !owned {
+                return Err(vm.fail(ErrKind::IllegalMonitorState));
+            }
+            if vm.threads[cur as usize].interrupted {
+                vm.threads[cur as usize].interrupted = false;
+                vm.push_word(1); // interrupted status
+                return Ok(Flow::Next);
+            }
+            // Timed waits compute their deadline from a (recorded) clock
+            // read, so timer expiry replays deterministically (§2.2).
+            let timed = op == Op::TimedWait && millis > 0;
+            let wake_at = if timed {
+                let now = hook.on_clock_read(vm);
+                vm.counters.clock_reads += 1;
+                Some(now.saturating_add(millis))
+            } else {
+                None
+            };
+            let mon = vm.sched.monitor_mut(obj);
+            let saved_recursion = mon.recursion;
+            mon.owner = None;
+            mon.recursion = 0;
+            mon.wait_queue.push_back(WaitEntry {
+                tid: cur,
+                recursion: saved_recursion,
+            });
+            if let Some(at) = wake_at {
+                vm.sched.add_sleeper(Sleeper {
+                    wake_at: at,
+                    tid: cur,
+                    monitor: Some(obj),
+                });
+                vm.threads[cur as usize].status = ThreadStatus::TimedWaiting(obj);
+            } else {
+                vm.threads[cur as usize].status = ThreadStatus::Waiting(obj);
+            }
+            vm.threads[cur as usize].pc = pc + 1;
+            try_handoff(vm, obj);
+            schedule_next(vm, hook, false);
+            Ok(Flow::Managed)
+        }
+        Op::Notify | Op::NotifyAll => {
+            let obj = vm.peek_word(0);
+            if obj != NULL && access_gate(vm, hook, obj, true)? {
+                return Ok(Flow::Managed);
+            }
+            let obj = vm.pop_word();
+            if obj == NULL {
+                return Err(vm.fail(ErrKind::NullDeref));
+            }
+            let cur = vm.sched.current;
+            let owned = vm
+                .sched
+                .monitors
+                .get(&obj)
+                .is_some_and(|m| m.owner == Some(cur));
+            if !owned {
+                return Err(vm.fail(ErrKind::IllegalMonitorState));
+            }
+            let count = if op == Op::Notify { 1 } else { usize::MAX };
+            let mut moved = 0;
+            while moved < count {
+                let mon = vm.sched.monitor_mut(obj);
+                let Some(w) = mon.wait_queue.pop_front() else {
+                    break;
+                };
+                mon.entry_queue.push_back(EntryWaiter {
+                    tid: w.tid,
+                    recursion: w.recursion,
+                    push_status: Some(0), // notified
+                });
+                vm.sched.remove_sleeper(w.tid); // cancel a pending timeout
+                vm.threads[w.tid as usize].status = ThreadStatus::BlockedMonitor(obj);
+                moved += 1;
+            }
+            // The notifier still owns the monitor; waiters acquire on exit.
+            Ok(Flow::Next)
+        }
+
+        // ---- threading ----
+        Op::Spawn { method, nargs } => {
+            let name = format!("t{}", vm.threads.len());
+            let tid = vm.create_thread(method, ArgSource::CallerStack(nargs as u16), &name)?;
+            let tobj = vm.threads[tid as usize].thread_obj;
+            vm.push_word(tobj);
+            Ok(Flow::Next)
+        }
+        Op::Join => {
+            let tref = vm.pop_word();
+            let target = thread_of(vm, tref)?;
+            if vm.threads[target as usize].status == ThreadStatus::Terminated {
+                return Ok(Flow::Next);
+            }
+            let cur = vm.sched.current;
+            vm.sched.join_waiters.entry(target).or_default().push(cur);
+            vm.threads[cur as usize].status = ThreadStatus::JoinWaiting(target);
+            vm.threads[cur as usize].pc = pc + 1;
+            schedule_next(vm, hook, false);
+            Ok(Flow::Managed)
+        }
+        Op::Interrupt => {
+            let tref = vm.pop_word();
+            let target = thread_of(vm, tref)?;
+            interrupt_thread(vm, target);
+            Ok(Flow::Next)
+        }
+        Op::YieldNow => {
+            let cur = vm.sched.current as usize;
+            vm.threads[cur].pc = pc + 1;
+            perform_switch(vm, hook);
+            Ok(Flow::Managed)
+        }
+        Op::Sleep => {
+            let millis = vm.pop_word() as i64;
+            let cur = vm.sched.current;
+            if vm.threads[cur as usize].interrupted {
+                vm.threads[cur as usize].interrupted = false;
+                vm.push_word(1);
+                return Ok(Flow::Next);
+            }
+            if millis <= 0 {
+                vm.push_word(0);
+                return Ok(Flow::Next);
+            }
+            let now = hook.on_clock_read(vm);
+            vm.counters.clock_reads += 1;
+            vm.sched.add_sleeper(Sleeper {
+                wake_at: now.saturating_add(millis),
+                tid: cur,
+                monitor: None,
+            });
+            vm.threads[cur as usize].status = ThreadStatus::Sleeping;
+            vm.threads[cur as usize].pc = pc + 1;
+            schedule_next(vm, hook, false);
+            Ok(Flow::Managed)
+        }
+        Op::CurrentThread => {
+            let cur = vm.sched.current as usize;
+            let tobj = vm.threads[cur].thread_obj;
+            vm.push_word(tobj);
+            Ok(Flow::Next)
+        }
+
+        // ---- environment ----
+        Op::Now => {
+            let v = hook.on_clock_read(vm);
+            vm.counters.clock_reads += 1;
+            vm.push_word(v as Word);
+            Ok(Flow::Next)
+        }
+        Op::NativeCall { native, nargs } => {
+            let mut args = vec![0i64; nargs as usize];
+            for i in (0..nargs as usize).rev() {
+                args[i] = vm.pop_word() as i64;
+            }
+            let outcome = hook.on_native_call(vm, native, &args);
+            vm.counters.native_calls += 1;
+            if vm.program.natives[native as usize].returns {
+                vm.push_word(outcome.ret as Word);
+            }
+            // Callbacks run before the caller continues (§2.5): queue their
+            // frames so the first callback executes first.
+            let cur = vm.sched.current as usize;
+            vm.threads[cur].pc = pc + 1;
+            for cb in outcome.callbacks.iter().rev() {
+                vm.push_frame(cb.method, false, &cb.args, true, false)?;
+            }
+            Ok(Flow::Managed)
+        }
+
+        // ---- output / halt ----
+        Op::Print => {
+            let v = vm.pop_word() as i64;
+            vm.write_output(&format!("{v}\n"));
+            Ok(Flow::Next)
+        }
+        Op::PrintStr(id) => {
+            let s = vm.program.strings[id as usize].clone();
+            vm.write_output(&s);
+            Ok(Flow::Next)
+        }
+        Op::Halt => {
+            vm.status = VmStatus::Halted;
+            vm.fingerprint.event(0x4A17, 0, 0);
+            hook.on_halt(vm);
+            Ok(Flow::Managed)
+        }
+    }
+}
+
+/// Consult the hook before a heap access; `Ok(true)` means the access was
+/// deferred (a switch was performed and the instruction must be retried).
+fn access_gate(
+    vm: &mut Vm,
+    hook: &mut dyn ExecHook,
+    obj: Addr,
+    write: bool,
+) -> Result<bool, VmError> {
+    let serial = vm.heap.header(obj).serial;
+    match hook.on_shared_access(vm, serial, write) {
+        AccessDecision::Proceed => Ok(false),
+        AccessDecision::SwitchAndRetry => {
+            // Leave pc untouched: the op re-executes when rescheduled.
+            perform_switch(vm, hook);
+            Ok(true)
+        }
+    }
+}
+
+/// Validate a scalar field access.
+fn check_scalar(vm: &mut Vm, obj: Addr, idx: u16, ty: Ty) -> Result<(), VmError> {
+    if obj == NULL {
+        return Err(vm.fail(ErrKind::NullDeref));
+    }
+    let h = vm.heap.header(obj);
+    if h.is_array || h.is_classobj {
+        return Err(vm.fail(ErrKind::TypeConfusion));
+    }
+    let layout = &vm.program.field_layouts[h.class_id as usize];
+    if layout.get(idx as usize) != Some(&ty) {
+        return Err(vm.fail(ErrKind::TypeConfusion));
+    }
+    Ok(())
+}
+
+/// Validate an array element access.
+fn check_array(vm: &mut Vm, arr: Addr, i: i64, ty: Ty) -> Result<(), VmError> {
+    if arr == NULL {
+        return Err(vm.fail(ErrKind::NullDeref));
+    }
+    let h = vm.heap.header(arr);
+    if !h.is_array || h.is_stack {
+        return Err(vm.fail(ErrKind::TypeConfusion));
+    }
+    let want_ref = ty == Ty::Ref;
+    if h.ref_elems != want_ref {
+        return Err(vm.fail(ErrKind::TypeConfusion));
+    }
+    if i < 0 || i as usize >= vm.heap.array_len(arr) {
+        return Err(vm.fail(ErrKind::IndexOutOfBounds));
+    }
+    Ok(())
+}
+
+/// Resolve a guest Thread-object reference to its tid.
+fn thread_of(vm: &mut Vm, tref: Addr) -> Result<Tid, VmError> {
+    if tref == NULL {
+        return Err(vm.fail(ErrKind::NullDeref));
+    }
+    let h = vm.heap.header(tref);
+    if h.is_array || h.is_classobj || h.class_id != vm.program.builtins.thread_class {
+        return Err(vm.fail(ErrKind::NotAThread));
+    }
+    Ok(vm.heap.get_field(tref, 0) as Tid)
+}
+
+/// Pop the current frame; terminate the thread if it was the root frame.
+fn do_return(vm: &mut Vm, hook: &mut dyn ExecHook, retv: Option<Word>) {
+    let cur = vm.sched.current as usize;
+    let fp = vm.threads[cur].fp;
+    let saved_fp = vm.heap.mem[fp as usize];
+    if saved_fp == 0 {
+        terminate_current(vm, hook);
+        return;
+    }
+    let saved = SavedPc::decode(vm.heap.mem[fp as usize + 2]);
+    let caller_method = vm.heap.mem[saved_fp as usize + 1] as MethodId;
+    {
+        let t = &mut vm.threads[cur];
+        t.sp = t.fp;
+        t.fp = saved_fp;
+        t.method = caller_method;
+        t.pc = saved.caller_pc.wrapping_add(1);
+    }
+    if let Some(v) = retv {
+        if !saved.discard_result {
+            vm.push_word(v);
+        }
+    }
+    if saved.instrumentation {
+        vm.instr_depth -= 1;
+        if vm.instr_depth == 0 && vm.pending_switch {
+            vm.pending_switch = false;
+            perform_switch(vm, hook);
+        }
+    }
+}
+
+/// Terminate the current thread: release its stack, wake joiners, pick the
+/// next thread (or halt if it was the last).
+fn terminate_current(vm: &mut Vm, hook: &mut dyn ExecHook) {
+    let cur = vm.sched.current;
+    {
+        let t = &mut vm.threads[cur as usize];
+        t.status = ThreadStatus::Terminated;
+        t.stack_obj = NULL;
+        t.fp = 0;
+        t.sp = 0;
+    }
+    vm.fingerprint.event(0x7E43, cur as u64, 0);
+    if let Some(waiters) = vm.sched.join_waiters.remove(&cur) {
+        for w in waiters {
+            vm.threads[w as usize].status = ThreadStatus::Ready;
+            vm.sched.ready.push_back(w);
+        }
+    }
+    schedule_next(vm, hook, false);
+}
+
+/// Voluntary or preemptive thread switch: requeue the current thread and
+/// dispatch the next.
+pub(crate) fn perform_switch(vm: &mut Vm, hook: &mut dyn ExecHook) {
+    let cur = vm.sched.current;
+    vm.threads[cur as usize].status = ThreadStatus::Ready;
+    vm.sched.ready.push_back(cur);
+    schedule_next(vm, hook, false);
+}
+
+/// Hand an un-owned monitor to the head of its entry queue, if any.
+fn try_handoff(vm: &mut Vm, obj: Addr) {
+    let Some(mon) = vm.sched.monitors.get_mut(&obj) else {
+        return;
+    };
+    if mon.owner.is_some() {
+        return;
+    }
+    let Some(e) = mon.entry_queue.pop_front() else {
+        return;
+    };
+    mon.owner = Some(e.tid);
+    mon.recursion = e.recursion;
+    if let Some(v) = e.push_status {
+        if v == 1 {
+            vm.threads[e.tid as usize].interrupted = false;
+        }
+        push_word_onto(vm, e.tid, v as Word);
+    }
+    vm.threads[e.tid as usize].status = ThreadStatus::Ready;
+    vm.sched.ready.push_back(e.tid);
+}
+
+/// Push a value onto a (non-running) thread's operand stack — delivery of
+/// wait/sleep status codes at wake time.
+fn push_word_onto(vm: &mut Vm, tid: Tid, v: Word) {
+    let sp = vm.threads[tid as usize].sp;
+    vm.heap.mem[sp as usize] = v;
+    vm.threads[tid as usize].sp = sp + 1;
+}
+
+/// Interrupt `target` (paper: interrupt is one of the wake-up operations
+/// whose effect on the thread package replays deterministically).
+fn interrupt_thread(vm: &mut Vm, target: Tid) {
+    vm.threads[target as usize].interrupted = true;
+    match vm.threads[target as usize].status {
+        ThreadStatus::Waiting(obj) | ThreadStatus::TimedWaiting(obj) => {
+            let mon = vm.sched.monitor_mut(obj);
+            if let Some(pos) = mon.wait_queue.iter().position(|w| w.tid == target) {
+                let w = mon.wait_queue.remove(pos).unwrap();
+                mon.entry_queue.push_back(EntryWaiter {
+                    tid: target,
+                    recursion: w.recursion,
+                    push_status: Some(1), // interrupted
+                });
+                vm.sched.remove_sleeper(target);
+                vm.threads[target as usize].status = ThreadStatus::BlockedMonitor(obj);
+                try_handoff(vm, obj);
+            }
+        }
+        ThreadStatus::Sleeping => {
+            vm.sched.remove_sleeper(target);
+            vm.threads[target as usize].interrupted = false;
+            push_word_onto(vm, target, 1);
+            vm.threads[target as usize].status = ThreadStatus::Ready;
+            vm.sched.ready.push_back(target);
+        }
+        _ => {} // flag stays set; a future wait/sleep sees it
+    }
+}
+
+/// Wake every sleeper whose deadline has passed.
+fn wake_due(vm: &mut Vm, now: i64) {
+    for s in vm.sched.take_due(now) {
+        match s.monitor {
+            None => {
+                // sleep finished normally
+                push_word_onto(vm, s.tid, 0);
+                vm.threads[s.tid as usize].status = ThreadStatus::Ready;
+                vm.sched.ready.push_back(s.tid);
+            }
+            Some(obj) => {
+                // timed wait expired: move to the entry queue with status 2
+                let mon = vm.sched.monitor_mut(obj);
+                if let Some(pos) = mon.wait_queue.iter().position(|w| w.tid == s.tid) {
+                    let w = mon.wait_queue.remove(pos).unwrap();
+                    mon.entry_queue.push_back(EntryWaiter {
+                        tid: s.tid,
+                        recursion: w.recursion,
+                        push_status: Some(2), // timeout
+                    });
+                    vm.threads[s.tid as usize].status = ThreadStatus::BlockedMonitor(obj);
+                    try_handoff(vm, obj);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch the next ready thread; wake sleepers (reading the — recorded —
+/// wall clock) or declare deadlock/halt if nothing can run.
+fn schedule_next(vm: &mut Vm, hook: &mut dyn ExecHook, requeue_current: bool) {
+    if requeue_current {
+        let cur = vm.sched.current;
+        vm.threads[cur as usize].status = ThreadStatus::Ready;
+        vm.sched.ready.push_back(cur);
+    }
+    loop {
+        if let Some(tid) = vm.sched.ready.pop_front() {
+            vm.sched.current = tid;
+            vm.threads[tid as usize].status = ThreadStatus::Running;
+            vm.counters.thread_switches += 1;
+            let yp = vm.threads[tid as usize].yield_points;
+            vm.fingerprint.thread_switch(tid, yp);
+            hook.on_thread_switch(vm, tid);
+            return;
+        }
+        if !vm.sched.sleepers.is_empty() {
+            // "Jalapeño reads the wall clock periodically" (§2.2): these
+            // reads are the recorded events that make timed wakeups replay.
+            let now = hook.on_clock_read(vm);
+            vm.counters.clock_reads += 1;
+            wake_due(vm, now);
+            if !vm.sched.ready.is_empty() {
+                continue;
+            }
+            if vm.sched.sleepers.is_empty() {
+                continue; // timed-waiters moved to entry queues; re-examine
+            }
+            // Idle: warp the live clock to the next deadline and read again.
+            let target = vm.sched.next_deadline().unwrap();
+            vm.wall.warp_to(target);
+            let now = hook.on_clock_read(vm);
+            vm.counters.clock_reads += 1;
+            wake_due(vm, now);
+            if vm.sched.ready.is_empty() && !vm.sched.sleepers.is_empty() {
+                // A replay desync (recorded clock never reaches the
+                // deadline) — fail deterministically rather than spin.
+                vm.status = VmStatus::Deadlocked;
+                vm.fingerprint.event(0xDEAD, 1, 0);
+                hook.on_halt(vm);
+                return;
+            }
+            continue;
+        }
+        // No ready threads, no sleepers.
+        if vm
+            .threads
+            .iter()
+            .all(|t| t.status == ThreadStatus::Terminated)
+        {
+            vm.status = VmStatus::Halted;
+            vm.fingerprint.event(0x4A17, 1, 0);
+        } else {
+            vm.status = VmStatus::Deadlocked;
+            vm.fingerprint.event(0xDEAD, 0, 0);
+        }
+        hook.on_halt(vm);
+        return;
+    }
+}
+
+/// Process a yield point: consult the hook (Fig. 2) and act.
+fn yield_point(vm: &mut Vm, hook: &mut dyn ExecHook) {
+    if vm.instr_depth > 0 {
+        // Instrumentation-internal yield point: invisible to the logical
+        // clock in symmetric hooks (`liveClock == false`).
+        let act = hook.on_instr_yield_point(vm);
+        if act.switch_now {
+            perform_switch(vm, hook);
+        }
+        return;
+    }
+    vm.counters.yield_points += 1;
+    let cur = vm.sched.current as usize;
+    vm.threads[cur].yield_points += 1;
+    let act = hook.on_yield_point(vm);
+    if let Some((method, arg)) = act.run_helper {
+        if act.switch_now {
+            vm.pending_switch = true;
+            vm.counters.preemptive_switches += 1;
+        }
+        vm.instr_depth += 1;
+        if let Err(e) = vm.push_frame(method, false, &[arg], true, true) {
+            vm.status = VmStatus::Error(e);
+            hook.on_halt(vm);
+        }
+    } else if act.switch_now {
+        vm.counters.preemptive_switches += 1;
+        perform_switch(vm, hook);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::clock::{CycleClock, FixedTimer};
+    use crate::hook::Passthrough;
+    use crate::vm::VmConfig;
+    use std::sync::Arc;
+
+    fn boot(p: crate::program::Program) -> Vm {
+        Vm::boot(
+            Arc::new(p),
+            VmConfig::default(),
+            Box::new(FixedTimer::new(10_000)),
+            Box::new(CycleClock::new(0, 100)),
+        )
+        .unwrap()
+    }
+
+    fn run_program(p: crate::program::Program) -> Vm {
+        let mut vm = boot(p);
+        let mut hook = Passthrough;
+        let st = run(&mut vm, &mut hook, 10_000_000);
+        assert!(!st.is_running(), "program did not finish");
+        vm
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(6).iconst(7).mul().print();
+            a.iconst(10).iconst(3).div().print();
+            a.iconst(10).iconst(3).rem().print();
+            a.iconst(1).iconst(2).sub().print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "42\n3\n1\n-1\n");
+        assert_eq!(vm.status, VmStatus::Halted);
+    }
+
+    #[test]
+    fn comparison_operand_order() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(3).iconst(5).lt().print(); // 3 < 5 => 1
+            a.iconst(5).iconst(3).lt().print(); // 5 < 3 => 0
+            a.iconst(5).iconst(5).ge().print(); // 1
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "1\n0\n1\n");
+    }
+
+    #[test]
+    fn loops_and_locals() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.iconst(0).store(0); // i = 0
+            a.iconst(0).store(1); // sum = 0
+            a.label("top");
+            a.load(0).iconst(10).ge().if_nz("done");
+            a.load(1).load(0).add().store(1);
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.load(1).print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "45\n");
+        assert!(vm.counters.yield_points >= 10, "backedges are yield points");
+    }
+
+    #[test]
+    fn objects_fields_arrays() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb
+            .class("Pair")
+            .field("a", Ty::Int)
+            .field("b", Ty::Ref)
+            .build();
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.new(cls).store(0);
+            a.load(0).iconst(11).put_field(0);
+            a.iconst(4).new_array_int().store(1);
+            a.load(1).iconst(2).iconst(99).astore();
+            a.load(0).load(1).put_field_ref(1);
+            a.load(0).get_field(0).print();
+            a.load(0).get_field_ref(1).iconst(2).aload().print();
+            a.load(0).get_field_ref(1).array_len().print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "11\n99\n4\n");
+    }
+
+    #[test]
+    fn statics_load_lazily() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("G").static_field("x", Ty::Int).build();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(5).put_static(cls, 0);
+            a.get_static(cls, 0).iconst(2).mul().print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "10\n");
+        assert!(vm.counters.class_loads >= 1);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let mut pb = ProgramBuilder::new();
+        let sq = pb.func("square", 1, 1).code(|a| {
+            a.load(0).load(0).mul().ret_val();
+        });
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(9).call(sq).print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "81\n");
+    }
+
+    #[test]
+    fn recursion_grows_stack() {
+        let mut pb = ProgramBuilder::new();
+        // fib-ish deep recursion to force stack growth
+        let f = pb.func("down", 1, 1).code(|a| {
+            a.load(0).if_z("base");
+            a.load(0).iconst(1).sub();
+            // placeholder for recursive call patched below
+            a.call(0); // method id 0 == this method (first defined)
+            a.iconst(1).add().ret_val();
+            a.label("base");
+            a.iconst(0).ret_val();
+        });
+        assert_eq!(f, 0);
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(200).call(f).print();
+            a.halt();
+        });
+        let mut p = pb.finish(m).unwrap();
+        // keep initial stack tiny to force growth
+        let vm = {
+            let mut vm = Vm::boot(
+                Arc::new(std::mem::take(&mut p)),
+                VmConfig {
+                    initial_stack: 64,
+                    ..VmConfig::default()
+                },
+                Box::new(FixedTimer::new(10_000)),
+                Box::new(CycleClock::new(0, 100)),
+            )
+            .unwrap();
+            let mut hook = Passthrough;
+            run(&mut vm, &mut hook, 10_000_000);
+            vm
+        };
+        assert_eq!(vm.output, "200\n");
+        assert!(vm.counters.stack_growths >= 1, "stack must have grown");
+    }
+
+    #[test]
+    fn virtual_dispatch_picks_override() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base").build();
+        pb.virtual_method(base, "f", vec![], 1, Some(Ty::Int))
+            .code(|a| {
+                a.iconst(1).ret_val();
+            });
+        let derived = pb.class_extends("Derived", Some(base)).build();
+        pb.virtual_method(derived, "f", vec![], 1, Some(Ty::Int))
+            .code(|a| {
+                a.iconst(2).ret_val();
+            });
+        let slot = pb.vslot(base, "f");
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.new(base).call_virtual(base, slot).print();
+            a.new(derived).store(0);
+            a.load(0).call_virtual(base, slot).print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "1\n2\n");
+    }
+
+    #[test]
+    fn spawn_join_and_shared_static() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.class("G").static_field("x", Ty::Int).build();
+        let worker = pb.method("worker", 1, 1).code(|a| {
+            a.get_static(g, 0).load(0).add().put_static(g, 0);
+            a.ret();
+        });
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.iconst(0).put_static(g, 0);
+            a.iconst(40).spawn(worker, 1).store(0);
+            a.load(0).join();
+            a.get_static(g, 0).iconst(2).add().print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "42\n");
+    }
+
+    #[test]
+    fn monitors_provide_mutual_exclusion() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb
+            .class("G")
+            .static_field("lock", Ty::Ref)
+            .static_field("count", Ty::Int)
+            .build();
+        // Each worker increments count 100 times under the lock with a
+        // deliberate re-read (to be racy without the lock).
+        let worker = pb.method("worker", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(100).ge().if_nz("done");
+            a.get_static(g, 0).monitor_enter();
+            a.get_static(g, 1).iconst(1).add().put_static(g, 1);
+            a.get_static(g, 0).monitor_exit();
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.ret();
+        });
+        let lock_cls = pb.class("Lock").build();
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.new(lock_cls).put_static(g, 0);
+            a.iconst(0).put_static(g, 1);
+            a.spawn(worker, 0).store(0);
+            a.spawn(worker, 0).store(1);
+            a.load(0).join();
+            a.load(1).join();
+            a.get_static(g, 1).print();
+            a.halt();
+        });
+        // Use a small timer period so preemption interleaves the workers.
+        let p = pb.finish(m).unwrap();
+        let mut vm = Vm::boot(
+            Arc::new(p),
+            VmConfig::default(),
+            Box::new(FixedTimer::new(7)),
+            Box::new(CycleClock::new(0, 100)),
+        )
+        .unwrap();
+        let mut hook = Passthrough;
+        let st = run(&mut vm, &mut hook, 10_000_000);
+        assert_eq!(st, VmStatus::Halted);
+        assert_eq!(vm.output, "200\n");
+        assert!(vm.counters.preemptive_switches > 0);
+    }
+
+    #[test]
+    fn wait_notify_roundtrip() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb
+            .class("G")
+            .static_field("lock", Ty::Ref)
+            .static_field("flag", Ty::Int)
+            .build();
+        let waiter = pb.method("waiter", 0, 0).code(|a| {
+            a.get_static(g, 0).monitor_enter();
+            a.label("check");
+            a.get_static(g, 1).if_nz("go");
+            a.get_static(g, 0).wait().pop();
+            a.goto("check");
+            a.label("go");
+            a.iconst(77).print();
+            a.get_static(g, 0).monitor_exit();
+            a.ret();
+        });
+        let lock_cls = pb.class("Lock").build();
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.new(lock_cls).put_static(g, 0);
+            a.iconst(0).put_static(g, 1);
+            a.spawn(waiter, 0).store(0);
+            a.yield_now(); // let the waiter block
+            a.get_static(g, 0).monitor_enter();
+            a.iconst(1).put_static(g, 1);
+            a.get_static(g, 0).notify();
+            a.get_static(g, 0).monitor_exit();
+            a.load(0).join();
+            a.iconst(88).print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "77\n88\n");
+    }
+
+    #[test]
+    fn sleep_wakes_by_clock() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(50).sleep().print(); // status 0
+            a.iconst(123).print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "0\n123\n");
+        assert!(vm.counters.clock_reads >= 1);
+    }
+
+    #[test]
+    fn timed_wait_times_out_with_status_2() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.class("G").static_field("lock", Ty::Ref).build();
+        let lock_cls = pb.class("Lock").build();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.new(lock_cls).put_static(g, 0);
+            a.get_static(g, 0).monitor_enter();
+            a.get_static(g, 0).iconst(30).timed_wait().print(); // 2 = timeout
+            a.get_static(g, 0).monitor_exit();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "2\n");
+    }
+
+    #[test]
+    fn interrupt_wakes_sleeper_with_status_1() {
+        let mut pb = ProgramBuilder::new();
+        let sleeper = pb.method("sleeper", 0, 0).code(|a| {
+            a.iconst(1_000_000).sleep().print(); // 1 = interrupted
+            a.ret();
+        });
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.spawn(sleeper, 0).store(0);
+            a.yield_now(); // let it sleep
+            a.load(0).interrupt();
+            a.load(0).join();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "1\n");
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.class("G").static_field("lock", Ty::Ref).build();
+        let lock_cls = pb.class("Lock").build();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.new(lock_cls).put_static(g, 0);
+            a.get_static(g, 0).monitor_enter();
+            a.get_static(g, 0).wait().pop(); // nobody will ever notify
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.status, VmStatus::Deadlocked);
+    }
+
+    #[test]
+    fn division_by_zero_is_a_deterministic_error() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(1).iconst(0).div().print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert!(matches!(
+            vm.status,
+            VmStatus::Error(VmError {
+                kind: ErrKind::DivideByZero,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn null_deref_detected() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.null().store(0);
+            a.load(0).get_field(0).print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert!(matches!(
+            vm.status,
+            VmStatus::Error(VmError {
+                kind: ErrKind::NullDeref,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn array_bounds_checked() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.iconst(3).new_array_int().store(0);
+            a.load(0).iconst(3).aload().print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert!(matches!(
+            vm.status,
+            VmStatus::Error(VmError {
+                kind: ErrKind::IndexOutOfBounds,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn identity_hash_is_allocation_order() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("O").build();
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.new(cls).store(0);
+            a.new(cls).store(1);
+            a.load(1).identity_hash().load(0).identity_hash().sub().print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "1\n", "consecutive allocations differ by 1");
+    }
+
+    #[test]
+    fn native_calls_and_callbacks() {
+        let mut pb = ProgramBuilder::new();
+        let n = pb.native("host_add", 2, true);
+        let ncb = pb.native("host_cb", 0, false);
+        let cb = pb.method("cb", 1, 1).code(|a| {
+            a.load(0).print();
+            a.ret();
+        });
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.iconst(20).iconst(22).native_call(n, 2).print();
+            a.native_call(ncb, 0);
+            a.iconst(5).print();
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let mut vm = boot(p);
+        vm.natives.register(
+            n,
+            Box::new(|ctx| crate::native::NativeOutcome::value(ctx.args[0] + ctx.args[1])),
+        );
+        vm.natives.register(
+            ncb,
+            Box::new(move |_| crate::native::NativeOutcome {
+                ret: 0,
+                callbacks: vec![
+                    crate::native::CallbackReq {
+                        method: cb,
+                        args: vec![111],
+                    },
+                    crate::native::CallbackReq {
+                        method: cb,
+                        args: vec![222],
+                    },
+                ],
+            }),
+        );
+        let mut hook = Passthrough;
+        run(&mut vm, &mut hook, 10_000_000);
+        assert_eq!(vm.output, "42\n111\n222\n5\n");
+    }
+
+    #[test]
+    fn strings_and_current_thread() {
+        let mut pb = ProgramBuilder::new();
+        let s = pb.intern("hello ");
+        let m = pb.method("main", 0, 0).code(|a| {
+            a.print_str(s);
+            a.current_thread().identity_hash().pop();
+            a.iconst(1).print();
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "hello 1\n");
+    }
+
+    #[test]
+    fn instance_of_and_ref_eq() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base").build();
+        let derived = pb.class_extends("Derived", Some(base)).build();
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.new(derived).store(0);
+            a.load(0).instance_of(base).print(); // 1
+            a.new(base).store(1);
+            a.load(1).instance_of(derived).print(); // 0
+            a.load(0).load(0).ref_eq().print(); // 1
+            a.load(0).load(1).ref_eq().print(); // 0
+            a.halt();
+        });
+        let vm = run_program(pb.finish(m).unwrap());
+        assert_eq!(vm.output, "1\n0\n1\n0\n");
+    }
+}

@@ -1,0 +1,193 @@
+//! The thread package: ready queue, monitors, wait sets, sleepers.
+//!
+//! This is the data structure the paper's central trick depends on: because
+//! DejaVu **replays the entire thread package** (it is just deterministic
+//! guest-visible state), synchronization-induced thread switches need no
+//! logging — a `monitorenter` succeeds or fails during replay exactly as it
+//! did during record, and the FIFO queues hand the processor to the same
+//! thread (§2.2). Only *preemptive* switches and *timer-driven* wakeups are
+//! non-deterministic, and those are what the DejaVu trace captures.
+//!
+//! Everything here is strictly deterministic: FIFO queues, `BTreeMap`s
+//! (never hash maps, whose iteration order could leak host randomness), and
+//! a sleeper list with a total (deadline, tid) order.
+
+use crate::heap::Addr;
+use crate::thread::Tid;
+use std::collections::{BTreeMap, VecDeque};
+
+/// An entry in a monitor's entry queue: a thread trying to (re)acquire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryWaiter {
+    pub tid: Tid,
+    /// Recursion count to restore on acquisition (1 for plain
+    /// `monitorenter` blockers, the saved count for notified waiters).
+    pub recursion: u32,
+    /// Status to push on the thread's operand stack when it acquires
+    /// (None for plain blockers; Some(0/1/2) for resumed waiters).
+    pub push_status: Option<i64>,
+}
+
+/// Per-object lock state. Exists only while "interesting" (held, contended,
+/// or waited on); pruned eagerly so that every monitor key is a GC root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Monitor {
+    pub owner: Option<Tid>,
+    pub recursion: u32,
+    pub entry_queue: VecDeque<EntryWaiter>,
+    pub wait_queue: VecDeque<WaitEntry>,
+}
+
+impl Monitor {
+    pub fn is_idle(&self) -> bool {
+        self.owner.is_none() && self.entry_queue.is_empty() && self.wait_queue.is_empty()
+    }
+}
+
+/// A thread in a monitor's wait set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEntry {
+    pub tid: Tid,
+    /// Monitor recursion count held when `wait` was called; restored on
+    /// re-acquisition.
+    pub recursion: u32,
+}
+
+/// A thread with a pending timer: `sleep` or the timeout half of a timed
+/// `wait`. Kept sorted by `(wake_at, tid)` for a deterministic wake order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sleeper {
+    pub wake_at: i64,
+    pub tid: Tid,
+    /// For timed waits, the monitor whose wait set the thread also sits in.
+    pub monitor: Option<Addr>,
+}
+
+/// The scheduler state. All fields are public within the crate: the
+/// interpreter drives transitions, the GC relocates addresses, the
+/// fingerprint hashes the queues, and the debugger's thread viewer reads
+/// them.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    /// Threads ready to run, FIFO. The running thread is *not* in it.
+    pub ready: VecDeque<Tid>,
+    /// The running thread.
+    pub current: Tid,
+    /// Lock state per object address.
+    pub monitors: BTreeMap<Addr, Monitor>,
+    /// Pending timers, sorted by `(wake_at, tid)`.
+    pub sleepers: Vec<Sleeper>,
+    /// `join` waiters per target thread.
+    pub join_waiters: BTreeMap<Tid, Vec<Tid>>,
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn monitor_mut(&mut self, obj: Addr) -> &mut Monitor {
+        self.monitors.entry(obj).or_default()
+    }
+
+    /// Drop the monitor entry if it holds no state (keeps the key set equal
+    /// to the set of objects that must be GC roots).
+    pub fn prune_monitor(&mut self, obj: Addr) {
+        if self.monitors.get(&obj).is_some_and(Monitor::is_idle) {
+            self.monitors.remove(&obj);
+        }
+    }
+
+    /// Insert into the sleeper list keeping `(wake_at, tid)` order.
+    pub fn add_sleeper(&mut self, s: Sleeper) {
+        let pos = self
+            .sleepers
+            .partition_point(|x| (x.wake_at, x.tid) < (s.wake_at, s.tid));
+        self.sleepers.insert(pos, s);
+    }
+
+    pub fn remove_sleeper(&mut self, tid: Tid) -> Option<Sleeper> {
+        let pos = self.sleepers.iter().position(|s| s.tid == tid)?;
+        Some(self.sleepers.remove(pos))
+    }
+
+    /// Earliest pending deadline, if any.
+    pub fn next_deadline(&self) -> Option<i64> {
+        self.sleepers.first().map(|s| s.wake_at)
+    }
+
+    /// Pop every sleeper due at `now` (deterministic order).
+    pub fn take_due(&mut self, now: i64) -> Vec<Sleeper> {
+        let n = self.sleepers.partition_point(|s| s.wake_at <= now);
+        self.sleepers.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleepers_stay_sorted_and_wake_in_order() {
+        let mut s = Scheduler::new();
+        s.add_sleeper(Sleeper {
+            wake_at: 30,
+            tid: 1,
+            monitor: None,
+        });
+        s.add_sleeper(Sleeper {
+            wake_at: 10,
+            tid: 2,
+            monitor: None,
+        });
+        s.add_sleeper(Sleeper {
+            wake_at: 10,
+            tid: 0,
+            monitor: None,
+        });
+        assert_eq!(s.next_deadline(), Some(10));
+        let due = s.take_due(10);
+        assert_eq!(
+            due.iter().map(|x| x.tid).collect::<Vec<_>>(),
+            vec![0, 2],
+            "ties broken by tid"
+        );
+        assert_eq!(s.sleepers.len(), 1);
+    }
+
+    #[test]
+    fn remove_sleeper_by_tid() {
+        let mut s = Scheduler::new();
+        s.add_sleeper(Sleeper {
+            wake_at: 5,
+            tid: 3,
+            monitor: Some(100),
+        });
+        let rem = s.remove_sleeper(3).unwrap();
+        assert_eq!(rem.monitor, Some(100));
+        assert!(s.remove_sleeper(3).is_none());
+    }
+
+    #[test]
+    fn monitor_prune_only_when_idle() {
+        let mut s = Scheduler::new();
+        s.monitor_mut(50).owner = Some(1);
+        s.prune_monitor(50);
+        assert!(s.monitors.contains_key(&50), "held monitor survives");
+        s.monitor_mut(50).owner = None;
+        s.prune_monitor(50);
+        assert!(!s.monitors.contains_key(&50), "idle monitor pruned");
+    }
+
+    #[test]
+    fn take_due_none_due() {
+        let mut s = Scheduler::new();
+        s.add_sleeper(Sleeper {
+            wake_at: 100,
+            tid: 1,
+            monitor: None,
+        });
+        assert!(s.take_due(50).is_empty());
+        assert_eq!(s.sleepers.len(), 1);
+    }
+}

@@ -1,0 +1,1031 @@
+//! The virtual machine: heap + threads + scheduler + clocks + boot image.
+//!
+//! A `Vm` is a *pure function* of its program, configuration, and the three
+//! injected non-determinism sources (timer, wall clock, natives). Every
+//! other mechanism — allocation, lazy class loading, lazy method
+//! compilation, GC, stack growth, monitor queues — is deterministic guest
+//! state. That is the property DejaVu's replay strategy rests on: replay
+//! the non-deterministic inputs, and the whole runtime (including the
+//! thread package) replays itself (paper §2.2).
+
+use crate::bytecode::{ClassId, MethodId, NativeId, Ty};
+use crate::clock::{TimerSource, WallClock};
+use crate::fingerprint::{Digest, Fingerprint, FingerprintMode};
+use crate::heap::{Addr, ArrKind, GcKind, Heap, Word, NULL};
+use crate::native::{NativeCtx, NativeOutcome, NativeRegistry};
+use crate::program::Program;
+use crate::sched::Scheduler;
+use crate::thread::{SavedPc, ThreadState, ThreadStatus, Tid};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Fatal guest error kinds. All are deterministic: the same program with
+/// the same replayed inputs fails identically (and the fingerprint captures
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    NullDeref,
+    OutOfMemory,
+    DivideByZero,
+    IndexOutOfBounds,
+    TypeConfusion,
+    IllegalMonitorState,
+    NotAThread,
+    BadVirtualDispatch,
+    UnreachableCode,
+    EntryArity,
+}
+
+/// A fatal guest error with its location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmError {
+    pub kind: ErrKind,
+    pub tid: Tid,
+    pub method: MethodId,
+    pub pc: u32,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} in thread {} at method {} pc {}",
+            self.kind, self.tid, self.method, self.pc
+        )
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Overall machine status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmStatus {
+    Running,
+    /// `Halt` executed or every thread terminated.
+    Halted,
+    /// No thread can ever run again (and none is sleeping).
+    Deadlocked,
+    Error(VmError),
+}
+
+impl VmStatus {
+    pub fn is_running(self) -> bool {
+        self == VmStatus::Running
+    }
+}
+
+/// VM construction parameters.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    pub heap_words: usize,
+    pub gc: GcKind,
+    /// Initial activation-stack array length (words).
+    pub initial_stack: usize,
+    pub fingerprint: FingerprintMode,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self {
+            heap_words: 1 << 20,
+            gc: GcKind::MarkSweep,
+            initial_stack: 256,
+            fingerprint: FingerprintMode::Full,
+        }
+    }
+}
+
+/// Addresses of boot-image reflection metadata — what a remote-reflection
+/// tool knows a priori (the paper's "address is provided to the interpreter
+/// through the process of building the Jalapeño boot image", §3.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BootImage {
+    /// Ref array of `VM_Method` objects, indexed by method id.
+    pub method_table: Addr,
+}
+
+/// Counters reported by the experiment harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmCounters {
+    pub steps: u64,
+    pub yield_points: u64,
+    pub thread_switches: u64,
+    pub preemptive_switches: u64,
+    pub class_loads: u64,
+    pub methods_compiled: u64,
+    pub stack_growths: u64,
+    pub io_writes: u64,
+    pub io_reads: u64,
+    pub clock_reads: u64,
+    pub native_calls: u64,
+}
+
+/// Where a new thread's arguments come from.
+pub(crate) enum ArgSource {
+    /// No arguments (boot thread).
+    None,
+    /// Top `n` words of the *current* thread's operand stack (popped after
+    /// the new thread's allocations succeed, so a GC can still see them).
+    CallerStack(u16),
+}
+
+/// The virtual machine.
+pub struct Vm {
+    pub program: Arc<Program>,
+    pub heap: Heap,
+    pub threads: Vec<ThreadState>,
+    pub sched: Scheduler,
+    pub natives: NativeRegistry,
+    pub timer: Box<dyn TimerSource>,
+    pub wall: Box<dyn WallClock>,
+
+    /// Executed instruction count ("cycles"); drives the timer and clock.
+    pub cycles: u64,
+    /// Countdown to the next timer interrupt.
+    pub cycles_to_tick: u64,
+    /// `preemptiveHardwareBit` (Fig. 2): set by the timer interrupt,
+    /// consumed at the next counted yield point.
+    pub preempt_bit: bool,
+    /// A switch requested while instrumentation code was running; performed
+    /// when the outermost instrumentation frame returns.
+    pub pending_switch: bool,
+    /// Nesting depth of instrumentation helper frames (liveClock is
+    /// conceptually paused while > 0).
+    pub instr_depth: u32,
+
+    pub status: VmStatus,
+    pub output: String,
+    pub fingerprint: Fingerprint,
+    pub counters: VmCounters,
+    pub config: VmConfig,
+    pub boot_image: BootImage,
+
+    /// Lazily allocated class objects (statics), indexed by class id.
+    pub class_objects: Vec<Option<Addr>>,
+    /// Lazily allocated "compiled code" objects, indexed by method id.
+    pub code_objects: Vec<Option<Addr>>,
+    /// Interned String objects (boot image), indexed by string id.
+    pub string_objects: Vec<Addr>,
+    /// Lazily allocated I/O buffers (the write and read paths that the
+    /// symmetric warm-up of §2.4 touches at init). The read path allocates
+    /// *two* objects (buffer + decode scratch), the write path one — so
+    /// record-mode (writes) and replay-mode (reads) I/O initialization have
+    /// observably different allocation footprints unless warmed up
+    /// symmetrically, exactly the hazard of "Symmetry in Loading and
+    /// Compilation" (§2.4).
+    pub io_write_buf: Option<Addr>,
+    pub io_read_buf: Option<Addr>,
+    pub io_read_scratch: Option<Addr>,
+
+    /// Registered root slots (instrumentation buffers etc.); updated by the
+    /// copying collector.
+    pub extra_roots: Vec<Addr>,
+    /// Transient roots protecting multi-allocation sequences.
+    pub(crate) temp_roots: Vec<Addr>,
+}
+
+/// Handle to a registered root slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootHandle(pub usize);
+
+impl Vm {
+    /// Boot a VM: build the boot image (strings, reflection metadata) and
+    /// the main thread running the program's entry method.
+    pub fn boot(
+        program: Arc<Program>,
+        config: VmConfig,
+        timer: Box<dyn TimerSource>,
+        wall: Box<dyn WallClock>,
+    ) -> Result<Vm, VmError> {
+        let heap = Heap::new(config.gc, config.heap_words);
+        let nclasses = program.classes.len();
+        let nmethods = program.methods.len();
+        let fingerprint = Fingerprint::new(config.fingerprint);
+        let mut vm = Vm {
+            program,
+            heap,
+            threads: Vec::new(),
+            sched: Scheduler::new(),
+            natives: NativeRegistry::new(),
+            timer,
+            wall,
+            cycles: 0,
+            cycles_to_tick: 0,
+            preempt_bit: false,
+            pending_switch: false,
+            instr_depth: 0,
+            status: VmStatus::Running,
+            output: String::new(),
+            fingerprint,
+            counters: VmCounters::default(),
+            config,
+            boot_image: BootImage::default(),
+            class_objects: vec![None; nclasses],
+            code_objects: vec![None; nmethods],
+            string_objects: Vec::new(),
+            io_write_buf: None,
+            io_read_buf: None,
+            io_read_scratch: None,
+            extra_roots: Vec::new(),
+            temp_roots: Vec::new(),
+        };
+        vm.cycles_to_tick = vm.timer.next_interval();
+        vm.build_boot_image()?;
+        let entry = vm.program.entry;
+        if vm.program.method(entry).nargs != 0 {
+            return Err(VmError {
+                kind: ErrKind::EntryArity,
+                tid: 0,
+                method: entry,
+                pc: 0,
+            });
+        }
+        let tid = vm.create_thread(entry, ArgSource::None, "main")?;
+        debug_assert_eq!(tid, 0);
+        // Thread 0 starts running (it is not queued).
+        let pos = vm.sched.ready.iter().position(|&t| t == tid).unwrap();
+        vm.sched.ready.remove(pos);
+        vm.threads[0].status = ThreadStatus::Running;
+        vm.sched.current = 0;
+        Ok(vm)
+    }
+
+    fn err(&self, kind: ErrKind) -> VmError {
+        let t = &self.threads[self.sched.current as usize];
+        VmError {
+            kind,
+            tid: t.tid,
+            method: t.method,
+            pc: t.pc,
+        }
+    }
+
+    pub(crate) fn fail(&mut self, kind: ErrKind) -> VmError {
+        let e = self.err(kind);
+        self.status = VmStatus::Error(e);
+        self.fingerprint.event(0xE44, kind as u64, e.pc as u64);
+        e
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation (with GC retry)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_scalar(&mut self, class: ClassId, nfields: usize) -> Result<Addr, VmError> {
+        if let Some(a) = self.heap.alloc_scalar(class, nfields) {
+            return Ok(a);
+        }
+        crate::gc::collect(self);
+        self.heap
+            .alloc_scalar(class, nfields)
+            .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+    }
+
+    pub(crate) fn alloc_classobj(&mut self, class: ClassId, n: usize) -> Result<Addr, VmError> {
+        if let Some(a) = self.heap.alloc_classobj(class, n) {
+            return Ok(a);
+        }
+        crate::gc::collect(self);
+        self.heap
+            .alloc_classobj(class, n)
+            .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+    }
+
+    pub(crate) fn alloc_array(&mut self, kind: ArrKind, len: usize) -> Result<Addr, VmError> {
+        if let Some(a) = self.heap.alloc_array(kind, len) {
+            return Ok(a);
+        }
+        crate::gc::collect(self);
+        self.heap
+            .alloc_array(kind, len)
+            .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+    }
+
+    /// Allocate a guest array from host code (hooks/tools), protected
+    /// against GC by nothing — callers must register the result as a root
+    /// if they keep it.
+    pub fn alloc_array_public(&mut self, kind: ArrKind, len: usize) -> Result<Addr, VmError> {
+        self.alloc_array(kind, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Boot image
+    // ------------------------------------------------------------------
+
+    fn intern_string_object(&mut self, s: &str) -> Result<Addr, VmError> {
+        let chars = self.alloc_array(ArrKind::Int, s.len())?;
+        for (i, b) in s.bytes().enumerate() {
+            self.heap.set_elem(chars, i, b as Word);
+        }
+        self.temp_roots.push(chars);
+        let string_class = self.program.builtins.string_class;
+        let obj = self.alloc_scalar(string_class, 1);
+        let chars = self.temp_roots.pop().unwrap(); // may have moved
+        let obj = obj?;
+        self.heap.set_field(obj, 0, chars);
+        Ok(obj)
+    }
+
+    fn build_boot_image(&mut self) -> Result<(), VmError> {
+        // Interned strings.
+        let strings: Vec<String> = self.program.strings.clone();
+        for s in &strings {
+            let a = self.intern_string_object(s)?;
+            self.string_objects.push(a);
+        }
+        // Reflection metadata: VM_Method[] with per-method name + lineTable
+        // (the data structures of the paper's Figure 3).
+        let nmethods = self.program.methods.len();
+        let table = self.alloc_array(ArrKind::Ref, nmethods)?;
+        self.boot_image.method_table = table;
+        let vm_method_class = self.program.builtins.vm_method_class;
+        for m in 0..nmethods {
+            let (name, lines) = {
+                let meth = &self.program.methods[m];
+                (meth.qualified_name(&self.program), meth.lines.clone())
+            };
+            let name_obj = self.intern_string_object(&name)?;
+            self.temp_roots.push(name_obj);
+            let lt = self.alloc_array(ArrKind::Int, lines.len())?;
+            for (i, &l) in lines.iter().enumerate() {
+                self.heap.set_elem(lt, i, l as Word);
+            }
+            self.temp_roots.push(lt);
+            let mobj = self.alloc_scalar(vm_method_class, 3)?;
+            let lt = self.temp_roots.pop().unwrap();
+            let name_obj = self.temp_roots.pop().unwrap();
+            self.heap.set_field(mobj, 0, m as Word); // methodId
+            self.heap.set_field(mobj, 1, name_obj); // name
+            self.heap.set_field(mobj, 2, lt); // lineTable
+            let table = self.boot_image.method_table; // may have moved
+            self.heap.set_elem(table, m, mobj);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy loading / compilation / I-O paths (the symmetry channels)
+    // ------------------------------------------------------------------
+
+    /// Class object (statics holder) for `class`, allocating it on first
+    /// touch — the "class loading allocates heap objects" channel of §2.4.
+    pub fn ensure_class_loaded(&mut self, class: ClassId) -> Result<Addr, VmError> {
+        if let Some(a) = self.class_objects[class as usize] {
+            return Ok(a);
+        }
+        let n = self.program.static_layouts[class as usize].len();
+        let a = self.alloc_classobj(class, n)?;
+        self.class_objects[class as usize] = Some(a);
+        self.counters.class_loads += 1;
+        self.fingerprint.event(0xC1A55, class as u64, 0);
+        Ok(a)
+    }
+
+    /// "Compile" a method on first invocation: allocates its code object.
+    pub fn ensure_method_compiled(&mut self, m: MethodId) -> Result<(), VmError> {
+        if self.code_objects[m as usize].is_some() {
+            return Ok(());
+        }
+        let len = self.program.method(m).ops.len() + 4;
+        let a = self.alloc_array(ArrKind::Int, len)?;
+        self.code_objects[m as usize] = Some(a);
+        self.counters.methods_compiled += 1;
+        self.fingerprint.event(0xC0DE, m as u64, 0);
+        Ok(())
+    }
+
+    /// Touch the output path (allocates the write buffer on first use).
+    pub fn io_write_touch(&mut self) -> Result<(), VmError> {
+        if self.io_write_buf.is_none() {
+            let a = self.alloc_array(ArrKind::Int, 64)?;
+            self.io_write_buf = Some(a);
+        }
+        self.counters.io_writes += 1;
+        Ok(())
+    }
+
+    /// Touch the input path (allocates the read buffer and its decode
+    /// scratch on first use — two allocations, vs. the write path's one).
+    pub fn io_read_touch(&mut self) -> Result<(), VmError> {
+        if self.io_read_buf.is_none() {
+            let a = self.alloc_array(ArrKind::Int, 64)?;
+            self.io_read_buf = Some(a);
+            let s = self.alloc_array(ArrKind::Int, 32)?;
+            self.io_read_scratch = Some(s);
+        }
+        self.counters.io_reads += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Roots
+    // ------------------------------------------------------------------
+
+    /// Register an address as a GC root (instrumentation buffers). The
+    /// handle stays valid; the copying collector updates the slot.
+    pub fn register_root(&mut self, addr: Addr) -> RootHandle {
+        self.extra_roots.push(addr);
+        RootHandle(self.extra_roots.len() - 1)
+    }
+
+    pub fn root(&self, h: RootHandle) -> Addr {
+        self.extra_roots[h.0]
+    }
+
+    pub fn set_root(&mut self, h: RootHandle, addr: Addr) {
+        self.extra_roots[h.0] = addr;
+    }
+
+    // ------------------------------------------------------------------
+    // Live non-determinism sources
+    // ------------------------------------------------------------------
+
+    /// Read the live wall clock (record/passthrough paths only — replay
+    /// hooks never call this).
+    pub fn read_live_clock(&mut self) -> i64 {
+        self.wall.now(self.cycles)
+    }
+
+    /// Execute a live native call (record/passthrough only).
+    pub fn call_native_live(&mut self, id: NativeId, args: &[i64]) -> NativeOutcome {
+        let now = self.wall.now(self.cycles);
+        let mut reg = std::mem::take(&mut self.natives);
+        let out = reg.call(
+            id,
+            &NativeCtx {
+                args,
+                now_millis: now,
+            },
+        );
+        self.natives = reg;
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Threads, frames, stacks
+    // ------------------------------------------------------------------
+
+    pub fn current_thread(&self) -> &ThreadState {
+        &self.threads[self.sched.current as usize]
+    }
+
+    pub fn current_thread_mut(&mut self) -> &mut ThreadState {
+        &mut self.threads[self.sched.current as usize]
+    }
+
+    /// Create a thread running `method`; returns its tid. The new thread is
+    /// appended to the ready queue.
+    pub(crate) fn create_thread(
+        &mut self,
+        method: MethodId,
+        args: ArgSource,
+        name: &str,
+    ) -> Result<Tid, VmError> {
+        self.ensure_method_compiled(method)?;
+        let thread_class = self.program.builtins.thread_class;
+        let tobj = self.alloc_scalar(thread_class, 1)?;
+        self.temp_roots.push(tobj);
+        let stack = self.alloc_array(ArrKind::Stack, self.config.initial_stack);
+        let tobj = self.temp_roots.pop().unwrap();
+        let stack = stack?;
+
+        let tid = self.threads.len() as Tid;
+        self.heap.set_field(tobj, 0, tid as Word);
+
+        let m = self.program.method(method);
+        let nlocals = m.nlocals;
+        let nargs = m.nargs;
+        let fp = stack + 2;
+        self.heap.mem[fp as usize] = 0;
+        self.heap.mem[fp as usize + 1] = method as Word;
+        self.heap.mem[fp as usize + 2] = SavedPc {
+            caller_pc: 0,
+            discard_result: false,
+            instrumentation: false,
+        }
+        .encode();
+        // Copy arguments from the spawning thread's stack, then pop them.
+        match args {
+            ArgSource::None => {
+                debug_assert_eq!(nargs, 0);
+            }
+            ArgSource::CallerStack(n) => {
+                debug_assert_eq!(n, nargs);
+                let cur = self.sched.current as usize;
+                let src = self.threads[cur].sp - n as u64;
+                for i in 0..n as u64 {
+                    let v = self.heap.mem[(src + i) as usize];
+                    self.heap.mem[(fp + 3 + i) as usize] = v;
+                }
+                self.threads[cur].sp = src;
+            }
+        }
+        for i in nargs..nlocals {
+            self.heap.mem[(fp + 3 + i as u64) as usize] = 0;
+        }
+
+        self.threads.push(ThreadState {
+            tid,
+            thread_obj: tobj,
+            stack_obj: stack,
+            fp,
+            sp: fp + 3 + nlocals as u64,
+            pc: 0,
+            method,
+            status: ThreadStatus::Ready,
+            pending_push: None,
+            interrupted: false,
+            yield_points: 0,
+            name: name.to_string(),
+        });
+        self.sched.ready.push_back(tid);
+        self.fingerprint.event(0x59A3, tid as u64, method as u64);
+        Ok(tid)
+    }
+
+    /// Grow the current thread's activation stack so at least `need` more
+    /// words fit above `sp`. Allocates a larger array, copies, and rebases
+    /// every frame pointer — Jalapeño's stack-overflow mechanism, and the
+    /// reason §2.4 needs "symmetry in stack overflow".
+    pub(crate) fn grow_stack(&mut self, need: u64) -> Result<(), VmError> {
+        let cur = self.sched.current as usize;
+        let old_obj = self.threads[cur].stack_obj;
+        let old_len = self.heap.array_len(old_obj);
+        let used = (self.threads[cur].sp - (old_obj + 2)) as usize;
+        let new_len = (old_len * 2).max(used + need as usize + 64);
+        let new_obj = self.alloc_array(ArrKind::Stack, new_len)?;
+        // A copying GC during that allocation may have moved the old stack.
+        let old_obj = self.threads[cur].stack_obj;
+        let used = (self.threads[cur].sp - (old_obj + 2)) as usize;
+        for i in 0..used {
+            self.heap.mem[(new_obj + 2) as usize + i] = self.heap.mem[(old_obj + 2) as usize + i];
+        }
+        let delta = new_obj.wrapping_sub(old_obj);
+        let t = &mut self.threads[cur];
+        t.stack_obj = new_obj;
+        t.fp = t.fp.wrapping_add(delta);
+        t.sp = t.sp.wrapping_add(delta);
+        // Rebase the saved-fp chain (absolute addresses into the old array).
+        let mut fp = t.fp;
+        loop {
+            let sfp = self.heap.mem[fp as usize];
+            if sfp == 0 {
+                break;
+            }
+            let moved = sfp.wrapping_add(delta);
+            self.heap.mem[fp as usize] = moved;
+            fp = moved;
+        }
+        self.counters.stack_growths += 1;
+        self.fingerprint.event(0x57AC, new_len as u64, 0);
+        Ok(())
+    }
+
+    /// Ensure the current thread has `words` of stack headroom, growing
+    /// eagerly if not (used by symmetric instrumentation before helper
+    /// calls, §2.4).
+    pub fn ensure_stack_headroom(&mut self, words: u64) -> Result<(), VmError> {
+        let t = self.current_thread();
+        let limit = t.stack_obj + 2 + self.heap.array_len(t.stack_obj) as u64;
+        if t.sp + words > limit {
+            self.grow_stack(words)?;
+        }
+        Ok(())
+    }
+
+    /// Push a frame for `callee` on the current thread. If
+    /// `args_from_stack`, the callee's arguments are the top `nargs` words
+    /// of the current operand stack (a real call); otherwise `inline_args`
+    /// (integers only) are written directly (injected helper/callback
+    /// frames, which resume at the *current* pc).
+    pub(crate) fn push_frame(
+        &mut self,
+        callee: MethodId,
+        args_from_stack: bool,
+        inline_args: &[i64],
+        discard_result: bool,
+        instrumentation: bool,
+    ) -> Result<(), VmError> {
+        self.ensure_method_compiled(callee)?;
+        let (nargs, nlocals, frame_words) = {
+            let m = self.program.method(callee);
+            let cm = self.program.compiled(callee);
+            (m.nargs, m.nlocals, cm.frame_words)
+        };
+        {
+            let t = self.current_thread();
+            let limit = t.stack_obj + 2 + self.heap.array_len(t.stack_obj) as u64;
+            if t.sp + frame_words as u64 > limit {
+                self.grow_stack(frame_words as u64)?;
+            }
+        }
+        let cur = self.sched.current as usize;
+        let t = &mut self.threads[cur];
+        let caller_pc = if args_from_stack {
+            t.pc
+        } else {
+            t.pc.wrapping_sub(1) // injected frames resume *at* the saved pc+1 == current pc
+        };
+        if args_from_stack {
+            t.sp -= nargs as u64;
+        }
+        let fp_new = t.sp;
+        let heap = &mut self.heap;
+        if args_from_stack {
+            // The arguments sit at [fp_new .. fp_new+nargs] (they were the
+            // stack top before sp was lowered); locals start at fp_new+3.
+            // Copy them up *before* the frame header overwrites the first
+            // three words; backwards, since the regions overlap (dest>src).
+            for i in (0..nargs as u64).rev() {
+                let v = heap.mem[(fp_new + i) as usize];
+                heap.mem[(fp_new + 3 + i) as usize] = v;
+            }
+        } else {
+            debug_assert_eq!(inline_args.len(), nargs as usize);
+            for (i, &v) in inline_args.iter().enumerate() {
+                heap.mem[fp_new as usize + 3 + i] = v as Word;
+            }
+        }
+        heap.mem[fp_new as usize] = t.fp;
+        heap.mem[fp_new as usize + 1] = callee as Word;
+        heap.mem[fp_new as usize + 2] = SavedPc {
+            caller_pc,
+            discard_result,
+            instrumentation,
+        }
+        .encode();
+        for i in nargs..nlocals {
+            heap.mem[(fp_new + 3 + i as u64) as usize] = 0;
+        }
+        t.fp = fp_new;
+        t.sp = fp_new + 3 + nlocals as u64;
+        t.method = callee;
+        t.pc = 0;
+        Ok(())
+    }
+
+    /// Push a frame invoking `method` with inline integer arguments on the
+    /// current thread, discarding its result. This is the *in-process*
+    /// tool-invocation path — the very thing remote reflection exists to
+    /// avoid (§3): running it during a replay perturbs the application VM.
+    /// Exposed for the E8 ablation and for native-callback style tooling.
+    pub fn push_frame_public(&mut self, method: MethodId, args: &[i64]) -> Result<(), VmError> {
+        self.push_frame(method, false, args, true, false)
+    }
+
+    /// Operand-stack push/pop for the current thread.
+    #[inline]
+    pub(crate) fn push_word(&mut self, v: Word) {
+        let cur = self.sched.current as usize;
+        let sp = self.threads[cur].sp;
+        self.heap.mem[sp as usize] = v;
+        self.threads[cur].sp = sp + 1;
+    }
+
+    #[inline]
+    pub(crate) fn pop_word(&mut self) -> Word {
+        let cur = self.sched.current as usize;
+        let sp = self.threads[cur].sp - 1;
+        self.threads[cur].sp = sp;
+        self.heap.mem[sp as usize]
+    }
+
+    #[inline]
+    pub(crate) fn peek_word(&self, depth_from_top: u64) -> Word {
+        let t = self.current_thread();
+        self.heap.mem[(t.sp - 1 - depth_from_top) as usize]
+    }
+
+    /// Append to console output (and the fingerprint).
+    pub fn write_output(&mut self, s: &str) {
+        self.output.push_str(s);
+        self.fingerprint.output(s.as_bytes());
+    }
+
+    // ------------------------------------------------------------------
+    // Frame walking (GC, state digest, debugger)
+    // ------------------------------------------------------------------
+
+    /// A view of one activation frame.
+    pub fn frames(&self, tid: Tid) -> Vec<FrameView> {
+        let t = &self.threads[tid as usize];
+        if t.status == ThreadStatus::Terminated || t.stack_obj == NULL {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut fp = t.fp;
+        let mut sp = t.sp;
+        let mut method = t.method;
+        let mut pc = t.pc;
+        loop {
+            let nlocals = self.program.method(method).nlocals;
+            let depth = (sp - (fp + 3 + nlocals as u64)) as usize;
+            out.push(FrameView {
+                fp,
+                method,
+                pc,
+                nlocals,
+                depth,
+            });
+            let saved_fp = self.heap.mem[fp as usize];
+            if saved_fp == 0 {
+                break;
+            }
+            let saved = SavedPc::decode(self.heap.mem[fp as usize + 2]);
+            sp = fp;
+            fp = saved_fp;
+            pc = saved.caller_pc;
+            method = self.heap.mem[fp as usize + 1] as MethodId;
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // State digest (the paper's "identical program states")
+    // ------------------------------------------------------------------
+
+    /// Digest of the *application-visible* program state: thread states and
+    /// frames (reference slots by target allocation-serial), every object
+    /// reachable from them and from loaded class statics, monitor and
+    /// sleeper state, console output, and VM status. Instrumentation
+    /// buffers (registered extra roots) are deliberately excluded: DejaVu's
+    /// own state differs between record and replay by definition (§2.4).
+    pub fn state_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        let mut worklist: Vec<Addr> = Vec::new();
+
+        d.add(0x7EAD5).add(self.threads.len() as u64);
+        for t in &self.threads {
+            d.add(t.tid as u64);
+            let (sd, sa) = match t.status {
+                ThreadStatus::Ready => (1, 0),
+                ThreadStatus::Running => (2, 0),
+                ThreadStatus::BlockedMonitor(a) => (3, self.obj_serial(a)),
+                ThreadStatus::Waiting(a) => (4, self.obj_serial(a)),
+                ThreadStatus::TimedWaiting(a) => (5, self.obj_serial(a)),
+                ThreadStatus::Sleeping => (6, 0),
+                ThreadStatus::JoinWaiting(x) => (7, x as u64),
+                ThreadStatus::Terminated => (8, 0),
+            };
+            d.add(sd).add(sa);
+            d.add(t.interrupted as u64);
+            d.add(t.pending_push.map(|v| v as u64 ^ 0xFFFF).unwrap_or(0));
+            for f in self.frames(t.tid) {
+                d.add(f.method as u64).add(f.pc as u64).add(f.depth as u64);
+                let cm = self.program.compiled(f.method);
+                let Some(rm) = cm.ref_maps[f.pc as usize].as_ref() else {
+                    continue;
+                };
+                let locals_base = f.fp + 3;
+                for i in 0..f.nlocals as usize {
+                    let v = self.heap.mem[locals_base as usize + i];
+                    if rm.locals.get(i) {
+                        d.add(0xF0 ^ self.obj_serial(v));
+                        if v != NULL {
+                            worklist.push(v);
+                        }
+                    } else {
+                        d.add(v);
+                    }
+                }
+                let stack_base = locals_base + f.nlocals as u64;
+                for i in 0..f.depth {
+                    let v = self.heap.mem[stack_base as usize + i];
+                    if i < rm.stack_depth as usize && rm.stack.get(i) {
+                        d.add(0xF1 ^ self.obj_serial(v));
+                        if v != NULL {
+                            worklist.push(v);
+                        }
+                    } else {
+                        d.add(v);
+                    }
+                }
+            }
+        }
+
+        // Loaded class statics.
+        for (c, slot) in self.class_objects.iter().enumerate() {
+            if let Some(a) = slot {
+                d.add(0xC0 ^ c as u64);
+                let layout = &self.program.static_layouts[c];
+                for (i, ty) in layout.iter().enumerate() {
+                    let v = self.heap.get_field(*a, i);
+                    match ty {
+                        Ty::Ref => {
+                            d.add(0xF2 ^ self.obj_serial(v));
+                            if v != NULL {
+                                worklist.push(v);
+                            }
+                        }
+                        Ty::Int => {
+                            d.add(v);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reachable object graph, deterministic BFS.
+        let mut visited: BTreeSet<u64> = BTreeSet::new();
+        while let Some(a) = worklist.pop() {
+            let h = self.heap.header(a);
+            if !visited.insert(h.serial) {
+                continue;
+            }
+            d.add(0x0B1 ^ h.serial).add(h.class_id as u64);
+            if h.is_stack {
+                continue; // activation stacks digested via frames above
+            }
+            if h.is_array {
+                let len = self.heap.array_len(a);
+                d.add(len as u64);
+                for i in 0..len {
+                    let v = self.heap.get_elem(a, i);
+                    if h.ref_elems {
+                        d.add(0xF3 ^ self.obj_serial(v));
+                        if v != NULL {
+                            worklist.push(v);
+                        }
+                    } else {
+                        d.add(v);
+                    }
+                }
+            } else {
+                let layout: &[Ty] = if h.is_classobj {
+                    &self.program.static_layouts[h.class_id as usize]
+                } else {
+                    &self.program.field_layouts[h.class_id as usize]
+                };
+                for (i, ty) in layout.iter().enumerate() {
+                    let v = self.heap.get_field(a, i);
+                    match ty {
+                        Ty::Ref => {
+                            d.add(0xF4 ^ self.obj_serial(v));
+                            if v != NULL {
+                                worklist.push(v);
+                            }
+                        }
+                        Ty::Int => {
+                            d.add(v);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scheduler: monitors, sleepers, queues.
+        d.add(0x5C4ED);
+        for (&addr, m) in &self.sched.monitors {
+            d.add(self.obj_serial(addr));
+            d.add(m.owner.map(|t| t as u64 + 1).unwrap_or(0));
+            d.add(m.recursion as u64);
+            for e in &m.entry_queue {
+                d.add(e.tid as u64)
+                    .add(e.recursion as u64)
+                    .add(e.push_status.map(|v| v as u64 + 1).unwrap_or(0));
+            }
+            for w in &m.wait_queue {
+                d.add(w.tid as u64).add(w.recursion as u64);
+            }
+        }
+        for s in &self.sched.sleepers {
+            d.add(s.wake_at as u64).add(s.tid as u64);
+        }
+        for &t in &self.sched.ready {
+            d.add(0x4EAD1 ^ t as u64);
+        }
+
+        // Output and status.
+        for chunk in self.output.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            d.add(u64::from_le_bytes(w));
+        }
+        d.add(match self.status {
+            VmStatus::Running => 1,
+            VmStatus::Halted => 2,
+            VmStatus::Deadlocked => 3,
+            VmStatus::Error(e) => 0xE000 + e.kind as u64,
+        });
+        d.value()
+    }
+
+    /// Allocation serial of an object (0 for null) — the address-stable
+    /// identity used in digests.
+    fn obj_serial(&self, addr: Addr) -> u64 {
+        if addr == NULL {
+            0
+        } else {
+            self.heap.header(addr).serial
+        }
+    }
+}
+
+/// A complete copy of guest-visible VM state: everything needed to resume
+/// execution from this point (the non-determinism sources — timer, wall
+/// clock, natives — are exempt because a replayed VM never consults them).
+/// This is the Igor/Boothe checkpoint object (paper §5).
+#[derive(Clone)]
+pub struct VmSnapshot {
+    heap: crate::heap::HeapSnapshot,
+    threads: Vec<ThreadState>,
+    sched: Scheduler,
+    cycles: u64,
+    cycles_to_tick: u64,
+    preempt_bit: bool,
+    pending_switch: bool,
+    instr_depth: u32,
+    status: VmStatus,
+    output: String,
+    fingerprint: Fingerprint,
+    counters: VmCounters,
+    boot_image: BootImage,
+    class_objects: Vec<Option<Addr>>,
+    code_objects: Vec<Option<Addr>>,
+    string_objects: Vec<Addr>,
+    io_write_buf: Option<Addr>,
+    io_read_buf: Option<Addr>,
+    io_read_scratch: Option<Addr>,
+    extra_roots: Vec<Addr>,
+}
+
+impl VmSnapshot {
+    /// Approximate serialized size in bytes (dominated by the heap image).
+    pub fn approx_bytes(&self) -> usize {
+        // heap image + thread table + queues
+        self.threads.len() * 96 + self.output.len() + self.heap_bytes()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // HeapSnapshot is private-field; measure via a temporary accessor.
+        std::mem::size_of_val(self) + self.output.len()
+    }
+}
+
+impl Vm {
+    /// Capture a checkpoint of all guest-visible state.
+    pub fn snapshot(&self) -> VmSnapshot {
+        VmSnapshot {
+            heap: self.heap.snapshot(),
+            threads: self.threads.clone(),
+            sched: self.sched.clone(),
+            cycles: self.cycles,
+            cycles_to_tick: self.cycles_to_tick,
+            preempt_bit: self.preempt_bit,
+            pending_switch: self.pending_switch,
+            instr_depth: self.instr_depth,
+            status: self.status,
+            output: self.output.clone(),
+            fingerprint: self.fingerprint.clone(),
+            counters: self.counters,
+            boot_image: self.boot_image,
+            class_objects: self.class_objects.clone(),
+            code_objects: self.code_objects.clone(),
+            string_objects: self.string_objects.clone(),
+            io_write_buf: self.io_write_buf,
+            io_read_buf: self.io_read_buf,
+            io_read_scratch: self.io_read_scratch,
+            extra_roots: self.extra_roots.clone(),
+        }
+    }
+
+    /// Restore a checkpoint taken from this VM (same program/config).
+    pub fn restore(&mut self, s: &VmSnapshot) {
+        self.heap.restore(&s.heap);
+        self.threads.clone_from(&s.threads);
+        self.sched.clone_from(&s.sched);
+        self.cycles = s.cycles;
+        self.cycles_to_tick = s.cycles_to_tick;
+        self.preempt_bit = s.preempt_bit;
+        self.pending_switch = s.pending_switch;
+        self.instr_depth = s.instr_depth;
+        self.status = s.status;
+        self.output.clone_from(&s.output);
+        self.fingerprint = s.fingerprint.clone();
+        self.counters = s.counters;
+        self.boot_image = s.boot_image;
+        self.class_objects.clone_from(&s.class_objects);
+        self.code_objects.clone_from(&s.code_objects);
+        self.string_objects.clone_from(&s.string_objects);
+        self.io_write_buf = s.io_write_buf;
+        self.io_read_buf = s.io_read_buf;
+        self.io_read_scratch = s.io_read_scratch;
+        self.extra_roots.clone_from(&s.extra_roots);
+    }
+
+    /// Approximate checkpoint size in bytes (heap image dominates).
+    pub fn snapshot_size_bytes(&self) -> usize {
+        self.heap.snapshot_bytes() + self.threads.len() * 96 + self.output.len()
+    }
+}
+
+/// One activation frame, as seen by the GC / debugger / digest.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView {
+    pub fp: Addr,
+    pub method: MethodId,
+    pub pc: u32,
+    pub nlocals: u16,
+    /// Operand-stack depth.
+    pub depth: usize,
+}

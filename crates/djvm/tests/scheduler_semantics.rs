@@ -1,0 +1,404 @@
+//! Edge-case semantics of the thread package — the deterministic machinery
+//! DejaVu replays for free (§2.2). Each test pins a behaviour that, if it
+//! changed, would silently alter every trace's meaning.
+
+use djvm::{
+    interp, CycleClock, FixedTimer, Passthrough, Program, ProgramBuilder, Ty, Vm, VmConfig,
+    VmStatus,
+};
+use std::sync::Arc;
+
+fn run(p: Program) -> Vm {
+    run_cfg(p, VmConfig::default(), 10_000)
+}
+
+fn run_cfg(p: Program, cfg: VmConfig, timer: u64) -> Vm {
+    let mut vm = Vm::boot(
+        Arc::new(p),
+        cfg,
+        Box::new(FixedTimer::new(timer)),
+        Box::new(CycleClock::new(0, 100)),
+    )
+    .unwrap();
+    let mut hook = Passthrough;
+    interp::run(&mut vm, &mut hook, 20_000_000);
+    vm
+}
+
+#[test]
+fn monitors_are_recursive() {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("lock", Ty::Ref).build();
+    let lock = pb.class("Lock").build();
+    let m = pb.method("main", 0, 0).code(|a| {
+        a.new(lock).put_static(g, 0);
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).monitor_enter(); // re-enter
+        a.get_static(g, 0).monitor_exit();
+        a.get_static(g, 0).monitor_exit();
+        a.iconst(1).print();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "1\n");
+    assert_eq!(vm.status, VmStatus::Halted);
+}
+
+#[test]
+fn monitor_exit_without_enter_is_an_error() {
+    let mut pb = ProgramBuilder::new();
+    let lock = pb.class("Lock").build();
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.new(lock).store(0);
+        a.load(0).monitor_exit();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert!(
+        matches!(vm.status, VmStatus::Error(e) if e.kind == djvm::ErrKind::IllegalMonitorState)
+    );
+}
+
+#[test]
+fn wait_without_ownership_is_an_error() {
+    let mut pb = ProgramBuilder::new();
+    let lock = pb.class("Lock").build();
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.new(lock).store(0);
+        a.load(0).wait().pop();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert!(
+        matches!(vm.status, VmStatus::Error(e) if e.kind == djvm::ErrKind::IllegalMonitorState)
+    );
+}
+
+#[test]
+fn notify_wakes_waiters_in_fifo_order() {
+    // Three waiters enqueue in spawn order; three notifies release them in
+    // the same order — the deterministic FIFO discipline replay relies on.
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("gate", Ty::Int)
+        .build();
+    let lock = pb.class("Lock").build();
+    let waiter = pb.method("waiter", 1, 1).code(|a| {
+        a.get_static(g, 0).monitor_enter();
+        a.label("chk");
+        a.get_static(g, 1).if_nz("go");
+        a.get_static(g, 0).wait().pop();
+        a.goto("chk");
+        a.label("go");
+        a.load(0).print(); // print my id in wake order
+        a.get_static(g, 0).monitor_exit();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 3).code(|a| {
+        a.new(lock).put_static(g, 0);
+        a.iconst(0).put_static(g, 1);
+        a.iconst(1).spawn(waiter, 1).store(0);
+        a.yield_now(); // let waiter 1 block first
+        a.iconst(2).spawn(waiter, 1).store(1);
+        a.yield_now();
+        a.iconst(3).spawn(waiter, 1).store(2);
+        a.yield_now();
+        a.get_static(g, 0).monitor_enter();
+        a.iconst(1).put_static(g, 1);
+        a.get_static(g, 0).notify_all();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).join();
+        a.load(1).join();
+        a.load(2).join();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "1\n2\n3\n", "FIFO wake order");
+}
+
+#[test]
+fn notify_without_waiters_is_a_silent_noop() {
+    let mut pb = ProgramBuilder::new();
+    let lock = pb.class("Lock").build();
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.new(lock).store(0);
+        a.load(0).monitor_enter();
+        a.load(0).notify();
+        a.load(0).notify_all();
+        a.load(0).monitor_exit();
+        a.iconst(7).print();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "7\n");
+}
+
+#[test]
+fn join_on_terminated_thread_returns_immediately() {
+    let mut pb = ProgramBuilder::new();
+    let worker = pb.method("w", 0, 0).code(|a| {
+        a.ret();
+    });
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.spawn(worker, 0).store(0);
+        a.load(0).join();
+        a.load(0).join(); // second join on a dead thread
+        a.iconst(1).print();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "1\n");
+}
+
+#[test]
+fn join_chain_and_many_joiners() {
+    // Several threads join the same target; all wake on its termination.
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("n", Ty::Int).build();
+    let slow = pb.method("slow", 0, 1).code(|a| {
+        a.iconst(20).sleep().pop();
+        a.ret();
+    });
+    let joiner = pb
+        .method_typed("joiner", vec![Ty::Ref], 1, None)
+        .code(|a| {
+            a.load(0).join();
+            a.get_static(g, 0).iconst(1).add().put_static(g, 0);
+            a.ret();
+        });
+    let m = pb.method("main", 0, 4).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(slow, 0).store(0);
+        a.load(0).spawn(joiner, 1).store(1);
+        a.load(0).spawn(joiner, 1).store(2);
+        a.load(0).spawn(joiner, 1).store(3);
+        a.load(1).join();
+        a.load(2).join();
+        a.load(3).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "3\n");
+}
+
+#[test]
+fn interrupt_flag_is_sticky_until_consumed() {
+    // Interrupting a running thread sets the flag; the *next* sleep
+    // returns immediately with status 1.
+    let mut pb = ProgramBuilder::new();
+    let worker = pb.method("w", 0, 1).code(|a| {
+        // spin a little so main can interrupt us while running
+        a.iconst(0).store(0);
+        a.label("spin");
+        a.load(0).iconst(60).ge().if_nz("s");
+        a.load(0).iconst(1).add().store(0);
+        a.goto("spin");
+        a.label("s");
+        a.iconst(1_000_000).sleep().print(); // should be 1 (interrupted)
+        a.ret();
+    });
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.spawn(worker, 0).store(0);
+        a.load(0).interrupt(); // worker not sleeping yet: flag only
+        a.load(0).join();
+        a.halt();
+    });
+    let vm = run_cfg(pb.finish(m).unwrap(), VmConfig::default(), 23);
+    assert_eq!(vm.output, "1\n");
+}
+
+#[test]
+fn interrupt_waiting_thread_delivers_status_1() {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("lock", Ty::Ref).build();
+    let lock = pb.class("Lock").build();
+    let waiter = pb.method("w", 0, 0).code(|a| {
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).wait().print(); // 1 = interrupted
+        a.get_static(g, 0).monitor_exit();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.new(lock).put_static(g, 0);
+        a.spawn(waiter, 0).store(0);
+        a.yield_now();
+        a.load(0).interrupt();
+        a.load(0).join();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "1\n");
+}
+
+#[test]
+fn timed_wait_notified_before_timeout_gets_status_0() {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("lock", Ty::Ref).build();
+    let lock = pb.class("Lock").build();
+    let waiter = pb.method("w", 0, 0).code(|a| {
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).iconst(1_000_000).timed_wait().print(); // 0
+        a.get_static(g, 0).monitor_exit();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.new(lock).put_static(g, 0);
+        a.spawn(waiter, 0).store(0);
+        a.yield_now();
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).notify();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).join();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "0\n");
+}
+
+#[test]
+fn wait_restores_monitor_recursion_depth() {
+    // Enter twice, wait, get notified: the waiter must again hold the
+    // monitor at depth 2 (both exits must succeed).
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("lock", Ty::Ref).build();
+    let lock = pb.class("Lock").build();
+    let waiter = pb.method("w", 0, 0).code(|a| {
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).wait().pop();
+        a.get_static(g, 0).monitor_exit();
+        a.get_static(g, 0).monitor_exit();
+        a.iconst(9).print();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.new(lock).put_static(g, 0);
+        a.spawn(waiter, 0).store(0);
+        a.yield_now();
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).notify();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).join();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "9\n");
+    assert_eq!(vm.status, VmStatus::Halted);
+}
+
+#[test]
+fn two_thread_monitor_deadlock_detected() {
+    // Classic AB/BA deadlock — detected deterministically, not hung.
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("a", Ty::Ref)
+        .static_field("b", Ty::Ref)
+        .build();
+    let lock = pb.class("Lock").build();
+    let t1 = pb.method("t1", 0, 1).code(|a| {
+        a.get_static(g, 0).monitor_enter();
+        // delay so t2 can grab B
+        a.iconst(0).store(0);
+        a.label("d");
+        a.load(0).iconst(50).ge().if_nz("dd");
+        a.load(0).iconst(1).add().store(0);
+        a.goto("d");
+        a.label("dd");
+        a.get_static(g, 1).monitor_enter(); // blocks forever
+        a.ret();
+    });
+    let t2 = pb.method("t2", 0, 1).code(|a| {
+        a.get_static(g, 1).monitor_enter();
+        a.iconst(0).store(0);
+        a.label("d");
+        a.load(0).iconst(50).ge().if_nz("dd");
+        a.load(0).iconst(1).add().store(0);
+        a.goto("d");
+        a.label("dd");
+        a.get_static(g, 0).monitor_enter(); // blocks forever
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.new(lock).put_static(g, 0);
+        a.new(lock).put_static(g, 1);
+        a.spawn(t1, 0).store(0);
+        a.spawn(t2, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.halt();
+    });
+    let vm = run_cfg(pb.finish(m).unwrap(), VmConfig::default(), 13);
+    assert_eq!(vm.status, VmStatus::Deadlocked);
+}
+
+#[test]
+fn sleep_ordering_respects_deadlines_not_spawn_order() {
+    let mut pb = ProgramBuilder::new();
+    let sleeper = pb.method("s", 2, 2).code(|a| {
+        a.load(0).sleep().pop();
+        a.load(1).print(); // id, printed in wake order
+        a.ret();
+    });
+    let m = pb.method("main", 0, 3).code(|a| {
+        a.iconst(30).iconst(1).spawn(sleeper, 2).store(0);
+        a.iconst(10).iconst(2).spawn(sleeper, 2).store(1);
+        a.iconst(20).iconst(3).spawn(sleeper, 2).store(2);
+        a.load(0).join();
+        a.load(1).join();
+        a.load(2).join();
+        a.halt();
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.output, "2\n3\n1\n", "wake in deadline order");
+}
+
+#[test]
+fn yield_rotates_fifo() {
+    // Three spinners that yield voluntarily: output is strict round-robin.
+    let mut pb = ProgramBuilder::new();
+    let worker = pb.method("w", 1, 2).code(|a| {
+        a.iconst(0).store(1);
+        a.label("top");
+        a.load(1).iconst(3).ge().if_nz("done");
+        a.load(0).print();
+        a.load(1).iconst(1).add().store(1);
+        a.yield_now();
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 3).code(|a| {
+        a.iconst(1).spawn(worker, 1).store(0);
+        a.iconst(2).spawn(worker, 1).store(1);
+        a.iconst(3).spawn(worker, 1).store(2);
+        a.load(0).join();
+        a.load(1).join();
+        a.load(2).join();
+        a.halt();
+    });
+    // Huge timer quantum: no preemption, only voluntary yields.
+    let vm = run_cfg(pb.finish(m).unwrap(), VmConfig::default(), 1 << 20);
+    assert_eq!(vm.output, "1\n2\n3\n1\n2\n3\n1\n2\n3\n");
+}
+
+#[test]
+fn main_termination_does_not_kill_other_threads() {
+    // Our threads are non-daemon: the VM halts when ALL terminate.
+    let mut pb = ProgramBuilder::new();
+    let worker = pb.method("w", 0, 0).code(|a| {
+        a.iconst(5).sleep().pop();
+        a.iconst(77).print();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.spawn(worker, 0).store(0);
+        a.ret(); // main returns without joining
+    });
+    let vm = run(pb.finish(m).unwrap());
+    assert_eq!(vm.status, VmStatus::Halted);
+    assert_eq!(vm.output, "77\n", "worker finished after main died");
+}

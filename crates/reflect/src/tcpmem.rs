@@ -1,0 +1,81 @@
+//! Remote memory over TCP: genuinely cross-process `ptrace`-style reads.
+//!
+//! The wire protocol is intentionally minimal — one word per round trip —
+//! because that is the contract remote reflection needs (§3.2): the remote
+//! side runs a dumb read server that executes **no application or VM
+//! code** on behalf of the tool; it just copies words out of the paused
+//! VM's address space.
+//!
+//! Frame format: request = 8-byte little-endian address; response = 1
+//! status byte (1 = ok) + 8-byte little-endian word.
+
+use crate::memory::ProcessMemory;
+use djvm::heap::{Addr, Word};
+use djvm::Vm;
+use std::cell::RefCell;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Serve one tool connection against a paused VM, then return the VM
+/// untouched. Run this on a thread that owns the application VM while it
+/// is stopped at a breakpoint.
+pub fn serve_one(vm: Vm, listener: TcpListener) -> std::io::Result<Vm> {
+    let (mut conn, _) = listener.accept()?;
+    let mut req = [0u8; 8];
+    loop {
+        match conn.read_exact(&mut req) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let addr = Addr::from_le_bytes(req);
+        let mut resp = [0u8; 9];
+        match vm.heap.read_word(addr) {
+            Some(w) => {
+                resp[0] = 1;
+                resp[1..].copy_from_slice(&w.to_le_bytes());
+            }
+            None => {
+                resp[0] = 0;
+            }
+        }
+        conn.write_all(&resp)?;
+    }
+    Ok(vm)
+}
+
+/// Tool-side remote memory: each read is one TCP round trip.
+pub struct TcpMemory {
+    stream: RefCell<TcpStream>,
+    reads: std::cell::Cell<u64>,
+}
+
+impl TcpMemory {
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream: RefCell::new(stream),
+            reads: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Round trips performed so far.
+    pub fn round_trips(&self) -> u64 {
+        self.reads.get()
+    }
+}
+
+impl ProcessMemory for TcpMemory {
+    fn read_word(&self, addr: Addr) -> Option<Word> {
+        let mut s = self.stream.borrow_mut();
+        self.reads.set(self.reads.get() + 1);
+        s.write_all(&addr.to_le_bytes()).ok()?;
+        let mut resp = [0u8; 9];
+        s.read_exact(&mut resp).ok()?;
+        if resp[0] != 1 {
+            return None;
+        }
+        Some(Word::from_le_bytes(resp[1..].try_into().unwrap()))
+    }
+}

@@ -1,0 +1,314 @@
+//! E8: remote reflection correctness and perturbation-freedom (paper §3,
+//! Figure 3).
+
+use dejavu::{record_run, replay_run, ExecSpec, SymmetryConfig};
+use djvm::{interp, FixedTimer, CycleClock, Program, ProgramBuilder, Ty, Vm, VmConfig};
+use reflect::{
+    mirror, CountingMemory, LocalVmMemory, ProcessMemory, RemoteReflector, SnapshotMemory, TVal,
+};
+use std::sync::Arc;
+
+/// Boot a paused "application VM" with some objects on its heap.
+fn app_vm() -> (Vm, Program) {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("box_", Ty::Ref)
+        .static_field("arr", Ty::Ref)
+        .build();
+    let boxc = pb
+        .class("Box")
+        .field("value", Ty::Int)
+        .field("next", Ty::Ref)
+        .build();
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.line(100);
+        a.new(boxc).store(0);
+        a.load(0).iconst(42).put_field(0);
+        a.line(101);
+        a.new(boxc).store(1);
+        a.load(1).iconst(7).put_field(0);
+        a.load(0).load(1).put_field_ref(1); // box.next = second
+        a.load(0).put_static(g, 0);
+        a.line(102);
+        a.iconst(5).new_array_int().put_static(g, 1);
+        a.get_static(g, 1).iconst(3).iconst(99).astore();
+        a.line(103);
+        a.halt();
+    });
+    let p = pb.finish(m).unwrap();
+    let vm = Vm::boot(
+        Arc::new(p.clone()),
+        VmConfig::default(),
+        Box::new(FixedTimer::new(100_000)),
+        Box::new(CycleClock::new(0, 100)),
+    )
+    .unwrap();
+    (vm, p)
+}
+
+fn run_to_halt(vm: &mut Vm) {
+    let mut hook = djvm::Passthrough;
+    interp::run(vm, &mut hook, 1_000_000);
+}
+
+#[test]
+fn fig3_line_number_query_against_remote_space() {
+    let (mut vm, p) = app_vm();
+    run_to_halt(&mut vm);
+    // Ground truth: in-process (local) line table.
+    let main = p.entry;
+    let truth: Vec<u32> = p.method(main).lines.clone();
+
+    let mem = LocalVmMemory::new(&vm);
+    let mut refl = RemoteReflector::new(Arc::new(p.clone()), &mem);
+    refl.map_boot_method_table(vm.boot_image.method_table);
+    for offset in 0..truth.len() as u32 {
+        let got = refl.line_number_of(main, offset).unwrap();
+        assert_eq!(got, truth[offset as usize] as i64, "offset {offset}");
+    }
+    // Out-of-range offset returns 0 per Fig. 3's code.
+    assert_eq!(refl.line_number_of(main, truth.len() as u32).unwrap(), 0);
+    assert!(refl.steps > 0, "the query is interpreted bytecode");
+}
+
+#[test]
+fn mapped_method_is_intercepted_not_executed() {
+    let (mut vm, p) = app_vm();
+    run_to_halt(&mut vm);
+    let mem = LocalVmMemory::new(&vm);
+    let program = Arc::new(p);
+    let mut refl = RemoteReflector::new(Arc::clone(&program), &mem);
+    // Unmapped, sys$getMethods executes its stub body and returns null.
+    let raw = refl
+        .invoke(program.builtins.get_methods, &[])
+        .unwrap()
+        .unwrap();
+    assert_eq!(raw, TVal::Null);
+    // Mapped, the same invocation returns the remote object instead.
+    refl.map_boot_method_table(vm.boot_image.method_table);
+    let mapped = refl
+        .invoke(program.builtins.get_methods, &[])
+        .unwrap()
+        .unwrap();
+    assert_eq!(mapped, TVal::Remote(vm.boot_image.method_table));
+}
+
+#[test]
+fn remote_object_graph_navigation_and_mirrors() {
+    let (mut vm, p) = app_vm();
+    run_to_halt(&mut vm);
+    let program = Arc::new(p);
+    let mem = LocalVmMemory::new(&vm);
+
+    // Navigate: class object of G -> box_ -> next -> value.
+    let g = program.class_id_by_name("G").unwrap();
+    let gobj = vm.class_objects[g as usize].expect("G loaded");
+    let box_addr = mem.read_word(gobj + 1).unwrap(); // static 0
+    assert_ne!(box_addr, 0);
+    assert_eq!(
+        mirror::class_name(&mem, &program, box_addr).as_deref(),
+        Some("Box")
+    );
+    let fields = mirror::read_fields(&mem, &program, box_addr).unwrap();
+    assert_eq!(fields[0], ("value".to_string(), "42".to_string()));
+    assert!(fields[1].1.starts_with("Box@"), "{:?}", fields[1]);
+
+    // Arrays clone correctly.
+    let arr_addr = mem.read_word(gobj + 2).unwrap();
+    let arr = mirror::read_int_array(&mem, arr_addr).unwrap();
+    assert_eq!(arr, vec![0, 0, 0, 99, 0]);
+
+    // Strings (reflection metadata method names) clone correctly.
+    let table = vm.boot_image.method_table;
+    let vm_method0 = mem.read_word(table + 2).unwrap();
+    let name_obj = mem.read_word(vm_method0 + 2).unwrap(); // field 1 = name
+    let name = mirror::read_string(&mem, &program, name_obj).unwrap();
+    assert!(!name.is_empty());
+}
+
+#[test]
+fn snapshot_memory_gives_same_answers() {
+    let (mut vm, p) = app_vm();
+    run_to_halt(&mut vm);
+    let program = Arc::new(p);
+    let live = LocalVmMemory::new(&vm);
+    let snap = SnapshotMemory::from_vm(&vm);
+    let mut r1 = RemoteReflector::new(Arc::clone(&program), &live);
+    let mut r2 = RemoteReflector::new(Arc::clone(&program), &snap);
+    r1.map_boot_method_table(vm.boot_image.method_table);
+    r2.map_boot_method_table(vm.boot_image.method_table);
+    for off in 0..6 {
+        assert_eq!(
+            r1.line_number_of(program.entry, off).unwrap(),
+            r2.line_number_of(program.entry, off).unwrap()
+        );
+    }
+}
+
+#[test]
+fn mutation_bytecodes_rejected() {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("C").field("x", Ty::Int).build();
+    let bad = pb
+        .method_typed("bad", vec![Ty::Ref], 1, None)
+        .code(|a| {
+            a.load(0).iconst(1).put_field(0);
+            a.ret();
+        });
+    let m = pb.method("main", 0, 1).code(|a| {
+        a.new(c).store(0);
+        a.halt();
+    });
+    let p = pb.finish(m).unwrap();
+    let mut vm = Vm::boot(
+        Arc::new(p.clone()),
+        VmConfig::default(),
+        Box::new(FixedTimer::new(100_000)),
+        Box::new(CycleClock::new(0, 100)),
+    )
+    .unwrap();
+    run_to_halt(&mut vm);
+    let mem = LocalVmMemory::new(&vm);
+    let mut refl = RemoteReflector::new(Arc::new(p), &mem);
+    // find any remote object: the thread object will do
+    let tobj = vm.threads[0].thread_obj;
+    let err = refl.invoke(bad, &[TVal::Remote(tobj)]).unwrap_err();
+    assert!(matches!(err, reflect::ReflectError::Unsupported("mutation")));
+}
+
+#[test]
+fn e8_queries_do_not_perturb_a_replay() {
+    // The perturbation-free property: stop a replay mid-flight, run a pile
+    // of reflective queries, resume — the replay still matches the record
+    // exactly. (An in-process query would break the symmetry and diverge,
+    // shown in the companion test below.)
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == "racy_counter")
+        .unwrap();
+    let mut spec = ExecSpec::new((w.build)()).with_seed(5);
+    spec.timer_base = 37;
+    spec.timer_jitter = 13;
+    let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+
+    // Replay manually so we can pause in the middle.
+    let program = Arc::clone(&spec.program);
+    let mut vm = Vm::boot(
+        program.clone(),
+        spec.vm.clone(),
+        Box::new(FixedTimer::new(1_000_000)),
+        Box::new(CycleClock::new(spec.clock_origin, spec.cycles_per_ms)),
+    )
+    .unwrap();
+    let mut replayer = dejavu::DejaVuReplayer::new(trace, SymmetryConfig::full());
+    {
+        use djvm::hook::ExecHook;
+        replayer.on_init(&mut vm);
+    }
+    interp::run(&mut vm, &mut replayer, 15_000); // pause mid-execution
+    assert!(vm.status.is_running());
+
+    let digest_before = vm.state_digest();
+    {
+        // The tool inspects the paused VM through remote reflection only.
+        let mem = CountingMemory::new(LocalVmMemory::new(&vm));
+        let mut refl = RemoteReflector::new(program.clone(), &mem);
+        refl.map_boot_method_table(vm.boot_image.method_table);
+        for mid in 0..program.methods.len() as u32 {
+            for off in 0..3 {
+                let _ = refl.line_number_of(mid, off);
+            }
+        }
+        for t in &vm.threads {
+            let _ = mirror::describe(&mem, &program, t.thread_obj);
+        }
+        assert!(mem.reads() > 100, "the tool really did work remotely");
+    }
+    assert_eq!(
+        vm.state_digest(),
+        digest_before,
+        "remote reflection must not perturb the application VM"
+    );
+
+    // Resume to completion: replay still exactly matches the record.
+    interp::run(&mut vm, &mut replayer, u64::MAX >> 1);
+    assert_eq!(vm.output, rec.output);
+    assert_eq!(vm.fingerprint.digest(), rec.fingerprint);
+    assert_eq!(vm.state_digest(), rec.state_digest);
+    assert!(replayer.desyncs().is_empty());
+}
+
+#[test]
+fn e8_in_process_reflection_breaks_replay() {
+    // The paper's motivating failure (§3): if the *application* VM executes
+    // the reflective query mid-replay, its state changes (frames, yield
+    // points, possibly allocation) and deterministic replay is lost.
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == "racy_counter")
+        .unwrap();
+    let mut spec = ExecSpec::new((w.build)()).with_seed(5);
+    spec.timer_base = 37;
+    spec.timer_jitter = 13;
+    let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+
+    let program = Arc::clone(&spec.program);
+    let mut vm = Vm::boot(
+        program.clone(),
+        spec.vm.clone(),
+        Box::new(FixedTimer::new(1_000_000)),
+        Box::new(CycleClock::new(spec.clock_origin, spec.cycles_per_ms)),
+    )
+    .unwrap();
+    let mut replayer = dejavu::DejaVuReplayer::new(trace, SymmetryConfig::full());
+    {
+        use djvm::hook::ExecHook;
+        replayer.on_init(&mut vm);
+    }
+    interp::run(&mut vm, &mut replayer, 15_000);
+    assert!(vm.status.is_running());
+
+    // In-process query: make the application VM itself run
+    // sys$lineNumberOf... which executes yield points inside the app VM,
+    // desynchronizing the logical clock.
+    let q = program.builtins.get_line_number_at;
+    let _ = q;
+    let ln = program.builtins.line_number_of;
+    // Push a frame on the *application* VM (the in-process debugger) and
+    // let it run to produce the answer.
+    vm.push_frame_public(ln, &[0, 1]).unwrap();
+    interp::run(&mut vm, &mut replayer, 200); // the query executes in-process
+
+    // Resume: the replay no longer matches the record.
+    interp::run(&mut vm, &mut replayer, u64::MAX >> 1);
+    let diverged = vm.fingerprint.digest() != rec.fingerprint
+        || vm.output != rec.output
+        || !replayer.desyncs().is_empty()
+        || vm.state_digest() != rec.state_digest;
+    assert!(diverged, "in-process reflection must break replay");
+}
+
+#[test]
+fn tcp_remote_memory_round_trips() {
+    let (mut vm, p) = app_vm();
+    run_to_halt(&mut vm);
+    let program = Arc::new(p);
+    let truth: Vec<u32> = program.method(program.entry).lines.clone();
+    let table = vm.boot_image.method_table;
+    let entry = program.entry;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || reflect::serve_one(vm, listener).unwrap());
+
+    {
+        let mem = reflect::TcpMemory::connect(&addr.to_string()).unwrap();
+        let mut refl = RemoteReflector::new(Arc::clone(&program), &mem);
+        refl.map_boot_method_table(table);
+        let got = refl.line_number_of(entry, 2).unwrap();
+        assert_eq!(got, truth[2] as i64);
+        assert!(mem.round_trips() > 3, "words were fetched over TCP");
+    } // drop closes the connection; server returns
+    let _vm = server.join().unwrap();
+}

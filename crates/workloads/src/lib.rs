@@ -1,0 +1,168 @@
+//! # workloads — guest programs for the DejaVu reproduction
+//!
+//! Multithreaded programs written in the `djvm` guest ISA via the builder
+//! DSL: the paper's **Figure 1** examples ([`fig1`]) and a server-style
+//! suite ([`suite`]) exercising every non-determinism source and
+//! perturbation channel the experiments need.
+//!
+//! [`registry`] enumerates the suite uniformly so sweeps (replay-accuracy
+//! matrices, trace-size tables, overhead benches) can iterate "for every
+//! workload".
+
+pub mod fig1;
+pub mod suite;
+
+use djvm::{Program, Vm};
+
+/// A uniformly runnable workload.
+pub struct Workload {
+    pub name: &'static str,
+    pub description: &'static str,
+    /// Build the guest program (fresh each call; programs are immutable
+    /// but cheap to rebuild).
+    pub build: fn() -> Program,
+    /// Register any natives the program declares.
+    pub natives: fn(&mut Vm),
+    /// Uses timed events (sleep/timed-wait)?
+    pub timed: bool,
+    /// Uses native calls?
+    pub native: bool,
+}
+
+fn no_natives(_: &mut Vm) {}
+
+/// The standard sweep set.
+pub fn registry() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fig1_ab",
+            description: "Figure 1 (A)/(B): switch-timing decides the printed value",
+            build: fig1::fig1_ab,
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "fig1_cd",
+            description: "Figure 1 (C)/(D): Date() steers a branch deciding a wait/notify switch",
+            build: fig1::fig1_cd,
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "racy_counter",
+            description: "two threads race unsynchronized increments (lost-update window)",
+            build: || suite::racy_counter(400),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "bank_transfer",
+            description: "tellers move money under ordered per-account monitors",
+            build: || suite::bank_transfer(3, 6, 120),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "dining_philosophers",
+            description: "five philosophers, ordered fork acquisition",
+            build: || suite::dining_philosophers(40),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "producer_consumer",
+            description: "bounded buffer with wait/notifyAll and producer sleeps",
+            build: || suite::producer_consumer(60, 4),
+            natives: no_natives,
+            timed: true,
+            native: false,
+        },
+        Workload {
+            name: "readers_writers",
+            description: "reader count + writer flag protocol over one monitor",
+            build: || suite::readers_writers(60),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "sleepy_workers",
+            description: "sleeps, timed waits and interrupts (every timed path of §2.2)",
+            build: suite::sleepy_workers,
+            natives: no_natives,
+            timed: true,
+            native: false,
+        },
+        Workload {
+            name: "gc_churn",
+            description: "linked-list churn + garbage + identity-hash observation",
+            build: || suite::gc_churn(250),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "server_loop",
+            description: "native request source, monitor-protected queue, worker pool",
+            build: || suite::server_loop(80),
+            natives: suite::server_natives,
+            timed: false,
+            native: true,
+        },
+        Workload {
+            name: "matrix_sum",
+            description: "data-race-free parallel sum (schedule-independent result)",
+            build: || suite::matrix_sum(512, 4),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "deep_recursion",
+            description: "varying-depth recursion exercising stack growth",
+            build: || suite::deep_recursion(120),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "barrier",
+            description: "cyclic barrier, generations via wait/notifyAll",
+            build: || suite::barrier(4, 25),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique() {
+        let mut names: Vec<_> = registry().iter().map(|w| w.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn registry_builds_all() {
+        for w in registry() {
+            let p = (w.build)();
+            assert!(
+                p.methods.iter().all(|m| m.compiled.is_some()),
+                "{} failed to compile",
+                w.name
+            );
+        }
+    }
+}

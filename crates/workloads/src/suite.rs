@@ -1,0 +1,745 @@
+//! The workload suite: server-style multithreaded guest programs.
+//!
+//! These are the programs the experiments run under passthrough / record /
+//! replay / baseline instrumentation. Each exercises a different mix of
+//! the paper's non-determinism sources and perturbation channels:
+//! preemptive races, monitor contention, wait/notify, timed events,
+//! native calls, GC pressure, allocation-order observation, deep stacks.
+
+use djvm::{NativeOutcome, Program, ProgramBuilder, Ty, Vm};
+
+/// Two threads race unsynchronized read-modify-writes on a shared counter,
+/// with yield points inside the window (the lost-update race of Fig. 1).
+pub fn racy_counter(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("count", Ty::Int).build();
+    let worker = pb.method("worker", 0, 3).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(iters).ge().if_nz("done");
+        a.get_static(g, 0).store(1);
+        a.iconst(0).store(2);
+        a.label("delay");
+        a.load(2).iconst(3).ge().if_nz("delay_done");
+        a.load(2).iconst(1).add().store(2);
+        a.goto("delay");
+        a.label("delay_done");
+        a.load(1).iconst(1).add().put_static(g, 0);
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// `nthreads` tellers move money between `naccts` accounts under
+/// per-account monitors (ordered acquisition). The total is invariant —
+/// printed at the end — while the transfer pattern is schedule-dependent.
+pub fn bank_transfer(nthreads: i64, naccts: i64, transfers: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("accts", Ty::Ref) // ref array of Account
+        .static_field("mix", Ty::Int)
+        .build();
+    let acct = pb.class("Account").field("balance", Ty::Int).build();
+    // locals: 0=id, 1=t, 2=from, 3=to, 4=tmp/loRef, 5=hiRef, 6=fromRef, 7=toRef
+    let teller = pb
+        .method_typed("teller", vec![Ty::Int], 8, None)
+        .code(|a| {
+            a.iconst(0).store(1);
+            a.label("top");
+            a.load(1).iconst(transfers).ge().if_nz("done");
+            a.load(1).load(0).add().iconst(naccts).rem().store(2);
+            a.load(1)
+                .iconst(7)
+                .mul()
+                .load(0)
+                .add()
+                .iconst(1)
+                .add()
+                .iconst(naccts)
+                .rem()
+                .store(3);
+            a.load(2).load(3).eq().if_nz("next");
+            // fromRef / toRef
+            a.get_static(g, 0).load(2).aload_ref().store(6);
+            a.get_static(g, 0).load(3).aload_ref().store(7);
+            // ordered lock refs by index
+            a.load(2).load(3).lt().if_nz("lo_first");
+            a.load(7).store(4);
+            a.load(6).store(5);
+            a.goto("locked_order");
+            a.label("lo_first");
+            a.load(6).store(4);
+            a.load(7).store(5);
+            a.label("locked_order");
+            a.load(4).monitor_enter();
+            a.load(5).monitor_enter();
+            // from.balance -= 1; to.balance += 1
+            a.load(6).load(6).get_field(0).iconst(1).sub().put_field(0);
+            a.load(7).load(7).get_field(0).iconst(1).add().put_field(0);
+            a.load(5).monitor_exit();
+            a.load(4).monitor_exit();
+            a.label("next");
+            a.load(1).iconst(1).add().store(1);
+            a.goto("top");
+            a.label("done");
+            a.ret();
+        });
+    // main: build accounts with balance 100 each, spawn tellers, join, print total
+    let m = pb.method("main", 0, 4).code(|a| {
+        a.iconst(naccts).new_array_ref().put_static(g, 0);
+        a.iconst(0).store(0);
+        a.label("init");
+        a.load(0).iconst(naccts).ge().if_nz("init_done");
+        a.new(acct).store(2);
+        a.load(2).iconst(100).put_field(0);
+        a.get_static(g, 0).load(0).load(2).astore_ref();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("init");
+        a.label("init_done");
+        // spawn tellers, holding thread refs in a ref array
+        a.iconst(nthreads).new_array_ref().store(3);
+        a.iconst(0).store(0);
+        a.label("spawn");
+        a.load(0).iconst(nthreads).ge().if_nz("spawned");
+        a.load(3).load(0).load(0).spawn(teller, 1).astore_ref();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("spawn");
+        a.label("spawned");
+        a.iconst(0).store(0);
+        a.label("join");
+        a.load(0).iconst(nthreads).ge().if_nz("joined");
+        a.load(3).load(0).aload_ref().join();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("join");
+        a.label("joined");
+        // total
+        a.iconst(0).store(1);
+        a.iconst(0).store(0);
+        a.label("sum");
+        a.load(0).iconst(naccts).ge().if_nz("summed");
+        a.load(1).get_static(g, 0).load(0).aload_ref().get_field(0).add().store(1);
+        a.load(0).iconst(1).add().store(0);
+        a.goto("sum");
+        a.label("summed");
+        a.load(1).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Five dining philosophers with ordered fork acquisition (deadlock-free);
+/// prints total meals eaten.
+pub fn dining_philosophers(meals_each: i64) -> Program {
+    let n = 5i64;
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("forks", Ty::Ref)
+        .static_field("meals", Ty::Int)
+        .static_field("mealsLock", Ty::Ref)
+        .build();
+    let fork = pb.class("Fork").build();
+    // locals: 0=id, 1=meal, 2=first, 3=second, 4=firstRef, 5=secondRef
+    let phil = pb.method_typed("philosopher", vec![Ty::Int], 6, None).code(|a| {
+        a.iconst(0).store(1);
+        a.label("top");
+        a.load(1).iconst(meals_each).ge().if_nz("done");
+        // left = id, right = (id+1)%n; acquire lower index first
+        a.load(0).store(2);
+        a.load(0).iconst(1).add().iconst(n).rem().store(3);
+        a.load(2).load(3).lt().if_nz("ordered");
+        // swap fork indices via the operand stack
+        a.load(2).load(3).store(2).store(3);
+        a.label("ordered");
+        a.get_static(g, 0).load(2).aload_ref().store(4);
+        a.get_static(g, 0).load(3).aload_ref().store(5);
+        a.load(4).monitor_enter();
+        a.load(5).monitor_enter();
+        // eat
+        a.get_static(g, 2).monitor_enter();
+        a.get_static(g, 1).iconst(1).add().put_static(g, 1);
+        a.get_static(g, 2).monitor_exit();
+        a.load(5).monitor_exit();
+        a.load(4).monitor_exit();
+        a.load(1).iconst(1).add().store(1);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 3).code(|a| {
+        a.iconst(n).new_array_ref().put_static(g, 0);
+        a.new(fork).put_static(g, 2); // meals lock (any object)
+        a.iconst(0).store(0);
+        a.label("init");
+        a.load(0).iconst(n).ge().if_nz("init_done");
+        a.get_static(g, 0).load(0).new(fork).astore_ref();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("init");
+        a.label("init_done");
+        a.iconst(n).new_array_ref().store(1);
+        a.iconst(0).store(0);
+        a.label("spawn");
+        a.load(0).iconst(n).ge().if_nz("spawned");
+        a.load(1).load(0).load(0).spawn(phil, 1).astore_ref();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("spawn");
+        a.label("spawned");
+        a.iconst(0).store(0);
+        a.label("join");
+        a.load(0).iconst(n).ge().if_nz("joined");
+        a.load(1).load(0).aload_ref().join();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("join");
+        a.label("joined");
+        a.get_static(g, 1).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Bounded-buffer producer/consumer with wait/notifyAll and producer
+/// sleeps; prints the consumed sum.
+pub fn producer_consumer(items: i64, cap: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("buf", Ty::Ref)
+        .static_field("count", Ty::Int)
+        .static_field("sum", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let producer = pb.method("producer", 0, 1).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(items).ge().if_nz("done");
+        a.get_static(g, 0).monitor_enter();
+        a.label("full");
+        a.get_static(g, 2).iconst(cap).lt().if_nz("put");
+        a.get_static(g, 0).wait().pop();
+        a.goto("full");
+        a.label("put");
+        a.get_static(g, 1).get_static(g, 2).load(0).astore();
+        a.get_static(g, 2).iconst(1).add().put_static(g, 2);
+        a.get_static(g, 0).notify_all();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.load(0).iconst(7).rem().if_nz("top");
+        a.iconst(2).sleep().pop();
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let consumer = pb.method("consumer", 0, 2).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(items).ge().if_nz("done");
+        a.get_static(g, 0).monitor_enter();
+        a.label("empty");
+        a.get_static(g, 2).iconst(0).gt().if_nz("take");
+        a.get_static(g, 0).wait().pop();
+        a.goto("empty");
+        a.label("take");
+        a.get_static(g, 2).iconst(1).sub().put_static(g, 2);
+        a.get_static(g, 1).get_static(g, 2).aload().store(1);
+        a.get_static(g, 3).load(1).add().put_static(g, 3);
+        a.get_static(g, 0).notify_all();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.new(lock_cls).put_static(g, 0);
+        a.iconst(cap).new_array_int().put_static(g, 1);
+        a.iconst(0).put_static(g, 2);
+        a.iconst(0).put_static(g, 3);
+        a.spawn(producer, 0).store(0);
+        a.spawn(consumer, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 3).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Readers/writers: readers count concurrent holders; a writer bumps a
+/// version. Monitor-based with wait/notifyAll. Prints final version and a
+/// read checksum.
+pub fn readers_writers(rounds: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("readers", Ty::Int)
+        .static_field("writing", Ty::Int)
+        .static_field("version", Ty::Int)
+        .static_field("checksum", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let reader = pb.method("reader", 0, 2).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(rounds).ge().if_nz("done");
+        a.get_static(g, 0).monitor_enter();
+        a.label("wait_w");
+        a.get_static(g, 2).if_z("enter");
+        a.get_static(g, 0).wait().pop();
+        a.goto("wait_w");
+        a.label("enter");
+        a.get_static(g, 1).iconst(1).add().put_static(g, 1);
+        a.get_static(g, 0).monitor_exit();
+        // read section
+        a.get_static(g, 3).store(1);
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 4).load(1).add().put_static(g, 4);
+        a.get_static(g, 1).iconst(1).sub().put_static(g, 1);
+        a.get_static(g, 0).notify_all();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let writer = pb.method("writer", 0, 1).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(rounds).ge().if_nz("done");
+        a.get_static(g, 0).monitor_enter();
+        a.label("wait_rw");
+        a.get_static(g, 1).if_nz("block");
+        a.get_static(g, 2).if_nz("block");
+        a.goto("go");
+        a.label("block");
+        a.get_static(g, 0).wait().pop();
+        a.goto("wait_rw");
+        a.label("go");
+        a.iconst(1).put_static(g, 2);
+        a.get_static(g, 0).monitor_exit();
+        a.get_static(g, 3).iconst(1).add().put_static(g, 3);
+        a.get_static(g, 0).monitor_enter();
+        a.iconst(0).put_static(g, 2);
+        a.get_static(g, 0).notify_all();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 3).code(|a| {
+        a.new(lock_cls).put_static(g, 0);
+        a.spawn(reader, 0).store(0);
+        a.spawn(reader, 0).store(1);
+        a.spawn(writer, 0).store(2);
+        a.load(0).join();
+        a.load(1).join();
+        a.load(2).join();
+        a.get_static(g, 3).print();
+        a.get_static(g, 4).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Workers that sleep, take timed waits, and get interrupted — every
+/// timed-event path of §2.2 in one program.
+pub fn sleepy_workers() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("acc", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let sleeper = pb.method("sleeper", 1, 1).code(|a| {
+        a.load(0).sleep().pop();
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 0).iconst(15).timed_wait().store(0);
+        a.get_static(g, 1).load(0).add().iconst(1).add().put_static(g, 1);
+        a.get_static(g, 0).monitor_exit();
+        a.ret();
+    });
+    let napper = pb.method("napper", 0, 1).code(|a| {
+        a.iconst(1_000_000).sleep().store(0); // interrupted by main
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 1).load(0).iconst(10).mul().add().put_static(g, 1);
+        a.get_static(g, 0).monitor_exit();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 4).code(|a| {
+        a.new(lock_cls).put_static(g, 0);
+        a.iconst(0).put_static(g, 1);
+        a.iconst(8).spawn(sleeper, 1).store(0);
+        a.iconst(3).spawn(sleeper, 1).store(1);
+        a.spawn(napper, 0).store(2);
+        a.iconst(30).sleep().pop();
+        a.load(2).interrupt();
+        a.load(0).join();
+        a.load(1).join();
+        a.load(2).join();
+        a.get_static(g, 1).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Linked-list churn with garbage and identity-hash observation: GC
+/// pressure interleaved with preemptive switches.
+pub fn gc_churn(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("mix", Ty::Int)
+        .build();
+    let node = pb
+        .class("Node")
+        .field("v", Ty::Int)
+        .field("next", Ty::Ref)
+        .build();
+    let worker = pb.method("worker", 0, 4).code(|a| {
+        a.null().store(1); // head
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(iters).ge().if_nz("done");
+        a.new(node).store(2);
+        a.load(2).load(0).put_field(0);
+        a.load(2).load(1).put_field_ref(1);
+        a.load(2).store(1);
+        // drop the list every 16 nodes (garbage)
+        a.load(0).iconst(16).rem().if_nz("keep");
+        a.null().store(1);
+        a.label("keep");
+        // fold an identity hash into shared state
+        a.get_static(g, 0).load(2).identity_hash().bxor().put_static(g, 0);
+        a.iconst(12).new_array_int().pop(); // immediate garbage
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// A request-processing server: a native "network" source produces request
+/// ids (non-deterministic), worker threads pull them from a monitor-
+/// protected queue, process (arithmetic), and accumulate a checksum. The
+/// native also occasionally issues a callback (connection event).
+pub fn server_loop(requests: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("queue", Ty::Ref)
+        .static_field("head", Ty::Int)
+        .static_field("tail", Ty::Int)
+        .static_field("doneFlag", Ty::Int)
+        .static_field("checksum", Ty::Int)
+        .static_field("events", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let recv = pb.native("net_recv", 1, true);
+    // callback: connection event
+    let on_event = pb.method("onEvent", 1, 1).code(|a| {
+        a.get_static(g, 6).load(0).add().put_static(g, 6);
+        a.ret();
+    });
+    let _ = on_event;
+    // acceptor: recv() requests and enqueue
+    let acceptor = pb.method("acceptor", 0, 2).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(requests).ge().if_nz("done");
+        a.load(0).native_call(recv, 1).store(1);
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 1).get_static(g, 3).load(1).astore();
+        a.get_static(g, 3).iconst(1).add().put_static(g, 3);
+        a.get_static(g, 0).notify_all();
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.get_static(g, 0).monitor_enter();
+        a.iconst(1).put_static(g, 4);
+        a.get_static(g, 0).notify_all();
+        a.get_static(g, 0).monitor_exit();
+        a.ret();
+    });
+    // worker: dequeue and process until done and queue drained
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        a.label("top");
+        a.get_static(g, 0).monitor_enter();
+        a.label("empty");
+        a.get_static(g, 2).get_static(g, 3).lt().if_nz("take");
+        a.get_static(g, 4).if_nz("finish");
+        a.get_static(g, 0).wait().pop();
+        a.goto("empty");
+        a.label("take");
+        a.get_static(g, 1).get_static(g, 2).aload().store(0);
+        a.get_static(g, 2).iconst(1).add().put_static(g, 2);
+        a.get_static(g, 0).monitor_exit();
+        // "process": hash the request id
+        a.load(0).iconst(2654435761).mul().iconst(1000003).rem().store(1);
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 5).load(1).add().put_static(g, 5);
+        a.get_static(g, 0).monitor_exit();
+        a.goto("top");
+        a.label("finish");
+        a.get_static(g, 0).monitor_exit();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 3).code(|a| {
+        a.new(lock_cls).put_static(g, 0);
+        a.iconst(requests).new_array_int().put_static(g, 1);
+        a.iconst(0).put_static(g, 2);
+        a.iconst(0).put_static(g, 3);
+        a.iconst(0).put_static(g, 4);
+        a.iconst(0).put_static(g, 5);
+        a.iconst(0).put_static(g, 6);
+        a.spawn(acceptor, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.spawn(worker, 0).store(2);
+        a.load(0).join();
+        a.load(1).join();
+        a.load(2).join();
+        a.get_static(g, 5).print();
+        a.get_static(g, 6).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Register the natives `server_loop` needs: a non-deterministic request
+/// source with occasional callbacks.
+pub fn server_natives(vm: &mut Vm) {
+    let recv = vm
+        .program
+        .native_id_by_name("net_recv")
+        .expect("server program");
+    let on_event = vm
+        .program
+        .method_id_by_name("onEvent")
+        .expect("server program");
+    let mut state = 0x243F6A8885A308D3u64;
+    vm.natives.register(
+        recv,
+        Box::new(move |ctx| {
+            // xorshift + time-salted request id
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state = state.wrapping_add(ctx.now_millis as u64);
+            let id = (state >> 17) as i64 & 0xFFFF;
+            let mut out = NativeOutcome::value(id);
+            if id % 11 == 0 {
+                out.callbacks.push(djvm::CallbackReq {
+                    method: on_event,
+                    args: vec![id % 97],
+                });
+            }
+            out
+        }),
+    );
+}
+
+/// Threads sum disjoint slices of a shared array — data-race free, so the
+/// printed result is schedule-independent even though interleavings vary.
+pub fn matrix_sum(len: i64, nthreads: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("data", Ty::Ref)
+        .static_field("lock", Ty::Ref)
+        .static_field("total", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let chunk = len / nthreads;
+    // worker(id): sum data[id*chunk .. (id+1)*chunk]
+    let worker = pb.method_typed("worker", vec![Ty::Int], 4, None).code(|a| {
+        a.load(0).iconst(chunk).mul().store(1); // i
+        a.load(1).iconst(chunk).add().store(2); // end
+        a.iconst(0).store(3); // acc
+        a.label("top");
+        a.load(1).load(2).ge().if_nz("done");
+        a.load(3).get_static(g, 0).load(1).aload().add().store(3);
+        a.load(1).iconst(1).add().store(1);
+        a.goto("top");
+        a.label("done");
+        a.get_static(g, 1).monitor_enter();
+        a.get_static(g, 2).load(3).add().put_static(g, 2);
+        a.get_static(g, 1).monitor_exit();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 3).code(|a| {
+        a.new(lock_cls).put_static(g, 1);
+        a.iconst(len).new_array_int().put_static(g, 0);
+        a.iconst(0).store(0);
+        a.label("fill");
+        a.load(0).iconst(len).ge().if_nz("filled");
+        a.get_static(g, 0).load(0).load(0).iconst(3).mul().iconst(1).add().astore();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("fill");
+        a.label("filled");
+        a.iconst(nthreads).new_array_ref().store(1);
+        a.iconst(0).store(0);
+        a.label("spawn");
+        a.load(0).iconst(nthreads).ge().if_nz("spawned");
+        a.load(1).load(0).load(0).spawn(worker, 1).astore_ref();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("spawn");
+        a.label("spawned");
+        a.iconst(0).store(0);
+        a.label("join");
+        a.load(0).iconst(nthreads).ge().if_nz("joined");
+        a.load(1).load(0).aload_ref().join();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("join");
+        a.label("joined");
+        a.get_static(g, 2).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Deep recursion with varying depth: exercises activation-stack growth.
+pub fn deep_recursion(max_depth: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("acc", Ty::Int).build();
+    // down (method id 0) recurses into itself
+    let down = pb.func("down", 1, 2).code(|a| {
+        a.load(0).if_z("base");
+        a.load(0).iconst(1).sub().call(0);
+        a.iconst(1).add().ret_val();
+        a.label("base");
+        a.iconst(0).ret_val();
+    });
+    assert_eq!(down, 0);
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        a.iconst(1).store(0);
+        a.label("top");
+        a.load(0).iconst(max_depth).gt().if_nz("done");
+        a.get_static(g, 0).load(0).call(down).add().put_static(g, 0);
+        a.load(0).iconst(7).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Cyclic barrier: `nthreads` meet `rounds` times; each round the last
+/// arriver releases the rest via notifyAll. Prints rounds * nthreads.
+pub fn barrier(nthreads: i64, rounds: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("arrived", Ty::Int)
+        .static_field("generation", Ty::Int)
+        .static_field("meets", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(rounds).ge().if_nz("done");
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 2).store(1); // my generation
+        a.get_static(g, 1).iconst(1).add().put_static(g, 1);
+        a.get_static(g, 3).iconst(1).add().put_static(g, 3);
+        a.get_static(g, 1).iconst(nthreads).ge().if_z("waitloop");
+        // last arriver: reset and advance generation
+        a.iconst(0).put_static(g, 1);
+        a.get_static(g, 2).iconst(1).add().put_static(g, 2);
+        a.get_static(g, 0).notify_all();
+        a.goto("release");
+        a.label("waitloop");
+        a.get_static(g, 2).load(1).ne().if_nz("release");
+        a.get_static(g, 0).wait().pop();
+        a.goto("waitloop");
+        a.label("release");
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.new(lock_cls).put_static(g, 0);
+        a.iconst(nthreads).new_array_ref().store(0);
+        a.iconst(0).store(1);
+        a.label("spawn");
+        a.load(1).iconst(nthreads).ge().if_nz("spawned");
+        a.load(0).load(1).spawn(worker, 0).astore_ref();
+        a.load(1).iconst(1).add().store(1);
+        a.goto("spawn");
+        a.label("spawned");
+        a.iconst(0).store(1);
+        a.label("join");
+        a.load(1).iconst(nthreads).ge().if_nz("joined");
+        a.load(0).load(1).aload_ref().join();
+        a.load(1).iconst(1).add().store(1);
+        a.goto("join");
+        a.label("joined");
+        a.get_static(g, 3).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_suite_programs_verify() {
+        let progs = [
+            racy_counter(10),
+            bank_transfer(3, 5, 20),
+            dining_philosophers(5),
+            producer_consumer(10, 3),
+            readers_writers(10),
+            sleepy_workers(),
+            gc_churn(10),
+            server_loop(10),
+            matrix_sum(64, 4),
+            deep_recursion(30),
+            barrier(3, 5),
+        ];
+        for p in &progs {
+            assert!(p.methods.iter().all(|m| m.compiled.is_some()));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: build a racy multithreaded guest program, watch it behave
+//! differently run to run, then record one execution and replay it exactly.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dejavu::{passthrough_run, record_run, replay_run, ExecSpec, SymmetryConfig};
+use djvm::{ProgramBuilder, Ty};
+
+fn main() {
+    // 1. A guest program: two threads race unsynchronized increments.
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("count", Ty::Int).build();
+    let worker = pb.method("worker", 0, 3).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(500).ge().if_nz("done");
+        a.get_static(g, 0).store(1); // read
+        a.iconst(0).store(2); // a small delay: the racy window
+        a.label("d");
+        a.load(2).iconst(3).ge().if_nz("dd");
+        a.load(2).iconst(1).add().store(2);
+        a.goto("d");
+        a.label("dd");
+        a.load(1).iconst(1).add().put_static(g, 0); // write (lost updates!)
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let main_m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    let program = pb.finish(main_m).unwrap();
+
+    // 2. The program is non-deterministic: different "machines" (timer
+    //    seeds) give different results.
+    println!("== uninstrumented runs on different machines ==");
+    for seed in 0..5u64 {
+        let mut spec = ExecSpec::new(program.clone()).with_seed(seed);
+        spec.timer_base = 37;
+        spec.timer_jitter = 13;
+        let r = passthrough_run(&spec, |_| {});
+        println!("  seed {seed}: count = {}", r.output.trim());
+    }
+
+    // 3. Record one execution...
+    let mut spec = ExecSpec::new(program).with_seed(3);
+    spec.timer_base = 37;
+    spec.timer_jitter = 13;
+    let (rec, trace) = record_run(&spec, |_| {}, SymmetryConfig::full(), true);
+    let stats = trace.stats();
+    println!("\n== recorded seed 3 ==");
+    println!("  output: {}", rec.output.trim());
+    println!(
+        "  trace: {} bytes ({} preemptive switches, {} clock reads)",
+        stats.total_bytes, stats.switch_count, stats.clock_count
+    );
+
+    // 4. ...and replay it: identical down to the execution fingerprint.
+    let (rep, desyncs) = replay_run(&spec, trace, SymmetryConfig::full());
+    println!("\n== replay ==");
+    println!("  output: {}", rep.output.trim());
+    println!("  desyncs: {}", desyncs.len());
+    println!(
+        "  fingerprints match: {}",
+        rec.fingerprint == rep.fingerprint
+    );
+    println!(
+        "  final program states match: {}",
+        rec.state_digest == rep.state_digest
+    );
+    assert!(rec.matches(&rep) && desyncs.is_empty());
+    println!("\nDeterministic replay of a non-deterministic execution. ✓");
+}

@@ -1,0 +1,163 @@
+//! dejavu-cli — drive the replay platform from the command line.
+//!
+//! ```text
+//! dejavu-cli list
+//! dejavu-cli run <workload> [seed]
+//! dejavu-cli record <workload> <seed> <trace-file>
+//! dejavu-cli replay <workload> <seed> <trace-file>
+//! dejavu-cli dis <workload> [method-name]
+//! dejavu-cli serve <workload> <seed> <port>      # debugger tier over TCP
+//! ```
+//!
+//! Traces written by `record` are the binary format of
+//! [`dejavu::Trace::encoded`]; `replay` verifies accuracy against a fresh
+//! record of the same seed.
+
+use dejavu::{passthrough_run, record_run, replay_run, ExecSpec, SymmetryConfig, Trace};
+use std::process::ExitCode;
+
+fn find(name: &str) -> Option<workloads::Workload> {
+    workloads::registry().into_iter().find(|w| w.name == name)
+}
+
+fn spec_of(w: &workloads::Workload, seed: u64) -> ExecSpec {
+    let mut s = ExecSpec::new((w.build)()).with_seed(seed);
+    s.timer_base = 211;
+    s.timer_jitter = 60;
+    s
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!(
+            "usage: dejavu-cli <list|run|record|replay|dis|serve> [args...]\n\
+             see the module docs for details"
+        );
+        ExitCode::FAILURE
+    };
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for w in workloads::registry() {
+                println!("{:22} {}", w.name, w.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(w) = args.get(1).and_then(|n| find(n)) else {
+                return usage();
+            };
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let r = passthrough_run(&spec_of(&w, seed), w.natives);
+            print!("{}", r.output);
+            eprintln!(
+                "[{} steps, {} switches, status {:?}]",
+                r.counters.steps, r.counters.thread_switches, r.status
+            );
+            ExitCode::SUCCESS
+        }
+        Some("record") => {
+            let (Some(w), Some(seed), Some(path)) = (
+                args.get(1).and_then(|n| find(n)),
+                args.get(2).and_then(|s| s.parse::<u64>().ok()),
+                args.get(3),
+            ) else {
+                return usage();
+            };
+            let (rec, trace) = record_run(&spec_of(&w, seed), w.natives, SymmetryConfig::full(), true);
+            let bytes = trace.encoded();
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            print!("{}", rec.output);
+            let st = trace.stats();
+            eprintln!(
+                "[trace {path}: {} bytes, {} switches, {} clock reads, {} native outcomes]",
+                st.total_bytes, st.switch_count, st.clock_count, st.native_count
+            );
+            ExitCode::SUCCESS
+        }
+        Some("replay") => {
+            let (Some(w), Some(seed), Some(path)) = (
+                args.get(1).and_then(|n| find(n)),
+                args.get(2).and_then(|s| s.parse::<u64>().ok()),
+                args.get(3),
+            ) else {
+                return usage();
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(trace) = Trace::decode(&bytes) else {
+                eprintln!("{path}: not a valid trace");
+                return ExitCode::FAILURE;
+            };
+            let spec = spec_of(&w, seed);
+            let (rep, desyncs) = replay_run(&spec, trace, SymmetryConfig::full());
+            print!("{}", rep.output);
+            // verify against a fresh record of the same seed
+            let (rec, _) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+            let accurate = rec.matches(&rep) && desyncs.is_empty();
+            eprintln!(
+                "[replay {}: {} desyncs]",
+                if accurate { "ACCURATE" } else { "DIVERGED" },
+                desyncs.len()
+            );
+            if accurate {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("dis") => {
+            let Some(w) = args.get(1).and_then(|n| find(n)) else {
+                return usage();
+            };
+            let p = (w.build)();
+            match args.get(2) {
+                Some(mname) => match p.method_id_by_name(mname) {
+                    Some(m) => println!("{}", djvm::dis::disassemble(&p, m)),
+                    None => {
+                        eprintln!("no method {mname}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => println!("{}", djvm::dis::disassemble_all(&p)),
+            }
+            ExitCode::SUCCESS
+        }
+        Some("serve") => {
+            let (Some(w), Some(seed), Some(port)) = (
+                args.get(1).and_then(|n| find(n)),
+                args.get(2).and_then(|s| s.parse::<u64>().ok()),
+                args.get(3).and_then(|s| s.parse::<u16>().ok()),
+            ) else {
+                return usage();
+            };
+            let spec = spec_of(&w, seed);
+            let (_rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+            let session = debugger::DebugSession::new(spec.program.clone(), spec.vm.clone(), trace, 5_000);
+            let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("bind port {port}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("debugger tier listening on 127.0.0.1:{port} (JSON-line protocol)");
+            match debugger::server::serve_one(session, listener) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

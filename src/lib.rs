@@ -1,0 +1,11 @@
+//! Umbrella crate for the DejaVu reproduction workspace. See README.md.
+//!
+//! Re-exports the member crates so integration tests and examples can use
+//! a single dependency.
+
+pub use baselines;
+pub use debugger;
+pub use dejavu;
+pub use djvm;
+pub use reflect;
+pub use workloads;

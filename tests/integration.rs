@@ -1,0 +1,127 @@
+//! Cross-crate integration: the full platform exercised end to end —
+//! record a server workload, compare trace schemes, debug the recording
+//! with breakpoints and reverse steps, inspect state via remote reflection,
+//! and verify the replay never deviated.
+
+use baselines::{trace_size_comparison, TimeTravel};
+use debugger::{DebugSession, StopReason};
+use dejavu::{record_run, replay_run, ExecSpec, SymmetryConfig};
+use djvm::VmStatus;
+use reflect::{LocalVmMemory, RemoteReflector};
+use std::sync::Arc;
+
+#[test]
+fn full_platform_flow() {
+    // --- record a native-driven server execution ------------------------
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == "server_loop")
+        .unwrap();
+    let mut spec = ExecSpec::new((w.build)()).with_seed(12);
+    spec.timer_base = 53;
+    spec.timer_jitter = 19;
+    let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+    assert_eq!(rec.status, VmStatus::Halted);
+
+    // --- plain replay is exact ------------------------------------------
+    let (rep, desyncs) = replay_run(&spec, trace.clone(), SymmetryConfig::full());
+    assert!(desyncs.is_empty());
+    assert!(rec.matches(&rep));
+
+    // --- trace economics vs the baselines --------------------------------
+    let row = trace_size_comparison("server_loop", &spec, w.natives);
+    assert!(row.dejavu_bytes < row.ir_bytes);
+    assert!(row.dejavu_bytes < row.readlog_bytes);
+
+    // --- debug the recording ---------------------------------------------
+    let mut session = DebugSession::new(spec.program.clone(), spec.vm.clone(), trace, 4_000);
+    let worker = spec.program.method_id_by_name("worker").unwrap();
+    session.add_breakpoint(worker, 0);
+    let stop = session.cont();
+    assert!(matches!(stop, StopReason::Breakpoint { .. }));
+
+    // thread viewer + reflective stack trace at the stop
+    let threads = session.threads();
+    assert!(threads.len() >= 4, "main + acceptor + 2 workers");
+    let tid = session.vm().sched.current;
+    let frames = session.stack_trace(tid);
+    assert_eq!(frames[0].method_name, "worker");
+    assert!(frames[0].line >= 0);
+
+    // remote reflection directly against the paused VM
+    {
+        let vm = session.vm();
+        let mem = LocalVmMemory::new(vm);
+        let mut refl = RemoteReflector::new(Arc::clone(&spec.program), &mem);
+        refl.map_boot_method_table(vm.boot_image.method_table);
+        let line = refl.line_number_of(worker, 0).unwrap();
+        assert_eq!(line, frames[0].line);
+    }
+
+    // reverse-step, then resume to completion: still the recorded run
+    let here = session.step_index();
+    session.step();
+    session.step_back();
+    assert_eq!(session.step_index(), here);
+    session.remove_breakpoint(worker, 0);
+    let stop = session.cont();
+    assert_eq!(stop, StopReason::Halted);
+    assert_eq!(session.output(), rec.output);
+}
+
+#[test]
+fn time_travel_composes_with_reflection() {
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == "gc_churn")
+        .unwrap();
+    let mut spec = ExecSpec::new((w.build)()).with_seed(3);
+    spec.timer_base = 53;
+    spec.timer_jitter = 19;
+    let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+
+    let vm = djvm::Vm::boot(
+        Arc::clone(&spec.program),
+        spec.vm.clone(),
+        Box::new(djvm::FixedTimer::new(1 << 30)),
+        Box::new(djvm::CycleClock::new(0, 100)),
+    )
+    .unwrap();
+    let mut tt = TimeTravel::new(vm, trace, SymmetryConfig::full(), 3_000);
+
+    // Sample the same moment twice (before/after a round trip through the
+    // future) and reflectively compare: identical remote answers.
+    tt.seek(9_000);
+    let q1 = {
+        let mem = LocalVmMemory::new(tt.vm());
+        let mut refl = RemoteReflector::new(Arc::clone(&spec.program), &mem);
+        refl.map_boot_method_table(tt.vm().boot_image.method_table);
+        refl.line_number_of(spec.program.entry, 1).unwrap()
+    };
+    let digest1 = tt.vm().state_digest();
+    tt.seek(25_000);
+    tt.seek(9_000);
+    let digest2 = tt.vm().state_digest();
+    assert_eq!(digest1, digest2);
+    let q2 = {
+        let mem = LocalVmMemory::new(tt.vm());
+        let mut refl = RemoteReflector::new(Arc::clone(&spec.program), &mem);
+        refl.map_boot_method_table(tt.vm().boot_image.method_table);
+        refl.line_number_of(spec.program.entry, 1).unwrap()
+    };
+    assert_eq!(q1, q2);
+
+    // Run out: matches the record.
+    while tt.status().is_running() {
+        tt.advance(10_000);
+    }
+    assert_eq!(tt.vm().output, rec.output);
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    // the root crate exposes all member crates
+    let _cfg = dejavu_repro::dejavu::SymmetryConfig::full();
+    let regs = dejavu_repro::workloads::registry();
+    assert!(!regs.is_empty());
+}

@@ -1,0 +1,223 @@
+//! Property-based tests on the core invariants (proptest).
+
+use dejavu::{passthrough_run, record_replay, ExecSpec, SymmetryConfig};
+use djvm::{ProgramBuilder, Ty};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// 1. The interpreter computes arithmetic exactly like a host-side model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = any::<i32>().prop_map(Expr::Const);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+        ]
+    })
+}
+
+fn eval(e: &Expr) -> i64 {
+    match e {
+        Expr::Const(v) => *v as i64,
+        Expr::Add(a, b) => eval(a).wrapping_add(eval(b)),
+        Expr::Sub(a, b) => eval(a).wrapping_sub(eval(b)),
+        Expr::Mul(a, b) => eval(a).wrapping_mul(eval(b)),
+        Expr::Xor(a, b) => eval(a) ^ eval(b),
+    }
+}
+
+fn emit(e: &Expr, a: &mut djvm::builder::Asm) {
+    match e {
+        Expr::Const(v) => {
+            a.iconst(*v as i64);
+        }
+        Expr::Add(x, y) => {
+            emit(x, a);
+            emit(y, a);
+            a.add();
+        }
+        Expr::Sub(x, y) => {
+            emit(x, a);
+            emit(y, a);
+            a.sub();
+        }
+        Expr::Mul(x, y) => {
+            emit(x, a);
+            emit(y, a);
+            a.mul();
+        }
+        Expr::Xor(x, y) => {
+            emit(x, a);
+            emit(y, a);
+            a.bxor();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpreter_matches_host_arithmetic(e in expr_strategy()) {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 0).code(|a| {
+            emit(&e, a);
+            a.print();
+            a.halt();
+        });
+        let spec = ExecSpec::new(pb.finish(m).unwrap());
+        let r = passthrough_run(&spec, |_| {});
+        prop_assert_eq!(r.output.trim().parse::<i64>().unwrap(), eval(&e));
+    }
+
+    // -----------------------------------------------------------------
+    // 2. Executions are pure functions of the seed: bit-identical twice.
+    // -----------------------------------------------------------------
+    #[test]
+    fn execution_is_deterministic_given_the_seed(
+        seed in 0u64..1000,
+        base in 11u64..200,
+    ) {
+        let w = workloads::suite::racy_counter(60);
+        let mut s1 = ExecSpec::new(w.clone()).with_seed(seed);
+        s1.timer_base = base;
+        s1.timer_jitter = base / 3;
+        let mut s2 = ExecSpec::new(w).with_seed(seed);
+        s2.timer_base = base;
+        s2.timer_jitter = base / 3;
+        let a = passthrough_run(&s1, |_| {});
+        let b = passthrough_run(&s2, |_| {});
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+        prop_assert_eq!(a.state_digest, b.state_digest);
+    }
+
+    // -----------------------------------------------------------------
+    // 3. Replay accuracy holds for arbitrary seeds and timer shapes.
+    // -----------------------------------------------------------------
+    #[test]
+    fn replay_is_accurate_for_any_seed(
+        seed in 0u64..10_000,
+        base in 13u64..150,
+    ) {
+        let w = workloads::suite::racy_counter(80);
+        let mut s = ExecSpec::new(w).with_seed(seed);
+        s.timer_base = base;
+        s.timer_jitter = base / 4;
+        let (rec, rep, ok) = record_replay(&s, |_| {}, SymmetryConfig::full());
+        prop_assert!(ok, "rec {:?} rep {:?}", rec.output, rep.output);
+    }
+
+    // -----------------------------------------------------------------
+    // 4. The trace codec round-trips arbitrary traces.
+    // -----------------------------------------------------------------
+    #[test]
+    fn trace_codec_roundtrips(
+        nyps in proptest::collection::vec(1u64..1_000_000, 0..50),
+        clocks in proptest::collection::vec(any::<i64>(), 0..50),
+        paranoid in any::<bool>(),
+    ) {
+        let trace = dejavu::Trace {
+            paranoid,
+            switches: nyps
+                .iter()
+                .map(|&n| dejavu::SwitchRec {
+                    nyp: n,
+                    check_tid: if paranoid { (n % 7) as u32 } else { u32::MAX },
+                })
+                .collect(),
+            data: clocks.iter().map(|&c| dejavu::DataRec::Clock(c)).collect(),
+        };
+        let decoded = dejavu::Trace::decode(&trace.encoded()).unwrap();
+        prop_assert_eq!(decoded, trace);
+    }
+
+    // -----------------------------------------------------------------
+    // 5. Guest data structures survive GC: random linked-list contents
+    //    are intact after heavy churn, under both collectors.
+    // -----------------------------------------------------------------
+    #[test]
+    fn gc_preserves_linked_list(values in proptest::collection::vec(0i64..1000, 1..30)) {
+        let expected: i64 = values.iter().sum();
+        for gc in [djvm::GcKind::MarkSweep, djvm::GcKind::Copying] {
+            let mut pb = ProgramBuilder::new();
+            let node = pb
+                .class("Node")
+                .field("v", Ty::Int)
+                .field("next", Ty::Ref)
+                .build();
+            let m = pb.method("main", 0, 4).code(|a| {
+                a.null().store(0);
+                // build the list with the literal values
+                for &v in &values {
+                    a.new(node).store(1);
+                    a.load(1).iconst(v).put_field(0);
+                    a.load(1).load(0).put_field_ref(1);
+                    a.load(1).store(0);
+                }
+                // churn garbage to force collections
+                a.iconst(0).store(2);
+                a.label("churn");
+                a.load(2).iconst(400).ge().if_nz("sum");
+                a.iconst(16).new_array_int().pop();
+                a.load(2).iconst(1).add().store(2);
+                a.goto("churn");
+                // sum the list
+                a.label("sum");
+                a.iconst(0).store(3);
+                a.label("walk");
+                a.load(0).null().ref_eq().if_nz("done");
+                a.load(3).load(0).get_field(0).add().store(3);
+                a.load(0).get_field_ref(1).store(0);
+                a.goto("walk");
+                a.label("done");
+                a.load(3).print();
+                a.halt();
+            });
+            let mut s = ExecSpec::new(pb.finish(m).unwrap());
+            s.vm.heap_words = 8 * 1024;
+            s.vm.gc = gc;
+            let r = passthrough_run(&s, |_| {});
+            prop_assert_eq!(
+                r.output.trim().parse::<i64>().unwrap(),
+                expected,
+                "gc {:?}", gc
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // 6. Clock implementations are monotone for arbitrary cycle inputs.
+    // -----------------------------------------------------------------
+    #[test]
+    fn clocks_are_monotone(
+        seed in any::<u64>(),
+        mut cycles in proptest::collection::vec(0u64..1_000_000, 1..50),
+        warp in 0i64..1_000_000,
+    ) {
+        use djvm::clock::WallClock;
+        cycles.sort_unstable();
+        let mut c = djvm::JitteredClock::new(seed, 0, 10, 25);
+        let mut last = i64::MIN;
+        for (i, &cy) in cycles.iter().enumerate() {
+            if i == cycles.len() / 2 {
+                c.warp_to(warp);
+            }
+            let t = c.now(cy);
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+}
