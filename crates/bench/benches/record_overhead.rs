@@ -4,35 +4,30 @@
 //! claim is that switch-only logging is cheap while critical-event and
 //! content logging are not; the bench quantifies the shape.
 
+use bench::harness::{black_box, Group};
 use bench::{bench_spec, BENCH_WORKLOADS};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dejavu::SymmetryConfig;
 
-fn record_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("record_overhead");
+fn main() {
+    let mut g = Group::new("record_overhead");
     g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(300));
     for name in BENCH_WORKLOADS {
         let (spec, natives) = bench_spec(name, 1);
-        g.bench_with_input(BenchmarkId::new("passthrough", name), name, |b, _| {
-            b.iter(|| dejavu::passthrough_run(&spec, natives))
+        g.bench(&format!("passthrough/{name}"), || {
+            black_box(dejavu::passthrough_run(&spec, natives));
         });
-        g.bench_with_input(BenchmarkId::new("dejavu_record", name), name, |b, _| {
-            b.iter(|| dejavu::record_run(&spec, natives, SymmetryConfig::full(), false))
+        g.bench(&format!("dejavu_record/{name}"), || {
+            black_box(dejavu::record_run(&spec, natives, SymmetryConfig::full(), false));
         });
-        g.bench_with_input(BenchmarkId::new("rc_record", name), name, |b, _| {
-            b.iter(|| baselines::rc_record(&spec, natives))
+        g.bench(&format!("rc_record/{name}"), || {
+            black_box(baselines::rc_record(&spec, natives));
         });
-        g.bench_with_input(BenchmarkId::new("instant_replay_record", name), name, |b, _| {
-            b.iter(|| baselines::ir_record(&spec, natives))
+        g.bench(&format!("instant_replay_record/{name}"), || {
+            black_box(baselines::ir_record(&spec, natives));
         });
-        g.bench_with_input(BenchmarkId::new("readlog_record", name), name, |b, _| {
-            b.iter(|| baselines::readlog_record(&spec, natives))
+        g.bench(&format!("readlog_record/{name}"), || {
+            black_box(baselines::readlog_record(&spec, natives));
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, record_overhead);
-criterion_main!(benches);

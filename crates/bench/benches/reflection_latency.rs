@@ -2,7 +2,7 @@
 //! `lineNumberOf` query through the in-process (ptrace-style) memory vs a
 //! snapshot image, and the raw word-read cost model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Group};
 use djvm::{interp, CycleClock, FixedTimer, Passthrough, ProgramBuilder, Vm, VmConfig};
 use reflect::{LocalVmMemory, ProcessMemory, RemoteReflector, SnapshotMemory};
 use std::sync::Arc;
@@ -31,32 +31,34 @@ fn app() -> (Vm, Arc<djvm::Program>) {
     (vm, p)
 }
 
-fn reflection_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reflection_latency");
+fn main() {
+    let mut g = Group::new("reflection_latency");
     g.sample_size(20);
-    g.measurement_time(std::time::Duration::from_secs(2));
     let (vm, program) = app();
     let table = vm.boot_image.method_table;
     let entry = program.entry;
 
-    g.bench_function("fig3_query_local_memory", |b| {
+    {
         let mem = LocalVmMemory::new(&vm);
         let mut refl = RemoteReflector::new(Arc::clone(&program), &mem);
         refl.map_boot_method_table(table);
-        b.iter(|| refl.line_number_of(entry, 3).unwrap())
-    });
-    g.bench_function("fig3_query_snapshot_memory", |b| {
+        g.bench("fig3_query_local_memory", || {
+            black_box(refl.line_number_of(entry, 3).unwrap());
+        });
+    }
+    {
         let snap = SnapshotMemory::from_vm(&vm);
         let mut refl = RemoteReflector::new(Arc::clone(&program), &snap);
         refl.map_boot_method_table(table);
-        b.iter(|| refl.line_number_of(entry, 3).unwrap())
-    });
-    g.bench_function("raw_remote_word_read", |b| {
+        g.bench("fig3_query_snapshot_memory", || {
+            black_box(refl.line_number_of(entry, 3).unwrap());
+        });
+    }
+    {
         let mem = LocalVmMemory::new(&vm);
-        b.iter(|| mem.read_word(table).unwrap())
-    });
+        g.bench("raw_remote_word_read", || {
+            black_box(mem.read_word(table).unwrap());
+        });
+    }
     g.finish();
 }
-
-criterion_group!(benches, reflection_latency);
-criterion_main!(benches);

@@ -4,31 +4,26 @@
 //! yield-and-retry).
 
 use bench::bench_spec;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{black_box, Group};
 use dejavu::SymmetryConfig;
 
-fn replay_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("replay_overhead");
+fn main() {
+    let mut g = Group::new("replay_overhead");
     g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(300));
     for name in ["racy_counter", "producer_consumer", "bank_transfer"] {
         let (spec, natives) = bench_spec(name, 2);
         let (_, dj_trace) = dejavu::record_run(&spec, natives, SymmetryConfig::full(), false);
         let (_, rc_trace) = baselines::rc_record(&spec, natives);
         let (_, ir_trace) = baselines::ir_record(&spec, natives);
-        g.bench_with_input(BenchmarkId::new("dejavu_replay", name), name, |b, _| {
-            b.iter(|| dejavu::replay_run(&spec, dj_trace.clone(), SymmetryConfig::full()))
+        g.bench(&format!("dejavu_replay/{name}"), || {
+            black_box(dejavu::replay_run(&spec, dj_trace.clone(), SymmetryConfig::full()));
         });
-        g.bench_with_input(BenchmarkId::new("rc_replay", name), name, |b, _| {
-            b.iter(|| baselines::rc_replay(&spec, rc_trace.clone()))
+        g.bench(&format!("rc_replay/{name}"), || {
+            black_box(baselines::rc_replay(&spec, rc_trace.clone()));
         });
-        g.bench_with_input(BenchmarkId::new("instant_replay_replay", name), name, |b, _| {
-            b.iter(|| baselines::ir_replay(&spec, ir_trace.clone()))
+        g.bench(&format!("instant_replay_replay/{name}"), || {
+            black_box(baselines::ir_replay(&spec, ir_trace.clone()));
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, replay_overhead);
-criterion_main!(benches);

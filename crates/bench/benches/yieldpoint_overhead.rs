@@ -3,7 +3,7 @@
 //! record-mode hook. The difference divided by the yield-point count is
 //! the marginal cost of the Figure-2 instrumentation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Group};
 use dejavu::{ExecSpec, SymmetryConfig};
 use djvm::ProgramBuilder;
 
@@ -23,25 +23,21 @@ fn loop_program(n: i64) -> djvm::Program {
     pb.finish(m).unwrap()
 }
 
-fn yieldpoint_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("yieldpoint_overhead");
+fn main() {
+    let mut g = Group::new("yieldpoint_overhead");
     g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
     let mut spec = ExecSpec::new(loop_program(50_000));
     spec.timer_base = 997;
     spec.timer_jitter = 100;
-    g.bench_function("passthrough_50k_yieldpoints", |b| {
-        b.iter(|| dejavu::passthrough_run(&spec, |_| {}))
+    g.bench("passthrough_50k_yieldpoints", || {
+        black_box(dejavu::passthrough_run(&spec, |_| {}));
     });
-    g.bench_function("record_50k_yieldpoints", |b| {
-        b.iter(|| dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false))
+    g.bench("record_50k_yieldpoints", || {
+        black_box(dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false));
     });
-    g.bench_function("replay_50k_yieldpoints", |b| {
-        let (_, trace) = dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false);
-        b.iter(|| dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full()))
+    let (_, trace) = dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false);
+    g.bench("replay_50k_yieldpoints", || {
+        black_box(dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full()));
     });
     g.finish();
 }
-
-criterion_group!(benches, yieldpoint_overhead);
-criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! A tiny `std::time::Instant` bench harness (the criterion replacement).
+//!
+//! Hermetic-build discipline: the platform owns its measurement machinery.
+//! Each bench target builds a [`Group`], registers closures, and calls
+//! [`Group::finish`], which prints one human line per bench and emits a
+//! `BENCH_<group>.json` file so the perf trajectory is machine-readable.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_SMOKE=1` — one warmup-free iteration per bench (the CI smoke
+//!   run in `scripts/verify.sh`),
+//! * `BENCH_SAMPLES=<n>` — override the per-bench sample count,
+//! * `BENCH_DIR=<path>` — where to write `BENCH_<group>.json`
+//!   (default: current directory).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier benches wrap their outputs in.
+pub use std::hint::black_box;
+
+/// Timing summary of one registered bench.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub samples: u64,
+    pub mean_ns: u64,
+    pub median_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+/// A named group of benches sharing sampling configuration.
+pub struct Group {
+    name: String,
+    sample_size: u64,
+    warm_up: Duration,
+    smoke: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Group {
+    pub fn new(name: &str) -> Self {
+        let smoke = std::env::var("BENCH_SMOKE").map_or(false, |v| v != "0");
+        let sample_size = std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self {
+            name: name.to_string(),
+            sample_size,
+            warm_up: Duration::from_millis(300),
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    pub fn sample_size(&mut self, n: u64) -> &mut Self {
+        if std::env::var("BENCH_SAMPLES").is_err() {
+            self.sample_size = n.max(1);
+        }
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measure `f`: warm up for the configured duration, then time
+    /// `sample_size` individual calls. In smoke mode: one call, no warmup.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = if self.smoke { 1 } else { self.sample_size };
+        if !self.smoke {
+            let start = Instant::now();
+            while start.elapsed() < self.warm_up {
+                f();
+            }
+        }
+        let mut times: Vec<u64> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            f();
+            times.push(t0.elapsed().as_nanos() as u64);
+        }
+        times.sort_unstable();
+        let result = BenchResult {
+            name: name.to_string(),
+            samples,
+            mean_ns: times.iter().sum::<u64>() / samples,
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            max_ns: times[times.len() - 1],
+        };
+        println!(
+            "{}/{}: median {} (mean {}, min {}, max {}, n={})",
+            self.name,
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            result.samples,
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// The JSON document `finish` writes (one line).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"group\":\"{}\",\"results\":[", self.name);
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"samples\":{},\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                r.name.replace('"', "'"),
+                r.samples,
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Print the JSON summary and write `BENCH_<group>.json`.
+    pub fn finish(&self) {
+        let json = self.to_json();
+        println!("{json}");
+        let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let _ = std::fs::create_dir_all(&dir);
+        let path = format!("{dir}/BENCH_{}.json", self.name);
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_group_measures_and_serializes() {
+        // Force deterministic single-sample behaviour regardless of env.
+        let mut g = Group {
+            name: "unit".into(),
+            sample_size: 3,
+            warm_up: Duration::ZERO,
+            smoke: false,
+            results: Vec::new(),
+        };
+        let mut n = 0u64;
+        g.bench("count", || {
+            n = black_box(n + 1);
+        });
+        assert_eq!(g.results.len(), 1);
+        let r = &g.results[0];
+        assert_eq!(r.samples, 3);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        let json = g.to_json();
+        assert!(json.starts_with("{\"group\":\"unit\""));
+        assert!(json.contains("\"name\":\"count\""));
+        // The emitted document is valid JSON by our own parser.
+        assert!(codec::Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark harness and the `experiments` binary.
 
+pub mod harness;
+
 use dejavu::ExecSpec;
 use djvm::Vm;
 

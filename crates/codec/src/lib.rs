@@ -1,0 +1,24 @@
+//! # codec — std-only serialization for the DejaVu reproduction
+//!
+//! The platform controls *all* of its own side effects (paper §3: pre-loaded
+//! classes, pre-allocated buffers); the build-system analogue is owning our
+//! serialization layers instead of pulling external crates the hermetic
+//! build environment cannot fetch. This crate is the workspace's only
+//! encode/decode machinery:
+//!
+//! * [`bin`] — LEB128 varints and zigzag, the primitives under the binary
+//!   trace format ([`dejavu`'s two-stream trace]) and any other compact
+//!   on-disk structure.
+//! * [`json`] — a small JSON value model ([`json::Json`]) with a strict
+//!   recursive-descent parser and a writer, plus the [`json::FromJson`] /
+//!   [`json::ToJson`] traits the debugger protocol and the `djvm` program
+//!   dump implement by hand.
+//!
+//! Everything here is `std`-only and deterministic: the writer emits object
+//! keys in insertion order, so encoding is a pure function of the value.
+
+pub mod bin;
+pub mod json;
+
+pub use bin::{get_varint, put_varint, unzigzag, zigzag};
+pub use json::{FromJson, Json, JsonError, ToJson};

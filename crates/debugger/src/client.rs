@@ -3,6 +3,7 @@
 //! process, talking to the debugger tier over TCP.
 
 use crate::protocol::{Command, Response};
+use codec::{FromJson, ToJson};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -22,12 +23,12 @@ impl DebugClient {
 
     /// Send a command and await its response.
     pub fn request(&mut self, cmd: &Command) -> std::io::Result<Response> {
-        let mut s = serde_json::to_string(cmd).expect("serialize");
+        let mut s = cmd.to_json_string();
         s.push('\n');
         self.stream.write_all(s.as_bytes())?;
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
-        serde_json::from_str(line.trim())
+        Response::from_json_str(line.trim())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 

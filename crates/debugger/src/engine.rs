@@ -14,12 +14,11 @@ use djvm::heap::Addr;
 use djvm::thread::ThreadStatus;
 use djvm::{CycleClock, FixedTimer, MethodId, Program, Tid, Vm, VmConfig, VmStatus};
 use reflect::{mirror, LocalVmMemory, RemoteReflector};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Why the session stopped.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StopReason {
     Breakpoint { method: u32, pc: u32, tid: u32 },
     StepDone,
@@ -29,7 +28,7 @@ pub enum StopReason {
 }
 
 /// One frame of a stack trace, resolved via remote reflection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameInfo {
     pub method: u32,
     pub method_name: String,
@@ -42,7 +41,7 @@ pub struct FrameInfo {
 
 /// Thread-viewer row (paper §4: "A thread viewer is useful for finding
 /// subtle bugs in multithreaded applications").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadInfo {
     pub tid: u32,
     pub name: String,

@@ -4,6 +4,7 @@
 
 use crate::engine::DebugSession;
 use crate::protocol::{Command, Response};
+use codec::{FromJson, ToJson};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 
@@ -18,7 +19,7 @@ pub fn serve_one(mut session: DebugSession, listener: TcpListener) -> std::io::R
         if reader.read_line(&mut line)? == 0 {
             break;
         }
-        let cmd: Command = match serde_json::from_str(line.trim()) {
+        let cmd: Command = match Command::from_json_str(line.trim()) {
             Ok(c) => c,
             Err(e) => {
                 send(&mut conn, &Response::Error {
@@ -38,7 +39,7 @@ pub fn serve_one(mut session: DebugSession, listener: TcpListener) -> std::io::R
 }
 
 fn send(conn: &mut std::net::TcpStream, resp: &Response) -> std::io::Result<()> {
-    let mut s = serde_json::to_string(resp).expect("serialize");
+    let mut s = resp.to_json_string();
     s.push('\n');
     conn.write_all(s.as_bytes())
 }

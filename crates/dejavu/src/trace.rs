@@ -11,14 +11,16 @@
 //!   in execution order: wall-clock reads (§2.2) and native-call outcomes
 //!   including callback parameters (§2.5).
 //!
-//! The binary encoding is varint-based; [`Trace::encoded`] /
-//! [`Trace::decode`] round-trip it, and [`TraceStats`] reports the sizes
-//! the trace-size experiment (E5) compares against the baselines.
+//! The binary encoding is varint-based (the shared [`codec::bin`]
+//! primitives); [`Trace::encoded`] / [`Trace::decode`] round-trip it, and
+//! [`TraceStats`] reports the sizes the trace-size experiment (E5)
+//! compares against the baselines.
 //!
 //! In *paranoid* mode each switch record additionally carries the thread
 //! id observed during record, used purely as a replay-desync detector —
 //! the paper's minimal trace does not need it.
 
+use codec::{get_varint, put_varint, unzigzag, zigzag};
 use djvm::MethodId;
 
 /// One preemptive thread switch.
@@ -65,43 +67,6 @@ pub struct TraceStats {
 }
 
 const MAGIC: &[u8; 4] = b"DJV1";
-
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let b = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(b);
-            return;
-        }
-        buf.push(b | 0x80);
-    }
-}
-
-fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
-    let mut v = 0u64;
-    let mut shift = 0;
-    loop {
-        let b = *buf.get(*pos)?;
-        *pos += 1;
-        v |= ((b & 0x7F) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-        if shift >= 64 {
-            return None;
-        }
-    }
-}
-
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
 
 impl Trace {
     /// Encode to the binary on-disk format.
@@ -275,22 +240,36 @@ mod tests {
     }
 
     #[test]
-    fn zigzag_roundtrip() {
-        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
-            assert_eq!(unzigzag(zigzag(v)), v);
-        }
+    fn roundtrip_empty_trace() {
+        let t = Trace::default();
+        assert_eq!(Trace::decode(&t.encoded()).unwrap(), t);
+        // Header + two zero-length stream counts.
+        assert_eq!(t.encoded().len(), 7);
     }
 
     #[test]
-    fn varint_boundaries() {
-        let mut buf = Vec::new();
-        for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
-            buf.clear();
-            put_varint(&mut buf, v);
-            let mut pos = 0;
-            assert_eq!(get_varint(&buf, &mut pos), Some(v));
-            assert_eq!(pos, buf.len());
-        }
+    fn roundtrip_max_nyp_delta() {
+        // A replay that never preempts until the very end of a long run:
+        // the nyp delta can be any u64.
+        let t = Trace {
+            paranoid: false,
+            switches: vec![
+                SwitchRec { nyp: u64::MAX, check_tid: u32::MAX },
+                SwitchRec { nyp: 1, check_tid: u32::MAX },
+            ],
+            data: vec![DataRec::Clock(i64::MIN)],
+        };
+        assert_eq!(Trace::decode(&t.encoded()).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_paranoid_max_tid() {
+        let t = Trace {
+            paranoid: true,
+            switches: vec![SwitchRec { nyp: u64::MAX, check_tid: u32::MAX }],
+            data: vec![],
+        };
+        assert_eq!(Trace::decode(&t.encoded()).unwrap(), t);
     }
 
     #[test]

@@ -12,8 +12,6 @@
 //! (the only program points at which a preemptive thread switch may occur —
 //! exactly Jalapeño's discipline, which DejaVu's `nyp` counter relies on).
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a class within a [`crate::program::Program`].
 pub type ClassId = u32;
 /// Index of a method within a [`crate::program::Program`].
@@ -28,7 +26,7 @@ pub type NativeId = u32;
 /// The baseline compiler's dataflow pass infers one of these for every
 /// local and operand-stack slot at every pc; the resulting *reference maps*
 /// are what make the garbage collector type-accurate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ty {
     /// 64-bit signed integer (also used for booleans and millisecond counts).
     Int,
@@ -37,7 +35,7 @@ pub enum Ty {
 }
 
 /// A single guest instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     // ---- constants, locals, operand-stack shuffling ----
     /// Push an integer constant.

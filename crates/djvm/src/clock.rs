@@ -11,8 +11,7 @@
 //! while each individual run is non-deterministic from the guest's
 //! perspective — exactly the property DejaVu must tame.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Produces the interval (in interpreted cycles) until the next preemption
 /// timer interrupt.
@@ -52,7 +51,7 @@ impl TimerSource for FixedTimer {
 /// Jittered timer: interval is `base ± jitter`, drawn from a seeded RNG.
 /// Different seeds model different physical executions of the same program.
 pub struct JitteredTimer {
-    rng: StdRng,
+    rng: SplitMix64,
     base: u64,
     jitter: u64,
 }
@@ -61,7 +60,7 @@ impl JitteredTimer {
     pub fn new(seed: u64, base: u64, jitter: u64) -> Self {
         assert!(base > jitter, "base interval must exceed jitter");
         Self {
-            rng: StdRng::seed_from_u64(seed ^ 0x7161_7565_7565_6421),
+            rng: SplitMix64::new(seed ^ 0x7161_7565_7565_6421),
             base,
             jitter,
         }
@@ -75,7 +74,7 @@ impl TimerSource for JitteredTimer {
         }
         let lo = self.base - self.jitter;
         let hi = self.base + self.jitter;
-        self.rng.gen_range(lo..=hi)
+        self.rng.gen_range_u64(lo, hi)
     }
 }
 
@@ -118,7 +117,7 @@ impl WallClock for CycleClock {
 /// `Date()` of Figure 1 (C)/(D), whose value steers branches and hence
 /// thread switches.
 pub struct JitteredClock {
-    rng: StdRng,
+    rng: SplitMix64,
     origin: i64,
     cycles_per_ms: u64,
     max_noise: i64,
@@ -130,7 +129,7 @@ impl JitteredClock {
     pub fn new(seed: u64, origin: i64, cycles_per_ms: u64, max_noise: i64) -> Self {
         assert!(cycles_per_ms > 0);
         Self {
-            rng: StdRng::seed_from_u64(seed ^ 0x636c_6f63_6b21),
+            rng: SplitMix64::new(seed ^ 0x636c_6f63_6b21),
             origin,
             cycles_per_ms,
             max_noise,
@@ -143,7 +142,7 @@ impl JitteredClock {
 impl WallClock for JitteredClock {
     fn now(&mut self, cycles: u64) -> i64 {
         let noise = if self.max_noise > 0 {
-            self.rng.gen_range(0..=self.max_noise)
+            self.rng.gen_range_i64(0, self.max_noise)
         } else {
             0
         };

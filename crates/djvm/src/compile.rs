@@ -248,7 +248,18 @@ fn inject_builtins(program: &mut Program) {
 
     // VM_Method.getLineNumberAt(offset): the reflective query of Fig. 3.
     //   if (offset >= lineTable.length) return 0; return lineTable[offset];
-    let get_line_number_at = {
+    // Injection must be idempotent — a program that already carries the
+    // builtins (e.g. one decoded from the JSON codec and recompiled) is
+    // re-resolved, never extended twice.
+    let existing_glna = {
+        let c = &program.classes[vm_method_class as usize];
+        c.vslots
+            .get("getLineNumberAt")
+            .map(|&slot| c.vtable[slot as usize])
+    };
+    let get_line_number_at = if let Some(id) = existing_glna {
+        id
+    } else {
         let line_table_idx = 2u16; // third field of VM_Method
         let ops = vec![
             Op::Load(0),                                    // this
@@ -356,7 +367,7 @@ fn inject_builtins(program: &mut Program) {
     // sys$getMethods: the VM_Dictionary.getMethods() analogue. Stub body —
     // a tool JVM *maps* this method (intercepting its invocation to return
     // a remote object); it is never meant to execute.
-    let get_methods = {
+    let get_methods = program.method_id_by_name("sys$getMethods").unwrap_or_else(|| {
         program.methods.push(Method {
             name: "sys$getMethods".into(),
             owner: None,
@@ -369,13 +380,13 @@ fn inject_builtins(program: &mut Program) {
             compiled: None,
         });
         (program.methods.len() - 1) as MethodId
-    };
+    });
 
     // sys$lineNumberOf(methodNumber, offset): the paper's Figure 3 query:
     //   VM_Method[] mtable = VM_Dictionary.getMethods();
     //   VM_Method candidate = mtable[methodNumber];
     //   return candidate.getLineNumberAt(offset);
-    let line_number_of = {
+    let line_number_of = program.method_id_by_name("sys$lineNumberOf").unwrap_or_else(|| {
         let slot = program.classes[vm_method_class as usize].vslots["getLineNumberAt"];
         program.methods.push(Method {
             name: "sys$lineNumberOf".into(),
@@ -401,7 +412,7 @@ fn inject_builtins(program: &mut Program) {
             compiled: None,
         });
         (program.methods.len() - 1) as MethodId
-    };
+    });
 
     program.builtins = crate::program::Builtins {
         thread_class,

@@ -30,6 +30,7 @@
 pub mod builder;
 pub mod bytecode;
 pub mod clock;
+pub mod codec;
 pub mod compile;
 pub mod dis;
 pub mod fingerprint;
@@ -39,6 +40,7 @@ pub mod hook;
 pub mod interp;
 pub mod native;
 pub mod program;
+pub mod rng;
 pub mod sched;
 pub mod thread;
 pub mod vm;
@@ -51,5 +53,6 @@ pub use heap::{Addr, ArrKind, GcKind, Word};
 pub use hook::{ExecHook, Passthrough, YieldAction};
 pub use native::{CallbackReq, NativeCtx, NativeOutcome, NativeRegistry};
 pub use program::Program;
+pub use rng::SplitMix64;
 pub use thread::{ThreadStatus, Tid};
 pub use vm::{ErrKind, Vm, VmConfig, VmError, VmStatus};

@@ -7,11 +7,10 @@
 
 use crate::bytecode::{ClassId, MethodId, NativeId, Op, Ty};
 use crate::compile::CompiledMethod;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A guest class: a named record type with single inheritance and a vtable.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Class {
     /// Class name (used by reflection and the debugger).
     pub name: String,
@@ -31,14 +30,14 @@ pub struct Class {
 }
 
 /// An instance or static field declaration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FieldDecl {
     pub name: String,
     pub ty: Ty,
 }
 
 /// A guest method.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Method {
     /// Method name, qualified for display as `Class.name` when owned.
     pub name: String,
@@ -60,7 +59,8 @@ pub struct Method {
     /// remote-reflection line-number example (paper Fig. 3) and debugger.
     pub lines: Vec<u32>,
     /// Output of the baseline compiler; populated by [`crate::compile`].
-    #[serde(skip)]
+    /// Not part of the serialized form (the codec skips it; a decoded
+    /// program must be re-compiled).
     pub compiled: Option<CompiledMethod>,
 }
 
@@ -76,7 +76,7 @@ impl Method {
 
 /// Declared signature of a native (JNI-like) function: how many arguments
 /// it pops and whether it pushes a result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NativeDecl {
     pub name: String,
     pub nargs: u8,
@@ -86,7 +86,7 @@ pub struct NativeDecl {
 /// Ids of the classes and methods the VM itself relies on. These are
 /// injected by the baseline compiler if the program does not define them —
 /// the analogue of Jalapeño's boot-image classes.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Builtins {
     /// `Thread { tid: Int }` — the object returned by `Spawn`.
     pub thread_class: ClassId,
@@ -113,7 +113,7 @@ pub struct Builtins {
 }
 
 /// An immutable, verified guest program.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     pub classes: Vec<Class>,
     pub methods: Vec<Method>,

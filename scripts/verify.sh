@@ -1,0 +1,23 @@
+#!/bin/sh
+# Hermetic verification: build, test and bench-smoke the whole workspace
+# with the network unplugged (--offline). Fails loudly if anything would
+# need a registry fetch — the workspace must stay zero-dependency.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== bench smoke (1 iteration per bench) =="
+# Absolute path: bench executables run with the bench crate as cwd.
+BENCH_DIR="${BENCH_DIR:-$(pwd)/target/bench-smoke}"
+BENCH_SMOKE=1 BENCH_DIR="$BENCH_DIR" cargo bench --offline -p bench
+
+echo "== bench output =="
+ls -l "$BENCH_DIR"/BENCH_*.json
+
+echo "verify: OK"

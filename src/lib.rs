@@ -1,9 +1,13 @@
 //! Umbrella crate for the DejaVu reproduction workspace. See README.md.
 //!
 //! Re-exports the member crates so integration tests and examples can use
-//! a single dependency.
+//! a single dependency, and hosts [`qc`], the workspace's deterministic
+//! property-testing harness (hermetic build: no proptest).
+
+pub mod qc;
 
 pub use baselines;
+pub use codec;
 pub use debugger;
 pub use dejavu;
 pub use djvm;

@@ -1,0 +1,392 @@
+//! qc — a mini deterministic property-testing harness (the proptest
+//! replacement).
+//!
+//! Fitting for this repository: the paper's whole subject is deterministic
+//! re-execution, and so is this module's. A property draws values through
+//! a [`Gen`]; every draw consumes one raw `u64` from a seeded SplitMix64
+//! stream and is recorded on a *tape*. Case seeds are pure functions of
+//! the test name, so a failure reproduces bit-identically on every
+//! machine with no seed file.
+//!
+//! **Shrinking-lite:** on failure the recorded tape is minimized by
+//! re-running the property on mutated tapes — truncations (drops trailing
+//! structure), zeroings, halvings and decrements of individual entries
+//! (drives drawn values toward range minimums, vector lengths toward
+//! their floor). The tape stores *canonical* raws — the smallest source
+//! value replaying to the same drawn value — so tape order is value
+//! order and the mutations shrink values directly. The minimal tape is
+//! printed in the panic message and can be replayed with
+//! [`Gen::replaying`].
+//!
+//! Knobs: `QC_CASES` overrides the per-property case count; `QC_SEED`
+//! overrides the base seed.
+
+use djvm::SplitMix64;
+
+/// Source of generated values: a recorded stream of raw `u64`s, drawn
+/// fresh from a PRNG or replayed from a shrink-candidate tape.
+pub struct Gen {
+    rng: SplitMix64,
+    replay: Option<Vec<u64>>,
+    /// Raws consumed so far (the tape).
+    recorded: Vec<u64>,
+}
+
+impl Gen {
+    /// Fresh generator for one case.
+    pub fn fresh(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+            replay: None,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Replay a (possibly mutated) tape; draws beyond its end yield 0,
+    /// the smallest raw, so truncation is always a valid shrink.
+    pub fn replaying(tape: Vec<u64>) -> Self {
+        Self {
+            rng: SplitMix64::new(0),
+            replay: Some(tape),
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Next unrecorded source value: replay tape (0 past its end) or PRNG.
+    fn next_raw(&mut self) -> u64 {
+        let i = self.recorded.len();
+        match &self.replay {
+            Some(tape) => tape.get(i).copied().unwrap_or(0),
+            None => self.rng.next_u64(),
+        }
+    }
+
+    /// Record the *canonical* raw for a draw — the smallest source value
+    /// that replays to the same drawn value. Keeping the tape canonical is
+    /// what makes shrinking work: decrementing or halving a tape entry
+    /// moves the drawn value itself down, not some unrelated residue.
+    fn record(&mut self, canonical: u64) {
+        self.recorded.push(canonical);
+    }
+
+    /// Uniform-ish draw from `lo..=hi` (modulo mapping; the slight bias is
+    /// irrelevant for test generation). The tape entry is the offset from
+    /// `lo`, so tape order == value order.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            let r = self.next_raw();
+            self.record(r);
+            return r;
+        }
+        let off = self.next_raw() % (span + 1);
+        self.record(off);
+        lo + off
+    }
+
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi as u64).wrapping_sub(lo as u64);
+        if span == u64::MAX {
+            let r = self.next_raw();
+            self.record(r);
+            return r as i64;
+        }
+        let off = self.next_raw() % (span + 1);
+        self.record(off);
+        lo.wrapping_add(off as i64)
+    }
+
+    /// Full-range `i64` (proptest's `any::<i64>()`); the tape entry is the
+    /// zigzag encoding, so smaller tape values mean smaller magnitudes.
+    pub fn any_i64(&mut self) -> i64 {
+        let r = self.next_raw();
+        self.record(r);
+        codec::unzigzag(r)
+    }
+
+    pub fn any_i32(&mut self) -> i32 {
+        self.any_i64() as i32
+    }
+
+    pub fn any_u64(&mut self) -> u64 {
+        let r = self.next_raw();
+        self.record(r);
+        r
+    }
+
+    pub fn bool(&mut self) -> bool {
+        let b = self.next_raw() & 1;
+        self.record(b);
+        b == 1
+    }
+
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// A vector whose length is drawn from `min..=max`, elements from `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        min: usize,
+        max: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(min, max);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// FNV-1a — stable name→seed mapping across platforms and sessions.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+/// Run `prop` for `cases` generated cases; on failure, shrink the tape
+/// and panic with a replayable report.
+///
+/// The property reports failure by returning `Err` (see [`qc_assert!`] /
+/// [`qc_assert_eq!`]); it must be deterministic in the values it draws.
+pub fn check<F>(name: &str, cases: u64, mut prop: F)
+where
+    F: FnMut(&mut Gen) -> Result<(), String>,
+{
+    let cases = env_u64("QC_CASES").unwrap_or(cases).max(1);
+    let base = env_u64("QC_SEED").unwrap_or_else(|| fnv1a(name));
+    // Case seeds are SplitMix64 outputs of the base seed, not base+i:
+    // neighbouring streams would otherwise overlap heavily.
+    let mut seeder = SplitMix64::new(base);
+    for case in 0..cases {
+        let seed = seeder.next_u64();
+        let mut g = Gen::fresh(seed);
+        if let Err(msg) = prop(&mut g) {
+            let (tape, msg) = shrink(&mut prop, g.recorded, msg);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, seed {seed:#x}):\n  {msg}\n  \
+                 minimal tape ({} draws): {tape:?}\n  \
+                 replay with Gen::replaying(vec!{tape:?})",
+                tape.len()
+            );
+        }
+    }
+}
+
+/// Re-run `prop` on a candidate tape; `Some((consumed tape, message))` if
+/// it still fails.
+fn attempt<F>(prop: &mut F, cand: Vec<u64>) -> Option<(Vec<u64>, String)>
+where
+    F: FnMut(&mut Gen) -> Result<(), String>,
+{
+    let n = cand.len();
+    let mut g = Gen::replaying(cand);
+    match prop(&mut g) {
+        Err(m) => {
+            // Keep only the raws the property consumed; beyond-tape draws
+            // were zeros and replay as zeros again, so drop them too.
+            let mut used = g.recorded;
+            used.truncate(n.min(used.len()));
+            Some((used, m))
+        }
+        Ok(()) => None,
+    }
+}
+
+/// Minimize a failing tape: repeatedly try truncations, zeroings,
+/// halvings and decrements, keeping any mutation that still fails.
+/// Bounded work, then return the smallest failure found.
+fn shrink<F>(prop: &mut F, mut tape: Vec<u64>, mut msg: String) -> (Vec<u64>, String)
+where
+    F: FnMut(&mut Gen) -> Result<(), String>,
+{
+    let mut budget = 2000usize;
+    let mut progress = true;
+    while progress && budget > 0 {
+        progress = false;
+        // 1. Truncate: drop the tail (half, then shorter).
+        let mut cut = tape.len() / 2;
+        while cut > 0 && budget > 0 {
+            budget -= 1;
+            let cand: Vec<u64> = tape[..tape.len() - cut].to_vec();
+            if let Some((t, m)) = attempt(prop, cand) {
+                tape = t;
+                msg = m;
+                progress = true;
+                cut = tape.len() / 2;
+            } else {
+                cut /= 2;
+            }
+        }
+        // 2. Point mutations per position: zero, halve, decrement.
+        //    Halving crosses modulo "blocks" of ranged draws; the
+        //    decrement then walks to a block's floor.
+        for i in 0.. {
+            // An accepted attempt may shorten the tape mid-loop.
+            if i >= tape.len() {
+                break;
+            }
+            while i < tape.len() && tape[i] != 0 && budget > 0 {
+                let old = tape[i];
+                let mut advanced = false;
+                for cand_v in [0, old / 2, old - 1] {
+                    if cand_v >= old {
+                        continue;
+                    }
+                    budget = budget.saturating_sub(1);
+                    let mut cand = tape.clone();
+                    cand[i] = cand_v;
+                    if let Some((t, m)) = attempt(prop, cand) {
+                        tape = t;
+                        msg = m;
+                        progress = true;
+                        advanced = true;
+                        break;
+                    }
+                    if budget == 0 {
+                        break;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
+    }
+    (tape, msg)
+}
+
+/// `assert!` for qc properties: returns `Err` instead of panicking so the
+/// shrinker can drive re-execution.
+#[macro_export]
+macro_rules! qc_assert {
+    ($cond:expr $(, $($arg:tt)+)?) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {}{}",
+                stringify!($cond),
+                $crate::qc_detail!($($($arg)+)?)
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for qc properties.
+#[macro_export]
+macro_rules! qc_assert_eq {
+    ($left:expr, $right:expr $(, $($arg:tt)+)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                $crate::qc_detail!($($($arg)+)?)
+            ));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! qc_detail {
+    () => {
+        String::new()
+    };
+    ($($arg:tt)+) => {
+        format!("\n  context: {}", format!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check("commutative_add", 200, |g| {
+            let a = g.any_i64();
+            let b = g.any_i64();
+            qc_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failing_property_panics_with_minimal_tape() {
+        let result = std::panic::catch_unwind(|| {
+            check("always_small", 50, |g| {
+                let v = g.u64_in(0, 1000);
+                qc_assert!(v < 500, "v = {v}");
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("property `always_small` failed"), "{msg}");
+        assert!(msg.contains("minimal tape"), "{msg}");
+        // Shrinking drives the single drawn raw to the smallest failing
+        // value: 500.
+        assert!(msg.contains("[500]"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vector_lengths() {
+        let result = std::panic::catch_unwind(|| {
+            check("no_big_vecs", 50, |g| {
+                let v = g.vec_of(0, 40, |g| g.u64_in(0, 9));
+                qc_assert!(v.len() < 10);
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // Minimal counterexample: length raw shrunk to exactly 10,
+        // elements all zero (replay beyond tape yields 0).
+        assert!(msg.contains("minimal tape (1 draws): [10]"), "{msg}");
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = Vec::new();
+        check("stream_probe", 3, |g| {
+            a.push(g.any_u64());
+            Ok(())
+        });
+        // `check` takes Fn, so capture through a RefCell-free second pass.
+        let mut b = Vec::new();
+        check("stream_probe", 3, |g| {
+            b.push(g.any_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replaying_reproduces_draws() {
+        let mut g = Gen::fresh(99);
+        let vals = (g.u64_in(0, 100), g.any_i64(), g.bool());
+        let tape = g.recorded.clone();
+        let mut r = Gen::replaying(tape);
+        assert_eq!((r.u64_in(0, 100), r.any_i64(), r.bool()), vals);
+    }
+
+    #[test]
+    fn exhausted_tape_yields_minimums() {
+        let mut g = Gen::replaying(vec![]);
+        assert_eq!(g.u64_in(5, 100), 5);
+        assert_eq!(g.i64_in(-3, 3), -3);
+        assert_eq!(g.any_i64(), 0);
+        assert!(!g.bool());
+        assert!(g.vec_of(0, 8, |g| g.any_u64()).is_empty());
+    }
+}

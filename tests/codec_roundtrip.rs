@@ -1,0 +1,204 @@
+//! Round-trip coverage for the hermetic codec layer, through the public
+//! API: binary `Trace` edge cases, JSON round-trips for *every*
+//! `Command`/`Response` variant on the debugger wire protocol, and a full
+//! `Program` JSON round-trip that re-compiles and re-runs identically.
+
+use codec::{FromJson, ToJson};
+use debugger::protocol::{Command, Response};
+use debugger::{FrameInfo, StopReason, ThreadInfo};
+use dejavu::{DataRec, SwitchRec, Trace};
+
+// ---------------------------------------------------------------------
+// Binary trace format
+// ---------------------------------------------------------------------
+
+fn bin_roundtrip(t: &Trace) {
+    let bytes = t.encoded();
+    let back = Trace::decode(&bytes).expect("decode");
+    assert_eq!(&back, t);
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    bin_roundtrip(&Trace::default());
+    // Header only: magic + flags byte + two zero-length varint counts.
+    assert_eq!(Trace::default().encoded().len(), 7);
+}
+
+#[test]
+fn paranoid_trace_roundtrips() {
+    bin_roundtrip(&Trace {
+        paranoid: true,
+        switches: vec![
+            SwitchRec { nyp: 0, check_tid: 0 },
+            SwitchRec { nyp: 1, check_tid: 3 },
+            SwitchRec { nyp: 1 << 40, check_tid: u32::MAX - 1 },
+        ],
+        data: vec![DataRec::Clock(-1), DataRec::Clock(0)],
+    });
+}
+
+#[test]
+fn extreme_values_roundtrip() {
+    // u64::MAX nyp deltas exercise the full 10-byte varint path; i64
+    // extremes exercise zigzag at both ends.
+    bin_roundtrip(&Trace {
+        paranoid: false,
+        switches: vec![
+            SwitchRec { nyp: u64::MAX, check_tid: u32::MAX },
+            SwitchRec { nyp: u64::MAX - 1, check_tid: u32::MAX },
+        ],
+        data: vec![
+            DataRec::Clock(i64::MIN),
+            DataRec::Clock(i64::MAX),
+            DataRec::Native {
+                ret: i64::MIN,
+                callbacks: vec![(7, vec![i64::MAX, 0, -1])],
+            },
+        ],
+    });
+}
+
+#[test]
+fn truncated_trace_rejected() {
+    let full = Trace {
+        paranoid: true,
+        switches: vec![SwitchRec { nyp: 500_000, check_tid: 2 }],
+        data: vec![DataRec::Clock(123_456_789)],
+    }
+    .encoded();
+    for cut in 0..full.len() {
+        assert!(
+            Trace::decode(&full[..cut]).is_none(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+    assert!(Trace::decode(b"NOPE").is_none());
+}
+
+// ---------------------------------------------------------------------
+// Debugger wire protocol: every variant, through the string form the
+// client/server actually exchange.
+// ---------------------------------------------------------------------
+
+fn every_command() -> Vec<Command> {
+    vec![
+        Command::Break { method: 0, pc: u32::MAX },
+        Command::BreakLine { method: "Worker.run \"q\"".into(), line: 42 },
+        Command::ClearBreak { method: 3, pc: 7 },
+        Command::Continue,
+        Command::Step,
+        Command::StepBack,
+        Command::Seek { step: u64::MAX },
+        Command::Stack { tid: 1 },
+        Command::Threads,
+        Command::Inspect { addr: u64::MAX - 1 },
+        Command::Disassemble { method: 9 },
+        Command::Output,
+        Command::Where,
+        Command::Quit,
+    ]
+}
+
+fn every_response() -> Vec<Response> {
+    vec![
+        Response::Ok,
+        Response::Stopped { reason: StopReason::StepDone, step: 0 },
+        Response::Stopped { reason: StopReason::Halted, step: u64::MAX },
+        Response::Stopped { reason: StopReason::Deadlocked, step: 17 },
+        Response::Stopped {
+            reason: StopReason::Breakpoint { method: 1, pc: 2, tid: 3 },
+            step: 9,
+        },
+        Response::Stopped {
+            reason: StopReason::Error("stack overflow — \"deep\"".into()),
+            step: 4,
+        },
+        Response::Stack {
+            frames: vec![FrameInfo {
+                method: 2,
+                method_name: "main".into(),
+                pc: 11,
+                line: -1,
+                op: "Add".into(),
+            }],
+        },
+        Response::Stack { frames: vec![] },
+        Response::Threads {
+            threads: vec![ThreadInfo {
+                tid: 0,
+                name: "t-ünïcode".into(),
+                status: "Runnable".into(),
+                method_name: "Worker.run".into(),
+                pc: 5,
+                yield_points: u64::MAX,
+            }],
+        },
+        Response::Object { description: "Node { v: 1, next: null }".into() },
+        Response::Listing { text: "0000  Iconst 1\n0001  Halt\n".into() },
+        Response::Output { text: "line1\nline2\\with\\backslashes".into() },
+        Response::Location { method: "main".into(), pc: 0, line: 1, step: 2 },
+        Response::Error { message: "no such method \u{7}".into() },
+        Response::Bye,
+    ]
+}
+
+#[test]
+fn every_command_roundtrips_as_one_json_line() {
+    for cmd in every_command() {
+        let line = cmd.to_json_string();
+        assert!(!line.contains('\n'), "multi-line wire form: {line}");
+        let back = Command::from_json_str(&line)
+            .unwrap_or_else(|e| panic!("{cmd:?}: {e} in {line}"));
+        assert_eq!(back, cmd, "wire form {line}");
+    }
+}
+
+#[test]
+fn every_response_roundtrips_as_one_json_line() {
+    for resp in every_response() {
+        let line = resp.to_json_string();
+        assert!(!line.contains('\n'), "multi-line wire form: {line}");
+        let back = Response::from_json_str(&line)
+            .unwrap_or_else(|e| panic!("{resp:?}: {e} in {line}"));
+        assert_eq!(back, resp, "wire form {line}");
+    }
+}
+
+#[test]
+fn protocol_rejects_malformed_lines() {
+    for junk in [
+        "",
+        "not json",
+        "{}",
+        r#"{"cmd":"no_such_command"}"#,
+        r#"{"resp":"stopped"}"#,
+        r#"{"cmd":"break","method":3}"#,
+        r#"{"cmd":"seek","step":-1}"#,
+    ] {
+        assert!(Command::from_json_str(junk).is_err(), "accepted {junk:?}");
+    }
+    assert!(Response::from_json_str(r#"{"resp":"nope"}"#).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Program JSON codec: encode → decode → recompile → identical run.
+// ---------------------------------------------------------------------
+
+#[test]
+fn program_json_roundtrip_runs_identically() {
+    let program = workloads::suite::racy_counter(40);
+    let json = program.to_json_string();
+    let mut decoded = djvm::Program::from_json_str(&json).expect("decode");
+    // The codec intentionally skips compiled method bodies; re-derive them.
+    djvm::compile::compile_program(&mut decoded).expect("recompile");
+    assert_eq!(decoded.to_json_string(), json, "re-encode not canonical");
+
+    let spec_a = dejavu::ExecSpec::new(program).with_seed(5);
+    let spec_b = dejavu::ExecSpec::new(decoded).with_seed(5);
+    let a = dejavu::passthrough_run(&spec_a, |_| {});
+    let b = dejavu::passthrough_run(&spec_b, |_| {});
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.state_digest, b.state_digest);
+}

@@ -1,8 +1,11 @@
-//! Property-based tests on the core invariants (proptest).
+//! Property-based tests on the core invariants, driven by the in-repo
+//! [`dejavu_repro::qc`] harness (deterministic SplitMix64 generation +
+//! shrinking-lite — no proptest; the build is hermetic).
 
 use dejavu::{passthrough_run, record_replay, ExecSpec, SymmetryConfig};
+use dejavu_repro::qc::{self, Gen};
+use dejavu_repro::{qc_assert, qc_assert_eq};
 use djvm::{ProgramBuilder, Ty};
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
 // 1. The interpreter computes arithmetic exactly like a host-side model.
@@ -17,16 +20,31 @@ enum Expr {
     Xor(Box<Expr>, Box<Expr>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = any::<i32>().prop_map(Expr::Const);
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
-        ]
-    })
+/// Recursive generator, depth-bounded like the old
+/// `prop_recursive(4, ..)` strategy.
+fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
+    // Draw-order stability: the shape draw happens before the subtree
+    // draws, so shrinking the shape raw toward 0 collapses to a leaf.
+    let choice = if depth == 0 { 0 } else { g.u64_in(0, 4) };
+    match choice {
+        0 => Expr::Const(g.any_i32()),
+        1 => Expr::Add(
+            gen_expr(g, depth - 1).into(),
+            gen_expr(g, depth - 1).into(),
+        ),
+        2 => Expr::Sub(
+            gen_expr(g, depth - 1).into(),
+            gen_expr(g, depth - 1).into(),
+        ),
+        3 => Expr::Mul(
+            gen_expr(g, depth - 1).into(),
+            gen_expr(g, depth - 1).into(),
+        ),
+        _ => Expr::Xor(
+            gen_expr(g, depth - 1).into(),
+            gen_expr(g, depth - 1).into(),
+        ),
+    }
 }
 
 fn eval(e: &Expr) -> i64 {
@@ -67,11 +85,10 @@ fn emit(e: &Expr, a: &mut djvm::builder::Asm) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn interpreter_matches_host_arithmetic(e in expr_strategy()) {
+#[test]
+fn interpreter_matches_host_arithmetic() {
+    qc::check("interpreter_matches_host_arithmetic", 64, |g| {
+        let e = gen_expr(g, 4);
         let mut pb = ProgramBuilder::new();
         let m = pb.method("main", 0, 0).code(|a| {
             emit(&e, a);
@@ -80,17 +97,20 @@ proptest! {
         });
         let spec = ExecSpec::new(pb.finish(m).unwrap());
         let r = passthrough_run(&spec, |_| {});
-        prop_assert_eq!(r.output.trim().parse::<i64>().unwrap(), eval(&e));
-    }
+        qc_assert_eq!(r.output.trim().parse::<i64>().unwrap(), eval(&e), "expr {e:?}");
+        Ok(())
+    });
+}
 
-    // -----------------------------------------------------------------
-    // 2. Executions are pure functions of the seed: bit-identical twice.
-    // -----------------------------------------------------------------
-    #[test]
-    fn execution_is_deterministic_given_the_seed(
-        seed in 0u64..1000,
-        base in 11u64..200,
-    ) {
+// ---------------------------------------------------------------------
+// 2. Executions are pure functions of the seed: bit-identical twice.
+// ---------------------------------------------------------------------
+
+#[test]
+fn execution_is_deterministic_given_the_seed() {
+    qc::check("execution_is_deterministic_given_the_seed", 64, |g| {
+        let seed = g.u64_in(0, 999);
+        let base = g.u64_in(11, 199);
         let w = workloads::suite::racy_counter(60);
         let mut s1 = ExecSpec::new(w.clone()).with_seed(seed);
         s1.timer_base = base;
@@ -100,56 +120,66 @@ proptest! {
         s2.timer_jitter = base / 3;
         let a = passthrough_run(&s1, |_| {});
         let b = passthrough_run(&s2, |_| {});
-        prop_assert_eq!(a.fingerprint, b.fingerprint);
-        prop_assert_eq!(a.state_digest, b.state_digest);
-    }
+        qc_assert_eq!(a.fingerprint, b.fingerprint);
+        qc_assert_eq!(a.state_digest, b.state_digest);
+        Ok(())
+    });
+}
 
-    // -----------------------------------------------------------------
-    // 3. Replay accuracy holds for arbitrary seeds and timer shapes.
-    // -----------------------------------------------------------------
-    #[test]
-    fn replay_is_accurate_for_any_seed(
-        seed in 0u64..10_000,
-        base in 13u64..150,
-    ) {
+// ---------------------------------------------------------------------
+// 3. Replay accuracy holds for arbitrary seeds and timer shapes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replay_is_accurate_for_any_seed() {
+    qc::check("replay_is_accurate_for_any_seed", 64, |g| {
+        let seed = g.u64_in(0, 9_999);
+        let base = g.u64_in(13, 149);
         let w = workloads::suite::racy_counter(80);
         let mut s = ExecSpec::new(w).with_seed(seed);
         s.timer_base = base;
         s.timer_jitter = base / 4;
         let (rec, rep, ok) = record_replay(&s, |_| {}, SymmetryConfig::full());
-        prop_assert!(ok, "rec {:?} rep {:?}", rec.output, rep.output);
-    }
+        qc_assert!(ok, "rec {:?} rep {:?}", rec.output, rep.output);
+        Ok(())
+    });
+}
 
-    // -----------------------------------------------------------------
-    // 4. The trace codec round-trips arbitrary traces.
-    // -----------------------------------------------------------------
-    #[test]
-    fn trace_codec_roundtrips(
-        nyps in proptest::collection::vec(1u64..1_000_000, 0..50),
-        clocks in proptest::collection::vec(any::<i64>(), 0..50),
-        paranoid in any::<bool>(),
-    ) {
+// ---------------------------------------------------------------------
+// 4. The trace codec round-trips arbitrary traces.
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_codec_roundtrips() {
+    qc::check("trace_codec_roundtrips", 256, |g| {
+        let paranoid = g.bool();
         let trace = dejavu::Trace {
             paranoid,
-            switches: nyps
-                .iter()
-                .map(|&n| dejavu::SwitchRec {
+            switches: g.vec_of(0, 50, |g| {
+                let n = g.u64_in(1, 1_000_000);
+                dejavu::SwitchRec {
                     nyp: n,
                     check_tid: if paranoid { (n % 7) as u32 } else { u32::MAX },
-                })
-                .collect(),
-            data: clocks.iter().map(|&c| dejavu::DataRec::Clock(c)).collect(),
+                }
+            }),
+            data: g.vec_of(0, 50, |g| dejavu::DataRec::Clock(g.any_i64())),
         };
-        let decoded = dejavu::Trace::decode(&trace.encoded()).unwrap();
-        prop_assert_eq!(decoded, trace);
-    }
+        let decoded = dejavu::Trace::decode(&trace.encoded())
+            .ok_or_else(|| "decode failed".to_string())?;
+        qc_assert_eq!(decoded, trace);
+        Ok(())
+    });
+}
 
-    // -----------------------------------------------------------------
-    // 5. Guest data structures survive GC: random linked-list contents
-    //    are intact after heavy churn, under both collectors.
-    // -----------------------------------------------------------------
-    #[test]
-    fn gc_preserves_linked_list(values in proptest::collection::vec(0i64..1000, 1..30)) {
+// ---------------------------------------------------------------------
+// 5. Guest data structures survive GC: random linked-list contents
+//    are intact after heavy churn, under both collectors.
+// ---------------------------------------------------------------------
+
+#[test]
+fn gc_preserves_linked_list() {
+    qc::check("gc_preserves_linked_list", 24, |g| {
+        let values = g.vec_of(1, 30, |g| g.i64_in(0, 999));
         let expected: i64 = values.iter().sum();
         for gc in [djvm::GcKind::MarkSweep, djvm::GcKind::Copying] {
             let mut pb = ProgramBuilder::new();
@@ -190,24 +220,27 @@ proptest! {
             s.vm.heap_words = 8 * 1024;
             s.vm.gc = gc;
             let r = passthrough_run(&s, |_| {});
-            prop_assert_eq!(
+            qc_assert_eq!(
                 r.output.trim().parse::<i64>().unwrap(),
                 expected,
-                "gc {:?}", gc
+                "gc {gc:?}"
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    // -----------------------------------------------------------------
-    // 6. Clock implementations are monotone for arbitrary cycle inputs.
-    // -----------------------------------------------------------------
-    #[test]
-    fn clocks_are_monotone(
-        seed in any::<u64>(),
-        mut cycles in proptest::collection::vec(0u64..1_000_000, 1..50),
-        warp in 0i64..1_000_000,
-    ) {
+// ---------------------------------------------------------------------
+// 6. Clock implementations are monotone for arbitrary cycle inputs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn clocks_are_monotone() {
+    qc::check("clocks_are_monotone", 256, |g| {
         use djvm::clock::WallClock;
+        let seed = g.any_u64();
+        let mut cycles = g.vec_of(1, 50, |g| g.u64_in(0, 999_999));
+        let warp = g.i64_in(0, 999_999);
         cycles.sort_unstable();
         let mut c = djvm::JitteredClock::new(seed, 0, 10, 25);
         let mut last = i64::MIN;
@@ -216,8 +249,9 @@ proptest! {
                 c.warp_to(warp);
             }
             let t = c.now(cy);
-            prop_assert!(t >= last);
+            qc_assert!(t >= last, "cycle {cy}: {t} < {last}");
             last = t;
         }
-    }
+        Ok(())
+    });
 }
