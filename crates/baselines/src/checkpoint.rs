@@ -129,6 +129,12 @@ impl TimeTravel {
         }
     }
 
+    /// Desyncs the underlying replayer has observed so far (empty while
+    /// the replay is tracking the recorded execution accurately).
+    pub fn desyncs(&self) -> &[dejavu::Desync] {
+        self.replayer.desyncs()
+    }
+
     /// Total checkpoint storage (bytes) currently held.
     pub fn storage_bytes(&self) -> usize {
         self.checkpoints.iter().map(|c| c.bytes).sum()

@@ -28,6 +28,12 @@ fn main() {
         g.bench(&format!("readlog_record/{name}"), || {
             black_box(baselines::readlog_record(&spec, natives));
         });
+        // One telemetry-enabled record per workload: per-event-kind trace
+        // byte accounting, histograms and phase spans, written alongside
+        // the timing file (telemetry is proven not to change the run).
+        let tspec = spec.clone().with_telemetry();
+        let (rec, trace) = dejavu::record_run(&tspec, natives, SymmetryConfig::full(), true);
+        g.attach_telemetry(name, dejavu::run_metrics_json(&rec, Some(&trace.stats())));
     }
     g.finish();
 }

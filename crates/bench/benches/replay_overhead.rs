@@ -24,6 +24,11 @@ fn main() {
         g.bench(&format!("instant_replay_replay/{name}"), || {
             black_box(baselines::ir_replay(&spec, ir_trace.clone()));
         });
+        // One telemetry-enabled replay per workload for the telemetry
+        // sidecar file (the sink is proven perturbation-free).
+        let tspec = spec.clone().with_telemetry();
+        let (rep, _) = dejavu::replay_run(&tspec, dj_trace.clone(), SymmetryConfig::full());
+        g.attach_telemetry(name, dejavu::run_metrics_json(&rep, None));
     }
     g.finish();
 }

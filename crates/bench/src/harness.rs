@@ -36,6 +36,7 @@ pub struct Group {
     warm_up: Duration,
     smoke: bool,
     results: Vec<BenchResult>,
+    telemetry: Vec<(String, codec::Json)>,
 }
 
 impl Group {
@@ -51,6 +52,7 @@ impl Group {
             warm_up: Duration::from_millis(300),
             smoke,
             results: Vec::new(),
+            telemetry: Vec::new(),
         }
     }
 
@@ -126,7 +128,30 @@ impl Group {
         out
     }
 
-    /// Print the JSON summary and write `BENCH_<group>.json`.
+    /// Attach a named telemetry document (e.g. from
+    /// `dejavu::run_metrics_json`) to this group; `finish` writes them all
+    /// as one canonical `TELEMETRY_<group>.json` next to the timing file.
+    pub fn attach_telemetry(&mut self, name: &str, doc: codec::Json) -> &mut Self {
+        self.telemetry.push((name.to_string(), doc));
+        self
+    }
+
+    /// The canonical telemetry document (`None` if nothing was attached).
+    pub fn telemetry_json(&self) -> Option<codec::Json> {
+        if self.telemetry.is_empty() {
+            return None;
+        }
+        let runs = codec::Json::Obj(self.telemetry.clone());
+        let mut doc = codec::Json::obj(vec![
+            ("group", codec::Json::Str(self.name.clone())),
+            ("runs", runs),
+        ]);
+        doc.canonicalize();
+        Some(doc)
+    }
+
+    /// Print the JSON summary and write `BENCH_<group>.json` (plus
+    /// `TELEMETRY_<group>.json` when telemetry was attached).
     pub fn finish(&self) {
         let json = self.to_json();
         println!("{json}");
@@ -135,6 +160,12 @@ impl Group {
         let path = format!("{dir}/BENCH_{}.json", self.name);
         if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
             eprintln!("warning: could not write {path}: {e}");
+        }
+        if let Some(doc) = self.telemetry_json() {
+            let tpath = format!("{dir}/TELEMETRY_{}.json", self.name);
+            if let Err(e) = std::fs::write(&tpath, format!("{doc}\n")) {
+                eprintln!("warning: could not write {tpath}: {e}");
+            }
         }
     }
 }
@@ -164,6 +195,7 @@ mod tests {
             warm_up: Duration::ZERO,
             smoke: false,
             results: Vec::new(),
+            telemetry: Vec::new(),
         };
         let mut n = 0u64;
         g.bench("count", || {
@@ -178,6 +210,20 @@ mod tests {
         assert!(json.contains("\"name\":\"count\""));
         // The emitted document is valid JSON by our own parser.
         assert!(codec::Json::parse(&json).is_ok());
+        // No telemetry attached → no telemetry doc.
+        assert!(g.telemetry_json().is_none());
+        // Attached telemetry serializes canonically (sorted keys).
+        g.attach_telemetry(
+            "run",
+            codec::Json::obj(vec![
+                ("b", codec::Json::UInt(2)),
+                ("a", codec::Json::UInt(1)),
+            ]),
+        );
+        let doc = g.telemetry_json().unwrap();
+        let s = doc.to_string();
+        assert_eq!(s, doc.to_canonical_string(), "already canonical");
+        assert!(s.contains(r#""runs":{"run":{"a":1,"b":2}}"#), "{s}");
     }
 
     #[test]

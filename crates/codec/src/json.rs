@@ -142,6 +142,34 @@ impl Json {
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
+
+    /// Recursively sort every object's keys, in place. Canonical form is
+    /// the contract for telemetry output: two semantically equal values
+    /// canonicalize to byte-identical encodings regardless of the order
+    /// their fields were assembled in.
+    pub fn canonicalize(&mut self) {
+        match self {
+            Json::Arr(items) => {
+                for item in items {
+                    item.canonicalize();
+                }
+            }
+            Json::Obj(pairs) => {
+                for (_, v) in pairs.iter_mut() {
+                    v.canonicalize();
+                }
+                pairs.sort_by(|(a, _), (b, _)| a.cmp(b));
+            }
+            _ => {}
+        }
+    }
+
+    /// Canonical (sorted-keys) one-line encoding; see [`Json::canonicalize`].
+    pub fn to_canonical_string(&self) -> String {
+        let mut c = self.clone();
+        c.canonicalize();
+        c.to_string()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -687,6 +715,36 @@ mod tests {
     fn object_key_order_is_stable() {
         let j = Json::obj(vec![("z", Json::Int(1)), ("a", Json::Int(2))]);
         assert_eq!(j.to_string(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_recursively() {
+        let j = Json::obj(vec![
+            ("z", Json::Int(1)),
+            (
+                "a",
+                Json::Arr(vec![Json::obj(vec![
+                    ("m", Json::Null),
+                    ("b", Json::Bool(true)),
+                ])]),
+            ),
+        ]);
+        assert_eq!(
+            j.to_canonical_string(),
+            "{\"a\":[{\"b\":true,\"m\":null}],\"z\":1}"
+        );
+        // Two assembly orders, one canonical encoding.
+        let k = Json::obj(vec![
+            (
+                "a",
+                Json::Arr(vec![Json::obj(vec![
+                    ("b", Json::Bool(true)),
+                    ("m", Json::Null),
+                ])]),
+            ),
+            ("z", Json::Int(1)),
+        ]);
+        assert_eq!(j.to_canonical_string(), k.to_canonical_string());
     }
 
     #[test]

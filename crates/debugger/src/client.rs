@@ -60,6 +60,14 @@ impl DebugClient {
         self.request(&Command::Output)
     }
 
+    pub fn metrics(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::Metrics)
+    }
+
+    pub fn divergence(&mut self) -> std::io::Result<Response> {
+        self.request(&Command::Divergence)
+    }
+
     pub fn quit(&mut self) -> std::io::Result<Response> {
         self.request(&Command::Quit)
     }

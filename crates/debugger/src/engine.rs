@@ -67,13 +67,17 @@ impl DebugSession {
         trace: Trace,
         checkpoint_interval: u64,
     ) -> Self {
-        let vm = Vm::boot(
+        let mut vm = Vm::boot(
             Arc::clone(&program),
             vm_config,
             Box::new(FixedTimer::new(1 << 30)), // replay ignores the timer
             Box::new(CycleClock::new(0, 100)),  // and never reads the clock
         )
         .expect("boot");
+        // The debugged VM always carries the observer-only telemetry sink:
+        // the `Metrics`/`Divergence` protocol commands read it, and since
+        // it lives outside the guest state it cannot perturb the replay.
+        vm.enable_telemetry(telemetry::DEFAULT_RING_CAP);
         let tt = TimeTravel::new(vm, trace, SymmetryConfig::full(), checkpoint_interval);
         Self {
             tt,
@@ -251,5 +255,51 @@ impl DebugSession {
     /// view), with yield points marked and source lines inline.
     pub fn disassemble(&self, method: MethodId) -> String {
         djvm::dis::disassemble(&self.program, method)
+    }
+
+    /// Canonical-JSON metrics snapshot: the replayed VM's event counters,
+    /// its telemetry sink (event ring + histograms), and the session's own
+    /// time-travel accounting. Purely observational — reading it executes
+    /// nothing and perturbs nothing.
+    pub fn metrics_json(&self) -> String {
+        use codec::Json;
+        let mut session = telemetry::Registry::new();
+        session.add("breakpoints", self.breakpoints.len() as u64);
+        session.add("checkpoint_bytes", self.tt.storage_bytes() as u64);
+        session.add("checkpoints", self.tt.checkpoints.len() as u64);
+        session.add("reexecuted_steps", self.tt.reexecuted);
+        session.add("restores", self.tt.restores);
+        session.add("step", self.tt.step);
+        let vm = self.tt.vm();
+        let mut j = Json::obj(vec![
+            ("counters", dejavu::counters_json(&vm.counters)),
+            ("cycles", Json::UInt(vm.cycles)),
+            ("ring", vm.telem.ring.to_json()),
+            ("session", session.to_json()),
+            (
+                "histograms",
+                Json::obj(vec![
+                    ("alloc_words", vm.telem.alloc_words.to_json()),
+                    ("compile_words", vm.telem.compile_words.to_json()),
+                    ("timer_intervals", vm.telem.timer_intervals.to_json()),
+                ]),
+            ),
+        ]);
+        j.canonicalize();
+        j.to_string()
+    }
+
+    /// Desyncs the replayer has flagged so far (empty while the replay is
+    /// accurate).
+    pub fn desyncs(&self) -> &[dejavu::Desync] {
+        self.tt.desyncs()
+    }
+
+    /// Canonical-JSON array of the flagged desyncs.
+    pub fn divergence_json(&self) -> String {
+        use codec::Json;
+        let mut j = Json::Arr(self.desyncs().iter().map(|d| d.to_json()).collect());
+        j.canonicalize();
+        j.to_string()
     }
 }

@@ -33,6 +33,11 @@ pub enum Command {
     Disassemble { method: u32 },
     Output,
     Where,
+    /// Fetch the session's metrics snapshot (counters, telemetry ring,
+    /// histograms, time-travel accounting) as canonical JSON.
+    Metrics,
+    /// Fetch the divergence forensics for the replay so far.
+    Divergence,
     Quit,
 }
 
@@ -47,6 +52,16 @@ pub enum Response {
     Listing { text: String },
     Output { text: String },
     Location { method: String, pc: u32, line: i64, step: u64 },
+    /// Canonical-JSON metrics snapshot, transported as a string so the
+    /// packet stays byte-deterministic end to end.
+    Metrics { json: String },
+    /// Replay-divergence forensics: `clean` iff no desync was flagged,
+    /// each desync rendered human-readably, plus the canonical JSON array.
+    Divergence {
+        clean: bool,
+        desyncs: Vec<String>,
+        json: String,
+    },
     Error { message: String },
     Bye,
 }
@@ -90,6 +105,8 @@ impl ToJson for Command {
             }
             Command::Output => tagged("cmd", "output", vec![]),
             Command::Where => tagged("cmd", "where", vec![]),
+            Command::Metrics => tagged("cmd", "metrics", vec![]),
+            Command::Divergence => tagged("cmd", "divergence", vec![]),
             Command::Quit => tagged("cmd", "quit", vec![]),
         }
     }
@@ -128,6 +145,8 @@ impl FromJson for Command {
             },
             "output" => Command::Output,
             "where" => Command::Where,
+            "metrics" => Command::Metrics,
+            "divergence" => Command::Divergence,
             "quit" => Command::Quit,
             other => return Err(JsonError::new(format!("unknown command \"{other}\""))),
         };
@@ -264,6 +283,22 @@ impl ToJson for Response {
                     ("step", step.to_json()),
                 ],
             ),
+            Response::Metrics { json } => {
+                tagged("resp", "metrics", vec![("json", json.to_json())])
+            }
+            Response::Divergence {
+                clean,
+                desyncs,
+                json,
+            } => tagged(
+                "resp",
+                "divergence",
+                vec![
+                    ("clean", clean.to_json()),
+                    ("desyncs", desyncs.to_json()),
+                    ("json", json.to_json()),
+                ],
+            ),
             Response::Error { message } => {
                 tagged("resp", "error", vec![("message", message.to_json())])
             }
@@ -301,6 +336,14 @@ impl FromJson for Response {
                 line: i64::from_json(j.field("line")?)?,
                 step: u64::from_json(j.field("step")?)?,
             },
+            "metrics" => Response::Metrics {
+                json: String::from_json(j.field("json")?)?,
+            },
+            "divergence" => Response::Divergence {
+                clean: bool::from_json(j.field("clean")?)?,
+                desyncs: Vec::from_json(j.field("desyncs")?)?,
+                json: String::from_json(j.field("json")?)?,
+            },
             "error" => Response::Error {
                 message: String::from_json(j.field("message")?)?,
             },
@@ -337,6 +380,8 @@ mod tests {
             Command::Disassemble { method: 0 },
             Command::Output,
             Command::Where,
+            Command::Metrics,
+            Command::Divergence,
             Command::Quit,
         ]
     }
@@ -403,6 +448,22 @@ mod tests {
                 pc: 9,
                 line: 42,
                 step: 1234,
+            },
+            Response::Metrics {
+                json: r#"{"counters":{"clock_reads":3}}"#.into(),
+            },
+            Response::Divergence {
+                clean: true,
+                desyncs: vec![],
+                json: "[]".into(),
+            },
+            Response::Divergence {
+                clean: false,
+                desyncs: vec![
+                    "ClockStream { reads_so_far: 2 }".into(),
+                    "SwitchTidMismatch { switch_index: 0, recorded: 1, observed: 2 }".into(),
+                ],
+                json: r#"[{"kind":"clock_stream","reads_so_far":2}]"#.into(),
             },
             Response::Error {
                 message: "no such location".into(),

@@ -124,6 +124,17 @@ pub fn handle(session: &mut DebugSession, cmd: Command) -> Response {
                 step: session.step_index(),
             }
         }
+        Command::Metrics => Response::Metrics {
+            json: session.metrics_json(),
+        },
+        Command::Divergence => {
+            let desyncs: Vec<String> = session.desyncs().iter().map(|d| d.describe()).collect();
+            Response::Divergence {
+                clean: desyncs.is_empty(),
+                desyncs,
+                json: session.divergence_json(),
+            }
+        }
         Command::Quit => Response::Bye,
     }
 }

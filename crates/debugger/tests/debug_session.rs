@@ -171,3 +171,72 @@ fn e9_three_tier_tcp_session() {
     let final_session = server.join().unwrap();
     assert_eq!(final_session.vm().status, VmStatus::Halted);
 }
+
+#[test]
+fn metrics_and_divergence_over_the_wire() {
+    let (program, vmc, trace, rec_output) = recorded("racy_counter", 11);
+    let session = DebugSession::new(program, vmc, trace, 5_000);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+
+    let mut client = DebugClient::connect(&addr.to_string()).unwrap();
+    // Advance a little, then read metrics mid-replay.
+    for _ in 0..50 {
+        client.step().unwrap();
+    }
+    let Response::Metrics { json } = client.metrics().unwrap() else {
+        panic!("expected metrics");
+    };
+    let parsed = codec::Json::parse(&json).expect("metrics is valid JSON");
+    assert_eq!(
+        parsed
+            .field("session")
+            .unwrap()
+            .field("counters")
+            .unwrap()
+            .field("step")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        50,
+        "session step counter in the snapshot"
+    );
+    assert!(parsed.get("counters").is_some() && parsed.get("ring").is_some());
+    // Reading metrics twice in a paused state is byte-identical.
+    let Response::Metrics { json: json2 } = client.metrics().unwrap() else {
+        panic!("expected metrics");
+    };
+    assert_eq!(json, json2, "metrics reads are deterministic");
+
+    // An accurate replay reports a clean divergence state.
+    let Response::Divergence { clean, desyncs, json } = client.divergence().unwrap() else {
+        panic!("expected divergence");
+    };
+    assert!(clean && desyncs.is_empty());
+    assert_eq!(json, "[]");
+
+    // Metrics reads must not have perturbed the replay.
+    let r = client.cont().unwrap();
+    assert!(
+        matches!(
+            r,
+            Response::Stopped {
+                reason: StopReason::Halted,
+                ..
+            }
+        ),
+        "{r:?}"
+    );
+    let Response::Output { text } = client.output().unwrap() else {
+        panic!("expected output");
+    };
+    assert_eq!(text, rec_output, "metrics queries must not perturb replay");
+    let Response::Divergence { clean, .. } = client.divergence().unwrap() else {
+        panic!("expected divergence");
+    };
+    assert!(clean, "accurate replay stays clean to the end");
+    client.quit().unwrap();
+    server.join().unwrap();
+}

@@ -3,10 +3,11 @@
 //! identical program states — checked via execution fingerprints and
 //! reachable-state digests).
 
+use crate::observe::{DivergenceReport, PhaseSpan, RunTelemetry};
 use crate::record::DejaVuRecorder;
 use crate::replay::{DejaVuReplayer, Desync};
 use crate::symmetry::SymmetryConfig;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceStats};
 use djvm::clock::{CycleClock, JitteredClock, JitteredTimer};
 use djvm::hook::Passthrough;
 use djvm::vm::VmCounters;
@@ -34,6 +35,13 @@ pub struct ExecSpec {
     pub clock_noise: i64,
     /// Execution step budget (guards against runaway guests).
     pub max_steps: u64,
+    /// Enable the observer-only telemetry sink on every VM this spec
+    /// builds. Guaranteed perturbation-free: the sink lives outside the
+    /// guest heap, the logical clock, the fingerprint, and the state
+    /// digest (and the neutrality test suite proves it).
+    pub telemetry: bool,
+    /// Event-ring capacity when `telemetry` is on.
+    pub telemetry_ring: usize,
 }
 
 impl ExecSpec {
@@ -48,6 +56,8 @@ impl ExecSpec {
             cycles_per_ms: 50,
             clock_noise: 3,
             max_steps: 200_000_000,
+            telemetry: false,
+            telemetry_ring: telemetry::DEFAULT_RING_CAP,
         }
     }
 
@@ -56,8 +66,21 @@ impl ExecSpec {
         self
     }
 
+    /// Turn telemetry on for every VM built from this spec.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    fn finish_vm(&self, mut vm: Vm) -> Vm {
+        if self.telemetry {
+            vm.enable_telemetry(self.telemetry_ring);
+        }
+        vm
+    }
+
     fn build_live_vm(&self) -> Vm {
-        Vm::boot(
+        self.finish_vm(Vm::boot(
             Arc::clone(&self.program),
             self.vm.clone(),
             Box::new(JitteredTimer::new(
@@ -72,12 +95,12 @@ impl ExecSpec {
                 self.clock_noise,
             )),
         )
-        .expect("boot failed")
+        .expect("boot failed"))
     }
 
     fn build_replay_vm(&self) -> Vm {
         // Replay ignores both sources; deterministic stand-ins are used.
-        Vm::boot(
+        self.finish_vm(Vm::boot(
             Arc::clone(&self.program),
             self.vm.clone(),
             Box::new(JitteredTimer::new(
@@ -87,7 +110,7 @@ impl ExecSpec {
             )),
             Box::new(CycleClock::new(self.clock_origin, self.cycles_per_ms)),
         )
-        .expect("boot failed")
+        .expect("boot failed"))
     }
 }
 
@@ -105,10 +128,15 @@ pub struct RunReport {
     pub gc_collections: u64,
     pub cycles: u64,
     pub wall_time: Duration,
+    /// Observer-side capture (`None` unless [`ExecSpec::telemetry`] was
+    /// set). Deliberately excluded from [`RunReport::matches`]: the
+    /// telemetry of a record run and its replay legitimately differ
+    /// (different modes, clocks), while the guest-visible fields must not.
+    pub telemetry: Option<Box<RunTelemetry>>,
 }
 
 impl RunReport {
-    fn from_vm(vm: &Vm, wall_time: Duration) -> Self {
+    fn from_vm(vm: &mut Vm, wall_time: Duration, mode: &'static str, phases: Vec<PhaseSpan>) -> Self {
         Self {
             status: vm.status,
             output: vm.output.clone(),
@@ -118,6 +146,7 @@ impl RunReport {
             gc_collections: vm.heap.stats.collections,
             cycles: vm.cycles,
             wall_time,
+            telemetry: RunTelemetry::capture(vm, mode, phases),
         }
     }
 
@@ -136,11 +165,14 @@ impl RunReport {
 /// Run uninstrumented (the precision baseline).
 pub fn passthrough_run(spec: &ExecSpec, natives: impl FnOnce(&mut Vm)) -> RunReport {
     let mut vm = spec.build_live_vm();
+    let boot = PhaseSpan::mark("boot", &vm);
     natives(&mut vm);
     let mut hook = Passthrough;
+    let warmup = PhaseSpan::mark("warmup", &vm);
     let t0 = Instant::now();
     interp::run(&mut vm, &mut hook, spec.max_steps);
-    RunReport::from_vm(&vm, t0.elapsed())
+    let run = PhaseSpan::mark("passthrough", &vm);
+    RunReport::from_vm(&mut vm, t0.elapsed(), "passthrough", vec![boot, warmup, run])
 }
 
 /// Record an execution: returns the report and the DejaVu trace.
@@ -151,12 +183,15 @@ pub fn record_run(
     paranoid: bool,
 ) -> (RunReport, Trace) {
     let mut vm = spec.build_live_vm();
+    let boot = PhaseSpan::mark("boot", &vm);
     natives(&mut vm);
     let mut hook = DejaVuRecorder::new(sym, paranoid);
     hook.on_init_public(&mut vm);
+    let warmup = PhaseSpan::mark("warmup", &vm);
     let t0 = Instant::now();
     interp::run(&mut vm, &mut hook, spec.max_steps);
-    let report = RunReport::from_vm(&vm, t0.elapsed());
+    let run = PhaseSpan::mark("record", &vm);
+    let report = RunReport::from_vm(&mut vm, t0.elapsed(), "record", vec![boot, warmup, run]);
     (report, hook.into_trace())
 }
 
@@ -164,11 +199,14 @@ pub fn record_run(
 /// which is itself part of the determinism story (§2.5).
 pub fn replay_run(spec: &ExecSpec, trace: Trace, sym: SymmetryConfig) -> (RunReport, Vec<Desync>) {
     let mut vm = spec.build_replay_vm();
+    let boot = PhaseSpan::mark("boot", &vm);
     let mut hook = DejaVuReplayer::new(trace, sym);
     hook.on_init_public(&mut vm);
+    let warmup = PhaseSpan::mark("warmup", &vm);
     let t0 = Instant::now();
     interp::run(&mut vm, &mut hook, spec.max_steps);
-    let report = RunReport::from_vm(&vm, t0.elapsed());
+    let run = PhaseSpan::mark("replay", &vm);
+    let report = RunReport::from_vm(&mut vm, t0.elapsed(), "replay", vec![boot, warmup, run]);
     (report, hook.into_desyncs())
 }
 
@@ -183,6 +221,44 @@ pub fn record_replay(
     let (rep, desyncs) = replay_run(spec, trace, sym);
     let ok = rec.matches(&rep) && desyncs.is_empty();
     (rec, rep, ok)
+}
+
+/// Everything [`record_replay_forensic`] produces: both reports, the
+/// verdict, the replayer's own desyncs, trace-size accounting, and — when
+/// the verdict is "diverged" — the aligned divergence report.
+#[derive(Debug, Clone)]
+pub struct ForensicOutcome {
+    pub record: RunReport,
+    pub replay: RunReport,
+    pub accurate: bool,
+    pub desyncs: Vec<Desync>,
+    pub trace_stats: TraceStats,
+    /// `Some` exactly when `!accurate`.
+    pub report: Option<DivergenceReport>,
+}
+
+/// Record then replay with full diagnosis: on any inaccuracy the
+/// record-side and replay-side event rings and counter snapshots are
+/// aligned into a [`DivergenceReport`] localizing the first mismatched
+/// event (its index and kind) and the per-thread logical-clock deltas.
+pub fn record_replay_forensic(
+    spec: &ExecSpec,
+    natives: impl FnOnce(&mut Vm),
+    sym: SymmetryConfig,
+) -> ForensicOutcome {
+    let (rec, trace) = record_run(spec, natives, sym, true);
+    let trace_stats = trace.stats();
+    let (rep, desyncs) = replay_run(spec, trace, sym);
+    let accurate = rec.matches(&rep) && desyncs.is_empty();
+    let report = (!accurate).then(|| DivergenceReport::build(&rec, &rep, desyncs.clone()));
+    ForensicOutcome {
+        record: rec,
+        replay: rep,
+        accurate,
+        desyncs,
+        trace_stats,
+        report,
+    }
 }
 
 /// Convenience used in assertions: full-fidelity fingerprinting.

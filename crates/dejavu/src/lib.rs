@@ -40,13 +40,18 @@
 //! * [`driver`] — run orchestration and the accuracy criterion.
 
 pub mod driver;
+pub mod observe;
 pub mod record;
 pub mod replay;
 pub mod symmetry;
 pub mod trace;
 
 pub use driver::{
-    full_fidelity, passthrough_run, record_replay, record_run, replay_run, ExecSpec, RunReport,
+    full_fidelity, passthrough_run, record_replay, record_replay_forensic, record_run, replay_run,
+    ExecSpec, ForensicOutcome, RunReport,
+};
+pub use observe::{
+    counters_json, run_metrics_json, DivergenceReport, PhaseSpan, RunTelemetry, ThreadClockDelta,
 };
 pub use record::DejaVuRecorder;
 pub use replay::{DejaVuReplayer, Desync};

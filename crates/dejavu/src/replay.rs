@@ -34,6 +34,52 @@ pub enum Desync {
     NativeStream { calls_so_far: u64 },
 }
 
+impl Desync {
+    /// One-line human rendering naming the variant and every field.
+    pub fn describe(&self) -> String {
+        match self {
+            Desync::SwitchTidMismatch {
+                switch_index,
+                recorded,
+                observed,
+            } => format!(
+                "SwitchTidMismatch {{ switch_index: {switch_index}, recorded: {recorded}, observed: {observed} }}"
+            ),
+            Desync::ClockStream { reads_so_far } => {
+                format!("ClockStream {{ reads_so_far: {reads_so_far} }}")
+            }
+            Desync::NativeStream { calls_so_far } => {
+                format!("NativeStream {{ calls_so_far: {calls_so_far} }}")
+            }
+        }
+    }
+
+    /// Deterministic JSON (keys pre-sorted within each shape).
+    pub fn to_json(&self) -> codec::Json {
+        use codec::Json;
+        match *self {
+            Desync::SwitchTidMismatch {
+                switch_index,
+                recorded,
+                observed,
+            } => Json::obj(vec![
+                ("kind", Json::Str("switch_tid_mismatch".into())),
+                ("observed", Json::UInt(observed as u64)),
+                ("recorded", Json::UInt(recorded as u64)),
+                ("switch_index", Json::UInt(switch_index)),
+            ]),
+            Desync::ClockStream { reads_so_far } => Json::obj(vec![
+                ("kind", Json::Str("clock_stream".into())),
+                ("reads_so_far", Json::UInt(reads_so_far)),
+            ]),
+            Desync::NativeStream { calls_so_far } => Json::obj(vec![
+                ("calls_so_far", Json::UInt(calls_so_far)),
+                ("kind", Json::Str("native_stream".into())),
+            ]),
+        }
+    }
+}
+
 /// The current countdown: remaining yield points plus the tid recorded for
 /// validation.
 #[derive(Debug, Clone, Copy)]

@@ -55,15 +55,58 @@ pub struct Trace {
     pub data: Vec<DataRec>,
 }
 
-/// Byte-level size breakdown (experiment E5).
+/// Byte-level size breakdown (experiment E5), now with per-event-kind
+/// accounting: how many encoded bytes each stream kind contributes, and
+/// the varint encoding's compression ratio against a fixed-width
+/// equivalent of the same records (8-byte integers, 4-byte ids/counts).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TraceStats {
     pub switch_count: usize,
     pub clock_count: usize,
     pub native_count: usize,
     pub switch_bytes: usize,
+    /// Encoded bytes of the clock-read portion of the data stream
+    /// (including each record's tag byte).
+    pub clock_bytes: usize,
+    /// Encoded bytes of the native-call portion of the data stream
+    /// (including tags and callback payloads).
+    pub native_bytes: usize,
     pub data_bytes: usize,
     pub total_bytes: usize,
+    /// Size of the same records at fixed width: 8 bytes per integer,
+    /// 4 bytes per id/count, 1 byte per tag — the naive encoding a
+    /// log-everything recorder would write.
+    pub raw_bytes: usize,
+}
+
+impl TraceStats {
+    /// Varint compression ratio in permille: `encoded / raw * 1000`.
+    /// Integer (not float) so telemetry JSON stays byte-deterministic.
+    pub fn compression_permille(&self) -> u64 {
+        if self.raw_bytes == 0 {
+            return 1000;
+        }
+        (self.total_bytes as u64 * 1000) / self.raw_bytes as u64
+    }
+
+    /// Deterministic JSON (keys pre-sorted).
+    pub fn to_json(&self) -> codec::Json {
+        codec::Json::obj(vec![
+            ("clock_bytes", codec::Json::UInt(self.clock_bytes as u64)),
+            ("clock_count", codec::Json::UInt(self.clock_count as u64)),
+            (
+                "compression_permille",
+                codec::Json::UInt(self.compression_permille()),
+            ),
+            ("data_bytes", codec::Json::UInt(self.data_bytes as u64)),
+            ("native_bytes", codec::Json::UInt(self.native_bytes as u64)),
+            ("native_count", codec::Json::UInt(self.native_count as u64)),
+            ("raw_bytes", codec::Json::UInt(self.raw_bytes as u64)),
+            ("switch_bytes", codec::Json::UInt(self.switch_bytes as u64)),
+            ("switch_count", codec::Json::UInt(self.switch_count as u64)),
+            ("total_bytes", codec::Json::UInt(self.total_bytes as u64)),
+        ])
+    }
 }
 
 const MAGIC: &[u8; 4] = b"DJV1";
@@ -158,7 +201,7 @@ impl Trace {
         })
     }
 
-    /// Size breakdown of the encoded trace.
+    /// Size breakdown of the encoded trace, per event kind.
     pub fn stats(&self) -> TraceStats {
         let mut sw = Vec::new();
         for s in &self.switches {
@@ -167,19 +210,51 @@ impl Trace {
                 put_varint(&mut sw, s.check_tid as u64);
             }
         }
+        let mut clock_count = 0;
+        let mut clock_bytes = 0;
+        let mut native_bytes = 0;
+        // Fixed-width equivalent: every switch is 8 bytes of nyp (+4 of
+        // check tid in paranoid mode); every data record is a tag byte
+        // plus 8-byte integers and 4-byte ids/counts.
+        let mut raw_bytes = self.switches.len() * if self.paranoid { 12 } else { 8 };
+        let mut scratch = Vec::new();
+        for d in &self.data {
+            scratch.clear();
+            match d {
+                DataRec::Clock(v) => {
+                    put_varint(&mut scratch, zigzag(*v));
+                    clock_count += 1;
+                    clock_bytes += 1 + scratch.len();
+                    raw_bytes += 1 + 8;
+                }
+                DataRec::Native { ret, callbacks } => {
+                    put_varint(&mut scratch, zigzag(*ret));
+                    put_varint(&mut scratch, callbacks.len() as u64);
+                    raw_bytes += 1 + 8 + 4;
+                    for (m, args) in callbacks {
+                        put_varint(&mut scratch, *m as u64);
+                        put_varint(&mut scratch, args.len() as u64);
+                        raw_bytes += 4 + 4;
+                        for &a in args {
+                            put_varint(&mut scratch, zigzag(a));
+                            raw_bytes += 8;
+                        }
+                    }
+                    native_bytes += 1 + scratch.len();
+                }
+            }
+        }
         let total = self.encoded().len();
-        let clock_count = self
-            .data
-            .iter()
-            .filter(|d| matches!(d, DataRec::Clock(_)))
-            .count();
         TraceStats {
             switch_count: self.switches.len(),
             clock_count,
             native_count: self.data.len() - clock_count,
             switch_bytes: sw.len(),
+            clock_bytes,
+            native_bytes,
             data_bytes: total - sw.len() - 5,
             total_bytes: total,
+            raw_bytes,
         }
     }
 }
@@ -281,6 +356,39 @@ mod tests {
         assert_eq!(s.native_count, 1);
         assert_eq!(s.total_bytes, t.encoded().len());
         assert!(s.switch_bytes < s.total_bytes);
+    }
+
+    #[test]
+    fn per_kind_bytes_partition_the_data_stream() {
+        let t = sample(false);
+        let s = t.stats();
+        assert!(s.clock_bytes > 0 && s.native_bytes > 0);
+        // `data_bytes` is everything past the header and switch payload:
+        // the two stream-length varints plus the per-kind record bytes
+        // (tags included in the kind that owns them).
+        let mut lenbuf = Vec::new();
+        put_varint(&mut lenbuf, t.switches.len() as u64);
+        put_varint(&mut lenbuf, t.data.len() as u64);
+        assert_eq!(s.clock_bytes + s.native_bytes + lenbuf.len(), s.data_bytes);
+    }
+
+    #[test]
+    fn varints_beat_fixed_width() {
+        let s = sample(false).stats();
+        assert!(s.raw_bytes > s.total_bytes);
+        assert!(s.compression_permille() < 1000);
+        // Empty trace: ratio defined as 1000 (no compression to speak of).
+        assert_eq!(Trace::default().stats().compression_permille(), 1000);
+    }
+
+    #[test]
+    fn stats_json_is_valid_and_deterministic() {
+        let s = sample(true).stats();
+        let a = s.to_json().to_string();
+        let b = sample(true).stats().to_json().to_string();
+        assert_eq!(a, b);
+        assert!(codec::Json::parse(&a).is_ok());
+        assert_eq!(a, s.to_json().to_canonical_string(), "keys pre-sorted");
     }
 
     #[test]

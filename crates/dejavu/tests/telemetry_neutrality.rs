@@ -1,0 +1,172 @@
+//! The tentpole invariant of the observability layer: **telemetry is
+//! perturbation-free**. Turning the sink on must leave every guest-visible
+//! quantity — fingerprint, state digest, output, status — bit-identical,
+//! for the fully-symmetric configuration *and* for every ablated one
+//! (ablations make record and replay diverge from each other, but the
+//! observer must still not change either side). And when a replay *does*
+//! diverge, the record/replay event rings must localize the first
+//! mismatched event.
+
+use dejavu::{
+    record_replay, record_replay_forensic, run_metrics_json, Ablation, ExecSpec, SymmetryConfig,
+};
+use djvm::{Program, ProgramBuilder, Ty};
+
+/// Two threads race on a shared counter with yield points in the window
+/// and fold fresh-allocation identity hashes into shared state — sensitive
+/// to scheduling, allocation order, and logical-clock perturbation alike.
+fn sensitive_workload(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("count", Ty::Int)
+        .static_field("mix", Ty::Int)
+        .build();
+    let cls = pb.class("C").field("x", Ty::Int).build();
+    let worker = pb.method("worker", 0, 3).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(iters).ge().if_nz("done");
+        a.get_static(g, 0).store(1);
+        a.iconst(0).store(2);
+        a.label("delay");
+        a.load(2).iconst(2).ge().if_nz("delay_done");
+        a.load(2).iconst(1).add().store(2);
+        a.goto("delay");
+        a.label("delay_done");
+        a.load(1).iconst(1).add().put_static(g, 0);
+        a.get_static(g, 1).new(cls).identity_hash().bxor().put_static(g, 1);
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.iconst(0).put_static(g, 1);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.get_static(g, 1).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+fn spec(seed: u64) -> ExecSpec {
+    let mut s = ExecSpec::new(sensitive_workload(200)).with_seed(seed);
+    s.timer_base = 31;
+    s.timer_jitter = 11;
+    s
+}
+
+/// Telemetry on vs. off leaves both sides of a record/replay pair
+/// bit-identical, under full symmetry and under every single ablation.
+#[test]
+fn telemetry_neutral_for_every_symmetry_config() {
+    let mut configs = vec![("full", SymmetryConfig::full()), ("naive", SymmetryConfig::naive())];
+    for a in Ablation::ALL {
+        configs.push((a.name(), SymmetryConfig::ablate(a)));
+    }
+    for (name, sym) in configs {
+        for seed in 0..3u64 {
+            let off = spec(seed);
+            let on = spec(seed).with_telemetry();
+            let (rec_off, rep_off, ok_off) = record_replay(&off, |_| {}, sym);
+            let (rec_on, rep_on, ok_on) = record_replay(&on, |_| {}, sym);
+            assert!(
+                rec_off.matches(&rec_on),
+                "record perturbed by telemetry: sym={name} seed={seed}"
+            );
+            assert!(
+                rep_off.matches(&rep_on),
+                "replay perturbed by telemetry: sym={name} seed={seed}"
+            );
+            assert_eq!(
+                ok_off, ok_on,
+                "accuracy verdict changed by telemetry: sym={name} seed={seed}"
+            );
+        }
+    }
+}
+
+/// A forced desync (the liveClock ablation) yields a divergence report
+/// that names the first mismatched event's index and kind by aligning the
+/// record-side and replay-side rings.
+#[test]
+fn forced_desync_is_localized_by_the_rings() {
+    let sym = SymmetryConfig::ablate(Ablation::LiveClock);
+    let mut localized = false;
+    for seed in 0..8u64 {
+        let s = spec(seed).with_telemetry();
+        let out = record_replay_forensic(&s, |_| {}, sym);
+        if out.accurate {
+            continue;
+        }
+        let report = out.report.as_ref().expect("inaccurate => report");
+        if let Some(first) = &report.first {
+            let text = report.describe();
+            assert!(
+                text.contains(&format!("first divergence at event #{}", first.seq)),
+                "{text}"
+            );
+            assert!(
+                text.contains(&format!("({})", first.kind_name())),
+                "{text}"
+            );
+            localized = true;
+            break;
+        }
+    }
+    assert!(
+        localized,
+        "liveClock ablation should produce at least one ring-localized divergence"
+    );
+}
+
+/// Metrics JSON is byte-deterministic: two identical runs serialize to the
+/// same bytes, and the document is in canonical (sorted-key) form.
+#[test]
+fn metrics_json_is_byte_deterministic() {
+    let run = || {
+        let s = spec(5).with_telemetry();
+        let out = record_replay_forensic(&s, |_| {}, SymmetryConfig::full());
+        assert!(out.accurate);
+        (
+            run_metrics_json(&out.record, Some(&out.trace_stats)).to_string(),
+            run_metrics_json(&out.replay, None).to_string(),
+        )
+    };
+    let (rec1, rep1) = run();
+    let (rec2, rep2) = run();
+    assert_eq!(rec1, rec2, "record metrics are byte-identical across runs");
+    assert_eq!(rep1, rep2, "replay metrics are byte-identical across runs");
+    for doc in [&rec1, &rep1] {
+        let j = codec::Json::parse(doc).expect("valid JSON");
+        assert_eq!(doc, &j.to_canonical_string(), "canonical form");
+        // "wall" names the clock *source* in the meta block; actual wall
+        // time must never be serialized.
+        assert!(
+            !doc.contains("wall_time") && !doc.contains("time_ns"),
+            "no timestamps in the deterministic payload"
+        );
+    }
+}
+
+/// The divergence report itself is deterministic JSON too.
+#[test]
+fn divergence_report_json_is_canonical() {
+    let sym = SymmetryConfig::ablate(Ablation::LiveClock);
+    for seed in 0..8u64 {
+        let s = spec(seed).with_telemetry();
+        let out = record_replay_forensic(&s, |_| {}, sym);
+        let Some(report) = out.report else { continue };
+        let doc = report.to_json().to_string();
+        let j = codec::Json::parse(&doc).expect("valid JSON");
+        assert_eq!(doc, j.to_canonical_string());
+        return;
+    }
+    panic!("no divergence found to serialize");
+}

@@ -17,6 +17,12 @@ use crate::rng::SplitMix64;
 /// timer interrupt.
 pub trait TimerSource: Send {
     fn next_interval(&mut self) -> u64;
+
+    /// Stable short name for telemetry metadata ("which timer drove this
+    /// run"); never consulted by execution.
+    fn describe(&self) -> &'static str {
+        "timer"
+    }
 }
 
 /// Produces wall-clock readings (milliseconds) as a function of executed
@@ -26,6 +32,12 @@ pub trait WallClock: Send {
     /// Warp forward so the next reading is at least `target` — the idle
     /// "sleep skip" used when every thread is sleeping.
     fn warp_to(&mut self, target: i64);
+
+    /// Stable short name for telemetry metadata; never consulted by
+    /// execution.
+    fn describe(&self) -> &'static str {
+        "clock"
+    }
 }
 
 /// Fixed-period timer: fully deterministic preemption (useful as a control
@@ -45,6 +57,10 @@ impl FixedTimer {
 impl TimerSource for FixedTimer {
     fn next_interval(&mut self) -> u64 {
         self.period
+    }
+
+    fn describe(&self) -> &'static str {
+        "fixed_timer"
     }
 }
 
@@ -75,6 +91,10 @@ impl TimerSource for JitteredTimer {
         let lo = self.base - self.jitter;
         let hi = self.base + self.jitter;
         self.rng.gen_range_u64(lo, hi)
+    }
+
+    fn describe(&self) -> &'static str {
+        "jittered_timer"
     }
 }
 
@@ -110,6 +130,10 @@ impl WallClock for CycleClock {
     fn warp_to(&mut self, target: i64) {
         // Guarantee the *next* reading reaches `target` (idle sleep-skip).
         self.floor = self.floor.max(target);
+    }
+
+    fn describe(&self) -> &'static str {
+        "cycle_clock"
     }
 }
 
@@ -154,6 +178,10 @@ impl WallClock for JitteredClock {
     fn warp_to(&mut self, target: i64) {
         // Guarantee the *next* reading reaches `target` (idle sleep-skip).
         self.floor = self.floor.max(target);
+    }
+
+    fn describe(&self) -> &'static str {
+        "jittered_clock"
     }
 }
 

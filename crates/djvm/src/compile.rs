@@ -116,6 +116,16 @@ pub struct CompiledMethod {
     pub ref_maps: Vec<Option<RefMap>>,
 }
 
+impl CompiledMethod {
+    /// Size of the method's "compiled code" object in words: one word per
+    /// instruction plus a 4-word header. This is the guest-visible
+    /// allocation the lazy compiler performs on first invocation, so it
+    /// must stay a pure function of the method body.
+    pub fn code_words(&self) -> usize {
+        self.backedge.len() + 4
+    }
+}
+
 /// Words of frame header: saved fp, method id, saved pc/flags.
 pub const FRAME_HEADER_WORDS: u32 = 3;
 

@@ -31,12 +31,21 @@ use crate::vm::Vm;
 
 /// Collect garbage. Called by the VM when an allocation fails.
 pub fn collect(vm: &mut Vm) {
+    // Occupancy peaks immediately before a collection; sample it here.
+    vm.heap.note_peak();
     match vm.heap.kind() {
         GcKind::MarkSweep => mark_sweep(vm),
         GcKind::Copying => copying(vm),
     }
     vm.heap.stats.collections += 1;
     vm.fingerprint.event(0x6C, vm.heap.stats.collections, 0);
+    let tid = vm.sched.current;
+    vm.telem.event(
+        tid,
+        telemetry::EventKind::Gc {
+            collection: vm.heap.stats.collections,
+        },
+    );
 }
 
 /// Every root *slot address-independent value* in the VM. Used by mark;

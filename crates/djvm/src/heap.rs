@@ -146,6 +146,10 @@ pub struct HeapStats {
     pub words_allocated: u64,
     pub collections: u64,
     pub words_copied_or_swept: u64,
+    /// High-water mark of live occupancy ([`Heap::words_in_use`]),
+    /// sampled at [`Heap::note_peak`] call sites (GC entry and run end —
+    /// occupancy only grows between collections, so that is exact).
+    pub peak_words_in_use: u64,
 }
 
 /// The guest heap.
@@ -217,6 +221,26 @@ impl Heap {
         match self.kind {
             GcKind::Copying => self.active_base + self.half - self.bump,
             GcKind::MarkSweep => self.free.iter().map(|&(_, l)| l).sum(),
+        }
+    }
+
+    /// Words currently occupied by objects (the allocatable region minus
+    /// what is still free; excludes the reserve and, for the copying
+    /// collector, the idle semispace).
+    pub fn words_in_use(&self) -> usize {
+        match self.kind {
+            GcKind::Copying => self.bump - self.active_base,
+            GcKind::MarkSweep => self.mem.len() - RESERVED - self.free_words(),
+        }
+    }
+
+    /// Fold the current occupancy into the peak statistic. Called at GC
+    /// entry and at end-of-run; occupancy is monotone between
+    /// collections, so those samples capture the true high-water mark.
+    pub fn note_peak(&mut self) {
+        let used = self.words_in_use() as u64;
+        if used > self.stats.peak_words_in_use {
+            self.stats.peak_words_in_use = used;
         }
     }
 

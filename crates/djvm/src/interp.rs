@@ -74,6 +74,8 @@ pub fn step(vm: &mut Vm, hook: &mut dyn ExecHook) {
     if vm.cycles_to_tick == 0 {
         vm.preempt_bit = true;
         vm.cycles_to_tick = vm.timer.next_interval();
+        let interval = vm.cycles_to_tick;
+        vm.telem.timer_interval(interval);
     }
 
     let was_backedge = vm
@@ -484,8 +486,7 @@ fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow
             // read, so timer expiry replays deterministically (§2.2).
             let timed = op == Op::TimedWait && millis > 0;
             let wake_at = if timed {
-                let now = hook.on_clock_read(vm);
-                vm.counters.clock_reads += 1;
+                let now = clock_read(vm, hook);
                 Some(now.saturating_add(millis))
             } else {
                 None
@@ -596,8 +597,7 @@ fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow
                 vm.push_word(0);
                 return Ok(Flow::Next);
             }
-            let now = hook.on_clock_read(vm);
-            vm.counters.clock_reads += 1;
+            let now = clock_read(vm, hook);
             vm.sched.add_sleeper(Sleeper {
                 wake_at: now.saturating_add(millis),
                 tid: cur,
@@ -617,8 +617,7 @@ fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow
 
         // ---- environment ----
         Op::Now => {
-            let v = hook.on_clock_read(vm);
-            vm.counters.clock_reads += 1;
+            let v = clock_read(vm, hook);
             vm.push_word(v as Word);
             Ok(Flow::Next)
         }
@@ -629,6 +628,9 @@ fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow
             }
             let outcome = hook.on_native_call(vm, native, &args);
             vm.counters.native_calls += 1;
+            let tid = vm.sched.current;
+            vm.telem
+                .event(tid, telemetry::EventKind::NativeCall { method: native });
             if vm.program.natives[native as usize].returns {
                 vm.push_word(outcome.ret as Word);
             }
@@ -660,6 +662,19 @@ fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow
             Ok(Flow::Managed)
         }
     }
+}
+
+/// One hook-mediated wall-clock read: every clock read in the interpreter
+/// funnels through here so counting and event-ring tracing stay uniform.
+/// (On replay the hook returns the recorded value, so the traced value is
+/// exactly what the guest observed.)
+fn clock_read(vm: &mut Vm, hook: &mut dyn ExecHook) -> i64 {
+    let v = hook.on_clock_read(vm);
+    vm.counters.clock_reads += 1;
+    let tid = vm.sched.current;
+    vm.telem
+        .event(tid, telemetry::EventKind::ClockRead { value: v });
+    v
 }
 
 /// Consult the hook before a heap access; `Ok(true)` means the access was
@@ -894,14 +909,15 @@ fn schedule_next(vm: &mut Vm, hook: &mut dyn ExecHook, requeue_current: bool) {
             vm.counters.thread_switches += 1;
             let yp = vm.threads[tid as usize].yield_points;
             vm.fingerprint.thread_switch(tid, yp);
+            vm.telem
+                .event(tid, telemetry::EventKind::Switch { to: tid, nyp: yp });
             hook.on_thread_switch(vm, tid);
             return;
         }
         if !vm.sched.sleepers.is_empty() {
             // "Jalapeño reads the wall clock periodically" (§2.2): these
             // reads are the recorded events that make timed wakeups replay.
-            let now = hook.on_clock_read(vm);
-            vm.counters.clock_reads += 1;
+            let now = clock_read(vm, hook);
             wake_due(vm, now);
             if !vm.sched.ready.is_empty() {
                 continue;
@@ -912,8 +928,7 @@ fn schedule_next(vm: &mut Vm, hook: &mut dyn ExecHook, requeue_current: bool) {
             // Idle: warp the live clock to the next deadline and read again.
             let target = vm.sched.next_deadline().unwrap();
             vm.wall.warp_to(target);
-            let now = hook.on_clock_read(vm);
-            vm.counters.clock_reads += 1;
+            let now = clock_read(vm, hook);
             wake_due(vm, now);
             if vm.sched.ready.is_empty() && !vm.sched.sleepers.is_empty() {
                 // A replay desync (recorded clock never reaches the

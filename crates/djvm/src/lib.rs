@@ -54,5 +54,6 @@ pub use hook::{ExecHook, Passthrough, YieldAction};
 pub use native::{CallbackReq, NativeCtx, NativeOutcome, NativeRegistry};
 pub use program::Program;
 pub use rng::SplitMix64;
+pub use sched::SchedPressure;
 pub use thread::{ThreadStatus, Tid};
 pub use vm::{ErrKind, Vm, VmConfig, VmError, VmStatus};

@@ -121,6 +121,33 @@ impl Scheduler {
         let n = self.sleepers.partition_point(|s| s.wake_at <= now);
         self.sleepers.drain(..n).collect()
     }
+
+    /// Read-only scheduling-pressure snapshot for telemetry gauges:
+    /// ready-queue depth, live monitors, threads blocked on monitor entry
+    /// or in wait sets, pending sleepers, and join waiters.
+    pub fn pressure(&self) -> SchedPressure {
+        SchedPressure {
+            ready: self.ready.len(),
+            monitors: self.monitors.len(),
+            entry_blocked: self.monitors.values().map(|m| m.entry_queue.len()).sum(),
+            waiting: self.monitors.values().map(|m| m.wait_queue.len()).sum(),
+            sleepers: self.sleepers.len(),
+            join_waiters: self.join_waiters.values().map(Vec::len).sum(),
+        }
+    }
+}
+
+/// Instantaneous scheduler occupancy, as reported by
+/// [`Scheduler::pressure`]. Pure observation — computing it never touches
+/// guest state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedPressure {
+    pub ready: usize,
+    pub monitors: usize,
+    pub entry_blocked: usize,
+    pub waiting: usize,
+    pub sleepers: usize,
+    pub join_waiters: usize,
 }
 
 #[cfg(test)]

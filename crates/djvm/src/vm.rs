@@ -157,6 +157,12 @@ pub struct Vm {
     pub output: String,
     pub fingerprint: Fingerprint,
     pub counters: VmCounters,
+    /// Observer-only telemetry sink (event ring + histograms). Lives
+    /// outside everything guest-visible: not in the heap, not hashed by
+    /// the fingerprint or [`Vm::state_digest`], not captured by
+    /// [`VmSnapshot`] — so enabling it cannot perturb the execution
+    /// (the §2.4 discipline, applied to observability).
+    pub telem: telemetry::VmTelemetry,
     pub config: VmConfig,
     pub boot_image: BootImage,
 
@@ -218,6 +224,7 @@ impl Vm {
             output: String::new(),
             fingerprint,
             counters: VmCounters::default(),
+            telem: telemetry::VmTelemetry::disabled(),
             config,
             boot_image: BootImage::default(),
             class_objects: vec![None; nclasses],
@@ -250,6 +257,13 @@ impl Vm {
         Ok(vm)
     }
 
+    /// Turn on the observer-only telemetry sink with an event ring of
+    /// `ring_cap` entries. Safe at any point; neutrality is guaranteed
+    /// because nothing in the sink is guest-visible.
+    pub fn enable_telemetry(&mut self, ring_cap: usize) {
+        self.telem = telemetry::VmTelemetry::enabled(ring_cap);
+    }
+
     fn err(&self, kind: ErrKind) -> VmError {
         let t = &self.threads[self.sched.current as usize];
         VmError {
@@ -272,33 +286,45 @@ impl Vm {
     // ------------------------------------------------------------------
 
     pub(crate) fn alloc_scalar(&mut self, class: ClassId, nfields: usize) -> Result<Addr, VmError> {
-        if let Some(a) = self.heap.alloc_scalar(class, nfields) {
-            return Ok(a);
-        }
-        crate::gc::collect(self);
-        self.heap
-            .alloc_scalar(class, nfields)
-            .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+        let before = self.heap.stats.words_allocated;
+        let a = if let Some(a) = self.heap.alloc_scalar(class, nfields) {
+            Ok(a)
+        } else {
+            crate::gc::collect(self);
+            self.heap
+                .alloc_scalar(class, nfields)
+                .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+        };
+        self.telem.alloc(self.heap.stats.words_allocated - before);
+        a
     }
 
     pub(crate) fn alloc_classobj(&mut self, class: ClassId, n: usize) -> Result<Addr, VmError> {
-        if let Some(a) = self.heap.alloc_classobj(class, n) {
-            return Ok(a);
-        }
-        crate::gc::collect(self);
-        self.heap
-            .alloc_classobj(class, n)
-            .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+        let before = self.heap.stats.words_allocated;
+        let a = if let Some(a) = self.heap.alloc_classobj(class, n) {
+            Ok(a)
+        } else {
+            crate::gc::collect(self);
+            self.heap
+                .alloc_classobj(class, n)
+                .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+        };
+        self.telem.alloc(self.heap.stats.words_allocated - before);
+        a
     }
 
     pub(crate) fn alloc_array(&mut self, kind: ArrKind, len: usize) -> Result<Addr, VmError> {
-        if let Some(a) = self.heap.alloc_array(kind, len) {
-            return Ok(a);
-        }
-        crate::gc::collect(self);
-        self.heap
-            .alloc_array(kind, len)
-            .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+        let before = self.heap.stats.words_allocated;
+        let a = if let Some(a) = self.heap.alloc_array(kind, len) {
+            Ok(a)
+        } else {
+            crate::gc::collect(self);
+            self.heap
+                .alloc_array(kind, len)
+                .ok_or_else(|| self.err(ErrKind::OutOfMemory))
+        };
+        self.telem.alloc(self.heap.stats.words_allocated - before);
+        a
     }
 
     /// Allocate a guest array from host code (hooks/tools), protected
@@ -378,6 +404,8 @@ impl Vm {
         self.class_objects[class as usize] = Some(a);
         self.counters.class_loads += 1;
         self.fingerprint.event(0xC1A55, class as u64, 0);
+        let tid = self.sched.current;
+        self.telem.event(tid, telemetry::EventKind::ClassLoad { class });
         Ok(a)
     }
 
@@ -386,11 +414,14 @@ impl Vm {
         if self.code_objects[m as usize].is_some() {
             return Ok(());
         }
-        let len = self.program.method(m).ops.len() + 4;
+        let len = self.program.compiled(m).code_words();
         let a = self.alloc_array(ArrKind::Int, len)?;
         self.code_objects[m as usize] = Some(a);
         self.counters.methods_compiled += 1;
         self.fingerprint.event(0xC0DE, m as u64, 0);
+        let tid = self.sched.current;
+        self.telem.event(tid, telemetry::EventKind::Compile { method: m });
+        self.telem.compile(len as u64);
         Ok(())
     }
 
@@ -578,6 +609,13 @@ impl Vm {
         }
         self.counters.stack_growths += 1;
         self.fingerprint.event(0x57AC, new_len as u64, 0);
+        let tid = self.sched.current;
+        self.telem.event(
+            tid,
+            telemetry::EventKind::StackGrowth {
+                new_words: new_len as u64,
+            },
+        );
         Ok(())
     }
 
@@ -1011,6 +1049,10 @@ impl Vm {
         self.io_read_buf = s.io_read_buf;
         self.io_read_scratch = s.io_read_scratch;
         self.extra_roots.clone_from(&s.extra_roots);
+        // Telemetry is observer state, not guest state: a snapshot never
+        // captures it, and a restore clears the ring so it only ever
+        // describes the current timeline (histograms keep accumulating).
+        self.telem.on_restore();
     }
 
     /// Approximate checkpoint size in bytes (heap image dominates).

@@ -1,0 +1,286 @@
+//! The metrics registry: named counters, gauges and log2-bucketed
+//! histograms with stable ordering and deterministic JSON export.
+//!
+//! Determinism discipline: `BTreeMap` keys give sorted iteration, every
+//! exported value is an exact integer (no floats, no wall-clock
+//! timestamps), so two identical runs serialize to byte-identical JSON.
+
+use codec::Json;
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `k` (for
+/// `k >= 1`) holds values whose bit length is `k`, i.e. the half-open
+/// range `[2^(k-1), 2^k)`. `u64::MAX` has bit length 64, so 65 buckets
+/// cover the whole domain.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram over `u64` samples.
+///
+/// Exact `count`/`sum`/`min`/`max` ride along so coarse bucketing never
+/// loses the headline statistics. `sum` saturates rather than wrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a sample: 0 for the value 0, otherwise the bit
+/// length of the value (1 for 1, 2 for 2..=3, ..., 64 for the top half
+/// of the domain including `u64::MAX`).
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+pub fn bucket_lo(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        1 => 1,
+        b => 1u64 << (b - 1),
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Occupancy of one bucket.
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets[b]
+    }
+
+    /// Deterministic JSON: non-empty buckets as `[index, count]` pairs in
+    /// ascending index order, plus the exact aggregates.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| Json::Arr(vec![Json::UInt(b as u64), Json::UInt(n)]))
+            .collect();
+        Json::obj(vec![
+            ("buckets", Json::Arr(buckets)),
+            ("count", Json::UInt(self.count)),
+            ("max", Json::UInt(if self.count > 0 { self.max } else { 0 })),
+            ("min", Json::UInt(if self.count > 0 { self.min } else { 0 })),
+            ("sum", Json::UInt(self.sum)),
+        ])
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A registry of named metrics. Names are `&'static str` by convention
+/// (call sites name their metric once); `BTreeMap` keeps export order
+/// stable regardless of registration order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter (creating it at 0).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Set a gauge to an instantaneous value.
+    pub fn set_gauge(&mut self, name: &'static str, v: i64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Observe a sample into a named histogram (creating it empty).
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().observe(v);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in sorted-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Deterministic JSON export: three sorted-key objects.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), Json::UInt(v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), Json::Int(v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.to_json()))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_zero_one_max() {
+        // The satellite-mandated edge cases: 0, 1, u64::MAX.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Interior edges: powers of two open a new bucket.
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(1 << 63), 64);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for b in 0..BUCKETS {
+            let lo = bucket_lo(b);
+            assert_eq!(bucket_of(lo), b, "lower bound of bucket {b}");
+            if b + 1 < BUCKETS {
+                let hi = bucket_lo(b + 1) - 1;
+                assert_eq!(bucket_of(hi), b, "upper bound of bucket {b}");
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_observes_edge_values() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(64), 1);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        // Sum saturates instead of wrapping past u64::MAX.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_min_max() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        let j = h.to_json();
+        assert_eq!(j.field("count").unwrap().as_u64().unwrap(), 0);
+        assert!(j.field("buckets").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn histogram_json_lists_only_occupied_buckets() {
+        let mut h = Histogram::new();
+        h.observe(5); // bucket 3
+        h.observe(5);
+        h.observe(1); // bucket 1
+        let j = h.to_json();
+        let buckets = j.field("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].as_arr().unwrap()[0].as_u64().unwrap(), 1);
+        assert_eq!(buckets[1].as_arr().unwrap()[0].as_u64().unwrap(), 3);
+        assert_eq!(buckets[1].as_arr().unwrap()[1].as_u64().unwrap(), 2);
+    }
+
+    #[test]
+    fn registry_export_is_sorted_and_stable() {
+        let mut r = Registry::new();
+        r.incr("zeta");
+        r.add("alpha", 3);
+        r.set_gauge("ready_threads", 2);
+        r.observe("latency", 9);
+        let s = r.to_json().to_string();
+        // "alpha" must precede "zeta" regardless of registration order.
+        assert!(s.find("alpha").unwrap() < s.find("zeta").unwrap());
+        // Two identical registries export byte-identical JSON.
+        let mut r2 = Registry::new();
+        r2.observe("latency", 9);
+        r2.set_gauge("ready_threads", 2);
+        r2.add("alpha", 3);
+        r2.incr("zeta");
+        assert_eq!(s, r2.to_json().to_string());
+        assert!(codec::Json::parse(&s).is_ok());
+    }
+}

@@ -19,5 +19,29 @@ BENCH_SMOKE=1 BENCH_DIR="$BENCH_DIR" cargo bench --offline -p bench
 
 echo "== bench output =="
 ls -l "$BENCH_DIR"/BENCH_*.json
+ls -l "$BENCH_DIR"/TELEMETRY_*.json
+
+echo "== telemetry: record/replay --metrics-out round trip =="
+CLI=target/release/dejavu-cli
+TDIR="$BENCH_DIR/telemetry-verify"
+mkdir -p "$TDIR"
+"$CLI" record racy_counter 3 "$TDIR/trace.bin" --metrics-out "$TDIR/record.json" > /dev/null
+"$CLI" replay racy_counter 3 "$TDIR/trace.bin" --metrics-out "$TDIR/replay.json" > /dev/null
+# Every emitted document must be valid *canonical* JSON by our own codec.
+"$CLI" checkjson "$TDIR/record.json"
+"$CLI" checkjson "$TDIR/replay.json"
+for f in "$BENCH_DIR"/TELEMETRY_*.json; do
+    "$CLI" checkjson "$f"
+done
+
+echo "== telemetry: byte-determinism (same run, same bytes) =="
+"$CLI" record racy_counter 3 "$TDIR/trace2.bin" --metrics-out "$TDIR/record2.json" > /dev/null
+cmp "$TDIR/record.json" "$TDIR/record2.json"
+cmp "$TDIR/trace.bin" "$TDIR/trace2.bin"
+
+echo "== telemetry: neutrality (fingerprints on == off) =="
+"$CLI" neutrality racy_counter 3
+"$CLI" neutrality producer_consumer 1
+"$CLI" neutrality gc_churn 1
 
 echo "verify: OK"

@@ -3,18 +3,31 @@
 //! ```text
 //! dejavu-cli list
 //! dejavu-cli run <workload> [seed]
-//! dejavu-cli record <workload> <seed> <trace-file>
-//! dejavu-cli replay <workload> <seed> <trace-file>
+//! dejavu-cli record <workload> <seed> <trace-file> [--metrics-out <file>]
+//! dejavu-cli replay <workload> <seed> <trace-file> [--metrics-out <file>]
+//! dejavu-cli stats <workload> [seed]             # record+replay metrics JSON
+//! dejavu-cli neutrality <workload> [seed]        # telemetry on == off proof
+//! dejavu-cli checkjson <file>                    # validate via crates/codec
 //! dejavu-cli dis <workload> [method-name]
 //! dejavu-cli serve <workload> <seed> <port>      # debugger tier over TCP
 //! ```
 //!
 //! Traces written by `record` are the binary format of
 //! [`dejavu::Trace::encoded`]; `replay` verifies accuracy against a fresh
-//! record of the same seed.
+//! record of the same seed. `--metrics-out` writes the run's canonical
+//! (sorted-key, timestamp-free, byte-deterministic) metrics JSON.
+//!
+//! Exit codes: `0` success / accurate replay, `1` usage or I/O error,
+//! `2` replay divergence (desync) or neutrality violation.
 
-use dejavu::{passthrough_run, record_run, replay_run, ExecSpec, SymmetryConfig, Trace};
+use dejavu::{
+    passthrough_run, record_replay_forensic, record_run, replay_run, run_metrics_json, ExecSpec,
+    SymmetryConfig, Trace,
+};
 use std::process::ExitCode;
+
+/// Exit code distinguishing "the replay diverged" from ordinary failures.
+const EXIT_DIVERGED: u8 = 2;
 
 fn find(name: &str) -> Option<workloads::Workload> {
     workloads::registry().into_iter().find(|w| w.name == name)
@@ -27,14 +40,42 @@ fn spec_of(w: &workloads::Workload, seed: u64) -> ExecSpec {
     s
 }
 
+/// Extract `--metrics-out <file>` from the arg list (removing both tokens).
+fn take_metrics_out(args: &mut Vec<String>) -> Result<Option<String>, ()> {
+    let Some(i) = args.iter().position(|a| a == "--metrics-out") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        eprintln!("--metrics-out requires a file argument");
+        return Err(());
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(path))
+}
+
+/// Write canonical metrics JSON (newline-terminated) to `path`.
+fn write_metrics(path: &str, json: &codec::Json) -> Result<(), ExitCode> {
+    let mut s = json.to_string();
+    s.push('\n');
+    std::fs::write(path, s).map_err(|e| {
+        eprintln!("write {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: dejavu-cli <list|run|record|replay|dis|serve> [args...]\n\
+            "usage: dejavu-cli <list|run|record|replay|stats|neutrality|checkjson|dis|serve> [args...]\n\
              see the module docs for details"
         );
         ExitCode::FAILURE
+    };
+    let metrics_out = match take_metrics_out(&mut args) {
+        Ok(m) => m,
+        Err(()) => return usage(),
     };
     match args.first().map(String::as_str) {
         Some("list") => {
@@ -64,7 +105,11 @@ fn main() -> ExitCode {
             ) else {
                 return usage();
             };
-            let (rec, trace) = record_run(&spec_of(&w, seed), w.natives, SymmetryConfig::full(), true);
+            let mut spec = spec_of(&w, seed);
+            if metrics_out.is_some() {
+                spec = spec.with_telemetry();
+            }
+            let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
             let bytes = trace.encoded();
             if let Err(e) = std::fs::write(path, &bytes) {
                 eprintln!("write {path}: {e}");
@@ -72,6 +117,11 @@ fn main() -> ExitCode {
             }
             print!("{}", rec.output);
             let st = trace.stats();
+            if let Some(out) = metrics_out {
+                if let Err(code) = write_metrics(&out, &run_metrics_json(&rec, Some(&st))) {
+                    return code;
+                }
+            }
             eprintln!(
                 "[trace {path}: {} bytes, {} switches, {} clock reads, {} native outcomes]",
                 st.total_bytes, st.switch_count, st.clock_count, st.native_count
@@ -97,12 +147,27 @@ fn main() -> ExitCode {
                 eprintln!("{path}: not a valid trace");
                 return ExitCode::FAILURE;
             };
-            let spec = spec_of(&w, seed);
+            // Telemetry is always on here: it is proven perturbation-free,
+            // and the rings let a divergence be localized to an event.
+            let spec = spec_of(&w, seed).with_telemetry();
             let (rep, desyncs) = replay_run(&spec, trace, SymmetryConfig::full());
             print!("{}", rep.output);
+            if let Some(out) = metrics_out {
+                if let Err(code) = write_metrics(&out, &run_metrics_json(&rep, None)) {
+                    return code;
+                }
+            }
             // verify against a fresh record of the same seed
             let (rec, _) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
             let accurate = rec.matches(&rep) && desyncs.is_empty();
+            // Every desync, named with all its fields.
+            for d in &desyncs {
+                eprintln!("desync: {}", d.describe());
+            }
+            if !accurate {
+                let report = dejavu::DivergenceReport::build(&rec, &rep, desyncs.clone());
+                eprintln!("{}", report.describe());
+            }
             eprintln!(
                 "[replay {}: {} desyncs]",
                 if accurate { "ACCURATE" } else { "DIVERGED" },
@@ -111,7 +176,86 @@ fn main() -> ExitCode {
             if accurate {
                 ExitCode::SUCCESS
             } else {
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_DIVERGED)
+            }
+        }
+        Some("stats") => {
+            let Some(w) = args.get(1).and_then(|n| find(n)) else {
+                return usage();
+            };
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let spec = spec_of(&w, seed).with_telemetry();
+            let out = record_replay_forensic(&spec, w.natives, SymmetryConfig::full());
+            let mut doc = codec::Json::obj(vec![
+                ("accurate", codec::Json::Bool(out.accurate)),
+                (
+                    "record",
+                    run_metrics_json(&out.record, Some(&out.trace_stats)),
+                ),
+                ("replay", run_metrics_json(&out.replay, None)),
+            ]);
+            doc.canonicalize();
+            println!("{doc}");
+            if let Some(report) = &out.report {
+                eprintln!("{}", report.describe());
+                return ExitCode::from(EXIT_DIVERGED);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("neutrality") => {
+            // Prove perturbation-freedom for this workload+seed: the
+            // fingerprint, state digest and output of record and replay
+            // must be bit-identical with the telemetry sink on vs. off.
+            let Some(w) = args.get(1).and_then(|n| find(n)) else {
+                return usage();
+            };
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let spec_off = spec_of(&w, seed);
+            let spec_on = spec_of(&w, seed).with_telemetry();
+            let off = record_replay_forensic(&spec_off, w.natives, SymmetryConfig::full());
+            let on = record_replay_forensic(&spec_on, w.natives, SymmetryConfig::full());
+            let neutral = off.record.matches(&on.record) && off.replay.matches(&on.replay);
+            println!(
+                "record fingerprint off={:016x} on={:016x}\n\
+                 replay fingerprint off={:016x} on={:016x}\n\
+                 neutrality: {}",
+                off.record.fingerprint,
+                on.record.fingerprint,
+                off.replay.fingerprint,
+                on.replay.fingerprint,
+                if neutral { "HOLDS" } else { "VIOLATED" }
+            );
+            if neutral {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_DIVERGED)
+            }
+        }
+        Some("checkjson") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match codec::Json::parse(text.trim()) {
+                Ok(j) => {
+                    let canon = j.to_canonical_string();
+                    if canon != text.trim() {
+                        eprintln!("{path}: valid JSON but not in canonical (sorted-key) form");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("{path}: canonical JSON OK");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: invalid JSON: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         Some("dis") => {

@@ -146,6 +146,34 @@ fn replay_is_accurate_for_any_seed() {
 }
 
 // ---------------------------------------------------------------------
+// 3b. The telemetry sink is perturbation-free for arbitrary seeds and
+//     timer shapes: every guest-visible quantity is bit-identical with
+//     the observer on vs. off, on both sides of the record/replay pair.
+// ---------------------------------------------------------------------
+
+#[test]
+fn telemetry_is_neutral_for_any_seed() {
+    qc::check("telemetry_is_neutral_for_any_seed", 32, |g| {
+        let seed = g.u64_in(0, 9_999);
+        let base = g.u64_in(13, 149);
+        let w = workloads::suite::racy_counter(60);
+        let mut off = ExecSpec::new(w).with_seed(seed);
+        off.timer_base = base;
+        off.timer_jitter = base / 4;
+        let on = off.clone().with_telemetry();
+        let (rec_off, rep_off, ok_off) = record_replay(&off, |_| {}, SymmetryConfig::full());
+        let (rec_on, rep_on, ok_on) = record_replay(&on, |_| {}, SymmetryConfig::full());
+        qc_assert_eq!(rec_off.fingerprint, rec_on.fingerprint, "record fingerprint");
+        qc_assert_eq!(rec_off.state_digest, rec_on.state_digest, "record digest");
+        qc_assert_eq!(rep_off.fingerprint, rep_on.fingerprint, "replay fingerprint");
+        qc_assert_eq!(rep_off.state_digest, rep_on.state_digest, "replay digest");
+        qc_assert_eq!(rec_off.output, rec_on.output, "record output");
+        qc_assert_eq!(ok_off, ok_on, "accuracy verdict");
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
 // 4. The trace codec round-trips arbitrary traces.
 // ---------------------------------------------------------------------
 
