@@ -1,0 +1,86 @@
+//! Interpreter dispatch bench: quickened (superinstruction / devirtualized
+//! QOp stream) vs generic dispatch, side by side, on the Figure-1 hot-loop
+//! workload. Reports steps/sec via the `work_units` hint plus record and
+//! replay overhead in both modes, so `BENCH_interp.json` captures the
+//! whole fused-vs-unfused story in one file.
+//!
+//! The attached TELEMETRY document comes from *environment-default* specs:
+//! running this bench under `DJVM_NO_QUICKEN=1` and again without it must
+//! produce byte-identical telemetry (fingerprints, counters, trace stats)
+//! — `scripts/verify.sh` cmp's the two files to enforce neutrality in CI.
+
+use bench::harness::{black_box, Group};
+use bench::bench_spec;
+use dejavu::SymmetryConfig;
+
+const WORKLOAD: &str = "fig1_hot";
+
+fn main() {
+    let mut g = Group::new("interp");
+    g.sample_size(10);
+
+    let (spec, natives) = bench_spec(WORKLOAD, 1);
+    let spec_q = spec.clone().with_quicken(true);
+    let spec_g = spec.clone().with_quicken(false);
+
+    // The step count is deterministic and mode-independent (the
+    // cycle-accounting invariant); it is the work_units hint that turns
+    // median ns into steps/sec.
+    let steps_q = dejavu::passthrough_run(&spec_q, natives).counters.steps;
+    let steps_g = dejavu::passthrough_run(&spec_g, natives).counters.steps;
+    assert_eq!(
+        steps_q, steps_g,
+        "quickening changed the step count — the invariant is broken"
+    );
+
+    g.bench_units(&format!("steps_quickened/{WORKLOAD}"), steps_q, || {
+        black_box(dejavu::passthrough_run(&spec_q, natives));
+    });
+    g.bench_units(&format!("steps_generic/{WORKLOAD}"), steps_g, || {
+        black_box(dejavu::passthrough_run(&spec_g, natives));
+    });
+
+    // Record overhead, both modes.
+    g.bench_units(&format!("record_quickened/{WORKLOAD}"), steps_q, || {
+        black_box(dejavu::record_run(
+            &spec_q,
+            natives,
+            SymmetryConfig::full(),
+            false,
+        ));
+    });
+    g.bench_units(&format!("record_generic/{WORKLOAD}"), steps_g, || {
+        black_box(dejavu::record_run(
+            &spec_g,
+            natives,
+            SymmetryConfig::full(),
+            false,
+        ));
+    });
+
+    // Replay overhead, both modes (trace decode + forced switches).
+    let (_, trace_q) = dejavu::record_run(&spec_q, natives, SymmetryConfig::full(), true);
+    let (_, trace_g) = dejavu::record_run(&spec_g, natives, SymmetryConfig::full(), true);
+    g.bench_units(&format!("replay_quickened/{WORKLOAD}"), steps_q, || {
+        black_box(dejavu::replay_run(
+            &spec_q,
+            trace_q.clone(),
+            SymmetryConfig::full(),
+        ));
+    });
+    g.bench_units(&format!("replay_generic/{WORKLOAD}"), steps_g, || {
+        black_box(dejavu::replay_run(
+            &spec_g,
+            trace_g.clone(),
+            SymmetryConfig::full(),
+        ));
+    });
+
+    // Telemetry from an env-default-mode record: verify.sh runs this bench
+    // with and without DJVM_NO_QUICKEN=1 and byte-compares the two files.
+    let tspec = spec.clone().with_telemetry();
+    let (rec, trace) = dejavu::record_run(&tspec, natives, SymmetryConfig::full(), true);
+    g.attach_telemetry(WORKLOAD, dejavu::run_metrics_json(&rec, Some(&trace.stats())));
+
+    g.finish();
+}

@@ -23,10 +23,19 @@ pub use std::hint::black_box;
 pub struct BenchResult {
     pub name: String,
     pub samples: u64,
+    /// Sum of all measured samples (ns) — the cross-machine-comparable
+    /// total cost of the measurement phase.
+    pub total_ns: u64,
     pub mean_ns: u64,
     pub median_ns: u64,
     pub min_ns: u64,
     pub max_ns: u64,
+    /// Work units (e.g. interpreter steps) one iteration performs;
+    /// 0 when the bench declared no hint.
+    pub work_units: u64,
+    /// Derived units/second from the median sample; 0 when no
+    /// `work_units` hint was given.
+    pub throughput: u64,
 }
 
 /// A named group of benches sharing sampling configuration.
@@ -70,8 +79,18 @@ impl Group {
 
     /// Measure `f`: warm up for the configured duration, then time
     /// `sample_size` individual calls. In smoke mode: one call, no warmup.
-    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let samples = if self.smoke { 1 } else { self.sample_size };
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_units(name, 0, f)
+    }
+
+    /// Like [`Group::bench`], with a `work_units` hint: the number of
+    /// work units (e.g. interpreter steps) one call of `f` performs.
+    /// The result then carries a derived `throughput` in units/second,
+    /// comparable across machines in a way raw nanoseconds are not.
+    pub fn bench_units<F: FnMut()>(&mut self, name: &str, work_units: u64, mut f: F) -> &mut Self {
+        // `.max(1)` guards the mean/median divisions below against a
+        // BENCH_SAMPLES=0 override.
+        let samples = if self.smoke { 1 } else { self.sample_size.max(1) };
         if !self.smoke {
             let start = Instant::now();
             while start.elapsed() < self.warm_up {
@@ -85,15 +104,26 @@ impl Group {
             times.push(t0.elapsed().as_nanos() as u64);
         }
         times.sort_unstable();
+        let median_ns = times[times.len() / 2];
+        let throughput = if work_units == 0 {
+            0
+        } else {
+            // units/sec from the median sample; never divide by zero
+            // even for sub-nanosecond (clock-granularity) samples.
+            (work_units as u128 * 1_000_000_000 / median_ns.max(1) as u128) as u64
+        };
         let result = BenchResult {
             name: name.to_string(),
             samples,
+            total_ns: times.iter().sum::<u64>(),
             mean_ns: times.iter().sum::<u64>() / samples,
-            median_ns: times[times.len() / 2],
+            median_ns,
             min_ns: times[0],
             max_ns: times[times.len() - 1],
+            work_units,
+            throughput,
         };
-        println!(
+        print!(
             "{}/{}: median {} (mean {}, min {}, max {}, n={})",
             self.name,
             result.name,
@@ -103,6 +133,10 @@ impl Group {
             fmt_ns(result.max_ns),
             result.samples,
         );
+        if throughput > 0 {
+            print!(" [{throughput} units/s]");
+        }
+        println!();
         self.results.push(result);
         self
     }
@@ -115,13 +149,16 @@ impl Group {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"samples\":{},\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                "{{\"name\":\"{}\",\"samples\":{},\"total_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"work_units\":{},\"throughput\":{}}}",
                 r.name.replace('"', "'"),
                 r.samples,
+                r.total_ns,
                 r.mean_ns,
                 r.median_ns,
                 r.min_ns,
                 r.max_ns,
+                r.work_units,
+                r.throughput,
             ));
         }
         out.push_str("]}");
@@ -224,6 +261,46 @@ mod tests {
         let s = doc.to_string();
         assert_eq!(s, doc.to_canonical_string(), "already canonical");
         assert!(s.contains(r#""runs":{"run":{"a":1,"b":2}}"#), "{s}");
+    }
+
+    #[test]
+    fn work_units_yield_throughput_and_total() {
+        let mut g = Group {
+            name: "unit".into(),
+            sample_size: 2,
+            warm_up: Duration::ZERO,
+            smoke: false,
+            results: Vec::new(),
+            telemetry: Vec::new(),
+        };
+        g.bench_units("spin", 1_000, || {
+            std::thread::sleep(Duration::from_micros(50));
+        });
+        let r = &g.results[0];
+        assert!(r.throughput > 0, "work_units hint must derive throughput");
+        assert_eq!(r.work_units, 1_000);
+        assert!(r.total_ns >= r.max_ns, "total covers all samples");
+        let json = g.to_json();
+        assert!(json.contains("\"throughput\":"), "{json}");
+        assert!(json.contains("\"total_ns\":"), "{json}");
+        assert!(codec::Json::parse(&json).is_ok());
+        // Benches without a hint report 0 throughput, not a division.
+        g.bench("nohint", || {});
+        assert_eq!(g.results[1].throughput, 0);
+    }
+
+    #[test]
+    fn zero_sample_override_is_guarded() {
+        let mut g = Group {
+            name: "unit".into(),
+            sample_size: 0, // as if BENCH_SAMPLES=0
+            warm_up: Duration::ZERO,
+            smoke: false,
+            results: Vec::new(),
+            telemetry: Vec::new(),
+        };
+        g.bench("never_zero", || {});
+        assert_eq!(g.results[0].samples, 1);
     }
 
     #[test]

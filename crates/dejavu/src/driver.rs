@@ -72,6 +72,14 @@ impl ExecSpec {
         self
     }
 
+    /// Force quickened dispatch on or off for every VM built from this
+    /// spec (the `DJVM_NO_QUICKEN` ablation as an API knob). Purely a
+    /// speed setting: runs are bit-identical either way.
+    pub fn with_quicken(mut self, quicken: bool) -> Self {
+        self.vm.quicken = quicken;
+        self
+    }
+
     fn finish_vm(&self, mut vm: Vm) -> Vm {
         if self.telemetry {
             vm.enable_telemetry(self.telemetry_ring);

@@ -10,9 +10,12 @@
 //!   payload is an array `[name, field...]` with fields in declaration
 //!   order (`["GetField", 2, "Int"]`),
 //! * [`Program`] and friends are objects keyed by field name. The
-//!   `compiled` output of the baseline compiler is *not* serialized — a
+//!   `compiled` output of the baseline compiler — ref maps, backedge
+//!   bits, *and the quickened `QOp` stream* — is *not* serialized: a
 //!   decoded program must be passed through [`crate::compile`] again,
-//!   mirroring how a class file carries no JIT state.
+//!   mirroring how a class file carries no JIT state. Quickening is
+//!   deterministic, so recompilation reproduces the exact same stream
+//!   (and therefore the exact same execution) on every machine.
 //!
 //! Encoding is deterministic: map-like fields (`vslots`) are emitted in
 //! sorted key order.
@@ -614,5 +617,46 @@ mod tests {
         let mut decoded = decoded;
         crate::compile::compile_program(&mut decoded).unwrap();
         assert!(decoded.methods[m as usize].compiled.is_some());
+    }
+
+    /// The quickened stream never travels with the program, and
+    /// recompiling a decoded program regenerates it exactly — so a
+    /// serialized program replays identically wherever it is decoded.
+    #[test]
+    fn roundtrip_requickens_identically() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.iconst(0).store(0);
+            a.iconst(0).store(1);
+            a.label("top");
+            a.load(0).iconst(25).ge().if_nz("done");
+            a.load(1).load(0).add().store(1);
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.load(1).print();
+            a.halt();
+        });
+        let program = pb.finish(m).unwrap();
+
+        let mut decoded = Program::from_json_str(&program.to_json_string()).unwrap();
+        assert!(
+            decoded.methods.iter().all(|m| m.compiled.is_none()),
+            "quickened state must not travel"
+        );
+        crate::compile::compile_program(&mut decoded).unwrap();
+
+        for (a, b) in decoded.methods.iter().zip(&program.methods) {
+            let (ca, cb) = (a.compiled.as_ref().unwrap(), b.compiled.as_ref().unwrap());
+            assert_eq!(ca.qops, cb.qops, "method {}", a.name);
+            assert_eq!(ca.backedge, cb.backedge, "method {}", a.name);
+        }
+        // The main method actually got superinstructions (the test is not
+        // vacuous).
+        let main = decoded.methods[m as usize].compiled.as_ref().unwrap();
+        assert!(main
+            .qops
+            .iter()
+            .any(|q| matches!(q, crate::compile::QOp::ConstStore { .. })));
     }
 }

@@ -15,6 +15,13 @@
 //!    may occur, and hence the ticks of DejaVu's logical clock.
 //! 4. **Frame sizing** — max operand-stack depth, so activation-stack
 //!    overflow checks (and the eager-growth symmetry of §2.4) are exact.
+//! 5. **Quickening** — every method is rewritten into an internal [`QOp`]
+//!    stream with pre-decoded operands (jump targets carry their backedge
+//!    bit, monomorphic virtual calls are devirtualized) and fused
+//!    superinstructions for common pairs/triples. The quickened stream is
+//!    *derived* metadata: it is recomputed on every compile (the codec
+//!    never serializes it) and the interpreter's quickened dispatch loop
+//!    is proven bit-identical to the unfused one (see `interp`).
 //!
 //! The pass also injects the VM's builtin classes and the interpreted
 //! instrumentation helper methods (the boot-image analogue).
@@ -100,6 +107,180 @@ impl BitSet {
             (0..64).filter_map(move |b| (w & (1 << b) != 0).then_some(wi * 64 + b))
         })
     }
+
+    /// Build from a slice of booleans (index i set iff `bits[i]`).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut s = Self::with_capacity(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+}
+
+/// Pre-decoded integer ALU function for the *fusible* binary ops. `Div`
+/// and `Rem` are deliberately absent: they can fail (divide by zero), and
+/// superinstruction constituents must be total so the quickened loop can
+/// batch its cycle accounting ahead of the effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluFn {
+    Add,
+    Sub,
+    Mul,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl AluFn {
+    pub fn of(op: Op) -> Option<AluFn> {
+        Some(match op {
+            Op::Add => AluFn::Add,
+            Op::Sub => AluFn::Sub,
+            Op::Mul => AluFn::Mul,
+            Op::BitAnd => AluFn::BitAnd,
+            Op::BitOr => AluFn::BitOr,
+            Op::BitXor => AluFn::BitXor,
+            Op::Shl => AluFn::Shl,
+            Op::Shr => AluFn::Shr,
+            _ => return None,
+        })
+    }
+
+    /// Must agree exactly with the generic interpreter's arithmetic.
+    #[inline]
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluFn::Add => a.wrapping_add(b),
+            AluFn::Sub => a.wrapping_sub(b),
+            AluFn::Mul => a.wrapping_mul(b),
+            AluFn::BitAnd => a & b,
+            AluFn::BitOr => a | b,
+            AluFn::BitXor => a ^ b,
+            AluFn::Shl => a.wrapping_shl(b as u32 & 63),
+            AluFn::Shr => a.wrapping_shr(b as u32 & 63),
+        }
+    }
+}
+
+/// Pre-decoded integer comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpFn {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpFn {
+    pub fn of(op: Op) -> Option<CmpFn> {
+        Some(match op {
+            Op::Eq => CmpFn::Eq,
+            Op::Ne => CmpFn::Ne,
+            Op::Lt => CmpFn::Lt,
+            Op::Le => CmpFn::Le,
+            Op::Gt => CmpFn::Gt,
+            Op::Ge => CmpFn::Ge,
+            _ => return None,
+        })
+    }
+
+    #[inline]
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpFn::Eq => a == b,
+            CmpFn::Ne => a != b,
+            CmpFn::Lt => a < b,
+            CmpFn::Le => a <= b,
+            CmpFn::Gt => a > b,
+            CmpFn::Ge => a >= b,
+        }
+    }
+}
+
+/// A quickened instruction. The quickened stream is a *parallel* array
+/// with exactly one entry per source pc: a fused superinstruction lives at
+/// its head pc, while every interior pc keeps its own single-op quickened
+/// form. Jumps into the middle of a fusion therefore need no pc remapping,
+/// and the interpreter can resume mid-pattern after a timer split, an
+/// access-gate retry, or a thread switch.
+///
+/// Only ops that cannot fail, block, allocate, emit telemetry, or consult
+/// the hook are given fast quickened forms — everything else is `Gen` and
+/// runs through the generic one-instruction path, which keeps the error /
+/// gate / instrumentation semantics in exactly one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QOp {
+    /// Not quickened: execute via the generic interpreter path.
+    Gen(Op),
+    // ---- pre-decoded singles (width 1) ----
+    Const(i64),
+    Load(u16),
+    Store(u16),
+    Dup,
+    Pop,
+    Swap,
+    Neg,
+    RefEq,
+    Alu(AluFn),
+    Cmp(CmpFn),
+    /// Branches carry their backedge bit so the dispatch loop needs no
+    /// side-table probe.
+    Goto { target: u32, backedge: bool },
+    If { target: u32, backedge: bool },
+    IfZ { target: u32, backedge: bool },
+    /// `CallVirtual` whose receiver class is statically unique (no loaded
+    /// subclass overrides the slot): dispatches directly to `callee` after
+    /// the same null / subclass checks, skipping both vtable probes.
+    CallMono {
+        class: ClassId,
+        callee: MethodId,
+        nargs: u16,
+    },
+    // ---- superinstructions ----
+    /// `Const v; Store local` (width 2).
+    ConstStore { v: i64, local: u16 },
+    /// `Load a; Load b; <alu>` (width 3).
+    LoadLoadAlu { a: u16, b: u16, f: AluFn },
+    /// `Load a; Const v; <alu>` (width 3).
+    LoadConstAlu { a: u16, v: i64, f: AluFn },
+    /// `<cmp>; If/IfZ target` (width 2). `jump_if` is the comparison
+    /// result that takes the branch (`true` for `If`, `false` for `IfZ`).
+    CmpIf {
+        f: CmpFn,
+        target: u32,
+        backedge: bool,
+        jump_if: bool,
+    },
+    /// `Load a; Const v; <cmp>; If/IfZ target` (width 4) — the canonical
+    /// loop-exit test.
+    LoadConstCmpIf {
+        a: u16,
+        v: i64,
+        f: CmpFn,
+        target: u32,
+        backedge: bool,
+        jump_if: bool,
+    },
+}
+
+impl QOp {
+    /// Number of source instructions this quickened op executes.
+    #[inline]
+    pub fn width(self) -> u32 {
+        match self {
+            QOp::ConstStore { .. } | QOp::CmpIf { .. } => 2,
+            QOp::LoadLoadAlu { .. } | QOp::LoadConstAlu { .. } => 3,
+            QOp::LoadConstCmpIf { .. } => 4,
+            _ => 1,
+        }
+    }
 }
 
 /// Baseline-compiler output attached to each method.
@@ -109,20 +290,26 @@ pub struct CompiledMethod {
     pub max_stack: u16,
     /// Words needed for a frame: header (3) + locals + max_stack.
     pub frame_words: u32,
-    /// `backedge[pc]` — instruction at `pc` is a branch whose target is
+    /// Bit `pc` set — instruction at `pc` is a branch whose target is
     /// not after it. Taking it is a yield point.
-    pub backedge: Vec<bool>,
+    pub backedge: BitSet,
     /// Per-pc reference maps (None for unreachable code).
     pub ref_maps: Vec<Option<RefMap>>,
+    /// Quickened instruction stream, parallel to the source ops (one entry
+    /// per pc; fusion heads carry the superinstruction, interior pcs keep
+    /// their single-op form). Derived metadata — never serialized.
+    pub qops: Vec<QOp>,
 }
 
 impl CompiledMethod {
     /// Size of the method's "compiled code" object in words: one word per
     /// instruction plus a 4-word header. This is the guest-visible
     /// allocation the lazy compiler performs on first invocation, so it
-    /// must stay a pure function of the method body.
+    /// must stay a pure function of the method body (`ref_maps` is per-pc,
+    /// hence exactly the instruction count — quickening must NOT change
+    /// this, or it would perturb guest allocation order).
     pub fn code_words(&self) -> usize {
-        self.backedge.len() + 4
+        self.ref_maps.len() + 4
     }
 }
 
@@ -881,20 +1068,161 @@ impl<'p> Verifier<'p> {
             }
         }
 
-        let backedge = m
+        let backedge_bools: Vec<bool> = m
             .ops
             .iter()
             .enumerate()
             .map(|(pc, op)| op.branch_target().is_some_and(|t| t as usize <= pc))
             .collect();
+        let qops = quicken(self.program, &m.ops, &backedge_bools);
+        let backedge = BitSet::from_bools(&backedge_bools);
 
         Ok(CompiledMethod {
             max_stack,
             frame_words: FRAME_HEADER_WORDS + m.nlocals as u32 + max_stack as u32,
             backedge,
             ref_maps,
+            qops,
         })
     }
+}
+
+/// The unique callee a `CallVirtual { class, slot }` can ever dispatch to,
+/// if the program's class hierarchy makes the site monomorphic: every
+/// class that `is_subclass` of the static receiver type resolves the slot
+/// to the same method. The class set is closed at compile time (there is
+/// no dynamic class loading of *new* classes, only lazy initialization),
+/// so the answer is stable for the life of the program.
+fn monomorphic_target(program: &Program, class: ClassId, slot: u16) -> Option<MethodId> {
+    let mut target: Option<MethodId> = None;
+    for (cid, c) in program.classes.iter().enumerate() {
+        if !program.is_subclass(cid as ClassId, class) {
+            continue;
+        }
+        let &m = c.vtable.get(slot as usize)?;
+        match target {
+            None => target = Some(m),
+            Some(t) if t == m => {}
+            Some(_) => return None,
+        }
+    }
+    target
+}
+
+/// The single-op quickened form of one source instruction.
+fn quicken_single(program: &Program, op: Op, pc: usize, backedge: &[bool]) -> QOp {
+    if let Some(f) = AluFn::of(op) {
+        return QOp::Alu(f);
+    }
+    if let Some(f) = CmpFn::of(op) {
+        return QOp::Cmp(f);
+    }
+    match op {
+        Op::Const(v) => QOp::Const(v),
+        Op::Load(i) => QOp::Load(i),
+        Op::Store(i) => QOp::Store(i),
+        Op::Dup => QOp::Dup,
+        Op::Pop => QOp::Pop,
+        Op::Swap => QOp::Swap,
+        Op::Neg => QOp::Neg,
+        Op::RefEq => QOp::RefEq,
+        Op::Goto(t) => QOp::Goto {
+            target: t,
+            backedge: backedge[pc],
+        },
+        Op::If(t) => QOp::If {
+            target: t,
+            backedge: backedge[pc],
+        },
+        Op::IfZ(t) => QOp::IfZ {
+            target: t,
+            backedge: backedge[pc],
+        },
+        Op::CallVirtual { class, slot } => match monomorphic_target(program, class, slot) {
+            Some(callee) => QOp::CallMono {
+                class,
+                callee,
+                nargs: program.methods[callee as usize].nargs,
+            },
+            None => QOp::Gen(op),
+        },
+        _ => QOp::Gen(op),
+    }
+}
+
+/// Try to fuse a superinstruction headed at `pc` (longest pattern first).
+/// Constituents are all total (no failure / block / alloc / hook path), so
+/// the dispatch loop may batch their cycle accounting before the combined
+/// effect — and the loop splits the fusion at run time whenever the timer
+/// would expire mid-pattern, so tick boundaries stay cycle-exact.
+fn try_fuse(ops: &[Op], pc: usize, backedge: &[bool]) -> Option<QOp> {
+    let branch = |pc: usize| -> Option<(u32, bool, bool)> {
+        match ops[pc] {
+            Op::If(t) => Some((t, backedge[pc], true)),
+            Op::IfZ(t) => Some((t, backedge[pc], false)),
+            _ => None,
+        }
+    };
+    // Load a; Const v; <cmp>; If/IfZ  (width 4)
+    if pc + 3 < ops.len() {
+        if let (Op::Load(a), Op::Const(v), Some(f), Some((target, backedge, jump_if))) =
+            (ops[pc], ops[pc + 1], CmpFn::of(ops[pc + 2]), branch(pc + 3))
+        {
+            return Some(QOp::LoadConstCmpIf {
+                a,
+                v,
+                f,
+                target,
+                backedge,
+                jump_if,
+            });
+        }
+    }
+    if pc + 2 < ops.len() {
+        // Load a; Load b; <alu>  (width 3)
+        if let (Op::Load(a), Op::Load(b), Some(f)) = (ops[pc], ops[pc + 1], AluFn::of(ops[pc + 2]))
+        {
+            return Some(QOp::LoadLoadAlu { a, b, f });
+        }
+        // Load a; Const v; <alu>  (width 3)
+        if let (Op::Load(a), Op::Const(v), Some(f)) = (ops[pc], ops[pc + 1], AluFn::of(ops[pc + 2]))
+        {
+            return Some(QOp::LoadConstAlu { a, v, f });
+        }
+    }
+    if pc + 1 < ops.len() {
+        // Const v; Store local  (width 2)
+        if let (Op::Const(v), Op::Store(local)) = (ops[pc], ops[pc + 1]) {
+            return Some(QOp::ConstStore { v, local });
+        }
+        // <cmp>; If/IfZ  (width 2)
+        if let (Some(f), Some((target, backedge, jump_if))) = (CmpFn::of(ops[pc]), branch(pc + 1)) {
+            return Some(QOp::CmpIf {
+                f,
+                target,
+                backedge,
+                jump_if,
+            });
+        }
+    }
+    None
+}
+
+/// The quickening pass: one [`QOp`] per source pc. Pure function of the
+/// (verified) method body and the program's class hierarchy — re-running
+/// it (e.g. after a codec round trip) reproduces the same stream.
+fn quicken(program: &Program, ops: &[Op], backedge: &[bool]) -> Vec<QOp> {
+    let mut q: Vec<QOp> = ops
+        .iter()
+        .enumerate()
+        .map(|(pc, &op)| quicken_single(program, op, pc, backedge))
+        .collect();
+    for pc in 0..ops.len() {
+        if let Some(fused) = try_fuse(ops, pc, backedge) {
+            q[pc] = fused;
+        }
+    }
+    q
 }
 
 fn compile_method(program: &Program, id: MethodId) -> Result<CompiledMethod, CompileError> {
@@ -939,7 +1267,7 @@ mod tests {
         let p = pb.finish(m).unwrap();
         let c = p.compiled(m);
         // Exactly one backedge: the conditional branch back to "top".
-        assert_eq!(c.backedge.iter().filter(|&&b| b).count(), 1);
+        assert_eq!(c.backedge.iter_ones().count(), 1);
         assert!(c.max_stack >= 2);
         assert_eq!(c.frame_words, 3 + 1 + c.max_stack as u32);
     }
@@ -1102,7 +1430,7 @@ mod tests {
         // instrumentation — the liveClock hazard).
         for helper in [b.flush_method, b.fill_method] {
             let c = p.compiled(helper);
-            assert!(c.backedge.iter().any(|&x| x));
+            assert!(c.backedge.iter_ones().next().is_some());
         }
         // getLineNumberAt sits in VM_Method's vtable.
         assert_eq!(
@@ -1125,6 +1453,131 @@ mod tests {
             pb.finish(m).unwrap_err(),
             CompileError::SignatureMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn quickening_covers_every_pc_and_fuses_patterns() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 2).code(|a| {
+            a.iconst(0).store(0); // ConstStore head at pc 0
+            a.iconst(0).store(1); // ConstStore head at pc 2
+            a.label("top");
+            a.load(0).iconst(10).ge().if_nz("done"); // LoadConstCmpIf head at pc 4
+            a.load(1).load(0).add().store(1); // LoadLoadAlu head at pc 8
+            a.load(0).iconst(1).add().store(0); // LoadConstAlu head at pc 12
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let c = p.compiled(m);
+        let n = p.method(m).ops.len();
+        assert_eq!(c.qops.len(), n, "one QOp per source pc");
+        assert!(matches!(c.qops[0], QOp::ConstStore { v: 0, local: 0 }));
+        // Interior pc of the fusion keeps its own single-op form.
+        assert!(matches!(c.qops[1], QOp::Store(0)));
+        assert!(matches!(
+            c.qops[4],
+            QOp::LoadConstCmpIf { a: 0, v: 10, f: CmpFn::Ge, jump_if: true, .. }
+        ));
+        assert!(matches!(c.qops[8], QOp::LoadLoadAlu { a: 1, b: 0, f: AluFn::Add }));
+        assert!(matches!(c.qops[12], QOp::LoadConstAlu { a: 0, v: 1, f: AluFn::Add }));
+        // The goto back to "top" bakes its backedge bit.
+        let goto_pc = (0..n)
+            .find(|&pc| matches!(p.method(m).ops[pc], Op::Goto(_)))
+            .unwrap();
+        assert!(matches!(c.qops[goto_pc], QOp::Goto { backedge: true, .. }));
+        // Widths cover the stream without gaps when walked from the entry.
+        let mut pc = 0usize;
+        let mut seen = 0;
+        while pc < 4 {
+            pc += c.qops[pc].width() as usize;
+            seen += 1;
+        }
+        assert!(seen <= 2, "entry block is fused into at most 2 dispatches");
+    }
+
+    #[test]
+    fn div_and_rem_are_never_fused() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 2).code(|a| {
+            a.iconst(7).store(0);
+            a.load(0).load(0).div().pop(); // Load;Load;Div must NOT fuse
+            a.load(0).iconst(2).rem().pop(); // Load;Const;Rem must NOT fuse
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let c = p.compiled(m);
+        assert!(c.qops.iter().all(|q| !matches!(
+            q,
+            QOp::LoadLoadAlu { .. } | QOp::LoadConstAlu { .. }
+        )));
+        assert!(c
+            .qops
+            .iter()
+            .any(|q| matches!(q, QOp::Gen(Op::Div) | QOp::Gen(Op::Rem))));
+    }
+
+    #[test]
+    fn monomorphic_virtual_calls_devirtualize_overridden_ones_do_not() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base").build();
+        pb.virtual_method(base, "f", vec![], 1, Some(Ty::Int)).code(|a| {
+            a.iconst(1).ret_val();
+        });
+        pb.virtual_method(base, "g", vec![], 1, Some(Ty::Int)).code(|a| {
+            a.iconst(3).ret_val();
+        });
+        let derived = pb.class_extends("Derived", Some(base)).build();
+        pb.virtual_method(derived, "f", vec![], 1, Some(Ty::Int)).code(|a| {
+            a.iconst(2).ret_val();
+        });
+        let f_slot = pb.vslot(base, "f");
+        let g_slot = pb.vslot(base, "g");
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.new(derived).store(0);
+            a.load(0).call_virtual(base, f_slot).print(); // polymorphic
+            a.load(0).call_virtual(base, g_slot).print(); // monomorphic
+            a.load(0).call_virtual(derived, f_slot).print(); // mono via Derived
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let c = p.compiled(m);
+        let virtual_qops: Vec<&QOp> = p
+            .method(m)
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, Op::CallVirtual { .. }))
+            .map(|(pc, _)| &c.qops[pc])
+            .collect();
+        assert!(matches!(virtual_qops[0], QOp::Gen(Op::CallVirtual { .. })));
+        assert!(matches!(virtual_qops[1], QOp::CallMono { nargs: 1, .. }));
+        assert!(matches!(virtual_qops[2], QOp::CallMono { nargs: 1, .. }));
+    }
+
+    #[test]
+    fn quickening_is_deterministic() {
+        let build = || {
+            let mut pb = ProgramBuilder::new();
+            let m = pb.method("m", 0, 2).code(|a| {
+                a.iconst(0).store(0);
+                a.label("top");
+                a.load(0).iconst(100).ge().if_nz("done");
+                a.load(0).iconst(1).add().store(0);
+                a.goto("top");
+                a.label("done");
+                a.halt();
+            });
+            pb.finish(m).unwrap()
+        };
+        let (a, b) = (build(), build());
+        for (ma, mb) in a.methods.iter().zip(b.methods.iter()) {
+            assert_eq!(
+                ma.compiled.as_ref().unwrap().qops,
+                mb.compiled.as_ref().unwrap().qops
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! view of the executing method's Java source and machine instructions").
 
 use crate::bytecode::{Op, Ty};
+use crate::compile::QOp;
 use crate::program::Program;
 use crate::MethodId;
 use std::fmt::Write;
@@ -119,7 +120,7 @@ pub fn disassemble(program: &Program, method: MethodId) -> String {
         cm.frame_words
     );
     for (pc, &op) in m.ops.iter().enumerate() {
-        let marker = if cm.backedge[pc] { "*" } else { " " };
+        let marker = if cm.backedge.get(pc) { "*" } else { " " };
         let depth = cm.ref_maps[pc]
             .as_ref()
             .map(|r| r.stack_depth.to_string())
@@ -138,6 +139,100 @@ pub fn disassemble(program: &Program, method: MethodId) -> String {
 pub fn disassemble_all(program: &Program) -> String {
     (0..program.methods.len() as MethodId)
         .map(|m| disassemble(program, m))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Render one quickened op. Superinstructions show their mnemonic and the
+/// constituent source ops they replace come from the caller (see
+/// [`disassemble_quickened`]).
+pub fn render_qop(program: &Program, q: QOp) -> String {
+    match q {
+        QOp::Gen(op) => render_op(program, op),
+        QOp::Const(v) => format!("q.const {v}"),
+        QOp::Load(i) => format!("q.load l{i}"),
+        QOp::Store(i) => format!("q.store l{i}"),
+        QOp::Dup => "q.dup".into(),
+        QOp::Pop => "q.pop".into(),
+        QOp::Swap => "q.swap".into(),
+        QOp::Neg => "q.neg".into(),
+        QOp::RefEq => "q.refeq".into(),
+        QOp::Alu(f) => format!("q.alu {f:?}"),
+        QOp::Cmp(f) => format!("q.cmp {f:?}"),
+        QOp::Goto { target, backedge } => {
+            format!("q.goto @{target}{}", if backedge { " [backedge]" } else { "" })
+        }
+        QOp::If { target, backedge } => {
+            format!("q.ifnz @{target}{}", if backedge { " [backedge]" } else { "" })
+        }
+        QOp::IfZ { target, backedge } => {
+            format!("q.ifz @{target}{}", if backedge { " [backedge]" } else { "" })
+        }
+        QOp::CallMono { class, callee, nargs } => format!(
+            "q.callmono {}.{} ({nargs} args)",
+            program.class(class).name,
+            program.method(callee).name
+        ),
+        QOp::ConstStore { v, local } => format!("q.const+store {v} -> l{local}"),
+        QOp::LoadLoadAlu { a, b, f } => format!("q.load+load+alu l{a}, l{b}, {f:?}"),
+        QOp::LoadConstAlu { a, v, f } => format!("q.load+const+alu l{a}, {v}, {f:?}"),
+        QOp::CmpIf { f, target, backedge, jump_if } => format!(
+            "q.cmp+{} {f:?} @{target}{}",
+            if jump_if { "ifnz" } else { "ifz" },
+            if backedge { " [backedge]" } else { "" }
+        ),
+        QOp::LoadConstCmpIf { a, v, f, target, backedge, jump_if } => format!(
+            "q.load+const+cmp+{} l{a}, {v}, {f:?} @{target}{}",
+            if jump_if { "ifnz" } else { "ifz" },
+            if backedge { " [backedge]" } else { "" }
+        ),
+    }
+}
+
+/// Disassemble a method's *quickened* stream. Fusion heads print their pc
+/// range and the constituent source ops they replace; interior pcs of a
+/// fusion are indented under the head (they remain valid resume points —
+/// the interpreter may land on them after a mid-fusion timer split).
+pub fn disassemble_quickened(program: &Program, method: MethodId) -> String {
+    let m = program.method(method);
+    let cm = program.compiled(method);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {} (quickened, {} qops)",
+        m.qualified_name(program),
+        cm.qops.len()
+    );
+    let mut fused_until = 0usize;
+    for (pc, &q) in cm.qops.iter().enumerate() {
+        let w = q.width() as usize;
+        if w > 1 {
+            let last = pc + w - 1;
+            let constituents = m.ops[pc..=last]
+                .iter()
+                .map(|&op| render_op(program, op))
+                .collect::<Vec<_>>()
+                .join("; ");
+            let _ = writeln!(
+                out,
+                "  {pc:4}..{last:<4}  {:40} <= {constituents}",
+                render_qop(program, q)
+            );
+            fused_until = last;
+        } else if pc <= fused_until && pc > 0 {
+            // Interior resume point of the fusion above.
+            let _ = writeln!(out, "       .{pc:<4}  {}", render_qop(program, q));
+        } else {
+            let _ = writeln!(out, "  {pc:4}        {}", render_qop(program, q));
+        }
+    }
+    out
+}
+
+/// Quickened disassembly of every method.
+pub fn disassemble_quickened_all(program: &Program) -> String {
+    (0..program.methods.len() as MethodId)
+        .map(|m| disassemble_quickened(program, m))
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -205,6 +300,39 @@ mod tests {
         assert!(text.contains("sys$flushTrace"));
         assert!(text.contains("VM_Method.getLineNumberAt"));
         assert!(text.contains("sys$lineNumberOf"));
+    }
+
+    #[test]
+    fn quickened_listing_shows_fusions_with_pc_ranges() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("hot", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(5).ge().if_nz("done");
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let text = disassemble_quickened(&p, m);
+        // Superinstruction heads print their pc range and constituents.
+        assert!(text.contains("q.const+store"), "{text}");
+        assert!(text.contains("q.load+const+cmp+ifnz"), "{text}");
+        assert!(text.contains("<="), "constituents shown: {text}");
+        assert!(text.contains("2..5"), "pc range shown: {text}");
+        // The backedge goto carries its pre-decoded flag.
+        assert!(text.contains("[backedge]"), "{text}");
+        assert!(text.contains("(quickened,"), "{text}");
+    }
+
+    #[test]
+    fn quickened_all_renders_every_method() {
+        let p = sample();
+        let text = disassemble_quickened_all(&p);
+        for m in &p.methods {
+            assert!(text.contains(&m.name), "missing {}", m.name);
+        }
     }
 
     #[test]

@@ -67,11 +67,33 @@ impl Fingerprint {
     pub fn step(&mut self, tid: u32, method: u32, pc: u32) {
         if self.mode == FingerprintMode::Full {
             self.steps += 1;
-            self.h = mix(
-                self.h,
-                ((tid as u64) << 48) | ((method as u64) << 24) | pc as u64,
-            );
+            self.h = Self::mix_step(self.h, tid, method, pc);
         }
+    }
+
+    /// The per-instruction rolling state, for a cached-cursor dispatch
+    /// loop that holds it in locals (the quickened interpreter). Pair
+    /// with [`Fingerprint::set_step_state`]; advance the hash with
+    /// [`Fingerprint::mix_step`]. Only meaningful in `Full` mode — in
+    /// other modes [`Fingerprint::step`] is a no-op and the cached state
+    /// must be written back unchanged.
+    #[inline]
+    pub fn step_state(&self) -> (u64, u64) {
+        (self.h, self.steps)
+    }
+
+    /// Write back rolling state taken from [`Fingerprint::step_state`].
+    #[inline]
+    pub fn set_step_state(&mut self, h: u64, steps: u64) {
+        self.h = h;
+        self.steps = steps;
+    }
+
+    /// The pure hash advance of one [`Fingerprint::step`], usable on a
+    /// cached `h` without touching `self`.
+    #[inline]
+    pub fn mix_step(h: u64, tid: u32, method: u32, pc: u32) -> u64 {
+        mix(h, ((tid as u64) << 48) | ((method as u64) << 24) | pc as u64)
     }
 
     /// A thread switch to `to` after `yp` yield points on the switching

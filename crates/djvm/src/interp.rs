@@ -13,6 +13,7 @@
 //!   the switch when the recorded delta expires.
 
 use crate::bytecode::{MethodId, Op, Ty};
+use crate::compile::QOp;
 use crate::heap::{Addr, Word, NULL};
 use crate::hook::{AccessDecision, ExecHook};
 use crate::sched::{EntryWaiter, Sleeper, WaitEntry};
@@ -32,7 +33,16 @@ enum Flow {
 
 /// Execute instructions until the VM stops or `max_steps` elapse.
 /// Returns the final (or current) status.
+///
+/// Dispatches through the quickened `QOp` stream when
+/// `vm.config.quicken` is set; a fused superinstruction counts as its
+/// constituent instructions against the budget, so a budget-limited run
+/// pauses at exactly the same instruction boundary either way (the
+/// debugger's checkpoint seek depends on this).
 pub fn run(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
+    if vm.config.quicken {
+        return run_quick(vm, hook, max_steps);
+    }
     let mut n = 0;
     while vm.status.is_running() && n < max_steps {
         step(vm, hook);
@@ -44,8 +54,345 @@ pub fn run(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
 /// Execute until the VM stops (no budget). Guest programs that do not
 /// terminate will spin forever, as real ones do; tests use [`run`].
 pub fn run_to_completion(vm: &mut Vm, hook: &mut dyn ExecHook) -> VmStatus {
+    if vm.config.quicken {
+        return run_quick(vm, hook, u64::MAX);
+    }
     while vm.status.is_running() {
         step(vm, hook);
+    }
+    vm.status
+}
+
+/// The quickened dispatch core: executes the `QOp` stream with a cached
+/// frame cursor (`pc`, `sp`, frame base held in locals, flushed to the
+/// thread only at switches, calls, yield points, and generic fallbacks).
+///
+/// # The cycle-accounting invariant (DESIGN §5)
+///
+/// Every constituent instruction of a fused superinstruction advances
+/// `counters.steps`, `cycles`, the fingerprint, and `cycles_to_tick`
+/// exactly as the generic [`step`] loop would. Fused execution batches
+/// that accounting *only* when it is provably equivalent:
+///
+/// * a width-`k` superinstruction runs fused only if `cycles_to_tick > k`,
+///   so no timer tick can fire inside the batch — otherwise we fall back
+///   to the generic single-instruction path, which splits the fusion at
+///   the tick (executing just the first constituent with full semantics;
+///   the interior pcs keep their single-op `QOp` forms, so execution
+///   resumes mid-pattern with no pc remapping);
+/// * a fused op runs only if `n + k <= max_steps`, so budget-limited runs
+///   pause on identical instruction boundaries;
+/// * only *total* constituents are fused (no allocation, no failure, no
+///   hook consultation), so "accounting for k, then effects of k" is
+///   observationally identical to the interleaved generic order.
+fn run_quick(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
+    let mut n: u64 = 0;
+    // The program Arc never changes identity during a run; clone it once
+    // so per-method qops slices can be borrowed while `vm` is mutated.
+    let program = vm.program.clone();
+    'outer: while vm.status.is_running() && n < max_steps {
+        // ---- refresh the cached frame cursor ----
+        let tid = vm.sched.current;
+        let cur = tid as usize;
+        let (method, mut pc, mut sp, base) = {
+            let t = &vm.threads[cur];
+            (t.method, t.pc, t.sp, t.fp + 3)
+        };
+        let qops = &program.compiled(method).qops;
+        // Cached accounting state: the hot loop advances these in
+        // registers and writes them back only at flush points.
+        let mut cycles = vm.cycles;
+        let mut steps = vm.counters.steps;
+        let mut to_tick = vm.cycles_to_tick;
+        let fp_full = vm.fingerprint.mode() == crate::fingerprint::FingerprintMode::Full;
+        let (mut fph, mut fpsteps) = vm.fingerprint.step_state();
+
+        // Write the cursor and accounting state back. Required before
+        // anything that can switch threads, push/pop frames, fail (error
+        // pcs come from the thread), allocate (GC walks frames; the
+        // copying collector moves the stack), consult the hook, or touch
+        // the fingerprint (events must mix in program order).
+        macro_rules! flush {
+            () => {{
+                let t = &mut vm.threads[cur];
+                t.pc = pc;
+                t.sp = sp;
+                vm.cycles = cycles;
+                vm.counters.steps = steps;
+                vm.cycles_to_tick = to_tick;
+                vm.fingerprint.set_step_state(fph, fpsteps);
+            }};
+        }
+        // Per-instruction accounting, bit-identical to [`step`]'s prelude
+        // (including the timer tick, which only touches VM-global state).
+        macro_rules! account1 {
+            () => {{
+                steps += 1;
+                cycles += 1;
+                if fp_full && vm.instr_depth == 0 {
+                    fpsteps += 1;
+                    fph = crate::fingerprint::Fingerprint::mix_step(fph, tid, method, pc);
+                }
+                to_tick -= 1;
+                if to_tick == 0 {
+                    vm.preempt_bit = true;
+                    to_tick = vm.timer.next_interval();
+                    vm.telem.timer_interval(to_tick);
+                }
+                n += 1;
+            }};
+        }
+        // Batched accounting for a width-`k` fusion. Caller must have
+        // checked `fusible!(k)`: no tick fires inside the batch, so the
+        // tick block is statically absent here.
+        macro_rules! account_fused {
+            ($k:expr) => {{
+                let k: u64 = $k;
+                steps += k;
+                cycles += k;
+                if fp_full && vm.instr_depth == 0 {
+                    fpsteps += k;
+                    for i in 0..k as u32 {
+                        fph = crate::fingerprint::Fingerprint::mix_step(fph, tid, method, pc + i);
+                    }
+                }
+                to_tick -= k;
+                n += k;
+            }};
+        }
+        macro_rules! fusible {
+            ($k:expr) => {
+                to_tick > $k && n + $k <= max_steps
+            };
+        }
+        // Fall back to the generic interpreter for one instruction: the
+        // timer may expire here, the op may fail, switch, or allocate.
+        macro_rules! generic {
+            () => {{
+                flush!();
+                step(vm, hook);
+                n += 1;
+                continue 'outer;
+            }};
+        }
+
+        loop {
+            if n >= max_steps {
+                flush!();
+                break 'outer;
+            }
+            debug_assert!(
+                (pc as usize) < qops.len(),
+                "pc {pc} out of range in method {method}"
+            );
+            match qops[pc as usize] {
+                // ---- pure single ops: inline, cursor stays cached ----
+                QOp::Const(v) => {
+                    account1!();
+                    vm.heap.mem[sp as usize] = v as Word;
+                    sp += 1;
+                    pc += 1;
+                }
+                QOp::Load(i) => {
+                    account1!();
+                    vm.heap.mem[sp as usize] = vm.heap.mem[(base + i as u64) as usize];
+                    sp += 1;
+                    pc += 1;
+                }
+                QOp::Store(i) => {
+                    account1!();
+                    sp -= 1;
+                    vm.heap.mem[(base + i as u64) as usize] = vm.heap.mem[sp as usize];
+                    pc += 1;
+                }
+                QOp::Dup => {
+                    account1!();
+                    vm.heap.mem[sp as usize] = vm.heap.mem[sp as usize - 1];
+                    sp += 1;
+                    pc += 1;
+                }
+                QOp::Pop => {
+                    account1!();
+                    sp -= 1;
+                    pc += 1;
+                }
+                QOp::Swap => {
+                    account1!();
+                    vm.heap.mem.swap(sp as usize - 1, sp as usize - 2);
+                    pc += 1;
+                }
+                QOp::Neg => {
+                    account1!();
+                    let i = sp as usize - 1;
+                    vm.heap.mem[i] = (vm.heap.mem[i] as i64).wrapping_neg() as Word;
+                    pc += 1;
+                }
+                QOp::RefEq => {
+                    account1!();
+                    sp -= 1;
+                    let b = vm.heap.mem[sp as usize];
+                    let i = sp as usize - 1;
+                    vm.heap.mem[i] = (vm.heap.mem[i] == b) as Word;
+                    pc += 1;
+                }
+                QOp::Alu(f) => {
+                    account1!();
+                    sp -= 1;
+                    let b = vm.heap.mem[sp as usize] as i64;
+                    let i = sp as usize - 1;
+                    let a = vm.heap.mem[i] as i64;
+                    vm.heap.mem[i] = f.apply(a, b) as Word;
+                    pc += 1;
+                }
+                QOp::Cmp(f) => {
+                    account1!();
+                    sp -= 1;
+                    let b = vm.heap.mem[sp as usize] as i64;
+                    let i = sp as usize - 1;
+                    let a = vm.heap.mem[i] as i64;
+                    vm.heap.mem[i] = f.apply(a, b) as Word;
+                    pc += 1;
+                }
+
+                // ---- branches: pre-decoded target + backedge flag ----
+                QOp::Goto { target, backedge } => {
+                    account1!();
+                    pc = target;
+                    if backedge && vm.status.is_running() {
+                        flush!();
+                        yield_point(vm, hook);
+                        continue 'outer;
+                    }
+                }
+                QOp::If { target, backedge } => {
+                    account1!();
+                    sp -= 1;
+                    let c = vm.heap.mem[sp as usize] as i64;
+                    if c != 0 {
+                        pc = target;
+                        if backedge && vm.status.is_running() {
+                            flush!();
+                            yield_point(vm, hook);
+                            continue 'outer;
+                        }
+                    } else {
+                        pc += 1;
+                    }
+                }
+                QOp::IfZ { target, backedge } => {
+                    account1!();
+                    sp -= 1;
+                    let c = vm.heap.mem[sp as usize] as i64;
+                    if c == 0 {
+                        pc = target;
+                        if backedge && vm.status.is_running() {
+                            flush!();
+                            yield_point(vm, hook);
+                            continue 'outer;
+                        }
+                    } else {
+                        pc += 1;
+                    }
+                }
+
+                // ---- devirtualized call: both vtable probes pre-resolved ----
+                QOp::CallMono { class, callee, nargs } => {
+                    account1!();
+                    let recv = vm.heap.mem[(sp - nargs as u64) as usize];
+                    flush!();
+                    if recv == NULL {
+                        let e = vm.fail(ErrKind::NullDeref);
+                        raise_err(vm, hook, e);
+                        continue 'outer;
+                    }
+                    let h = vm.heap.header(recv);
+                    if h.is_array || h.is_classobj || !program.is_subclass(h.class_id, class) {
+                        let e = vm.fail(ErrKind::BadVirtualDispatch);
+                        raise_err(vm, hook, e);
+                        continue 'outer;
+                    }
+                    match vm.push_frame(callee, true, &[], false, false) {
+                        Ok(()) => {
+                            if vm.status.is_running() {
+                                yield_point(vm, hook);
+                            }
+                        }
+                        Err(e) => raise_err(vm, hook, e),
+                    }
+                    continue 'outer;
+                }
+
+                // ---- superinstructions: split at ticks and budget edges ----
+                QOp::ConstStore { v, local } => {
+                    if !fusible!(2) {
+                        generic!();
+                    }
+                    account_fused!(2);
+                    vm.heap.mem[(base + local as u64) as usize] = v as Word;
+                    pc += 2;
+                }
+                QOp::LoadLoadAlu { a, b, f } => {
+                    if !fusible!(3) {
+                        generic!();
+                    }
+                    account_fused!(3);
+                    let x = vm.heap.mem[(base + a as u64) as usize] as i64;
+                    let y = vm.heap.mem[(base + b as u64) as usize] as i64;
+                    vm.heap.mem[sp as usize] = f.apply(x, y) as Word;
+                    sp += 1;
+                    pc += 3;
+                }
+                QOp::LoadConstAlu { a, v, f } => {
+                    if !fusible!(3) {
+                        generic!();
+                    }
+                    account_fused!(3);
+                    let x = vm.heap.mem[(base + a as u64) as usize] as i64;
+                    vm.heap.mem[sp as usize] = f.apply(x, v) as Word;
+                    sp += 1;
+                    pc += 3;
+                }
+                QOp::CmpIf { f, target, backedge, jump_if } => {
+                    if !fusible!(2) {
+                        generic!();
+                    }
+                    account_fused!(2);
+                    sp -= 2;
+                    let a = vm.heap.mem[sp as usize] as i64;
+                    let b = vm.heap.mem[sp as usize + 1] as i64;
+                    if f.apply(a, b) == jump_if {
+                        pc = target;
+                        if backedge && vm.status.is_running() {
+                            flush!();
+                            yield_point(vm, hook);
+                            continue 'outer;
+                        }
+                    } else {
+                        pc += 2;
+                    }
+                }
+                QOp::LoadConstCmpIf { a, v, f, target, backedge, jump_if } => {
+                    if !fusible!(4) {
+                        generic!();
+                    }
+                    account_fused!(4);
+                    let x = vm.heap.mem[(base + a as u64) as usize] as i64;
+                    if f.apply(x, v) == jump_if {
+                        pc = target;
+                        if backedge && vm.status.is_running() {
+                            flush!();
+                            yield_point(vm, hook);
+                            continue 'outer;
+                        }
+                    } else {
+                        pc += 4;
+                    }
+                }
+
+                // ---- everything else: full-semantics generic step ----
+                QOp::Gen(_) => generic!(),
+            }
+        }
     }
     vm.status
 }
@@ -78,13 +425,12 @@ pub fn step(vm: &mut Vm, hook: &mut dyn ExecHook) {
         vm.telem.timer_interval(interval);
     }
 
-    let was_backedge = vm
-        .program
-        .compiled(method)
-        .backedge
-        .get(pc as usize)
-        .copied()
-        .unwrap_or(false);
+    let compiled = vm.program.compiled(method);
+    debug_assert!(
+        (pc as usize) < vm.program.method(method).ops.len(),
+        "pc {pc} out of range in method {method}"
+    );
+    let was_backedge = compiled.backedge.get(pc as usize);
 
     match exec_op(vm, hook, op, pc) {
         Ok(Flow::Next) => {
@@ -97,14 +443,20 @@ pub fn step(vm: &mut Vm, hook: &mut dyn ExecHook) {
             }
         }
         Ok(Flow::Managed) => {}
-        Err(e) => {
-            if vm.status.is_running() {
-                vm.status = VmStatus::Error(e);
-            }
-            vm.fingerprint.event(0xE44, e.kind as u64, e.pc as u64);
-            hook.on_halt(vm);
-        }
+        Err(e) => raise_err(vm, hook, e),
     }
+}
+
+/// Shared error epilogue: both the generic dispatch loop and the quickened
+/// loop must produce the same status transition and the same `0xE44`
+/// fingerprint event sequence (note `vm.fail` already fired one `0xE44`;
+/// this second one is part of the observable record and must be kept).
+fn raise_err(vm: &mut Vm, hook: &mut dyn ExecHook, e: VmError) {
+    if vm.status.is_running() {
+        vm.status = VmStatus::Error(e);
+    }
+    vm.fingerprint.event(0xE44, e.kind as u64, e.pc as u64);
+    hook.on_halt(vm);
 }
 
 fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow, VmError> {
@@ -1483,5 +1835,183 @@ mod tests {
         });
         let vm = run_program(pb.finish(m).unwrap());
         assert_eq!(vm.output, "1\n0\n1\n0\n");
+    }
+
+    // ---- quickening neutrality (the cycle-accounting invariant) ----
+
+    /// A program hitting every fusion pattern, devirtualized calls,
+    /// preemptive switches across two threads, and shared statics.
+    fn quicken_workout() -> crate::program::Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.class("G").static_field("x", Ty::Int).build();
+        let counter = pb.class("Counter").field("v", Ty::Int).build();
+        let bump = pb.virtual_method(counter, "bump", vec![], 1, Some(Ty::Int)).code(|a| {
+            a.load(0).dup().get_field(0).iconst(1).add().put_field(0);
+            a.load(0).get_field(0).ret_val();
+        });
+        let _ = bump;
+        let bump_slot = pb.vslot(counter, "bump");
+        let worker = pb.method("worker", 0, 3).code(|a| {
+            a.iconst(0).store(0);
+            a.new(counter).store(2);
+            a.label("top");
+            a.load(0).iconst(40).ge().if_nz("done");
+            a.get_static(g, 0).iconst(1).add().put_static(g, 0);
+            a.load(2).call_virtual(counter, bump_slot).store(1);
+            a.load(1).load(0).add().pop();
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.load(0).print();
+            a.ret();
+        });
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.spawn(worker, 0);
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(60).ge().if_nz("done");
+            a.get_static(g, 0).iconst(3).add().put_static(g, 0);
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.join();
+            a.get_static(g, 0).print();
+            a.halt();
+        });
+        pb.finish(m).unwrap()
+    }
+
+    fn boot_q(p: crate::program::Program, quicken: bool, interval: u64) -> Vm {
+        let cfg = VmConfig {
+            quicken,
+            ..VmConfig::default()
+        };
+        Vm::boot(
+            Arc::new(p),
+            cfg,
+            Box::new(FixedTimer::new(interval)),
+            Box::new(CycleClock::new(0, 100)),
+        )
+        .unwrap()
+    }
+
+    /// Everything observable about a finished (or paused) run.
+    fn observe(vm: &Vm) -> (u64, u64, String, VmStatus, u64, u64, u64, u64) {
+        (
+            vm.fingerprint.digest(),
+            vm.state_digest(),
+            vm.output.clone(),
+            vm.status,
+            vm.counters.steps,
+            vm.cycles,
+            vm.counters.yield_points,
+            vm.counters.thread_switches,
+        )
+    }
+
+    #[test]
+    fn quickening_is_neutral_across_timer_shapes() {
+        // Interval 1 is the worst case: every fused op must split.
+        for interval in [1, 2, 3, 7, 64, 10_000] {
+            let mut on = boot_q(quicken_workout(), true, interval);
+            let mut off = boot_q(quicken_workout(), false, interval);
+            let mut h1 = Passthrough;
+            let mut h2 = Passthrough;
+            run(&mut on, &mut h1, 10_000_000);
+            run(&mut off, &mut h2, 10_000_000);
+            assert!(!on.status.is_running() && !off.status.is_running());
+            assert_eq!(
+                observe(&on),
+                observe(&off),
+                "quickening must be invisible at timer interval {interval}"
+            );
+        }
+    }
+
+    #[test]
+    fn quickening_pauses_on_identical_budget_boundaries() {
+        // A budget-limited run must stop at the same instruction count
+        // (fused ops split at the budget edge, never overshoot).
+        for budget in [1u64, 2, 3, 5, 17, 50, 101, 500] {
+            let mut on = boot_q(quicken_workout(), true, 13);
+            let mut off = boot_q(quicken_workout(), false, 13);
+            let mut h1 = Passthrough;
+            let mut h2 = Passthrough;
+            run(&mut on, &mut h1, budget);
+            run(&mut off, &mut h2, budget);
+            assert_eq!(
+                observe(&on),
+                observe(&off),
+                "paused state must match at budget {budget}"
+            );
+            assert_eq!(on.counters.steps, budget.min(on.counters.steps));
+        }
+    }
+
+    #[test]
+    fn quickening_is_neutral_on_error_paths() {
+        // Divide by zero inside fusible-looking code.
+        let build_div = || {
+            let mut pb = ProgramBuilder::new();
+            let m = pb.method("main", 0, 2).code(|a| {
+                a.iconst(10).store(0);
+                a.iconst(0).store(1);
+                a.load(0).load(1).div().print();
+                a.halt();
+            });
+            pb.finish(m).unwrap()
+        };
+        // Null receiver on a devirtualized (monomorphic) call.
+        let build_null = || {
+            let mut pb = ProgramBuilder::new();
+            let c = pb.class("C").build();
+            pb.virtual_method(c, "f", vec![], 1, Some(Ty::Int)).code(|a| {
+                a.iconst(1).ret_val();
+            });
+            let slot = pb.vslot(c, "f");
+            let m = pb.method("main", 0, 1).code(|a| {
+                a.null().store(0);
+                a.load(0).call_virtual(c, slot).print();
+                a.halt();
+            });
+            pb.finish(m).unwrap()
+        };
+        for (build, what) in [
+            (&build_div as &dyn Fn() -> crate::program::Program, "div0"),
+            (&build_null, "null receiver"),
+        ] {
+            let mut on = boot_q(build(), true, 10_000);
+            let mut off = boot_q(build(), false, 10_000);
+            let mut h1 = Passthrough;
+            let mut h2 = Passthrough;
+            run(&mut on, &mut h1, 10_000_000);
+            run(&mut off, &mut h2, 10_000_000);
+            assert!(matches!(on.status, VmStatus::Error(_)), "{what} must fail");
+            assert_eq!(observe(&on), observe(&off), "{what} error must be identical");
+        }
+    }
+
+    #[test]
+    fn devirtualized_call_runs_the_right_override() {
+        // CallMono on a receiver whose dynamic class is a subclass: the
+        // monomorphic proof covers subclasses, so behavior matches.
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base").build();
+        pb.virtual_method(base, "f", vec![], 1, Some(Ty::Int)).code(|a| {
+            a.iconst(10).ret_val();
+        });
+        let derived = pb.class_extends("Derived", Some(base)).build();
+        let slot = pb.vslot(base, "f");
+        let m = pb.method("main", 0, 1).code(|a| {
+            a.new(derived).store(0);
+            a.load(0).call_virtual(base, slot).print();
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        // Sanity: the call really did devirtualize (no override exists).
+        let cm = p.compiled(p.entry);
+        assert!(cm.qops.iter().any(|q| matches!(q, QOp::CallMono { .. })));
+        let vm = run_program(p);
+        assert_eq!(vm.output, "10\n");
     }
 }

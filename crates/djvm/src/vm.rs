@@ -82,6 +82,12 @@ pub struct VmConfig {
     /// Initial activation-stack array length (words).
     pub initial_stack: usize,
     pub fingerprint: FingerprintMode,
+    /// Dispatch through the quickened `QOp` stream (superinstructions,
+    /// devirtualized calls). Purely an interpreter-speed knob: the
+    /// fingerprint, yield-point deltas, logical clock and trace are
+    /// bit-identical either way (the cycle-accounting invariant, DESIGN §5).
+    /// Defaults to on; `DJVM_NO_QUICKEN=1` in the environment turns it off.
+    pub quicken: bool,
 }
 
 impl Default for VmConfig {
@@ -91,6 +97,7 @@ impl Default for VmConfig {
             gc: GcKind::MarkSweep,
             initial_stack: 256,
             fingerprint: FingerprintMode::Full,
+            quicken: std::env::var_os("DJVM_NO_QUICKEN").is_none(),
         }
     }
 }

@@ -60,6 +60,49 @@ pub fn fig1_ab() -> Program {
     pb.finish(m).unwrap()
 }
 
+/// Figure 1 (A)/(B) scaled up: the same two-thread shared-static shape,
+/// with the delay loops' trip count raised from 2 to `delay` so the
+/// interpreter hot loop dominates. This is the steps/sec benchmark body
+/// for the quickened-dispatch comparison (`BENCH_interp.json`): the loop
+/// is exactly the fusible pattern mix (`Load+Const+Cmp+If`,
+/// `Load+Const+Alu`, `Const+Store`, `Goto`) the quickening pass targets.
+pub fn fig1_ab_scaled(delay: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("x", Ty::Int)
+        .static_field("y", Ty::Int)
+        .build();
+    let t2 = pb.method("t2", 0, 1).code(|a| {
+        a.line(10).get_static(g, 0).iconst(2).mul().put_static(g, 1);
+        a.iconst(0).store(0);
+        a.label("d");
+        a.load(0).iconst(delay).ge().if_nz("dd");
+        a.load(0).iconst(1).add().store(0);
+        a.goto("d");
+        a.label("dd");
+        a.line(11).get_static(g, 1).iconst(2).mul().put_static(g, 1);
+        a.line(12).get_static(g, 1).print();
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.line(1).iconst(0).put_static(g, 0);
+        a.line(2).iconst(0).put_static(g, 1);
+        a.line(3).spawn(t2, 0).store(0);
+        a.iconst(0).store(1);
+        a.label("d");
+        a.load(1).iconst(delay).ge().if_nz("dd");
+        a.load(1).iconst(1).add().store(1);
+        a.goto("d");
+        a.label("dd");
+        a.line(4).iconst(1).put_static(g, 1);
+        a.line(5).get_static(g, 1).iconst(2).mul().put_static(g, 0);
+        a.line(6).load(0).join();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
 /// Figure 1 (C)/(D): wall-clock-dependent branch deciding a wait/notify
 /// switch.
 ///

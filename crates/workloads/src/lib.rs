@@ -43,6 +43,14 @@ pub fn registry() -> Vec<Workload> {
             native: false,
         },
         Workload {
+            name: "fig1_hot",
+            description: "Figure 1 (A)/(B) with 50k-iteration delay loops (interpreter hot path)",
+            build: || fig1::fig1_ab_scaled(50_000),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
             name: "fig1_cd",
             description: "Figure 1 (C)/(D): Date() steers a branch deciding a wait/notify switch",
             build: fig1::fig1_cd,

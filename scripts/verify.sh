@@ -44,4 +44,19 @@ echo "== telemetry: neutrality (fingerprints on == off) =="
 "$CLI" neutrality producer_consumer 1
 "$CLI" neutrality gc_churn 1
 
+echo "== quickening: interp bench runs in both dispatch modes =="
+# The interp bench itself asserts quickened and generic step counts match
+# and its TELEMETRY sidecar is produced by an env-default-mode record —
+# so running it with and without DJVM_NO_QUICKEN=1 and byte-comparing the
+# sidecars proves the ablation is invisible to every recorded observable.
+QDIR="$(pwd)/target/bench-quicken"
+UDIR="$(pwd)/target/bench-noquicken"
+BENCH_SMOKE=1 BENCH_DIR="$QDIR" cargo bench --offline -p bench --bench interp
+BENCH_SMOKE=1 BENCH_DIR="$UDIR" DJVM_NO_QUICKEN=1 \
+    cargo bench --offline -p bench --bench interp
+test -s "$QDIR/BENCH_interp.json"
+test -s "$UDIR/BENCH_interp.json"
+"$CLI" checkjson "$QDIR/TELEMETRY_interp.json"
+cmp "$QDIR/TELEMETRY_interp.json" "$UDIR/TELEMETRY_interp.json"
+
 echo "verify: OK"

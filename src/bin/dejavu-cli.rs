@@ -17,6 +17,10 @@
 //! record of the same seed. `--metrics-out` writes the run's canonical
 //! (sorted-key, timestamp-free, byte-deterministic) metrics JSON.
 //!
+//! `--no-quicken` (any run-like subcommand) disables the quickened
+//! dispatch engine — runs are bit-identical, only slower. `dis --quick`
+//! prints the quickened `QOp` stream with fusion pc ranges.
+//!
 //! Exit codes: `0` success / accurate replay, `1` usage or I/O error,
 //! `2` replay divergence (desync) or neutrality violation.
 
@@ -38,6 +42,16 @@ fn spec_of(w: &workloads::Workload, seed: u64) -> ExecSpec {
     s.timer_base = 211;
     s.timer_jitter = 60;
     s
+}
+
+/// Extract a boolean flag from the arg list (removing it if present).
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
 }
 
 /// Extract `--metrics-out <file>` from the arg list (removing both tokens).
@@ -77,6 +91,11 @@ fn main() -> ExitCode {
         Ok(m) => m,
         Err(()) => return usage(),
     };
+    // `--no-quicken` runs the generic dispatch loop instead of the
+    // quickened QOp stream — a speed ablation, observationally identical.
+    let quicken = !take_flag(&mut args, "--no-quicken");
+    let quick_dis = take_flag(&mut args, "--quick");
+    let spec_of = |w: &workloads::Workload, seed: u64| spec_of(w, seed).with_quicken(quicken);
     match args.first().map(String::as_str) {
         Some("list") => {
             for w in workloads::registry() {
@@ -265,12 +284,16 @@ fn main() -> ExitCode {
             let p = (w.build)();
             match args.get(2) {
                 Some(mname) => match p.method_id_by_name(mname) {
+                    Some(m) if quick_dis => {
+                        println!("{}", djvm::dis::disassemble_quickened(&p, m))
+                    }
                     Some(m) => println!("{}", djvm::dis::disassemble(&p, m)),
                     None => {
                         eprintln!("no method {mname}");
                         return ExitCode::FAILURE;
                     }
                 },
+                None if quick_dis => println!("{}", djvm::dis::disassemble_quickened_all(&p)),
                 None => println!("{}", djvm::dis::disassemble_all(&p)),
             }
             ExitCode::SUCCESS

@@ -2,7 +2,7 @@
 //! [`dejavu_repro::qc`] harness (deterministic SplitMix64 generation +
 //! shrinking-lite — no proptest; the build is hermetic).
 
-use dejavu::{passthrough_run, record_replay, ExecSpec, SymmetryConfig};
+use dejavu::{passthrough_run, record_replay, record_run, replay_run, ExecSpec, SymmetryConfig};
 use dejavu_repro::qc::{self, Gen};
 use dejavu_repro::{qc_assert, qc_assert_eq};
 use djvm::{ProgramBuilder, Ty};
@@ -259,7 +259,260 @@ fn gc_preserves_linked_list() {
 }
 
 // ---------------------------------------------------------------------
-// 6. Clock implementations are monotone for arbitrary cycle inputs.
+// 6. Quickened dispatch is a pure speed optimisation. For random
+//    programs built from the exact shapes the quickener fuses (and a
+//    few it must refuse to fuse) and random timer shapes — always
+//    including interval 1, the worst case for mid-fusion splits — the
+//    fingerprint, the encoded trace bytes, and the final heap digest
+//    are byte-identical with quickening on vs. off, and a trace
+//    recorded in one mode replays accurately under the other.
+// ---------------------------------------------------------------------
+
+/// One random loop-body statement. Variants map one-to-one onto the
+/// quickener's superinstruction patterns (`Const+Store`,
+/// `Load+Load+Alu`, `Load+Const+Alu`, compare+branch) plus ops the
+/// quickener deliberately leaves generic: `div`/`rem` can trap, and the
+/// trap itself must be mode-neutral.
+#[derive(Debug, Clone)]
+enum QStmt {
+    ConstStore { v: i64, d: u16 },
+    LoadLoadAlu { x: u16, y: u16, f: u8, d: u16 },
+    LoadConstAlu { x: u16, v: i64, f: u8, d: u16 },
+    CmpSkip { x: u16, y: u16, f: u8, nz: bool, v: i64, d: u16 },
+    DivRem { x: u16, y: u16, rem: bool, d: u16 },
+    NegStore { x: u16, d: u16 },
+}
+
+fn gen_stmt(g: &mut Gen, ndata: u16) -> QStmt {
+    // Data locals are 1..=ndata; local 0 is the loop counter and only
+    // the loop head writes it, so every drawn program terminates.
+    let l = |g: &mut Gen| g.usize_in(1, ndata as usize) as u16;
+    match g.u64_in(0, 9) {
+        0 | 1 => QStmt::ConstStore {
+            v: g.i64_in(-99, 99),
+            d: l(g),
+        },
+        2 | 3 => QStmt::LoadLoadAlu {
+            x: l(g),
+            y: l(g),
+            f: g.u64_in(0, 7) as u8,
+            d: l(g),
+        },
+        4 | 5 => QStmt::LoadConstAlu {
+            x: l(g),
+            v: g.i64_in(-9, 9),
+            f: g.u64_in(0, 7) as u8,
+            d: l(g),
+        },
+        6 | 7 => QStmt::CmpSkip {
+            x: l(g),
+            y: l(g),
+            f: g.u64_in(0, 5) as u8,
+            nz: g.bool(),
+            v: g.i64_in(0, 9),
+            d: l(g),
+        },
+        8 => QStmt::DivRem {
+            x: l(g),
+            y: l(g),
+            rem: g.bool(),
+            d: l(g),
+        },
+        _ => QStmt::NegStore { x: l(g), d: l(g) },
+    }
+}
+
+fn emit_alu(f: u8, a: &mut djvm::builder::Asm) {
+    match f % 8 {
+        0 => a.add(),
+        1 => a.sub(),
+        2 => a.mul(),
+        3 => a.band(),
+        4 => a.bor(),
+        5 => a.bxor(),
+        6 => a.shl(),
+        _ => a.shr(),
+    };
+}
+
+fn emit_cmp(f: u8, a: &mut djvm::builder::Asm) {
+    match f % 6 {
+        0 => a.eq(),
+        1 => a.ne(),
+        2 => a.lt(),
+        3 => a.le(),
+        4 => a.gt(),
+        _ => a.ge(),
+    };
+}
+
+fn emit_stmt(s: &QStmt, tag: &str, i: usize, a: &mut djvm::builder::Asm) {
+    match s {
+        QStmt::ConstStore { v, d } => {
+            a.iconst(*v).store(*d);
+        }
+        QStmt::LoadLoadAlu { x, y, f, d } => {
+            a.load(*x).load(*y);
+            emit_alu(*f, a);
+            a.store(*d);
+        }
+        QStmt::LoadConstAlu { x, v, f, d } => {
+            a.load(*x).iconst(*v);
+            emit_alu(*f, a);
+            a.store(*d);
+        }
+        QStmt::CmpSkip {
+            x,
+            y,
+            f,
+            nz,
+            v,
+            d,
+        } => {
+            let skip = format!("{tag}_skip{i}");
+            a.load(*x).load(*y);
+            emit_cmp(*f, a);
+            if *nz {
+                a.if_nz(&skip);
+            } else {
+                a.if_z(&skip);
+            }
+            a.iconst(*v).store(*d);
+            a.label(&skip);
+        }
+        QStmt::DivRem { x, y, rem, d } => {
+            a.load(*x).load(*y);
+            if *rem {
+                a.rem();
+            } else {
+                a.div();
+            }
+            a.store(*d);
+        }
+        QStmt::NegStore { x, d } => {
+            a.load(*x);
+            a.neg();
+            a.store(*d);
+        }
+    }
+}
+
+/// Two threads race random fusible loop bodies over a shared static; the
+/// worker additionally makes a statically-monomorphic virtual call each
+/// iteration so devirtualized dispatch runs under random timer shapes.
+fn build_quick_program(
+    ndata: u16,
+    init: &[i64],
+    w_iters: i64,
+    w_stmts: &[QStmt],
+    m_iters: i64,
+    m_stmts: &[QStmt],
+) -> djvm::Program {
+    let mut pb = ProgramBuilder::new();
+    let shared = pb.class("G").static_field("x", Ty::Int).build();
+    let c = pb.class("C").field("v", Ty::Int).build();
+    let _mix = pb
+        .virtual_method(c, "mix", vec![Ty::Int], 2, Some(Ty::Int))
+        .code(|a| {
+            a.load(0).dup().get_field(0).load(1).add().put_field(0);
+            a.load(0).get_field(0).ret_val();
+        });
+    let mix_slot = pb.vslot(c, "mix");
+    let obj = ndata + 1; // worker's receiver local / main's tid local
+    let worker = pb.method("worker", 0, ndata + 2).code(|a| {
+        for (i, v) in init.iter().enumerate() {
+            a.iconst(*v).store(1 + i as u16);
+        }
+        a.new(c).store(obj);
+        a.iconst(0).store(0);
+        a.label("w_top");
+        a.load(0).iconst(w_iters).ge().if_nz("w_done");
+        a.get_static(shared, 0).load(1).add().put_static(shared, 0);
+        a.load(obj).load(1).call_virtual(c, mix_slot).store(1);
+        for (i, s) in w_stmts.iter().enumerate() {
+            emit_stmt(s, "w", i, a);
+        }
+        a.load(0).iconst(1).add().store(0);
+        a.goto("w_top");
+        a.label("w_done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, ndata + 2).code(|a| {
+        a.iconst(0).put_static(shared, 0);
+        a.spawn(worker, 0).store(obj);
+        for (i, v) in init.iter().enumerate() {
+            a.iconst(*v).store(1 + i as u16);
+        }
+        a.iconst(0).store(0);
+        a.label("m_top");
+        a.load(0).iconst(m_iters).ge().if_nz("m_done");
+        a.get_static(shared, 0).load(1).add().put_static(shared, 0);
+        for (i, s) in m_stmts.iter().enumerate() {
+            emit_stmt(s, "m", i, a);
+        }
+        a.load(0).iconst(1).add().store(0);
+        a.goto("m_top");
+        a.label("m_done");
+        a.load(obj).join();
+        a.get_static(shared, 0).print();
+        a.load(1).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Record in both dispatch modes and demand byte-identical observables,
+/// then cross-replay each trace under the *other* mode.
+fn quicken_modes_agree(spec: &ExecSpec) -> Result<(), String> {
+    let q = spec.clone().with_quicken(true);
+    let u = spec.clone().with_quicken(false);
+    let (rec_q, trace_q) = record_run(&q, |_| {}, SymmetryConfig::full(), true);
+    let (rec_u, trace_u) = record_run(&u, |_| {}, SymmetryConfig::full(), true);
+    qc_assert_eq!(rec_q.fingerprint, rec_u.fingerprint, "record fingerprint");
+    qc_assert_eq!(rec_q.state_digest, rec_u.state_digest, "final heap digest");
+    qc_assert_eq!(&rec_q.output, &rec_u.output, "console output");
+    qc_assert_eq!(rec_q.status, rec_u.status, "termination status");
+    qc_assert_eq!(rec_q.counters.steps, rec_u.counters.steps, "step count");
+    qc_assert_eq!(rec_q.cycles, rec_u.cycles, "cycle count");
+    qc_assert_eq!(trace_q.encoded(), trace_u.encoded(), "trace bytes");
+    let (rep_q, de_q) = replay_run(&q, trace_u, SymmetryConfig::full());
+    qc_assert!(de_q.is_empty(), "desyncs replaying unfused trace quickened");
+    qc_assert!(rec_q.matches(&rep_q), "unfused trace under quickened replay");
+    let (rep_u, de_u) = replay_run(&u, trace_q, SymmetryConfig::full());
+    qc_assert!(de_u.is_empty(), "desyncs replaying quickened trace unfused");
+    qc_assert!(rec_u.matches(&rep_u), "quickened trace under unfused replay");
+    Ok(())
+}
+
+#[test]
+fn quickening_is_neutral_for_random_programs() {
+    qc::check("quickening_is_neutral_for_random_programs", 24, |g| {
+        let ndata = g.usize_in(2, 4) as u16;
+        let init: Vec<i64> = (0..ndata).map(|_| g.i64_in(-50, 50)).collect();
+        let w_iters = g.i64_in(2, 30);
+        let m_iters = g.i64_in(2, 30);
+        let w_stmts = g.vec_of(1, 8, |g| gen_stmt(g, ndata));
+        let m_stmts = g.vec_of(1, 8, |g| gen_stmt(g, ndata));
+        let program =
+            build_quick_program(ndata, &init, w_iters, &w_stmts, m_iters, &m_stmts);
+        let seed = g.u64_in(0, 9_999);
+        let base = g.u64_in(2, 33);
+        let jitter = g.u64_in(0, base / 2);
+        // The drawn timer shape, plus the interval-1 worst case: a timer
+        // that can expire inside every superinstruction window, forcing
+        // the split rule on every fused op.
+        for (b, j) in [(base, jitter), (1, 0)] {
+            let mut s = ExecSpec::new(program.clone()).with_seed(seed);
+            s.timer_base = b;
+            s.timer_jitter = j;
+            quicken_modes_agree(&s)?;
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// 7. Clock implementations are monotone for arbitrary cycle inputs.
 // ---------------------------------------------------------------------
 
 #[test]
