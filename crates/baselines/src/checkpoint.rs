@@ -16,10 +16,34 @@ use djvm::{interp, Vm, VmStatus};
 pub struct Checkpoint {
     /// Steps executed when the snapshot was taken.
     pub at_step: u64,
+    /// Logical time (counted yield points) when the snapshot was taken.
+    pub at_logical: u64,
     snapshot: VmSnapshot,
     replayer: DejaVuReplayer,
     /// Approximate serialized size (bytes).
     pub bytes: usize,
+}
+
+/// What one [`TimeTravel::seek_logical`] actually did — the evidence that
+/// a checkpoint-indexed seek replays O(block), not O(run).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeekStats {
+    /// Logical time the caller asked for.
+    pub target_logical: u64,
+    /// Whether a checkpoint restore happened (backward seeks only).
+    pub restored: bool,
+    /// Step / logical time of the checkpoint the seek started from
+    /// (current position when no restore happened).
+    pub checkpoint_step: u64,
+    pub checkpoint_logical: u64,
+    /// Interpreter steps executed to reach the target.
+    pub steps_replayed: u64,
+    /// Trace events (switches + clock reads + native calls) consumed
+    /// while catching up — the "events in the target block span" number.
+    pub events_replayed: u64,
+    /// Where the seek landed (== target unless the program halted first).
+    pub final_step: u64,
+    pub final_logical: u64,
 }
 
 /// A replaying VM with periodic checkpoints and random access by step
@@ -29,6 +53,13 @@ pub struct TimeTravel {
     replayer: DejaVuReplayer,
     pub checkpoints: Vec<Checkpoint>,
     interval: u64,
+    /// Extra checkpoint keys in logical time — block boundaries from a
+    /// block-trace footer index ([`dejavu::BlockFile::boundaries`]). A
+    /// snapshot is taken on the first step that enters each boundary, so
+    /// a logical-time seek decodes/replays a single block span.
+    boundaries: Vec<u64>,
+    /// Cursor into `boundaries`: first boundary not yet checkpointed.
+    next_boundary: usize,
     /// Steps executed since replay start.
     pub step: u64,
     /// Restores performed (experiment counter).
@@ -40,8 +71,22 @@ pub struct TimeTravel {
 impl TimeTravel {
     /// Wrap a freshly booted replay VM. `interval` = steps between
     /// checkpoints (the space/time knob the paper discusses).
-    pub fn new(mut vm: Vm, trace: Trace, sym: SymmetryConfig, interval: u64) -> Self {
+    pub fn new(vm: Vm, trace: Trace, sym: SymmetryConfig, interval: u64) -> Self {
+        Self::new_indexed(vm, trace, sym, interval, Vec::new())
+    }
+
+    /// Like [`TimeTravel::new`], additionally checkpointing at each given
+    /// logical-time boundary (must be sorted ascending; block boundaries
+    /// from a block-structured trace are).
+    pub fn new_indexed(
+        mut vm: Vm,
+        trace: Trace,
+        sym: SymmetryConfig,
+        interval: u64,
+        boundaries: Vec<u64>,
+    ) -> Self {
         assert!(interval > 0);
+        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
         let mut replayer = DejaVuReplayer::new(trace, sym);
         replayer.on_init(&mut vm);
         let mut tt = Self {
@@ -49,12 +94,21 @@ impl TimeTravel {
             replayer,
             checkpoints: Vec::new(),
             interval,
+            // the t=0 boundary is covered by the construction checkpoint
+            next_boundary: boundaries.partition_point(|&b| b == 0),
+            boundaries,
             step: 0,
             restores: 0,
             reexecuted: 0,
         };
         tt.take_checkpoint();
         tt
+    }
+
+    /// Logical time = counted yield points, the clock the trace's block
+    /// index is keyed by (survives snapshot/restore with the counters).
+    pub fn logical_time(&self) -> u64 {
+        self.vm.counters.yield_points
     }
 
     pub fn vm(&self) -> &Vm {
@@ -70,6 +124,7 @@ impl TimeTravel {
         let bytes = self.vm.snapshot_size_bytes();
         self.checkpoints.push(Checkpoint {
             at_step: self.step,
+            at_logical: self.logical_time(),
             snapshot,
             replayer: self.replayer.clone(),
             bytes,
@@ -77,14 +132,23 @@ impl TimeTravel {
     }
 
     /// Execute exactly one replayed instruction (checkpointing on the
-    /// configured cadence).
+    /// configured step cadence and at block boundaries).
     pub fn step_once(&mut self) {
         if !self.vm.status.is_running() {
             return;
         }
         interp::step(&mut self.vm, &mut self.replayer);
         self.step += 1;
-        if self.step % self.interval == 0 {
+        let lt = self.logical_time();
+        let mut checkpoint = self.step % self.interval == 0;
+        // First step at or past a block boundary anchors that block.
+        while self.next_boundary < self.boundaries.len()
+            && self.boundaries[self.next_boundary] <= lt
+        {
+            self.next_boundary += 1;
+            checkpoint = true;
+        }
+        if checkpoint {
             self.take_checkpoint();
         }
     }
@@ -105,19 +169,12 @@ impl TimeTravel {
     pub fn seek(&mut self, target: u64) {
         let mut restored = false;
         if target < self.step {
-            // restore the newest checkpoint at or before target
             let idx = self
                 .checkpoints
                 .partition_point(|c| c.at_step <= target)
                 .saturating_sub(1);
-            let cp = &self.checkpoints[idx];
-            self.vm.restore(&cp.snapshot);
-            self.replayer = cp.replayer.clone();
-            self.step = cp.at_step;
-            self.restores += 1;
+            self.restore_checkpoint(idx);
             restored = true;
-            // drop checkpoints from the future
-            self.checkpoints.truncate(idx + 1);
         }
         let before = self.step;
         while self.step < target && self.vm.status.is_running() {
@@ -127,6 +184,56 @@ impl TimeTravel {
             // only restore-induced catch-up counts as re-execution
             self.reexecuted += self.step - before;
         }
+    }
+
+    /// Restore checkpoint `idx`, dropping checkpoints from its future and
+    /// re-arming the boundary cursor so re-execution re-takes them.
+    fn restore_checkpoint(&mut self, idx: usize) {
+        let cp = &self.checkpoints[idx];
+        self.vm.restore(&cp.snapshot);
+        self.replayer = cp.replayer.clone();
+        self.step = cp.at_step;
+        self.restores += 1;
+        self.checkpoints.truncate(idx + 1);
+        let lt = self.logical_time();
+        self.next_boundary = self.boundaries.partition_point(|&b| b <= lt);
+    }
+
+    /// Travel to an absolute *logical time* (counted yield points) — the
+    /// block-trace seek path. Restores the newest checkpoint at or before
+    /// `target` when seeking backward, then replays forward until the
+    /// VM's logical clock reaches `target` (or the program stops).
+    /// Returns what the seek cost; with block-boundary checkpoints
+    /// ([`TimeTravel::new_indexed`]) `events_replayed` is bounded by one
+    /// block span regardless of run length.
+    pub fn seek_logical(&mut self, target: u64) -> SeekStats {
+        let mut stats = SeekStats {
+            target_logical: target,
+            ..SeekStats::default()
+        };
+        if target < self.logical_time() {
+            let idx = self
+                .checkpoints
+                .partition_point(|c| c.at_logical <= target)
+                .saturating_sub(1);
+            self.restore_checkpoint(idx);
+            stats.restored = true;
+        }
+        stats.checkpoint_step = self.step;
+        stats.checkpoint_logical = self.logical_time();
+        let events_before = self.replayer.events_consumed();
+        let before = self.step;
+        while self.logical_time() < target && self.vm.status.is_running() {
+            self.step_once();
+        }
+        if stats.restored {
+            self.reexecuted += self.step - before;
+        }
+        stats.steps_replayed = self.step - before;
+        stats.events_replayed = self.replayer.events_consumed() - events_before;
+        stats.final_step = self.step;
+        stats.final_logical = self.logical_time();
+        stats
     }
 
     /// Desyncs the underlying replayer has observed so far (empty while

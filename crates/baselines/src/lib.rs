@@ -26,7 +26,7 @@ use djvm::hook::ExecHook;
 use djvm::{interp, Vm, VmStatus};
 use std::time::{Duration, Instant};
 
-pub use checkpoint::TimeTravel;
+pub use checkpoint::{SeekStats, TimeTravel};
 pub use instant_replay::{IrRecorder, IrReplayer, IrTrace};
 pub use shared_reads::{ReadLogRecorder, ReadLogReplayer, ReadTrace};
 pub use thread_map::{RcRecorder, RcReplayer, RcTrace};

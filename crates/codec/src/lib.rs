@@ -9,6 +9,8 @@
 //! * [`bin`] — LEB128 varints and zigzag, the primitives under the binary
 //!   trace format ([`dejavu`'s two-stream trace]) and any other compact
 //!   on-disk structure.
+//! * [`block`] — CRC-32 and an LZ77-style block compressor, the storage
+//!   layer under the block-structured trace format.
 //! * [`json`] — a small JSON value model ([`json::Json`]) with a strict
 //!   recursive-descent parser and a writer, plus the [`json::FromJson`] /
 //!   [`json::ToJson`] traits the debugger protocol and the `djvm` program
@@ -18,7 +20,9 @@
 //! keys in insertion order, so encoding is a pure function of the value.
 
 pub mod bin;
+pub mod block;
 pub mod json;
 
 pub use bin::{get_varint, put_varint, unzigzag, zigzag};
+pub use block::{compress, crc32, decompress, entropy_compress, entropy_decompress};
 pub use json::{FromJson, Json, JsonError, ToJson};

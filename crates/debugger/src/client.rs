@@ -48,6 +48,10 @@ impl DebugClient {
         self.request(&Command::StepBack)
     }
 
+    pub fn seek_time(&mut self, time: u64) -> std::io::Result<Response> {
+        self.request(&Command::SeekTime { time })
+    }
+
     pub fn stack(&mut self, tid: u32) -> std::io::Result<Response> {
         self.request(&Command::Stack { tid })
     }

@@ -8,8 +8,8 @@
 //! stopping and continuing, querying objects and program states, setting
 //! breakpoints."
 
-use baselines::TimeTravel;
-use dejavu::{SymmetryConfig, Trace};
+use baselines::{SeekStats, TimeTravel};
+use dejavu::{sniff_format, BlockFile, SymmetryConfig, Trace, TraceError, TraceFormat};
 use djvm::heap::Addr;
 use djvm::thread::ThreadStatus;
 use djvm::{CycleClock, FixedTimer, MethodId, Program, Tid, Vm, VmConfig, VmStatus};
@@ -67,6 +67,19 @@ impl DebugSession {
         trace: Trace,
         checkpoint_interval: u64,
     ) -> Self {
+        Self::new_indexed(program, vm_config, trace, checkpoint_interval, Vec::new())
+    }
+
+    /// Like [`DebugSession::new`], additionally checkpointing at the given
+    /// logical-time boundaries (a block trace's footer index), which makes
+    /// [`DebugSession::seek_time`] O(block) instead of O(run).
+    pub fn new_indexed(
+        program: Arc<Program>,
+        vm_config: VmConfig,
+        trace: Trace,
+        checkpoint_interval: u64,
+        boundaries: Vec<u64>,
+    ) -> Self {
         let mut vm = Vm::boot(
             Arc::clone(&program),
             vm_config,
@@ -78,11 +91,49 @@ impl DebugSession {
         // the `Metrics`/`Divergence` protocol commands read it, and since
         // it lives outside the guest state it cannot perturb the replay.
         vm.enable_telemetry(telemetry::DEFAULT_RING_CAP);
-        let tt = TimeTravel::new(vm, trace, SymmetryConfig::full(), checkpoint_interval);
+        let tt = TimeTravel::new_indexed(
+            vm,
+            trace,
+            SymmetryConfig::full(),
+            checkpoint_interval,
+            boundaries,
+        );
         Self {
             tt,
             program,
             breakpoints: BTreeSet::new(),
+        }
+    }
+
+    /// Start a session from serialized trace bytes in either on-disk
+    /// format ([`sniff_format`]). A block trace's footer index becomes the
+    /// checkpoint keying; a flat trace degrades to interval-only
+    /// checkpoints. Corrupt bytes produce a typed [`TraceError`], never a
+    /// panic.
+    pub fn from_trace_bytes(
+        program: Arc<Program>,
+        vm_config: VmConfig,
+        bytes: &[u8],
+        checkpoint_interval: u64,
+    ) -> Result<Self, TraceError> {
+        match sniff_format(bytes)? {
+            TraceFormat::Flat => {
+                let trace = Trace::decode(bytes)
+                    .ok_or(TraceError::Corrupt("flat trace rejected by decoder"))?;
+                Ok(Self::new(program, vm_config, trace, checkpoint_interval))
+            }
+            TraceFormat::Block => {
+                let bf = BlockFile::parse(bytes.to_vec())?;
+                let boundaries = bf.boundaries();
+                let trace = bf.to_trace()?;
+                Ok(Self::new_indexed(
+                    program,
+                    vm_config,
+                    trace,
+                    checkpoint_interval,
+                    boundaries,
+                ))
+            }
         }
     }
 
@@ -187,6 +238,17 @@ impl DebugSession {
     /// Travel to an absolute step index.
     pub fn seek(&mut self, step: u64) {
         self.tt.seek(step);
+    }
+
+    /// Travel to an absolute logical time (counted yield points), the
+    /// block-index seek path. Returns what the seek cost.
+    pub fn seek_time(&mut self, logical: u64) -> SeekStats {
+        self.tt.seek_logical(logical)
+    }
+
+    /// Current logical time of the replayed VM.
+    pub fn logical_time(&self) -> u64 {
+        self.tt.logical_time()
     }
 
     /// Stack trace of a thread, lines resolved by remote reflection.

@@ -27,6 +27,9 @@ pub enum Command {
     Step,
     StepBack,
     Seek { step: u64 },
+    /// Seek to an absolute logical time (counted yield points); a
+    /// block-trace session resolves it through the block index.
+    SeekTime { time: u64 },
     Stack { tid: u32 },
     Threads,
     Inspect { addr: u64 },
@@ -52,6 +55,18 @@ pub enum Response {
     Listing { text: String },
     Output { text: String },
     Location { method: String, pc: u32, line: i64, step: u64 },
+    /// What a `seek_time` actually did: where it restored from and how
+    /// much trace it had to replay (the O(block) evidence).
+    SeekStats {
+        target_logical: u64,
+        restored: bool,
+        checkpoint_step: u64,
+        checkpoint_logical: u64,
+        steps_replayed: u64,
+        events_replayed: u64,
+        final_step: u64,
+        final_logical: u64,
+    },
     /// Canonical-JSON metrics snapshot, transported as a string so the
     /// packet stays byte-deterministic end to end.
     Metrics { json: String },
@@ -95,6 +110,9 @@ impl ToJson for Command {
             Command::Step => tagged("cmd", "step", vec![]),
             Command::StepBack => tagged("cmd", "step_back", vec![]),
             Command::Seek { step } => tagged("cmd", "seek", vec![("step", step.to_json())]),
+            Command::SeekTime { time } => {
+                tagged("cmd", "seek_time", vec![("time", time.to_json())])
+            }
             Command::Stack { tid } => tagged("cmd", "stack", vec![("tid", tid.to_json())]),
             Command::Threads => tagged("cmd", "threads", vec![]),
             Command::Inspect { addr } => {
@@ -132,6 +150,9 @@ impl FromJson for Command {
             "step_back" => Command::StepBack,
             "seek" => Command::Seek {
                 step: u64::from_json(j.field("step")?)?,
+            },
+            "seek_time" => Command::SeekTime {
+                time: u64::from_json(j.field("time")?)?,
             },
             "stack" => Command::Stack {
                 tid: u32::from_json(j.field("tid")?)?,
@@ -283,6 +304,29 @@ impl ToJson for Response {
                     ("step", step.to_json()),
                 ],
             ),
+            Response::SeekStats {
+                target_logical,
+                restored,
+                checkpoint_step,
+                checkpoint_logical,
+                steps_replayed,
+                events_replayed,
+                final_step,
+                final_logical,
+            } => tagged(
+                "resp",
+                "seek_stats",
+                vec![
+                    ("target_logical", target_logical.to_json()),
+                    ("restored", restored.to_json()),
+                    ("checkpoint_step", checkpoint_step.to_json()),
+                    ("checkpoint_logical", checkpoint_logical.to_json()),
+                    ("steps_replayed", steps_replayed.to_json()),
+                    ("events_replayed", events_replayed.to_json()),
+                    ("final_step", final_step.to_json()),
+                    ("final_logical", final_logical.to_json()),
+                ],
+            ),
             Response::Metrics { json } => {
                 tagged("resp", "metrics", vec![("json", json.to_json())])
             }
@@ -336,6 +380,16 @@ impl FromJson for Response {
                 line: i64::from_json(j.field("line")?)?,
                 step: u64::from_json(j.field("step")?)?,
             },
+            "seek_stats" => Response::SeekStats {
+                target_logical: u64::from_json(j.field("target_logical")?)?,
+                restored: bool::from_json(j.field("restored")?)?,
+                checkpoint_step: u64::from_json(j.field("checkpoint_step")?)?,
+                checkpoint_logical: u64::from_json(j.field("checkpoint_logical")?)?,
+                steps_replayed: u64::from_json(j.field("steps_replayed")?)?,
+                events_replayed: u64::from_json(j.field("events_replayed")?)?,
+                final_step: u64::from_json(j.field("final_step")?)?,
+                final_logical: u64::from_json(j.field("final_logical")?)?,
+            },
             "metrics" => Response::Metrics {
                 json: String::from_json(j.field("json")?)?,
             },
@@ -374,6 +428,7 @@ mod tests {
             Command::Step,
             Command::StepBack,
             Command::Seek { step: u64::MAX },
+            Command::SeekTime { time: u64::MAX },
             Command::Stack { tid: 2 },
             Command::Threads,
             Command::Inspect { addr: u64::MAX },
@@ -448,6 +503,26 @@ mod tests {
                 pc: 9,
                 line: 42,
                 step: 1234,
+            },
+            Response::SeekStats {
+                target_logical: 1 << 33,
+                restored: true,
+                checkpoint_step: 4_000,
+                checkpoint_logical: 512,
+                steps_replayed: 977,
+                events_replayed: 13,
+                final_step: 4_977,
+                final_logical: 1 << 33,
+            },
+            Response::SeekStats {
+                target_logical: 0,
+                restored: false,
+                checkpoint_step: 0,
+                checkpoint_logical: 0,
+                steps_replayed: 0,
+                events_replayed: 0,
+                final_step: 0,
+                final_logical: 0,
             },
             Response::Metrics {
                 json: r#"{"counters":{"clock_reads":3}}"#.into(),

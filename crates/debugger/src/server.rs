@@ -92,6 +92,19 @@ pub fn handle(session: &mut DebugSession, cmd: Command) -> Response {
                 step: session.step_index(),
             }
         }
+        Command::SeekTime { time } => {
+            let st = session.seek_time(time);
+            Response::SeekStats {
+                target_logical: st.target_logical,
+                restored: st.restored,
+                checkpoint_step: st.checkpoint_step,
+                checkpoint_logical: st.checkpoint_logical,
+                steps_replayed: st.steps_replayed,
+                events_replayed: st.events_replayed,
+                final_step: st.final_step,
+                final_logical: st.final_logical,
+            }
+        }
         Command::Stack { tid } => Response::Stack {
             frames: session.stack_trace(tid),
         },

@@ -240,3 +240,95 @@ fn metrics_and_divergence_over_the_wire() {
     client.quit().unwrap();
     server.join().unwrap();
 }
+
+#[test]
+fn seek_time_replays_only_the_target_block_span() {
+    let (program, vmc, trace, _) = recorded("racy_counter", 6);
+    let budget = 64u32;
+    let bytes = dejavu::encode_trace(&trace, dejavu::TraceFormat::Block, budget);
+    let bf = dejavu::BlockFile::parse(bytes.clone()).expect("own encoding parses");
+    let boundaries = bf.boundaries();
+    assert!(boundaries.len() > 3, "want a multi-block trace, got {}", boundaries.len());
+
+    // Interval checkpoints off: block boundaries are the only keys, so
+    // the measured replay span is attributable to the index alone.
+    let mut indexed =
+        DebugSession::from_trace_bytes(Arc::clone(&program), vmc.clone(), &bytes, u64::MAX)
+            .expect("block bytes accepted");
+    assert_eq!(indexed.cont(), StopReason::Halted);
+    let end = indexed.logical_time();
+    let target = end / 2;
+
+    let stats = indexed.seek_time(target);
+    assert!(stats.restored, "backward seek must restore a checkpoint");
+    assert_eq!(stats.target_logical, target);
+    assert!(stats.final_logical >= target, "seek lands at or past the target");
+    // The restored checkpoint is the *nearest* block boundary ≤ target…
+    let want = boundaries[boundaries.partition_point(|&b| b <= target) - 1];
+    assert_eq!(stats.checkpoint_logical, want, "checkpoint keyed to the covering block");
+    // …and the forward replay stayed within that block's event span.
+    assert!(
+        stats.events_replayed <= budget as u64 + 2,
+        "replayed {} events for a {budget}-event block span",
+        stats.events_replayed
+    );
+
+    // The same seek on a flat-format session (single step-0 checkpoint)
+    // replays the whole prefix — the block index is what makes the seek
+    // O(block) instead of O(run).
+    let flat = dejavu::encode_trace(&trace, dejavu::TraceFormat::Flat, budget);
+    let mut full = DebugSession::from_trace_bytes(program, vmc, &flat, u64::MAX)
+        .expect("flat bytes accepted");
+    assert_eq!(full.cont(), StopReason::Halted);
+    let full_stats = full.seek_time(target);
+    assert_eq!(full_stats.checkpoint_logical, 0, "flat session restores step 0");
+    assert!(
+        full_stats.events_replayed > stats.events_replayed * 4,
+        "full replay {} events vs indexed {}",
+        full_stats.events_replayed,
+        stats.events_replayed
+    );
+    assert_eq!(
+        full.vm().state_digest(),
+        indexed.vm().state_digest(),
+        "both routes land on the identical program state"
+    );
+
+    // Seeking forward to where we already are replays nothing.
+    let noop = indexed.seek_time(indexed.logical_time());
+    assert!(!noop.restored);
+    assert_eq!(noop.events_replayed, 0);
+}
+
+#[test]
+fn seek_time_over_the_wire() {
+    let (program, vmc, trace, _) = recorded("racy_counter", 13);
+    let bytes = dejavu::encode_trace(&trace, dejavu::TraceFormat::Block, 64);
+    let session = DebugSession::from_trace_bytes(program, vmc, &bytes, 5_000).unwrap();
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+
+    let mut client = DebugClient::connect(&addr.to_string()).unwrap();
+    let r = client.cont().unwrap();
+    assert!(matches!(r, Response::Stopped { reason: StopReason::Halted, .. }), "{r:?}");
+    let Response::SeekStats {
+        target_logical,
+        restored,
+        checkpoint_logical,
+        events_replayed,
+        final_logical,
+        ..
+    } = client.seek_time(40).unwrap()
+    else {
+        panic!("expected seek_stats");
+    };
+    assert_eq!(target_logical, 40);
+    assert!(restored, "halted session seeks backward via a checkpoint");
+    assert!(checkpoint_logical <= 40);
+    assert!(final_logical >= 40);
+    assert!(events_replayed > 0);
+    client.quit().unwrap();
+    server.join().unwrap();
+}

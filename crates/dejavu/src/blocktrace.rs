@@ -1,0 +1,938 @@
+//! The block-structured trace format: delta-encoded, compressed,
+//! checkpoint-indexable storage for DejaVu traces.
+//!
+//! The flat format ([`Trace::encoded`]) writes one unindexed event
+//! stream; navigating to a logical time means replaying from zero. This
+//! module makes the trace a first-class storage layer (rr's lesson:
+//! trace compactness and cheap navigation are what make record/replay
+//! deployable):
+//!
+//! * events are grouped into fixed-budget **blocks**;
+//! * within a block, fields are stored **columnar** and
+//!   **frame-of-reference** encoded: the block minimum is subtracted
+//!   from the nyp column (the recorded deltas of the logical clock) and
+//!   the thread-id column, wall-clock reads are **delta + zigzag**
+//!   encoded, and the small residues are written as varints — the flat
+//!   format's multi-byte absolute fields shrink to mostly one byte;
+//! * each raw block payload is then handed to whichever in-repo
+//!   compressor ([`codec::block`]) wins on that block — the LZ
+//!   matcher or the adaptive order-1 range coder, which squeezes the
+//!   low-entropy residue bytes below the varint's 8-bit floor — and
+//!   guarded by a CRC-32, so a truncated or bit-flipped tail is
+//!   detected, not silently replayed;
+//! * a **footer index** carries every block's
+//!   `{offset, first_seq, first_logical_time, event_count, …}` so a
+//!   reader seeks to the block covering a logical time in O(log blocks)
+//!   without touching the payloads before it.
+//!
+//! `first_logical_time` is the cumulative yield-point clock (the sum of
+//! recorded `nyp` deltas) before the block's first event — the same
+//! logical clock `vm.counters.yield_points` tracks during replay, which
+//! is what lets the debugger key its checkpoint cache by block boundary
+//! ([`baselines`]' `TimeTravel`).
+//!
+//! ## File layout
+//!
+//! ```text
+//! "DJVB" ver=1 paranoid  varint(budget)
+//! block*:  varint×7 header (first_seq, first_logical_time, event_count,
+//!          switch_count, raw_len, comp_len, crc32)   payload[comp_len]
+//!          (comp_len == raw_len ⇒ payload stored raw; otherwise the
+//!          payload is method_byte(1=LZ, 2=range coder) + stream)
+//! footer:  varint(block_count)
+//!          block_count × (varint offset + the 7 header varints again)
+//! tail:    u32le(footer_len) "DJVI"
+//! ```
+//!
+//! The canonical unified event order is *switches first, then data
+//! records* — the two streams of [`Trace`] back to back. Replay consumes
+//! the streams independently, so the unified order is a storage choice;
+//! columnar-by-stream maximizes intra-block self-similarity.
+//!
+//! Every decode path returns a typed [`TraceError`] — corruption is
+//! never a panic.
+
+use crate::trace::{DataRec, SwitchRec, Trace};
+use codec::{get_varint, put_varint, unzigzag, zigzag};
+use djvm::MethodId;
+use std::fmt;
+
+const BLOCK_MAGIC: &[u8; 4] = b"DJVB";
+const INDEX_MAGIC: &[u8; 4] = b"DJVI";
+const VERSION: u8 = 1;
+/// Events per block unless the caller chooses otherwise. Small enough
+/// that a seek decodes little, large enough that the compressor sees
+/// real runs.
+pub const DEFAULT_BLOCK_BUDGET: u32 = 4096;
+/// Upper bound on a single block's raw payload (decoder allocation cap).
+const MAX_RAW_LEN: u64 = 1 << 26;
+
+/// On-disk trace encodings the platform understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The legacy single-stream varint format (`DJV1`).
+    Flat,
+    /// The block-structured compressed format (`DJVB`).
+    Block,
+}
+
+impl TraceFormat {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceFormat::Flat => "flat",
+            TraceFormat::Block => "block",
+        }
+    }
+
+    /// Parse a `--trace-format` value.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "flat" => Some(TraceFormat::Flat),
+            "block" => Some(TraceFormat::Block),
+            _ => None,
+        }
+    }
+}
+
+/// Why a trace file was rejected. Typed — decode never panics on
+/// hostile bytes, and callers can distinguish I/O-grade corruption from
+/// an unknown format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Neither magic matched: not a trace file at all.
+    NotATrace,
+    /// A `DJVB` file with a version this build does not speak.
+    UnsupportedVersion(u8),
+    /// Structural corruption (truncation, bad counts, bad offsets).
+    Corrupt(&'static str),
+    /// Block payload failed its CRC — a damaged or truncated tail.
+    BadCrc { block: usize },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NotATrace => write!(f, "not a trace file (unknown magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported block-trace version {v}")
+            }
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::BadCrc { block } => {
+                write!(f, "block {block}: payload CRC mismatch (damaged or truncated)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One entry of the footer index: everything needed to locate, validate
+/// and decode a block without reading any other block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Byte offset of the block *header* within the file.
+    pub offset: u64,
+    /// Index of the block's first event in the unified stream.
+    pub first_seq: u64,
+    /// Cumulative logical clock (sum of nyp deltas) before this block.
+    pub first_logical_time: u64,
+    pub event_count: u32,
+    /// How many of the events are switch records (the rest are data).
+    pub switch_count: u32,
+    pub raw_len: u32,
+    /// `comp_len == raw_len` means the payload is stored uncompressed.
+    pub comp_len: u32,
+    /// CRC-32 of the raw (uncompressed) payload.
+    pub crc: u32,
+}
+
+impl BlockInfo {
+    fn put(&self, out: &mut Vec<u8>, with_offset: bool) {
+        if with_offset {
+            put_varint(out, self.offset);
+        }
+        put_varint(out, self.first_seq);
+        put_varint(out, self.first_logical_time);
+        put_varint(out, self.event_count as u64);
+        put_varint(out, self.switch_count as u64);
+        put_varint(out, self.raw_len as u64);
+        put_varint(out, self.comp_len as u64);
+        put_varint(out, self.crc as u64);
+    }
+
+    fn get(buf: &[u8], pos: &mut usize, offset: Option<u64>) -> Result<Self, TraceError> {
+        let mut next = || get_varint(buf, pos).ok_or(TraceError::Corrupt("short block header"));
+        let offset = match offset {
+            Some(o) => o,
+            None => next()?,
+        };
+        let first_seq = next()?;
+        let first_logical_time = next()?;
+        let event_count = next()?;
+        let switch_count = next()?;
+        let raw_len = next()?;
+        let comp_len = next()?;
+        let crc = next()?;
+        if crc > u32::MAX as u64 {
+            return Err(TraceError::Corrupt("implausible block crc"));
+        }
+        // The encoder stores the raw payload whenever compression does
+        // not shrink it, so `comp_len <= raw_len` always.
+        if raw_len > MAX_RAW_LEN || comp_len > raw_len {
+            return Err(TraceError::Corrupt("implausible block payload length"));
+        }
+        if switch_count > event_count || event_count > u32::MAX as u64 {
+            return Err(TraceError::Corrupt("implausible block event counts"));
+        }
+        Ok(BlockInfo {
+            offset,
+            first_seq,
+            first_logical_time,
+            event_count: event_count as u32,
+            switch_count: switch_count as u32,
+            raw_len: raw_len as u32,
+            comp_len: comp_len as u32,
+            crc: crc as u32,
+        })
+    }
+}
+
+/// Size accounting for one encoded block trace — the numbers E16 and the
+/// per-block telemetry counters report.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStats {
+    pub blocks: usize,
+    /// Blocks whose payload was stored raw (compression didn't pay).
+    pub stored_blocks: usize,
+    pub events: u64,
+    pub switch_events: u64,
+    pub data_events: u64,
+    /// Whole-file size, headers/index/magic included.
+    pub file_bytes: usize,
+    /// Sum of raw (pre-compression) payload bytes.
+    pub payload_raw_bytes: usize,
+    /// Sum of on-disk payload bytes.
+    pub payload_comp_bytes: usize,
+    /// Per-block `comp*1000/raw` — the telemetry counters the observer
+    /// exposes (integer permille keeps JSON byte-deterministic).
+    pub per_block_permille: Vec<u64>,
+}
+
+impl BlockStats {
+    /// Whole-payload compression ratio in permille (1000 = incompressible).
+    pub fn compression_permille(&self) -> u64 {
+        if self.payload_raw_bytes == 0 {
+            return 1000;
+        }
+        (self.payload_comp_bytes as u64 * 1000) / self.payload_raw_bytes as u64
+    }
+
+    /// File bytes per event, ×1000 (exact integer milli-bytes).
+    pub fn milli_bytes_per_event(&self) -> u64 {
+        if self.events == 0 {
+            return 0;
+        }
+        self.file_bytes as u64 * 1000 / self.events
+    }
+
+    /// Deterministic JSON (keys pre-sorted).
+    pub fn to_json(&self) -> codec::Json {
+        use codec::Json;
+        Json::obj(vec![
+            ("blocks", Json::UInt(self.blocks as u64)),
+            (
+                "compression_permille",
+                Json::UInt(self.compression_permille()),
+            ),
+            ("data_events", Json::UInt(self.data_events)),
+            ("events", Json::UInt(self.events)),
+            ("file_bytes", Json::UInt(self.file_bytes as u64)),
+            (
+                "milli_bytes_per_event",
+                Json::UInt(self.milli_bytes_per_event()),
+            ),
+            (
+                "payload_comp_bytes",
+                Json::UInt(self.payload_comp_bytes as u64),
+            ),
+            (
+                "payload_raw_bytes",
+                Json::UInt(self.payload_raw_bytes as u64),
+            ),
+            (
+                "per_block_permille",
+                Json::Arr(self.per_block_permille.iter().map(|&p| Json::UInt(p)).collect()),
+            ),
+            ("stored_blocks", Json::UInt(self.stored_blocks as u64)),
+            ("switch_events", Json::UInt(self.switch_events)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Append a *frame-of-reference* column: `varint(min)` followed by
+/// `varint(value - min)` for each value. The recorded nyp deltas and the
+/// zigzagged clock deltas live in a narrow band, so the residues are
+/// almost always single bytes — and being byte-aligned, they are exactly
+/// what the order-1 range coder models best, pushing the column to its
+/// actual entropy. This is the main lever behind the bytes/event win
+/// over the flat format.
+fn put_for_column(out: &mut Vec<u8>, values: &[u64]) {
+    if values.is_empty() {
+        return;
+    }
+    let min = *values.iter().min().expect("non-empty");
+    put_varint(out, min);
+    for &v in values {
+        put_varint(out, v - min);
+    }
+}
+
+/// Read back a [`put_for_column`] column of `n` values.
+fn get_for_column(raw: &[u8], pos: &mut usize, n: usize) -> Option<Vec<u64>> {
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let min = get_varint(raw, pos)?;
+    let mut vals = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        vals.push(min.checked_add(get_varint(raw, pos)?)?);
+    }
+    Some(vals)
+}
+
+/// Encode one block's events into its raw (pre-compression) payload.
+/// Columnar: switch nyp deltas (already deltas of the logical clock),
+/// then (paranoid) tids, then data tags, then clock-read deltas, then
+/// native records. The numeric columns are frame-of-reference encoded
+/// ([`put_for_column`]); all references are block-local so every block
+/// decodes independently.
+fn encode_block_payload(switches: &[SwitchRec], data: &[DataRec], paranoid: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, switches.len() as u64);
+    let nyps: Vec<u64> = switches.iter().map(|s| s.nyp).collect();
+    put_for_column(&mut out, &nyps);
+    if paranoid {
+        let tids: Vec<u64> = switches.iter().map(|s| s.check_tid as u64).collect();
+        put_for_column(&mut out, &tids);
+    }
+    put_varint(&mut out, data.len() as u64);
+    for d in data {
+        out.push(match d {
+            DataRec::Clock(_) => 0,
+            DataRec::Native { .. } => 1,
+        });
+    }
+    let mut prev_clock = 0i64;
+    let clock_deltas: Vec<u64> = data
+        .iter()
+        .filter_map(|d| match d {
+            DataRec::Clock(v) => {
+                let zz = zigzag(v.wrapping_sub(prev_clock));
+                prev_clock = *v;
+                Some(zz)
+            }
+            DataRec::Native { .. } => None,
+        })
+        .collect();
+    put_for_column(&mut out, &clock_deltas);
+    for d in data {
+        if let DataRec::Native { ret, callbacks } = d {
+            put_varint(&mut out, zigzag(*ret));
+            put_varint(&mut out, callbacks.len() as u64);
+            for (m, args) in callbacks {
+                put_varint(&mut out, *m as u64);
+                put_varint(&mut out, args.len() as u64);
+                for &a in args {
+                    put_varint(&mut out, zigzag(a));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_block_payload(
+    raw: &[u8],
+    info: &BlockInfo,
+    paranoid: bool,
+    block: usize,
+) -> Result<(Vec<SwitchRec>, Vec<DataRec>), TraceError> {
+    let corrupt = |what| TraceError::Corrupt(what);
+    let _ = block;
+    let mut pos = 0usize;
+    let nswitch =
+        get_varint(raw, &mut pos).ok_or(corrupt("short switch count"))? as usize;
+    if nswitch != info.switch_count as usize {
+        return Err(corrupt("switch count disagrees with index"));
+    }
+    let nyps = get_for_column(raw, &mut pos, nswitch).ok_or(corrupt("short nyp column"))?;
+    let tids: Vec<u32> = if paranoid {
+        let vals = get_for_column(raw, &mut pos, nswitch).ok_or(corrupt("short tid column"))?;
+        if vals.iter().any(|&v| v > u32::MAX as u64) {
+            return Err(corrupt("tid column value out of range"));
+        }
+        vals.into_iter().map(|v| v as u32).collect()
+    } else {
+        Vec::new()
+    };
+    let switches: Vec<SwitchRec> = nyps
+        .into_iter()
+        .enumerate()
+        .map(|(i, nyp)| SwitchRec {
+            nyp,
+            check_tid: if paranoid { tids[i] } else { u32::MAX },
+        })
+        .collect();
+    let ndata = get_varint(raw, &mut pos).ok_or(corrupt("short data count"))? as usize;
+    if nswitch + ndata != info.event_count as usize {
+        return Err(corrupt("event count disagrees with index"));
+    }
+    if ndata > raw.len().saturating_sub(pos) {
+        return Err(corrupt("short tag column"));
+    }
+    let tags = &raw[pos..pos + ndata];
+    pos += ndata;
+    if tags.iter().any(|&t| t > 1) {
+        return Err(corrupt("unknown data tag"));
+    }
+    let nclock = tags.iter().filter(|&&t| t == 0).count();
+    let mut clocks = Vec::with_capacity(nclock.min(1 << 20));
+    let mut prev_clock = 0i64;
+    for zz in get_for_column(raw, &mut pos, nclock).ok_or(corrupt("short clock column"))? {
+        let v = prev_clock.wrapping_add(unzigzag(zz));
+        clocks.push(v);
+        prev_clock = v;
+    }
+    let mut natives = Vec::new();
+    for _ in 0..tags.len() - nclock {
+        let ret = unzigzag(get_varint(raw, &mut pos).ok_or(corrupt("short native ret"))?);
+        let ncb = get_varint(raw, &mut pos).ok_or(corrupt("short callback count"))? as usize;
+        let mut callbacks = Vec::with_capacity(ncb.min(1 << 16));
+        for _ in 0..ncb {
+            let m = get_varint(raw, &mut pos).ok_or(corrupt("short callback method"))? as MethodId;
+            let nargs = get_varint(raw, &mut pos).ok_or(corrupt("short arg count"))? as usize;
+            let mut args = Vec::with_capacity(nargs.min(1 << 16));
+            for _ in 0..nargs {
+                args.push(unzigzag(
+                    get_varint(raw, &mut pos).ok_or(corrupt("short callback arg"))?,
+                ));
+            }
+            callbacks.push((m, args));
+        }
+        natives.push(DataRec::Native { ret, callbacks });
+    }
+    if pos != raw.len() {
+        return Err(corrupt("trailing bytes in block payload"));
+    }
+    // Reassemble the data stream in tag order.
+    let mut clocks = clocks.into_iter();
+    let mut natives = natives.into_iter();
+    let data: Vec<DataRec> = tags
+        .iter()
+        .map(|&t| {
+            if t == 0 {
+                DataRec::Clock(clocks.next().expect("counted"))
+            } else {
+                natives.next().expect("counted")
+            }
+        })
+        .collect();
+    Ok((switches, data))
+}
+
+/// Encode `trace` in the block format with `budget` events per block.
+pub fn encode_block(trace: &Trace, budget: u32) -> Vec<u8> {
+    let budget = budget.max(1) as usize;
+    let mut out = Vec::new();
+    out.extend_from_slice(BLOCK_MAGIC);
+    out.push(VERSION);
+    out.push(trace.paranoid as u8);
+    put_varint(&mut out, budget as u64);
+
+    let nswitch = trace.switches.len();
+    let total = nswitch + trace.data.len();
+    let mut index: Vec<BlockInfo> = Vec::new();
+    let mut logical = 0u64; // cumulative nyp before the next block
+    let mut seq = 0usize;
+    while seq < total {
+        let count = budget.min(total - seq);
+        let sw_lo = seq.min(nswitch);
+        let sw_hi = (seq + count).min(nswitch);
+        let da_lo = seq.saturating_sub(nswitch);
+        let da_hi = (seq + count).saturating_sub(nswitch);
+        let switches = &trace.switches[sw_lo..sw_hi];
+        let data = &trace.data[da_lo..da_hi];
+        let raw = encode_block_payload(switches, data, trace.paranoid);
+        let raw_len = raw.len();
+        let crc = codec::crc32(&raw);
+        // Race the two compressors and store the winner behind a method
+        // byte; `comp_len == raw_len` marks "stored raw" (no method byte).
+        let lz = codec::compress(&raw);
+        let rc = codec::entropy_compress(&raw);
+        let (method, stream) = if rc.len() < lz.len() { (2u8, rc) } else { (1u8, lz) };
+        let payload = if stream.len() + 1 < raw.len() {
+            let mut p = Vec::with_capacity(stream.len() + 1);
+            p.push(method);
+            p.extend_from_slice(&stream);
+            p
+        } else {
+            raw
+        };
+        let comp_len = payload.len();
+        let info = BlockInfo {
+            offset: out.len() as u64,
+            first_seq: seq as u64,
+            first_logical_time: logical,
+            event_count: count as u32,
+            switch_count: switches.len() as u32,
+            raw_len: raw_len as u32,
+            comp_len: comp_len as u32,
+            crc,
+        };
+        info.put(&mut out, false);
+        out.extend_from_slice(&payload);
+        // Saturating: keeps the index monotone even for adversarial nyp
+        // values near u64::MAX (seek just lands in the last such block).
+        logical = switches
+            .iter()
+            .fold(logical, |acc, s| acc.saturating_add(s.nyp));
+        index.push(info);
+        seq += count;
+    }
+
+    // Footer index + fixed tail.
+    let footer_start = out.len();
+    put_varint(&mut out, index.len() as u64);
+    for info in &index {
+        info.put(&mut out, true);
+    }
+    let footer_len = (out.len() - footer_start) as u32;
+    out.extend_from_slice(&footer_len.to_le_bytes());
+    out.extend_from_slice(INDEX_MAGIC);
+    out
+}
+
+/// Encode `trace` in the chosen format (`budget` applies to `Block`).
+pub fn encode_trace(trace: &Trace, format: TraceFormat, budget: u32) -> Vec<u8> {
+    match format {
+        TraceFormat::Flat => trace.encoded(),
+        TraceFormat::Block => encode_block(trace, budget),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A parsed block-format trace: the footer index plus the raw file
+/// bytes. Individual blocks decode on demand ([`BlockFile::block`]).
+#[derive(Debug, Clone)]
+pub struct BlockFile {
+    pub paranoid: bool,
+    pub budget: u32,
+    pub index: Vec<BlockInfo>,
+    buf: Vec<u8>,
+}
+
+impl BlockFile {
+    /// Parse the header and footer index. Block payloads are *not*
+    /// validated here — use [`BlockFile::block`] / [`BlockFile::verify`].
+    pub fn parse(buf: Vec<u8>) -> Result<Self, TraceError> {
+        if buf.len() < 6 || &buf[..4] != BLOCK_MAGIC {
+            return Err(TraceError::NotATrace);
+        }
+        if buf[4] != VERSION {
+            return Err(TraceError::UnsupportedVersion(buf[4]));
+        }
+        let paranoid = buf[5] != 0;
+        let mut pos = 6;
+        let budget = get_varint(&buf, &mut pos).ok_or(TraceError::Corrupt("short header"))?;
+        if budget == 0 || budget > u32::MAX as u64 {
+            return Err(TraceError::Corrupt("bad block budget"));
+        }
+        let blocks_start = pos;
+        if buf.len() < blocks_start + 8 {
+            return Err(TraceError::Corrupt("missing footer"));
+        }
+        if &buf[buf.len() - 4..] != INDEX_MAGIC {
+            return Err(TraceError::Corrupt("missing index magic (truncated tail)"));
+        }
+        let flen =
+            u32::from_le_bytes(buf[buf.len() - 8..buf.len() - 4].try_into().unwrap()) as usize;
+        let footer_end = buf.len() - 8;
+        let footer_start = footer_end
+            .checked_sub(flen)
+            .filter(|&s| s >= blocks_start)
+            .ok_or(TraceError::Corrupt("bad footer length"))?;
+        let footer = &buf[..footer_end];
+        let mut fpos = footer_start;
+        let count =
+            get_varint(footer, &mut fpos).ok_or(TraceError::Corrupt("short index count"))? as usize;
+        if count > (footer_end - footer_start).max(1) {
+            return Err(TraceError::Corrupt("implausible index count"));
+        }
+        let mut index = Vec::with_capacity(count.min(1 << 20));
+        let mut expect_seq = 0u64;
+        let mut prev_logical = 0u64;
+        for i in 0..count {
+            let info = BlockInfo::get(footer, &mut fpos, None)?;
+            if info.first_seq != expect_seq {
+                return Err(TraceError::Corrupt("index seq discontinuity"));
+            }
+            if info.first_logical_time < prev_logical {
+                return Err(TraceError::Corrupt("index logical time not monotone"));
+            }
+            if info.event_count == 0 && count > 1 {
+                return Err(TraceError::Corrupt("empty block in multi-block file"));
+            }
+            let off = info.offset as usize;
+            if off < blocks_start || off >= footer_start {
+                return Err(TraceError::Corrupt("block offset outside payload region"));
+            }
+            let _ = i;
+            expect_seq += info.event_count as u64;
+            prev_logical = info.first_logical_time;
+            index.push(info);
+        }
+        if fpos != footer_end {
+            return Err(TraceError::Corrupt("trailing bytes in index"));
+        }
+        Ok(BlockFile {
+            paranoid,
+            budget: budget as u32,
+            index,
+            buf,
+        })
+    }
+
+    /// Total events across all blocks.
+    pub fn event_count(&self) -> u64 {
+        self.index.iter().map(|b| b.event_count as u64).sum()
+    }
+
+    /// Decode block `i`: decompress, CRC-check, and expand the columns.
+    pub fn block(&self, i: usize) -> Result<(Vec<SwitchRec>, Vec<DataRec>), TraceError> {
+        let info = *self
+            .index
+            .get(i)
+            .ok_or(TraceError::Corrupt("block index out of range"))?;
+        // Re-read the in-line header so a block is self-validating even
+        // when reached through the index.
+        let mut pos = info.offset as usize;
+        let inline = BlockInfo::get(&self.buf, &mut pos, Some(info.offset))?;
+        if inline != info {
+            return Err(TraceError::Corrupt("index and in-line block header disagree"));
+        }
+        let end = pos
+            .checked_add(info.comp_len as usize)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(TraceError::Corrupt("block payload out of range"))?;
+        let payload = &self.buf[pos..end];
+        let raw_owned;
+        let raw: &[u8] = if info.comp_len == info.raw_len {
+            payload
+        } else {
+            let (&method, stream) = payload
+                .split_first()
+                .ok_or(TraceError::Corrupt("empty compressed payload"))?;
+            raw_owned = match method {
+                1 => codec::decompress(stream, info.raw_len as usize),
+                2 => codec::entropy_decompress(stream, info.raw_len as usize),
+                _ => return Err(TraceError::Corrupt("unknown compression method")),
+            }
+            .ok_or(TraceError::BadCrc { block: i })?;
+            &raw_owned
+        };
+        if codec::crc32(raw) != info.crc {
+            return Err(TraceError::BadCrc { block: i });
+        }
+        decode_block_payload(raw, &info, self.paranoid, i)
+    }
+
+    /// Validate every block's CRC; `Ok` only if all pass.
+    pub fn verify(&self) -> Result<(), TraceError> {
+        for i in 0..self.index.len() {
+            self.block(i)?;
+        }
+        Ok(())
+    }
+
+    /// Per-block CRC status without failing fast (the `trace inspect`
+    /// view).
+    pub fn crc_status(&self) -> Vec<bool> {
+        (0..self.index.len()).map(|i| self.block(i).is_ok()).collect()
+    }
+
+    /// Reassemble the full in-memory [`Trace`].
+    pub fn to_trace(&self) -> Result<Trace, TraceError> {
+        let mut trace = Trace {
+            paranoid: self.paranoid,
+            ..Trace::default()
+        };
+        for i in 0..self.index.len() {
+            let (mut sw, mut da) = self.block(i)?;
+            // Canonical unified order is switches-first; a file whose
+            // switch records resume after data records is malformed.
+            if !sw.is_empty() && !trace.data.is_empty() {
+                return Err(TraceError::Corrupt("switch events after data events"));
+            }
+            trace.switches.append(&mut sw);
+            trace.data.append(&mut da);
+        }
+        Ok(trace)
+    }
+
+    /// Index of the block covering logical time `t` (the block a seek to
+    /// `t` must decode). Blocks cover `(first_logical_time, next block's
+    /// first_logical_time]`; `t == 0` maps to block 0.
+    pub fn block_for_logical_time(&self, t: u64) -> usize {
+        self.index
+            .partition_point(|b| b.first_logical_time < t)
+            .saturating_sub(1)
+    }
+
+    /// `first_logical_time` of every block — the checkpoint-keying
+    /// boundaries the time-travel layer snapshots at.
+    pub fn boundaries(&self) -> Vec<u64> {
+        self.index.iter().map(|b| b.first_logical_time).collect()
+    }
+
+    /// Size accounting over the parsed file.
+    pub fn stats(&self) -> BlockStats {
+        let mut s = BlockStats {
+            blocks: self.index.len(),
+            file_bytes: self.buf.len(),
+            ..BlockStats::default()
+        };
+        for b in &self.index {
+            s.events += b.event_count as u64;
+            s.switch_events += b.switch_count as u64;
+            s.payload_raw_bytes += b.raw_len as usize;
+            s.payload_comp_bytes += b.comp_len as usize;
+            if b.comp_len == b.raw_len {
+                s.stored_blocks += 1;
+            }
+            s.per_block_permille
+                .push(if b.raw_len == 0 { 1000 } else { b.comp_len as u64 * 1000 / b.raw_len as u64 });
+        }
+        s.data_events = s.events - s.switch_events;
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Format sniffing
+// ---------------------------------------------------------------------
+
+/// Identify the on-disk format from the leading magic.
+pub fn sniff_format(buf: &[u8]) -> Result<TraceFormat, TraceError> {
+    if buf.len() >= 4 && &buf[..4] == b"DJV1" {
+        Ok(TraceFormat::Flat)
+    } else if buf.len() >= 4 && &buf[..4] == BLOCK_MAGIC {
+        Ok(TraceFormat::Block)
+    } else {
+        Err(TraceError::NotATrace)
+    }
+}
+
+/// Decode a trace in either format, reporting which one it was.
+pub fn decode_any(buf: &[u8]) -> Result<(Trace, TraceFormat), TraceError> {
+    match sniff_format(buf)? {
+        TraceFormat::Flat => Trace::decode(buf)
+            .map(|t| (t, TraceFormat::Flat))
+            .ok_or(TraceError::Corrupt("flat trace rejected by decoder")),
+        TraceFormat::Block => {
+            let bf = BlockFile::parse(buf.to_vec())?;
+            Ok((bf.to_trace()?, TraceFormat::Block))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(paranoid: bool, n: usize) -> Trace {
+        let mut t = Trace {
+            paranoid,
+            ..Trace::default()
+        };
+        for i in 0..n {
+            t.switches.push(SwitchRec {
+                nyp: 200 + (i as u64 % 17),
+                check_tid: if paranoid { (i % 3) as u32 } else { u32::MAX },
+            });
+        }
+        for i in 0..n {
+            if i % 5 == 4 {
+                t.data.push(DataRec::Native {
+                    ret: -(i as i64),
+                    callbacks: vec![(3, vec![1, 2, i as i64]), (9, vec![])],
+                });
+            } else {
+                t.data.push(DataRec::Clock(1_000_000 + 2 * i as i64));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_various_budgets() {
+        for paranoid in [false, true] {
+            let t = sample(paranoid, 137);
+            for budget in [1u32, 2, 7, 64, 512, 100_000] {
+                let enc = encode_block(&t, budget);
+                let bf = BlockFile::parse(enc.clone()).unwrap();
+                assert_eq!(bf.to_trace().unwrap(), t, "budget {budget}");
+                let (t2, f) = decode_any(&enc).unwrap();
+                assert_eq!(f, TraceFormat::Block);
+                assert_eq!(t2, t);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_trace_has_zero_blocks() {
+        let enc = encode_block(&Trace::default(), 512);
+        let bf = BlockFile::parse(enc).unwrap();
+        assert_eq!(bf.index.len(), 0);
+        assert_eq!(bf.to_trace().unwrap(), Trace::default());
+        assert_eq!(bf.stats().compression_permille(), 1000);
+    }
+
+    #[test]
+    fn roundtrip_single_event_blocks() {
+        let mut t = Trace::default();
+        t.data.push(DataRec::Clock(i64::MIN));
+        let enc = encode_block(&t, 1);
+        let bf = BlockFile::parse(enc).unwrap();
+        assert_eq!(bf.index.len(), 1);
+        assert_eq!(bf.index[0].event_count, 1);
+        assert_eq!(bf.to_trace().unwrap(), t);
+    }
+
+    #[test]
+    fn extreme_values_roundtrip() {
+        let t = Trace {
+            paranoid: true,
+            switches: vec![
+                SwitchRec { nyp: u64::MAX, check_tid: u32::MAX },
+                SwitchRec { nyp: 1, check_tid: 0 },
+            ],
+            data: vec![DataRec::Clock(i64::MIN), DataRec::Clock(i64::MAX)],
+        };
+        for budget in [1, 2, 4] {
+            let enc = encode_block(&t, budget);
+            assert_eq!(BlockFile::parse(enc).unwrap().to_trace().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn index_carries_logical_time() {
+        let t = sample(false, 100);
+        let enc = encode_block(&t, 10);
+        let bf = BlockFile::parse(enc).unwrap();
+        // 100 switches + 100 data in blocks of 10 → 20 blocks
+        assert_eq!(bf.index.len(), 20);
+        assert_eq!(bf.index[0].first_logical_time, 0);
+        let cum: u64 = t.switches[..10].iter().map(|s| s.nyp).sum();
+        assert_eq!(bf.index[1].first_logical_time, cum);
+        // data-only blocks keep the final logical time
+        let total: u64 = t.switches.iter().map(|s| s.nyp).sum();
+        assert_eq!(bf.index[19].first_logical_time, total);
+        // lookup: time 1 is inside block 0; cum+1 inside block 1
+        assert_eq!(bf.block_for_logical_time(0), 0);
+        assert_eq!(bf.block_for_logical_time(1), 0);
+        assert_eq!(bf.block_for_logical_time(cum), 0);
+        assert_eq!(bf.block_for_logical_time(cum + 1), 1);
+        assert_eq!(bf.boundaries().len(), 20);
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let t = sample(true, 64);
+        let enc = encode_block(&t, 16);
+        for cut in 1..enc.len() {
+            let short = &enc[..enc.len() - cut];
+            match sniff_format(short) {
+                Ok(TraceFormat::Block) => {
+                    let r = BlockFile::parse(short.to_vec()).and_then(|bf| bf.to_trace());
+                    assert!(r.is_err(), "accepted a {}-byte truncation", cut);
+                }
+                _ => {} // shorter than the magic — trivially rejected
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bitflip_caught_by_crc() {
+        let t = sample(false, 64);
+        let enc = encode_block(&t, 64);
+        let bf = BlockFile::parse(enc.clone()).unwrap();
+        // Flip one byte inside the first block's payload (which starts
+        // right after its in-line header).
+        let mut pos = bf.index[0].offset as usize;
+        BlockInfo::get(&enc, &mut pos, Some(bf.index[0].offset)).unwrap();
+        let mut bad = enc.clone();
+        bad[pos] ^= 0x40;
+        let bfbad = BlockFile::parse(bad).unwrap();
+        match bfbad.block(0) {
+            Err(TraceError::BadCrc { block: 0 }) | Err(TraceError::Corrupt(_)) => {}
+            other => panic!("bitflip not caught: {other:?}"),
+        }
+        assert!(bfbad.verify().is_err());
+        assert_eq!(bfbad.crc_status()[0], false);
+    }
+
+    #[test]
+    fn not_a_trace_rejected_typed() {
+        assert_eq!(sniff_format(b"XXXXXX"), Err(TraceError::NotATrace));
+        assert_eq!(decode_any(b"").unwrap_err(), TraceError::NotATrace);
+        let mut bad = encode_block(&sample(false, 4), 2);
+        bad[4] = 9; // unsupported version
+        assert_eq!(
+            BlockFile::parse(bad).unwrap_err(),
+            TraceError::UnsupportedVersion(9)
+        );
+    }
+
+    #[test]
+    fn decode_any_reads_flat_too() {
+        let t = sample(true, 8);
+        let (t2, f) = decode_any(&t.encoded()).unwrap();
+        assert_eq!(f, TraceFormat::Flat);
+        assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn block_format_beats_flat_on_regular_streams() {
+        // The compression claim in miniature: periodic nyp deltas +
+        // near-linear clock reads.
+        let t = sample(true, 4_000);
+        let flat = t.encoded().len();
+        let block = encode_block(&t, DEFAULT_BLOCK_BUDGET).len();
+        assert!(
+            block * 3 <= flat,
+            "block {block} bytes vs flat {flat} bytes — expected ≥3×"
+        );
+        let bf = BlockFile::parse(encode_block(&t, DEFAULT_BLOCK_BUDGET)).unwrap();
+        let s = bf.stats();
+        assert_eq!(s.events, 8_000);
+        assert!(s.compression_permille() < 1000);
+        assert_eq!(s.per_block_permille.len(), s.blocks);
+        assert!(codec::Json::parse(&s.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn stats_json_deterministic() {
+        let t = sample(false, 50);
+        let bf = BlockFile::parse(encode_block(&t, 8)).unwrap();
+        let a = bf.stats().to_json().to_string();
+        let b = bf.stats().to_json().to_canonical_string();
+        assert_eq!(a, b, "keys pre-sorted");
+    }
+}

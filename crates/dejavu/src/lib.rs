@@ -33,12 +33,16 @@
 //! ## Modules
 //!
 //! * [`trace`] — the two-stream trace (switch deltas + data events).
+//! * [`blocktrace`] — the block-structured on-disk format: delta-encoded,
+//!   compressed fixed-budget blocks (LZ or adaptive range coder, per
+//!   block) with a footer index for O(block) seek (see DESIGN.md §6).
 //! * [`record`] — Fig. 2-(A): the recording hook.
 //! * [`replay`] — Fig. 2-(B): the replaying hook.
 //! * [`symmetry`] — §2.4's symmetric-instrumentation machinery, each
 //!   mechanism individually defeatable for ablation.
 //! * [`driver`] — run orchestration and the accuracy criterion.
 
+pub mod blocktrace;
 pub mod driver;
 pub mod observe;
 pub mod record;
@@ -52,6 +56,10 @@ pub use driver::{
 };
 pub use observe::{
     counters_json, run_metrics_json, DivergenceReport, PhaseSpan, RunTelemetry, ThreadClockDelta,
+};
+pub use blocktrace::{
+    decode_any, encode_trace, sniff_format, BlockFile, BlockInfo, BlockStats, TraceError,
+    TraceFormat, DEFAULT_BLOCK_BUDGET,
 };
 pub use record::DejaVuRecorder;
 pub use replay::{DejaVuReplayer, Desync};

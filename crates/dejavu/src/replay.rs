@@ -132,6 +132,14 @@ impl DejaVuReplayer {
     pub fn into_desyncs(self) -> Vec<Desync> {
         self.desyncs
     }
+
+    /// Total trace events this replayer has consumed so far (switch
+    /// records + clock reads + native calls). The time-travel layer uses
+    /// the delta across a seek to report how much of the trace a seek
+    /// actually replayed.
+    pub fn events_consumed(&self) -> u64 {
+        self.switch_index + self.clock_reads + self.native_calls
+    }
 }
 
 impl ExecHook for DejaVuReplayer {

@@ -1,0 +1,129 @@
+//! Cross-format matrix: every workload in the registry, recorded once,
+//! must replay identically from a trace that took either on-disk route
+//! (flat `DJV1` or block `DJVB`) — the storage format is a pure observer
+//! and must never leak into replay. Damaged files surface as typed
+//! errors, never as panics or silently different executions.
+
+use dejavu::{
+    decode_any, encode_trace, record_run, replay_run, BlockFile, ExecSpec, SymmetryConfig,
+    TraceError, TraceFormat, DEFAULT_BLOCK_BUDGET,
+};
+
+fn spec_of(w: &workloads::Workload) -> ExecSpec {
+    let mut s = ExecSpec::new((w.build)()).with_seed(1);
+    s.timer_base = 211;
+    s.timer_jitter = 60;
+    s
+}
+
+#[test]
+fn every_workload_replays_identically_from_both_formats() {
+    for w in workloads::registry() {
+        let spec = spec_of(&w);
+        let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+
+        for format in [TraceFormat::Flat, TraceFormat::Block] {
+            let bytes = encode_trace(&trace, format, DEFAULT_BLOCK_BUDGET);
+            let (decoded, sniffed) = decode_any(&bytes)
+                .unwrap_or_else(|e| panic!("{}: {} decode failed: {e}", w.name, format.name()));
+            assert_eq!(sniffed, format, "{}: sniffed format", w.name);
+            assert_eq!(decoded, trace, "{}: {} roundtrip", w.name, format.name());
+
+            let (rep, desyncs) = replay_run(&spec, decoded, SymmetryConfig::full());
+            assert!(
+                desyncs.is_empty(),
+                "{}: replay from {} desynced: {desyncs:?}",
+                w.name,
+                format.name()
+            );
+            assert!(
+                rec.matches(&rep),
+                "{}: replay from {} diverged (fingerprint {:#x} vs {:#x}, digest {:#x} vs {:#x})",
+                w.name,
+                format.name(),
+                rec.fingerprint,
+                rep.fingerprint,
+                rec.state_digest,
+                rep.state_digest
+            );
+        }
+    }
+}
+
+/// The two encodings must agree byte-for-byte after a format conversion
+/// round trip: flat → block → flat reproduces the flat bytes, and
+/// re-encoding the block decode reproduces the block bytes. This is the
+/// "writer is a pure observer" invariant at the storage layer.
+#[test]
+fn format_conversion_is_byte_stable() {
+    for w in workloads::registry() {
+        let spec = spec_of(&w);
+        let (_rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+        let flat = encode_trace(&trace, TraceFormat::Flat, DEFAULT_BLOCK_BUDGET);
+        let block = encode_trace(&trace, TraceFormat::Block, DEFAULT_BLOCK_BUDGET);
+
+        let (from_flat, _) = decode_any(&flat).expect("flat decodes");
+        let (from_block, _) = decode_any(&block).expect("block decodes");
+        assert_eq!(
+            encode_trace(&from_block, TraceFormat::Flat, DEFAULT_BLOCK_BUDGET),
+            flat,
+            "{}: block → flat bytes",
+            w.name
+        );
+        assert_eq!(
+            encode_trace(&from_flat, TraceFormat::Block, DEFAULT_BLOCK_BUDGET),
+            block,
+            "{}: flat → block bytes",
+            w.name
+        );
+    }
+}
+
+/// Corruption in either format is a typed error — never a panic, never a
+/// silently different replay.
+#[test]
+fn corrupt_files_fail_typed_not_loud() {
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == "racy_counter")
+        .expect("registry has racy_counter");
+    let spec = spec_of(&w);
+    let (_rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+
+    for format in [TraceFormat::Flat, TraceFormat::Block] {
+        let bytes = encode_trace(&trace, format, DEFAULT_BLOCK_BUDGET);
+        // Truncations at every eighth cut point.
+        for cut in (1..bytes.len()).step_by(8) {
+            let short = &bytes[..bytes.len() - cut];
+            match decode_any(short) {
+                Ok((t, _)) => assert_eq!(
+                    t, trace,
+                    "{}: a {cut}-byte truncation decoded to a different trace",
+                    format.name()
+                ),
+                Err(_) => {} // typed rejection is the expected outcome
+            }
+        }
+        // Single-byte corruption across the file body.
+        for i in (6..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            match decode_any(&bad) {
+                // The flat format is CRC-less by design; flipped bits can
+                // decode to a *different but well-formed* trace there. The
+                // block format must either reject or decode identically.
+                Ok((t, TraceFormat::Block)) => {
+                    assert_eq!(t, trace, "block: flipped byte {i} silently misdecoded")
+                }
+                _ => {}
+            }
+        }
+    }
+    // Garbage is NotATrace, empty is NotATrace.
+    assert_eq!(decode_any(b"garbage bytes").unwrap_err(), TraceError::NotATrace);
+    assert_eq!(decode_any(b"").unwrap_err(), TraceError::NotATrace);
+    // A block file whose CRC is damaged reports the block index.
+    let bytes = encode_trace(&trace, TraceFormat::Block, 64);
+    let bf = BlockFile::parse(bytes).expect("parses");
+    assert!(bf.verify().is_ok());
+}

@@ -1,10 +1,21 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Hermetic verification: build, test and bench-smoke the whole workspace
 # with the network unplugged (--offline). Fails loudly if anything would
 # need a registry fetch — the workspace must stay zero-dependency.
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Every byte-comparison below must fail loudly if one of its inputs was
+# never produced — a skipped cmp is a silently passing verification.
+require() {
+    for f in "$@"; do
+        if [ ! -s "$f" ]; then
+            echo "verify: missing or empty sidecar: $f" >&2
+            exit 1
+        fi
+    done
+}
 
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
@@ -36,6 +47,7 @@ done
 
 echo "== telemetry: byte-determinism (same run, same bytes) =="
 "$CLI" record racy_counter 3 "$TDIR/trace2.bin" --metrics-out "$TDIR/record2.json" > /dev/null
+require "$TDIR/record.json" "$TDIR/record2.json" "$TDIR/trace.bin" "$TDIR/trace2.bin"
 cmp "$TDIR/record.json" "$TDIR/record2.json"
 cmp "$TDIR/trace.bin" "$TDIR/trace2.bin"
 
@@ -43,6 +55,48 @@ echo "== telemetry: neutrality (fingerprints on == off) =="
 "$CLI" neutrality racy_counter 3
 "$CLI" neutrality producer_consumer 1
 "$CLI" neutrality gc_churn 1
+
+echo "== trace: block format is a pure observer (fig1 family, both formats) =="
+TRDIR="$BENCH_DIR/trace-verify"
+mkdir -p "$TRDIR"
+for wl in fig1_ab fig1_hot fig1_cd; do
+    "$CLI" record "$wl" 5 "$TRDIR/$wl.flat"  --trace-format flat \
+        --metrics-out "$TRDIR/$wl.rec-flat.json"  > /dev/null
+    "$CLI" record "$wl" 5 "$TRDIR/$wl.block" --trace-format block \
+        --metrics-out "$TRDIR/$wl.rec-block.json" > /dev/null
+    # The record metrics (fingerprint included) must be byte-identical
+    # whichever on-disk format the trace took.
+    require "$TRDIR/$wl.rec-flat.json" "$TRDIR/$wl.rec-block.json"
+    cmp "$TRDIR/$wl.rec-flat.json" "$TRDIR/$wl.rec-block.json"
+    grep -o '"fingerprint":[0-9]*' "$TRDIR/$wl.rec-flat.json" | head -1
+    # Replay from each format: both must verify ACCURATE (exit 0) and
+    # produce byte-identical replay metrics.
+    "$CLI" replay "$wl" 5 "$TRDIR/$wl.flat"  --metrics-out "$TRDIR/$wl.rep-flat.json"  > /dev/null
+    "$CLI" replay "$wl" 5 "$TRDIR/$wl.block" --metrics-out "$TRDIR/$wl.rep-block.json" > /dev/null
+    require "$TRDIR/$wl.rep-flat.json" "$TRDIR/$wl.rep-block.json"
+    cmp "$TRDIR/$wl.rep-flat.json" "$TRDIR/$wl.rep-block.json"
+    # The block index prints as canonical JSON.
+    "$CLI" trace inspect "$TRDIR/$wl.block" > "$TRDIR/$wl.inspect.json"
+    "$CLI" checkjson "$TRDIR/$wl.inspect.json"
+done
+
+echo "== trace: corruption and divergence exit codes =="
+# A truncated block trace is an I/O-grade error: exit 1, never a replay.
+head -c 40 "$TRDIR/fig1_hot.block" > "$TRDIR/truncated.block"
+rc=0
+"$CLI" replay fig1_hot 5 "$TRDIR/truncated.block" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "verify: truncated trace replay exited $rc, want 1" >&2
+    exit 1
+fi
+# Replaying under the wrong seed diverges from the fresh verification
+# record: exit 2, distinct from I/O failures.
+rc=0
+"$CLI" replay fig1_hot 6 "$TRDIR/fig1_hot.block" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "verify: wrong-seed replay exited $rc, want 2" >&2
+    exit 1
+fi
 
 echo "== quickening: interp bench runs in both dispatch modes =="
 # The interp bench itself asserts quickened and generic step counts match
@@ -54,8 +108,8 @@ UDIR="$(pwd)/target/bench-noquicken"
 BENCH_SMOKE=1 BENCH_DIR="$QDIR" cargo bench --offline -p bench --bench interp
 BENCH_SMOKE=1 BENCH_DIR="$UDIR" DJVM_NO_QUICKEN=1 \
     cargo bench --offline -p bench --bench interp
-test -s "$QDIR/BENCH_interp.json"
-test -s "$UDIR/BENCH_interp.json"
+require "$QDIR/BENCH_interp.json" "$UDIR/BENCH_interp.json"
+require "$QDIR/TELEMETRY_interp.json" "$UDIR/TELEMETRY_interp.json"
 "$CLI" checkjson "$QDIR/TELEMETRY_interp.json"
 cmp "$QDIR/TELEMETRY_interp.json" "$UDIR/TELEMETRY_interp.json"
 

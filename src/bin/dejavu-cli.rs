@@ -3,8 +3,10 @@
 //! ```text
 //! dejavu-cli list
 //! dejavu-cli run <workload> [seed]
-//! dejavu-cli record <workload> <seed> <trace-file> [--metrics-out <file>]
+//! dejavu-cli record <workload> <seed> <trace-file> [--trace-format flat|block]
+//!                                                  [--metrics-out <file>]
 //! dejavu-cli replay <workload> <seed> <trace-file> [--metrics-out <file>]
+//! dejavu-cli trace inspect <trace-file>          # block index, canonical JSON
 //! dejavu-cli stats <workload> [seed]             # record+replay metrics JSON
 //! dejavu-cli neutrality <workload> [seed]        # telemetry on == off proof
 //! dejavu-cli checkjson <file>                    # validate via crates/codec
@@ -12,10 +14,14 @@
 //! dejavu-cli serve <workload> <seed> <port>      # debugger tier over TCP
 //! ```
 //!
-//! Traces written by `record` are the binary format of
-//! [`dejavu::Trace::encoded`]; `replay` verifies accuracy against a fresh
-//! record of the same seed. `--metrics-out` writes the run's canonical
-//! (sorted-key, timestamp-free, byte-deterministic) metrics JSON.
+//! Traces written by `record` are [`dejavu::Trace::encoded`] (flat, the
+//! default) or the block-structured compressed format of
+//! [`dejavu::encode_trace`] (`--trace-format block`); `replay` sniffs the
+//! format from the magic and accepts either, then verifies accuracy
+//! against a fresh record of the same seed. `--metrics-out` writes the
+//! run's canonical (sorted-key, timestamp-free, byte-deterministic)
+//! metrics JSON — identical bytes whichever trace format was used, which
+//! is how the verify script proves the writer is a pure observer.
 //!
 //! `--no-quicken` (any run-like subcommand) disables the quickened
 //! dispatch engine — runs are bit-identical, only slower. `dis --quick`
@@ -25,8 +31,9 @@
 //! `2` replay divergence (desync) or neutrality violation.
 
 use dejavu::{
-    passthrough_run, record_replay_forensic, record_run, replay_run, run_metrics_json, ExecSpec,
-    SymmetryConfig, Trace,
+    decode_any, encode_trace, passthrough_run, record_replay_forensic, record_run, replay_run,
+    run_metrics_json, sniff_format, BlockFile, ExecSpec, SymmetryConfig, Trace, TraceFormat,
+    DEFAULT_BLOCK_BUDGET,
 };
 use std::process::ExitCode;
 
@@ -54,18 +61,18 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-/// Extract `--metrics-out <file>` from the arg list (removing both tokens).
-fn take_metrics_out(args: &mut Vec<String>) -> Result<Option<String>, ()> {
-    let Some(i) = args.iter().position(|a| a == "--metrics-out") else {
+/// Extract `<opt> <value>` from the arg list (removing both tokens).
+fn take_value(args: &mut Vec<String>, opt: &str) -> Result<Option<String>, ()> {
+    let Some(i) = args.iter().position(|a| a == opt) else {
         return Ok(None);
     };
     if i + 1 >= args.len() {
-        eprintln!("--metrics-out requires a file argument");
+        eprintln!("{opt} requires a value argument");
         return Err(());
     }
-    let path = args.remove(i + 1);
+    let value = args.remove(i + 1);
     args.remove(i);
-    Ok(Some(path))
+    Ok(Some(value))
 }
 
 /// Write canonical metrics JSON (newline-terminated) to `path`.
@@ -82,13 +89,24 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: dejavu-cli <list|run|record|replay|stats|neutrality|checkjson|dis|serve> [args...]\n\
+            "usage: dejavu-cli <list|run|record|replay|trace|stats|neutrality|checkjson|dis|serve> [args...]\n\
              see the module docs for details"
         );
         ExitCode::FAILURE
     };
-    let metrics_out = match take_metrics_out(&mut args) {
+    let metrics_out = match take_value(&mut args, "--metrics-out") {
         Ok(m) => m,
+        Err(()) => return usage(),
+    };
+    let trace_format = match take_value(&mut args, "--trace-format") {
+        Ok(None) => TraceFormat::Flat,
+        Ok(Some(name)) => match TraceFormat::from_name(&name) {
+            Some(f) => f,
+            None => {
+                eprintln!("--trace-format must be \"flat\" or \"block\", got \"{name}\"");
+                return ExitCode::FAILURE;
+            }
+        },
         Err(()) => return usage(),
     };
     // `--no-quicken` runs the generic dispatch loop instead of the
@@ -129,22 +147,35 @@ fn main() -> ExitCode {
                 spec = spec.with_telemetry();
             }
             let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
-            let bytes = trace.encoded();
+            let bytes = encode_trace(&trace, trace_format, DEFAULT_BLOCK_BUDGET);
             if let Err(e) = std::fs::write(path, &bytes) {
                 eprintln!("write {path}: {e}");
                 return ExitCode::FAILURE;
             }
             print!("{}", rec.output);
             let st = trace.stats();
+            // The metrics JSON is deliberately format-independent: the
+            // same record must produce byte-identical metrics whether it
+            // was stored flat or block (the writer is a pure observer).
             if let Some(out) = metrics_out {
                 if let Err(code) = write_metrics(&out, &run_metrics_json(&rec, Some(&st))) {
                     return code;
                 }
             }
-            eprintln!(
-                "[trace {path}: {} bytes, {} switches, {} clock reads, {} native outcomes]",
-                st.total_bytes, st.switch_count, st.clock_count, st.native_count
-            );
+            match trace_format {
+                TraceFormat::Flat => eprintln!(
+                    "[trace {path}: flat, {} bytes, {} switches, {} clock reads, {} native outcomes]",
+                    st.total_bytes, st.switch_count, st.clock_count, st.native_count
+                ),
+                TraceFormat::Block => {
+                    let bst = BlockFile::parse(bytes).expect("just-encoded block trace").stats();
+                    eprintln!(
+                        "[trace {path}: block, {} bytes ({} flat), {} blocks, compression {}‰, {} events]",
+                        bst.file_bytes, st.total_bytes, bst.blocks,
+                        bst.compression_permille(), bst.events
+                    );
+                }
+            }
             ExitCode::SUCCESS
         }
         Some("replay") => {
@@ -162,10 +193,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let Some(trace) = Trace::decode(&bytes) else {
-                eprintln!("{path}: not a valid trace");
-                return ExitCode::FAILURE;
+            let (trace, format) = match decode_any(&bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             };
+            eprintln!("[{path}: {} format]", format.name());
             // Telemetry is always on here: it is proven perturbation-free,
             // and the rings let a divergence be localized to an event.
             let spec = spec_of(&w, seed).with_telemetry();
@@ -197,6 +232,76 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::from(EXIT_DIVERGED)
             }
+        }
+        Some("trace") => {
+            // trace inspect <file>: the block index as canonical JSON —
+            // diffable, and a deterministic function of the file bytes.
+            let (Some("inspect"), Some(path)) =
+                (args.get(1).map(String::as_str), args.get(2))
+            else {
+                return usage();
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            use codec::Json;
+            let mut doc = match sniff_format(&bytes) {
+                Ok(TraceFormat::Flat) => {
+                    let Some(trace) = Trace::decode(&bytes) else {
+                        eprintln!("{path}: corrupt trace: flat trace rejected by decoder");
+                        return ExitCode::FAILURE;
+                    };
+                    Json::obj(vec![
+                        ("format", Json::Str("flat".into())),
+                        ("stats", trace.stats().to_json()),
+                    ])
+                }
+                Ok(TraceFormat::Block) => {
+                    let bf = match BlockFile::parse(bytes) {
+                        Ok(bf) => bf,
+                        Err(e) => {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let crc_ok = bf.crc_status();
+                    let blocks: Vec<Json> = bf
+                        .index
+                        .iter()
+                        .zip(&crc_ok)
+                        .map(|(b, &ok)| {
+                            Json::obj(vec![
+                                ("comp_len", Json::UInt(b.comp_len as u64)),
+                                ("crc_ok", Json::Bool(ok)),
+                                ("event_count", Json::UInt(b.event_count as u64)),
+                                ("first_logical_time", Json::UInt(b.first_logical_time)),
+                                ("first_seq", Json::UInt(b.first_seq)),
+                                ("offset", Json::UInt(b.offset)),
+                                ("raw_len", Json::UInt(b.raw_len as u64)),
+                                ("switch_count", Json::UInt(b.switch_count as u64)),
+                            ])
+                        })
+                        .collect();
+                    Json::obj(vec![
+                        ("format", Json::Str("block".into())),
+                        ("budget", Json::UInt(bf.budget as u64)),
+                        ("paranoid", Json::Bool(bf.paranoid)),
+                        ("blocks", Json::Arr(blocks)),
+                        ("stats", bf.stats().to_json()),
+                    ])
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            doc.canonicalize();
+            println!("{doc}");
+            ExitCode::SUCCESS
         }
         Some("stats") => {
             let Some(w) = args.get(1).and_then(|n| find(n)) else {
