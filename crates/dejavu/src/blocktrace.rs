@@ -281,27 +281,35 @@ impl BlockStats {
 /// actual entropy. This is the main lever behind the bytes/event win
 /// over the flat format.
 fn put_for_column(out: &mut Vec<u8>, values: &[u64]) {
-    if values.is_empty() {
+    let Some(&min) = values.iter().min() else {
         return;
-    }
-    let min = *values.iter().min().expect("non-empty");
+    };
     put_varint(out, min);
     for &v in values {
         put_varint(out, v - min);
     }
 }
 
-/// Read back a [`put_for_column`] column of `n` values.
-fn get_for_column(raw: &[u8], pos: &mut usize, n: usize) -> Option<Vec<u64>> {
+/// Read back a [`put_for_column`] column of `n` values. A well-formed
+/// column stores residues `v - min`, so `min + delta` can never exceed
+/// `u64::MAX`; on a crafted column it can, and the reconstruction must
+/// surface [`TraceError::Corrupt`] rather than wrap or panic.
+fn get_for_column(raw: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u64>, TraceError> {
     if n == 0 {
-        return Some(Vec::new());
+        return Ok(Vec::new());
     }
-    let min = get_varint(raw, pos)?;
+    let min =
+        get_varint(raw, pos).ok_or(TraceError::Corrupt("short frame-of-reference column"))?;
     let mut vals = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        vals.push(min.checked_add(get_varint(raw, pos)?)?);
+        let delta =
+            get_varint(raw, pos).ok_or(TraceError::Corrupt("short frame-of-reference column"))?;
+        vals.push(
+            min.checked_add(delta)
+                .ok_or(TraceError::Corrupt("frame-of-reference column overflows u64"))?,
+        );
     }
-    Some(vals)
+    Ok(vals)
 }
 
 /// Encode one block's events into its raw (pre-compression) payload.
@@ -364,14 +372,18 @@ fn decode_block_payload(
     let corrupt = |what| TraceError::Corrupt(what);
     let _ = block;
     let mut pos = 0usize;
-    let nswitch =
-        get_varint(raw, &mut pos).ok_or(corrupt("short switch count"))? as usize;
-    if nswitch != info.switch_count as usize {
+    // The in-payload counts are validated against the header (itself
+    // sanity-checked in `BlockInfo::get`, where `switch_count <=
+    // event_count <= u32::MAX`) *before* any cast or addition, so the
+    // arithmetic below cannot overflow even on crafted inputs.
+    let nswitch = get_varint(raw, &mut pos).ok_or(corrupt("short switch count"))?;
+    if nswitch != info.switch_count as u64 {
         return Err(corrupt("switch count disagrees with index"));
     }
-    let nyps = get_for_column(raw, &mut pos, nswitch).ok_or(corrupt("short nyp column"))?;
+    let nswitch = nswitch as usize;
+    let nyps = get_for_column(raw, &mut pos, nswitch)?;
     let tids: Vec<u32> = if paranoid {
-        let vals = get_for_column(raw, &mut pos, nswitch).ok_or(corrupt("short tid column"))?;
+        let vals = get_for_column(raw, &mut pos, nswitch)?;
         if vals.iter().any(|&v| v > u32::MAX as u64) {
             return Err(corrupt("tid column value out of range"));
         }
@@ -387,10 +399,11 @@ fn decode_block_payload(
             check_tid: if paranoid { tids[i] } else { u32::MAX },
         })
         .collect();
-    let ndata = get_varint(raw, &mut pos).ok_or(corrupt("short data count"))? as usize;
-    if nswitch + ndata != info.event_count as usize {
+    let ndata = get_varint(raw, &mut pos).ok_or(corrupt("short data count"))?;
+    if ndata != (info.event_count - info.switch_count) as u64 {
         return Err(corrupt("event count disagrees with index"));
     }
+    let ndata = ndata as usize;
     if ndata > raw.len().saturating_sub(pos) {
         return Err(corrupt("short tag column"));
     }
@@ -402,7 +415,7 @@ fn decode_block_payload(
     let nclock = tags.iter().filter(|&&t| t == 0).count();
     let mut clocks = Vec::with_capacity(nclock.min(1 << 20));
     let mut prev_clock = 0i64;
-    for zz in get_for_column(raw, &mut pos, nclock).ok_or(corrupt("short clock column"))? {
+    for zz in get_for_column(raw, &mut pos, nclock)? {
         let v = prev_clock.wrapping_add(unzigzag(zz));
         clocks.push(v);
         prev_clock = v;
@@ -428,19 +441,22 @@ fn decode_block_payload(
     if pos != raw.len() {
         return Err(corrupt("trailing bytes in block payload"));
     }
-    // Reassemble the data stream in tag order.
+    // Reassemble the data stream in tag order. The per-kind counts above
+    // were derived from the tag column itself, so a disagreement here is
+    // unreachable today — but it stays a typed error, not a panic, so a
+    // future refactor (or a crafted payload that survives the CRC) can
+    // never turn the decode path into a crash.
     let mut clocks = clocks.into_iter();
     let mut natives = natives.into_iter();
-    let data: Vec<DataRec> = tags
-        .iter()
-        .map(|&t| {
-            if t == 0 {
-                DataRec::Clock(clocks.next().expect("counted"))
-            } else {
-                natives.next().expect("counted")
-            }
-        })
-        .collect();
+    let mut data = Vec::with_capacity(tags.len());
+    for &t in tags {
+        let rec = if t == 0 {
+            clocks.next().map(DataRec::Clock)
+        } else {
+            natives.next()
+        };
+        data.push(rec.ok_or(corrupt("tag column disagrees with record columns"))?);
+    }
     Ok((switches, data))
 }
 
@@ -561,8 +577,10 @@ impl BlockFile {
         if &buf[buf.len() - 4..] != INDEX_MAGIC {
             return Err(TraceError::Corrupt("missing index magic (truncated tail)"));
         }
-        let flen =
-            u32::from_le_bytes(buf[buf.len() - 8..buf.len() - 4].try_into().unwrap()) as usize;
+        let tail: [u8; 4] = buf[buf.len() - 8..buf.len() - 4]
+            .try_into()
+            .map_err(|_| TraceError::Corrupt("missing footer"))?;
+        let flen = u32::from_le_bytes(tail) as usize;
         let footer_end = buf.len() - 8;
         let footer_start = footer_end
             .checked_sub(flen)
@@ -886,6 +904,92 @@ mod tests {
         }
         assert!(bfbad.verify().is_err());
         assert_eq!(bfbad.crc_status()[0], false);
+    }
+
+    /// Build a structurally valid single-block file around an arbitrary
+    /// raw payload — the attacker's toolkit: the CRC is honest, so only
+    /// the payload-decode layer stands between the bytes and the caller.
+    fn handcrafted_block_file(payload: &[u8], event_count: u32, switch_count: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(BLOCK_MAGIC);
+        out.push(VERSION);
+        out.push(0); // not paranoid
+        put_varint(&mut out, 4096);
+        let info = BlockInfo {
+            offset: out.len() as u64,
+            first_seq: 0,
+            first_logical_time: 0,
+            event_count,
+            switch_count,
+            raw_len: payload.len() as u32,
+            comp_len: payload.len() as u32,
+            crc: codec::crc32(payload),
+        };
+        info.put(&mut out, false);
+        out.extend_from_slice(payload);
+        let footer_start = out.len();
+        put_varint(&mut out, 1);
+        info.put(&mut out, true);
+        let footer_len = (out.len() - footer_start) as u32;
+        out.extend_from_slice(&footer_len.to_le_bytes());
+        out.extend_from_slice(INDEX_MAGIC);
+        out
+    }
+
+    #[test]
+    fn crafted_overflowing_column_is_corrupt_not_panic() {
+        // A frame-of-reference column whose min + residue overflows u64:
+        // count 1, min u64::MAX, residue 1. Rebuilding the value must be
+        // a typed Corrupt, never a wrap (release) or panic (debug).
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // switch count
+        put_varint(&mut payload, u64::MAX); // column min
+        put_varint(&mut payload, 1); // residue -> overflow
+        put_varint(&mut payload, 0); // data count
+        let bf = BlockFile::parse(handcrafted_block_file(&payload, 1, 1)).unwrap();
+        assert_eq!(
+            bf.block(0).unwrap_err(),
+            TraceError::Corrupt("frame-of-reference column overflows u64")
+        );
+        assert!(matches!(bf.to_trace(), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crafted_count_disagreements_are_corrupt_not_panic() {
+        // Payload switch count disagrees with the (CRC-honest) header.
+        let mut p1 = Vec::new();
+        put_varint(&mut p1, 2); // header says 1
+        let bf = BlockFile::parse(handcrafted_block_file(&p1, 1, 1)).unwrap();
+        assert!(matches!(bf.block(0), Err(TraceError::Corrupt(_))));
+        // Payload data count disagrees with event_count - switch_count.
+        let mut p2 = Vec::new();
+        put_varint(&mut p2, 0); // switch count (matches)
+        put_varint(&mut p2, 7); // data count: header implies 1
+        let bf = BlockFile::parse(handcrafted_block_file(&p2, 1, 0)).unwrap();
+        assert!(matches!(bf.block(0), Err(TraceError::Corrupt(_))));
+        // Huge counts that would overflow a naive `nswitch + ndata` sum
+        // are rejected against the header before any arithmetic.
+        let mut p3 = Vec::new();
+        put_varint(&mut p3, u64::MAX);
+        let bf = BlockFile::parse(handcrafted_block_file(&p3, 1, 1)).unwrap();
+        assert!(matches!(bf.block(0), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crafted_short_columns_are_corrupt_not_panic() {
+        // Clock column shorter than its tag count: tags say 2 clock reads,
+        // column holds none.
+        let mut p = Vec::new();
+        put_varint(&mut p, 0); // switches
+        put_varint(&mut p, 2); // data count
+        p.push(0); // tag: clock
+        p.push(0); // tag: clock
+        // no clock column at all
+        let bf = BlockFile::parse(handcrafted_block_file(&p, 2, 0)).unwrap();
+        assert_eq!(
+            bf.block(0).unwrap_err(),
+            TraceError::Corrupt("short frame-of-reference column")
+        );
     }
 
     #[test]

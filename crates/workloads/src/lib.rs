@@ -10,6 +10,7 @@
 //! workload".
 
 pub mod fig1;
+pub mod stress;
 pub mod suite;
 
 use djvm::{Program, Vm};
@@ -142,6 +143,46 @@ pub fn registry() -> Vec<Workload> {
             name: "barrier",
             description: "cyclic barrier, generations via wait/notifyAll",
             build: || suite::barrier(4, 25),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "lock_convoy",
+            description: "three threads convoy on one hot monitor (delay inside the lock)",
+            build: || stress::lock_convoy(3, 120),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "gc_pressure",
+            description: "ref-array allocation storm, rolling retention, identity hashes",
+            build: || stress::gc_pressure(140),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "native_heavy",
+            description: "tight native-call loop with frequent callbacks (native-dominated trace)",
+            build: || stress::native_heavy(100),
+            natives: stress::native_heavy_natives,
+            timed: false,
+            native: true,
+        },
+        Workload {
+            name: "clock_spin",
+            description: "two threads spin on Date() reads (clock-dominated trace)",
+            build: || stress::clock_spin(200),
+            natives: no_natives,
+            timed: false,
+            native: false,
+        },
+        Workload {
+            name: "recursion_storm",
+            description: "mutual even/odd recursion with allocation at depth",
+            build: || stress::recursion_storm(130),
             natives: no_natives,
             timed: false,
             native: false,

@@ -1,0 +1,296 @@
+//! Stress scenarios for the trace-corpus CI stage: workloads picked to
+//! hit the perturbation channels the fig1 family and [`crate::suite`]
+//! under-exercise — a lock convoy on one hot monitor, allocation storms
+//! that force frequent collections, native-call-heavy request loops,
+//! wall-clock spinning (a clock-read–dominated data stream), and deep
+//! mutual recursion with allocation at depth.
+//!
+//! Every program prints something and halts, and every one replays
+//! accurately under the full symmetry config — the corpus stage records
+//! them once and then holds every future build to those fingerprints.
+
+use djvm::{NativeOutcome, Program, ProgramBuilder, Ty, Vm};
+
+/// `nthreads` threads hammer one shared monitor with a delay loop *inside*
+/// the critical section — the classic convoy: every preemption inside the
+/// lock stalls the whole pack. Prints the final count (= nthreads×rounds).
+pub fn lock_convoy(nthreads: i64, rounds: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("count", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(rounds).ge().if_nz("done");
+        a.get_static(g, 0).monitor_enter();
+        // held-lock delay loop: widens the convoy window
+        a.iconst(0).store(1);
+        a.label("held");
+        a.load(1).iconst(4).ge().if_nz("held_done");
+        a.load(1).iconst(1).add().store(1);
+        a.goto("held");
+        a.label("held_done");
+        a.get_static(g, 1).iconst(1).add().put_static(g, 1);
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.new(lock_cls).put_static(g, 0);
+        a.iconst(0).put_static(g, 1);
+        a.iconst(nthreads).new_array_ref().store(0);
+        a.iconst(0).store(1);
+        a.label("spawn");
+        a.load(1).iconst(nthreads).ge().if_nz("spawned");
+        a.load(0).load(1).spawn(worker, 0).astore_ref();
+        a.load(1).iconst(1).add().store(1);
+        a.goto("spawn");
+        a.label("spawned");
+        a.iconst(0).store(1);
+        a.label("join");
+        a.load(1).iconst(nthreads).ge().if_nz("joined");
+        a.load(0).load(1).aload_ref().join();
+        a.load(1).iconst(1).add().store(1);
+        a.goto("join");
+        a.label("joined");
+        a.get_static(g, 1).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Allocation storm: two threads build ref-array "pages" of fresh nodes,
+/// retain a rolling window of one page in eight, and drop the rest —
+/// forcing frequent collections while identity hashes (allocation-order
+/// observers) fold into shared state. Heavier and more array-shaped than
+/// [`crate::suite::gc_churn`]'s list churn.
+pub fn gc_pressure(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("mix", Ty::Int).build();
+    let node = pb.class("Node").field("v", Ty::Int).build();
+    // locals: 0=i, 1=page(ref arr), 2=kept(ref arr), 3=j, 4=node
+    let worker = pb.method("worker", 0, 5).code(|a| {
+        a.null().store(2);
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(iters).ge().if_nz("done");
+        // page = new Ref[6]; fill with fresh nodes
+        a.iconst(6).new_array_ref().store(1);
+        a.iconst(0).store(3);
+        a.label("fill");
+        a.load(3).iconst(6).ge().if_nz("filled");
+        a.new(node).store(4);
+        a.load(4).load(0).put_field(0);
+        a.load(1).load(3).load(4).astore_ref();
+        a.load(3).iconst(1).add().store(3);
+        a.goto("fill");
+        a.label("filled");
+        // observe allocation order through one identity hash per page
+        a.get_static(g, 0).load(1).iconst(0).aload_ref().identity_hash().bxor().put_static(g, 0);
+        // int-array garbage alongside the ref pages
+        a.iconst(24).new_array_int().pop();
+        // retain every 8th page; everything else is immediate garbage
+        a.load(0).iconst(8).rem().if_nz("drop");
+        a.load(1).store(2);
+        a.label("drop");
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        // keep `kept` live to the end so retention actually matters
+        a.load(2).null().ref_eq().if_nz("end");
+        a.get_static(g, 0).load(2).iconst(0).aload_ref().get_field(0).add().put_static(g, 0);
+        a.label("end");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Native-call-heavy: two threads pull values from a non-deterministic
+/// native source in a tight loop (one native outcome per iteration, with
+/// frequent callbacks) and fold them into a monitor-guarded checksum.
+/// The data stream is dominated by `DataRec::Native` records.
+pub fn native_heavy(calls: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb
+        .class("G")
+        .static_field("lock", Ty::Ref)
+        .static_field("sum", Ty::Int)
+        .static_field("pulses", Ty::Int)
+        .build();
+    let lock_cls = pb.class("Lock").build();
+    let pull = pb.native("pull", 1, true);
+    // callback: a "pulse" event delivered mid-native-call
+    let on_pulse = pb.method("onPulse", 1, 1).code(|a| {
+        a.get_static(g, 2).load(0).add().put_static(g, 2);
+        a.ret();
+    });
+    let _ = on_pulse;
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(calls).ge().if_nz("done");
+        a.load(0).native_call(pull, 1).store(1);
+        a.get_static(g, 0).monitor_enter();
+        a.get_static(g, 1).load(1).add().put_static(g, 1);
+        a.get_static(g, 0).monitor_exit();
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.new(lock_cls).put_static(g, 0);
+        a.iconst(0).put_static(g, 1);
+        a.iconst(0).put_static(g, 2);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 1).print();
+        a.get_static(g, 2).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Register the native `native_heavy` declares: a seeded xorshift source,
+/// wall-clock-salted (non-deterministic), with a callback every fifth id.
+pub fn native_heavy_natives(vm: &mut Vm) {
+    let pull = vm
+        .program
+        .native_id_by_name("pull")
+        .expect("native_heavy program");
+    let on_pulse = vm
+        .program
+        .method_id_by_name("onPulse")
+        .expect("native_heavy program");
+    let mut state = 0x9E3779B97F4A7C15u64;
+    vm.natives.register(
+        pull,
+        Box::new(move |ctx| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state = state.wrapping_add(ctx.now_millis as u64);
+            let id = (state >> 21) as i64 & 0xFFF;
+            let mut out = NativeOutcome::value(id);
+            if id % 5 == 0 {
+                out.callbacks.push(djvm::CallbackReq {
+                    method: on_pulse,
+                    args: vec![id % 13],
+                });
+            }
+            out
+        }),
+    );
+}
+
+/// Clock spinner: two threads read the wall clock in a tight loop and fold
+/// the reads into shared state — a data stream that is almost entirely
+/// `DataRec::Clock` records, the §2.2 channel at maximum density.
+pub fn clock_spin(reads: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("acc", Ty::Int).build();
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        a.iconst(0).store(0);
+        a.label("top");
+        a.load(0).iconst(reads).ge().if_nz("done");
+        a.get_static(g, 0).iconst(31).mul().now().iconst(997).rem().add().put_static(g, 0);
+        a.load(0).iconst(1).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+/// Deep *mutual* recursion with allocation at depth: `even`/`odd` call
+/// each other down to the base case, allocating a small array every other
+/// level — so stack growth and GC pressure land mid-descent, not at a
+/// convenient loop head. Two threads sweep depths up to `max_depth`.
+pub fn recursion_storm(max_depth: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.class("G").static_field("acc", Ty::Int).build();
+    // Mutual recursion needs both ids before either body assembles;
+    // method ids are allocated sequentially, so the first two methods of
+    // this builder are 0 and 1 (asserted below, like suite::deep_recursion).
+    let even = pb.func("even", 1, 2).code(|a| {
+        a.load(0).if_z("base");
+        a.iconst(4).new_array_int().pop(); // allocation at depth
+        a.load(0).iconst(1).sub().call(1); // -> odd
+        a.iconst(1).add().ret_val();
+        a.label("base");
+        a.iconst(0).ret_val();
+    });
+    let odd = pb.func("odd", 1, 2).code(|a| {
+        a.load(0).if_z("base");
+        a.load(0).iconst(1).sub().call(0); // -> even
+        a.iconst(1).add().ret_val();
+        a.label("base");
+        a.iconst(0).ret_val();
+    });
+    assert_eq!((even, odd), (0, 1));
+    let worker = pb.method("worker", 0, 2).code(|a| {
+        a.iconst(1).store(0);
+        a.label("top");
+        a.load(0).iconst(max_depth).gt().if_nz("done");
+        a.get_static(g, 0).load(0).call(even).add().put_static(g, 0);
+        a.load(0).iconst(13).add().store(0);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
+    let m = pb.method("main", 0, 2).code(|a| {
+        a.iconst(0).put_static(g, 0);
+        a.spawn(worker, 0).store(0);
+        a.spawn(worker, 0).store(1);
+        a.load(0).join();
+        a.load(1).join();
+        a.get_static(g, 0).print();
+        a.halt();
+    });
+    pb.finish(m).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_stress_programs_verify() {
+        let progs = [
+            lock_convoy(3, 20),
+            gc_pressure(20),
+            native_heavy(10),
+            clock_spin(20),
+            recursion_storm(40),
+        ];
+        for p in &progs {
+            assert!(p.methods.iter().all(|m| m.compiled.is_some()));
+        }
+    }
+}

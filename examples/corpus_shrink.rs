@@ -1,0 +1,31 @@
+//! Demonstrate divergence-driven shrinking: ablate the LiveClock
+//! symmetry (a controlled stand-in for a platform regression), hand the
+//! diverging corpus spec to the qc tape shrinker, and print the minimal
+//! canonical-JSON repro blob.
+//!
+//! ```sh
+//! cargo run --release --example corpus_shrink
+//! ```
+
+use dejavu_repro::corpus::{run_repro, shrink_divergence, ReproSpec};
+use dejavu_repro::dejavu::{Ablation, SymmetryConfig};
+
+fn main() {
+    let sym = SymmetryConfig::ablate(Ablation::LiveClock);
+    let start = ReproSpec {
+        workload: "clock_spin".into(),
+        seed: 7,
+        timer_base: 211,
+        timer_jitter: 60,
+        clock_noise: 3,
+    };
+    println!("start spec : {}", start.to_json().to_canonical_string());
+    println!("start tape : {:?}", start.tape().unwrap());
+    let t0 = std::time::Instant::now();
+    let repro = shrink_divergence(&start, sym).expect("ablated clock_spin diverges");
+    println!("shrunk in  : {} ms", t0.elapsed().as_millis());
+    println!("minimal    : {}", repro.to_blob());
+    // The blob is directly replayable:
+    let err = run_repro(&repro.spec, sym).unwrap_err();
+    println!("replayed   : {err}");
+}

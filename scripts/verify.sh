@@ -98,6 +98,40 @@ if [ "$rc" -ne 2 ]; then
     exit 1
 fi
 
+echo "== corpus: replay the committed trace corpus against its policies =="
+# The corpus is a committed artifact: a missing or empty corpus must fail
+# loudly, not skip.
+require tests/corpus/*.djvb tests/corpus/*.policy.json
+"$CLI" check tests/corpus
+# Injected fingerprint mismatch => policy violation, exit 2.
+CDIR="$BENCH_DIR/corpus-verify"
+rm -rf "$CDIR"; mkdir -p "$CDIR"
+cp tests/corpus/* "$CDIR"/
+sed 's/"expected_fingerprint":[0-9]*/"expected_fingerprint":12345/' \
+    tests/corpus/clock_spin_s1.policy.json > "$CDIR/clock_spin_s1.policy.json"
+rc=0
+"$CLI" check "$CDIR" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "verify: corpus fingerprint mismatch exited $rc, want 2" >&2
+    exit 1
+fi
+# Injected corrupt trace => I/O-grade error, exit 1.
+cp tests/corpus/clock_spin_s1.policy.json "$CDIR/clock_spin_s1.policy.json"
+head -c 40 tests/corpus/clock_spin_s1.djvb > "$CDIR/clock_spin_s1.djvb"
+rc=0
+"$CLI" check "$CDIR" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "verify: corrupt corpus trace exited $rc, want 1" >&2
+    exit 1
+fi
+# Re-recording the corpus on an unchanged platform reproduces the
+# committed bytes exactly (the corpus itself is deterministic).
+"$CLI" corpus record "$CDIR/rerecord" > /dev/null
+for f in tests/corpus/*; do
+    require "$CDIR/rerecord/$(basename "$f")"
+    cmp "$f" "$CDIR/rerecord/$(basename "$f")"
+done
+
 echo "== quickening: interp bench runs in both dispatch modes =="
 # The interp bench itself asserts quickened and generic step counts match
 # and its TELEMETRY sidecar is produced by an env-default-mode record —

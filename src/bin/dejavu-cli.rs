@@ -10,6 +10,8 @@
 //! dejavu-cli stats <workload> [seed]             # record+replay metrics JSON
 //! dejavu-cli neutrality <workload> [seed]        # telemetry on == off proof
 //! dejavu-cli checkjson <file>                    # validate via crates/codec
+//! dejavu-cli check <corpus-dir>                  # replay corpus vs policies
+//! dejavu-cli corpus record <corpus-dir>          # (re)record the corpus
 //! dejavu-cli dis <workload> [method-name]
 //! dejavu-cli serve <workload> <seed> <port>      # debugger tier over TCP
 //! ```
@@ -27,8 +29,15 @@
 //! dispatch engine — runs are bit-identical, only slower. `dis --quick`
 //! prints the quickened `QOp` stream with fusion pc ranges.
 //!
-//! Exit codes: `0` success / accurate replay, `1` usage or I/O error,
-//! `2` replay divergence (desync) or neutrality violation.
+//! Exit codes (uniform across every subcommand): `0` success / accurate
+//! replay / corpus pass, `1` usage, I/O, or corrupt-input error, `2`
+//! replay divergence (desync), corpus policy violation, or neutrality
+//! violation.
+//!
+//! `check` replays every `<stem>.djvb` + `<stem>.policy.json` pair in the
+//! corpus directory ([`dejavu_repro::corpus`]); on a divergence it
+//! minimizes the failing workload spec with the qc tape shrinker and
+//! prints a canonical-JSON repro blob.
 
 use dejavu::{
     decode_any, encode_trace, passthrough_run, record_replay_forensic, record_run, replay_run,
@@ -44,11 +53,11 @@ fn find(name: &str) -> Option<workloads::Workload> {
     workloads::registry().into_iter().find(|w| w.name == name)
 }
 
+/// The CLI's execution environment is the corpus's: a trace recorded by
+/// `record` and one recorded by `corpus record` must have identical
+/// fingerprints, or the corpus gate would disagree with ad-hoc use.
 fn spec_of(w: &workloads::Workload, seed: u64) -> ExecSpec {
-    let mut s = ExecSpec::new((w.build)()).with_seed(seed);
-    s.timer_base = 211;
-    s.timer_jitter = 60;
-    s
+    dejavu_repro::corpus::corpus_spec(w, seed)
 }
 
 /// Extract a boolean flag from the arg list (removing it if present).
@@ -89,7 +98,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: dejavu-cli <list|run|record|replay|trace|stats|neutrality|checkjson|dis|serve> [args...]\n\
+            "usage: dejavu-cli <list|run|record|replay|trace|stats|neutrality|checkjson|check|corpus|dis|serve> [args...]\n\
              see the module docs for details"
         );
         ExitCode::FAILURE
@@ -168,7 +177,16 @@ fn main() -> ExitCode {
                     st.total_bytes, st.switch_count, st.clock_count, st.native_count
                 ),
                 TraceFormat::Block => {
-                    let bst = BlockFile::parse(bytes).expect("just-encoded block trace").stats();
+                    // Even the just-encoded case goes through the typed
+                    // error path: a panic here would break the exit-code
+                    // contract if the encoder ever regressed.
+                    let bst = match BlockFile::parse(bytes) {
+                        Ok(bf) => bf.stats(),
+                        Err(e) => {
+                            eprintln!("{path}: encoder produced unparseable block trace: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
                     eprintln!(
                         "[trace {path}: block, {} bytes ({} flat), {} blocks, compression {}‰, {} events]",
                         bst.file_bytes, st.total_bytes, bst.blocks,
@@ -378,6 +396,92 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("{path}: invalid JSON: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("check") => {
+            let Some(dir) = args.get(1) else {
+                return usage();
+            };
+            let report = match dejavu_repro::corpus::check_corpus(std::path::Path::new(dir)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("check {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for c in &report.checks {
+                let verdict = if let Some(msg) = &c.corrupt {
+                    format!("CORRUPT  {msg}")
+                } else if !c.violations.is_empty() {
+                    format!("VIOLATED {}", c.violations.join("; "))
+                } else {
+                    format!(
+                        "ok       {} events, {} bytes{}, {} ms",
+                        c.events,
+                        c.bytes,
+                        c.seek_events
+                            .map(|e| format!(", seek {e} ev"))
+                            .unwrap_or_default(),
+                        c.check_ms
+                    )
+                };
+                println!("{:28} {verdict}", c.name);
+                for w in &c.warnings {
+                    println!("{:28}   lenient: {w}", "");
+                }
+            }
+            // Divergences get the full treatment: minimize the failing
+            // workload spec and print a replayable repro blob.
+            for c in report.checks.iter().filter(|c| c.diverged) {
+                let Ok(policy_text) =
+                    std::fs::read_to_string(format!("{dir}/{}.policy.json", c.name))
+                else {
+                    continue;
+                };
+                let Ok(policy) = dejavu_repro::corpus::Policy::parse(&policy_text) else {
+                    continue;
+                };
+                let start = dejavu_repro::corpus::ReproSpec {
+                    workload: policy.workload,
+                    seed: policy.seed,
+                    timer_base: 211,
+                    timer_jitter: 60,
+                    clock_noise: 3,
+                };
+                match dejavu_repro::corpus::shrink_divergence(&start, SymmetryConfig::full()) {
+                    Some(repro) => eprintln!("repro[{}]: {}", c.name, repro.to_blob()),
+                    None => eprintln!(
+                        "repro[{}]: divergence did not reproduce from a fresh record \
+                         (trace/policy drift, not a platform bug)",
+                        c.name
+                    ),
+                }
+            }
+            println!(
+                "[corpus {}: {}/{} passed]",
+                dir,
+                report.passed(),
+                report.checks.len()
+            );
+            ExitCode::from(report.exit_class())
+        }
+        Some("corpus") => {
+            let (Some("record"), Some(dir)) = (args.get(1).map(String::as_str), args.get(2))
+            else {
+                return usage();
+            };
+            match dejavu_repro::corpus::record_corpus(std::path::Path::new(dir)) {
+                Ok(stems) => {
+                    for s in &stems {
+                        println!("recorded {dir}/{s}.djvb");
+                    }
+                    eprintln!("[corpus {dir}: {} traces recorded]", stems.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("corpus record {dir}: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -2,8 +2,10 @@
 //!
 //! Re-exports the member crates so integration tests and examples can use
 //! a single dependency, and hosts [`qc`], the workspace's deterministic
-//! property-testing harness (hermetic build: no proptest).
+//! property-testing harness (hermetic build: no proptest), and [`corpus`],
+//! the trace-corpus CI stage (`dejavu-cli check` / `corpus record`).
 
+pub mod corpus;
 pub mod qc;
 
 pub use baselines;

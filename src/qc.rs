@@ -181,6 +181,18 @@ where
     }
 }
 
+/// Minimize a failing tape outside the [`check`] loop — the entry point
+/// the corpus stage's divergence shrinker reuses ([`crate::corpus`]).
+/// `prop` must return `Err` when the failure of interest reproduces on a
+/// candidate tape; the returned tape is the smallest still-failing one
+/// found within the shrink budget, with the message of its failure.
+pub fn shrink_tape<F>(prop: &mut F, tape: Vec<u64>, msg: String) -> (Vec<u64>, String)
+where
+    F: FnMut(&mut Gen) -> Result<(), String>,
+{
+    shrink(prop, tape, msg)
+}
+
 /// Re-run `prop` on a candidate tape; `Some((consumed tape, message))` if
 /// it still fails.
 fn attempt<F>(prop: &mut F, cand: Vec<u64>) -> Option<(Vec<u64>, String)>

@@ -1,0 +1,139 @@
+//! The documented exit-code contract, driven through the real binary:
+//! `0` success / accurate / corpus pass, `1` usage, I/O, or corrupt
+//! input, `2` divergence or policy violation — consistently, for every
+//! subcommand, including hostile inputs (a panic would surface as 101).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dejavu-cli"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join(format!("cli-scratch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = cli().args(args).output().expect("spawn dejavu-cli");
+    (
+        out.status.code().expect("no exit code (killed by signal?)"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn usage_errors_exit_1() {
+    assert_eq!(run(&[]).0, 1);
+    assert_eq!(run(&["no-such-subcommand"]).0, 1);
+    assert_eq!(run(&["run", "no-such-workload"]).0, 1);
+    assert_eq!(run(&["record", "racy_counter"]).0, 1); // missing args
+    assert_eq!(run(&["check"]).0, 1);
+    assert_eq!(run(&["corpus"]).0, 1);
+    assert_eq!(run(&["replay", "racy_counter", "1", "/no/such/file"]).0, 1);
+}
+
+#[test]
+fn corrupt_inputs_exit_1_not_panic() {
+    let dir = scratch("corrupt-inputs");
+    // Corrupt variants: wrong magic, truncated block trace, random junk.
+    let junk = dir.join("junk.djvb");
+    std::fs::write(&junk, b"not a trace at all").unwrap();
+    let trunc = dir.join("trunc.djvb");
+    let (code, _) = run(&[
+        "record",
+        "clock_spin",
+        "1",
+        trunc.to_str().unwrap(),
+        "--trace-format",
+        "block",
+    ]);
+    assert_eq!(code, 0);
+    let bytes = std::fs::read(&trunc).unwrap();
+    std::fs::write(&trunc, &bytes[..bytes.len() / 3]).unwrap();
+
+    for f in [&junk, &trunc] {
+        let f = f.to_str().unwrap();
+        let (code, err) = run(&["replay", "clock_spin", "1", f]);
+        assert_eq!(code, 1, "replay {f}: {err}");
+        let (code, err) = run(&["trace", "inspect", f]);
+        assert_eq!(code, 1, "inspect {f}: {err}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn replay_wrong_seed_exits_2() {
+    let dir = scratch("wrong-seed");
+    let trace = dir.join("t.djvb");
+    assert_eq!(
+        run(&["record", "racy_counter", "1", trace.to_str().unwrap()]).0,
+        0
+    );
+    // Same trace, different seed: a divergence, not an I/O problem.
+    let (code, err) = run(&["replay", "racy_counter", "2", trace.to_str().unwrap()]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("DIVERGED"), "{err}");
+    // And the matching seed replays accurately.
+    assert_eq!(
+        run(&["replay", "racy_counter", "1", trace.to_str().unwrap()]).0,
+        0
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn checkjson_contract() {
+    let dir = scratch("checkjson");
+    let invalid = dir.join("invalid.json");
+    std::fs::write(&invalid, "{nope").unwrap();
+    assert_eq!(run(&["checkjson", invalid.to_str().unwrap()]).0, 1);
+    let non_canonical = dir.join("non_canonical.json");
+    std::fs::write(&non_canonical, r#"{"b":1,"a":2}"#).unwrap();
+    assert_eq!(run(&["checkjson", non_canonical.to_str().unwrap()]).0, 1);
+    let canonical = dir.join("canonical.json");
+    std::fs::write(&canonical, r#"{"a":2,"b":1}"#).unwrap();
+    assert_eq!(run(&["checkjson", canonical.to_str().unwrap()]).0, 0);
+    assert_eq!(run(&["checkjson", "/no/such/file.json"]).0, 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn check_subcommand_exit_classes() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    // Pass: the committed corpus.
+    let (code, err) = run(&["check", src.to_str().unwrap()]);
+    assert_eq!(code, 0, "{err}");
+    // Missing / empty directory: I/O class.
+    assert_eq!(run(&["check", "/no/such/corpus"]).0, 1);
+    let empty = scratch("check-empty");
+    assert_eq!(run(&["check", empty.to_str().unwrap()]).0, 1);
+
+    // Injected corruption: class 1. Injected policy mismatch: class 2.
+    let dir = scratch("check-inject");
+    for entry in std::fs::read_dir(&src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    let victim = dir.join("recursion_storm_s1.djvb");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() - 7]).unwrap();
+    assert_eq!(run(&["check", dir.to_str().unwrap()]).0, 1);
+    // Restore the trace, then poison a policy digest.
+    std::fs::write(&victim, &bytes).unwrap();
+    let policy_path = dir.join("lock_convoy_s7.policy.json");
+    let mut policy =
+        dejavu_repro::corpus::Policy::parse(&std::fs::read_to_string(&policy_path).unwrap())
+            .unwrap();
+    policy.expected_state_digest ^= 1;
+    std::fs::write(&policy_path, policy.to_canonical_string()).unwrap();
+    let (code, err) = run(&["check", dir.to_str().unwrap()]);
+    assert_eq!(code, 2, "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+    let _ = std::fs::remove_dir_all(empty);
+}

@@ -1,0 +1,159 @@
+//! Fuzz oracle for the DJVB decode path (the blocktrace bugfixes): feed
+//! seeded, deterministic mutations of valid trace bytes — bit flips,
+//! truncations, byte overwrites, insertions — into every decoder entry
+//! point and assert "typed error or success, never panic".
+//!
+//! This is what makes the corpus gate's exit-code contract trustworthy:
+//! a panicking decoder would turn a corrupt artifact (exit 1) into an
+//! abort (SIGABRT / exit 101).
+
+use dejavu_repro::dejavu::{
+    decode_any, encode_trace, sniff_format, BlockFile, DataRec, SwitchRec, Trace, TraceFormat,
+};
+use dejavu_repro::qc::{check, Gen};
+use dejavu_repro::qc_assert;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A structurally valid random trace: the mutation starting point.
+fn gen_trace(g: &mut Gen) -> Trace {
+    let paranoid = g.bool();
+    let switches = g.vec_of(0, 40, |g| SwitchRec {
+        nyp: g.u64_in(0, 50_000),
+        check_tid: if paranoid {
+            g.u64_in(0, 5) as u32
+        } else {
+            u32::MAX
+        },
+    });
+    let data = g.vec_of(0, 40, |g| {
+        if g.bool() {
+            DataRec::Clock(g.i64_in(-5, 2_000_000))
+        } else {
+            DataRec::Native {
+                ret: g.any_i64(),
+                callbacks: g.vec_of(0, 3, |g| {
+                    (g.u64_in(0, 7) as u32, g.vec_of(0, 3, |g| g.i64_in(-9, 9)))
+                }),
+            }
+        }
+    });
+    Trace {
+        paranoid,
+        switches,
+        data,
+    }
+}
+
+/// Apply one seeded mutation to `bytes` (no-op on empty input).
+fn mutate(g: &mut Gen, bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        return;
+    }
+    match g.usize_in(0, 3) {
+        // bit flip
+        0 => {
+            let i = g.usize_in(0, bytes.len() - 1);
+            bytes[i] ^= 1 << g.usize_in(0, 7);
+        }
+        // byte overwrite (0x00 and 0xFF are the interesting extremes for
+        // varint columns; draw them often)
+        1 => {
+            let i = g.usize_in(0, bytes.len() - 1);
+            bytes[i] = [0x00, 0xFF, 0x7F, 0x80][g.usize_in(0, 3)];
+        }
+        // truncate
+        2 => {
+            let keep = g.usize_in(0, bytes.len() - 1);
+            bytes.truncate(keep);
+        }
+        // insert a byte
+        _ => {
+            let i = g.usize_in(0, bytes.len());
+            bytes.insert(i, g.u64_in(0, 255) as u8);
+        }
+    }
+}
+
+/// Run every decoder entry point over the bytes; the closure's only job
+/// is to not panic.
+fn exercise_decoders(bytes: &[u8]) {
+    let _ = sniff_format(bytes);
+    if let Ok((t, _)) = decode_any(bytes) {
+        let _ = t.stats();
+    }
+    let _ = Trace::decode(bytes);
+    if let Ok(bf) = BlockFile::parse(bytes.to_vec()) {
+        let _ = bf.verify();
+        let _ = bf.crc_status();
+        let _ = bf.boundaries();
+        let _ = bf.stats();
+        for i in 0..bf.index.len() {
+            let _ = bf.block(i);
+        }
+        let _ = bf.to_trace();
+    }
+}
+
+#[test]
+fn mutated_djvb_bytes_never_panic() {
+    check("mutated_djvb_bytes_never_panic", 600, |g| {
+        let trace = gen_trace(g);
+        let format = if g.bool() {
+            TraceFormat::Block
+        } else {
+            TraceFormat::Flat
+        };
+        let budget = [24, 48, 96, 4096][g.usize_in(0, 3)];
+        let mut bytes = encode_trace(&trace, format, budget);
+        let mutations = g.usize_in(1, 8);
+        for _ in 0..mutations {
+            mutate(g, &mut bytes);
+        }
+        let ok = catch_unwind(AssertUnwindSafe(|| exercise_decoders(&bytes))).is_ok();
+        qc_assert!(ok, "decoder panicked on mutated {} bytes", bytes.len());
+        Ok(())
+    });
+}
+
+#[test]
+fn unmutated_bytes_round_trip() {
+    // Control arm: without mutations the same pipeline must decode back
+    // to the identical trace (so the fuzz arm is mutating real encodings,
+    // not already-broken ones).
+    check("unmutated_bytes_round_trip", 120, |g| {
+        let trace = gen_trace(g);
+        let budget = [24, 48, 96, 4096][g.usize_in(0, 3)];
+        let bytes = encode_trace(&trace, TraceFormat::Block, budget);
+        let (decoded, format) = decode_any(&bytes).map_err(|e| e.to_string())?;
+        qc_assert!(format == TraceFormat::Block);
+        qc_assert!(decoded == trace, "block round-trip changed the trace");
+        Ok(())
+    });
+}
+
+/// The two crafted inputs the satellite bugfixes are about, as explicit
+/// regressions beside the random sweep: a frame-of-reference column whose
+/// `min + delta` overflows `u64`, and an all-0xFF varint header region.
+#[test]
+fn crafted_extremes_never_panic() {
+    let trace = Trace {
+        paranoid: true,
+        switches: (0..12)
+            .map(|i| SwitchRec {
+                nyp: u64::MAX - i,
+                check_tid: 0,
+            })
+            .collect(),
+        data: vec![DataRec::Clock(i64::MAX), DataRec::Clock(i64::MIN)],
+    };
+    let bytes = encode_trace(&trace, TraceFormat::Block, 48);
+    // Saturate every byte region in turn.
+    for start in 0..bytes.len().min(64) {
+        let mut b = bytes.clone();
+        for x in b[start..].iter_mut().take(10) {
+            *x = 0xFF;
+        }
+        let ok = catch_unwind(AssertUnwindSafe(|| exercise_decoders(&b))).is_ok();
+        assert!(ok, "panic with 0xFF run at {start}");
+    }
+}
