@@ -1,0 +1,47 @@
+//! Profiler overhead: replay throughput with the flight recorder off vs
+//! on. The profiler is a pure observer (fingerprints are bit-identical
+//! either way — asserted here, not assumed), so the only cost it is
+//! *allowed* to have is replay-side wall time; this bench quantifies it.
+//!
+//! `work_units` is the replayed instruction count, so the JSON reports
+//! steps/second for both configurations and the overhead is the ratio.
+
+use bench::bench_spec;
+use bench::harness::{black_box, Group};
+use dejavu::SymmetryConfig;
+
+fn main() {
+    let mut g = Group::new("profile");
+    g.sample_size(10);
+    for name in ["fig1_hot", "racy_counter", "producer_consumer"] {
+        let (spec, natives) = bench_spec(name, 2);
+        let (rec, trace) = dejavu::record_run(&spec, natives, SymmetryConfig::full(), false);
+        let steps = rec.counters.steps;
+        g.bench_units(&format!("replay_profile_off/{name}"), steps, || {
+            black_box(dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full()));
+        });
+        let pspec = spec.clone().with_profile(true);
+        g.bench_units(&format!("replay_profile_on/{name}"), steps, || {
+            black_box(dejavu::replay_run(&pspec, trace.clone(), SymmetryConfig::full()));
+        });
+        // Neutrality guard: a perturbed profiled replay would make the
+        // numbers above meaningless (it would be timing a different run).
+        let (prof, report, desyncs) =
+            dejavu::profile_replay(&spec, trace.clone(), SymmetryConfig::full());
+        assert!(desyncs.is_empty(), "{name}: profiled replay desynced");
+        assert_eq!(
+            report.fingerprint, rec.fingerprint,
+            "{name}: profiler perturbed the replay"
+        );
+        // Telemetry sidecar: the profile summary rides along with the
+        // replay metrics so the perf trajectory keeps the hot-method view.
+        let tspec = spec.clone().with_telemetry();
+        let (rep, _) = dejavu::replay_run(&tspec, trace.clone(), SymmetryConfig::full());
+        let doc = codec::Json::obj(vec![
+            ("profile", prof.summary_json(5)),
+            ("replay", dejavu::run_metrics_json(&rep, None)),
+        ]);
+        g.attach_telemetry(name, doc);
+    }
+    g.finish();
+}

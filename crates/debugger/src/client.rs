@@ -68,6 +68,10 @@ impl DebugClient {
         self.request(&Command::Metrics)
     }
 
+    pub fn profile(&mut self, top: u64) -> std::io::Result<Response> {
+        self.request(&Command::Profile { top })
+    }
+
     pub fn divergence(&mut self) -> std::io::Result<Response> {
         self.request(&Command::Divergence)
     }

@@ -56,6 +56,11 @@ pub struct DebugSession {
     tt: TimeTravel,
     program: Arc<Program>,
     breakpoints: BTreeSet<(MethodId, u32)>,
+    /// The loaded trace, retained for whole-run analyses (profiling) that
+    /// replay it in a scratch VM without disturbing the session's own
+    /// time-travel position.
+    trace: Trace,
+    vm_config: VmConfig,
 }
 
 impl DebugSession {
@@ -82,7 +87,7 @@ impl DebugSession {
     ) -> Self {
         let mut vm = Vm::boot(
             Arc::clone(&program),
-            vm_config,
+            vm_config.clone(),
             Box::new(FixedTimer::new(1 << 30)), // replay ignores the timer
             Box::new(CycleClock::new(0, 100)),  // and never reads the clock
         )
@@ -93,7 +98,7 @@ impl DebugSession {
         vm.enable_telemetry(telemetry::DEFAULT_RING_CAP);
         let tt = TimeTravel::new_indexed(
             vm,
-            trace,
+            trace.clone(),
             SymmetryConfig::full(),
             checkpoint_interval,
             boundaries,
@@ -102,6 +107,8 @@ impl DebugSession {
             tt,
             program,
             breakpoints: BTreeSet::new(),
+            trace,
+            vm_config,
         }
     }
 
@@ -363,5 +370,53 @@ impl DebugSession {
         let mut j = Json::Arr(self.desyncs().iter().map(|d| d.to_json()).collect());
         j.canonicalize();
         j.to_string()
+    }
+
+    /// Canonical-JSON profile summary (top-`top` hot methods, phase table,
+    /// QOp attribution) of the *whole* recorded run.
+    ///
+    /// Profiling wants cycle attribution over the full execution, so this
+    /// replays the loaded trace start-to-finish in a scratch VM with the
+    /// flight recorder armed — the session's own time-travel position,
+    /// checkpoints, and breakpoints are untouched, and the profiler is a
+    /// pure observer, so the scratch replay's fingerprint equals the
+    /// debugged one's. Errors (instead of panicking) when the session has
+    /// no trace loaded.
+    pub fn profile_json(&self, top: u64) -> Result<String, String> {
+        if self.trace.switches.is_empty() && self.trace.data.is_empty() {
+            return Err("no trace loaded: profiling needs a recorded run".into());
+        }
+        let mut vm = Vm::boot(
+            Arc::clone(&self.program),
+            self.vm_config.clone(),
+            Box::new(FixedTimer::new(1 << 30)),
+            Box::new(CycleClock::new(0, 100)),
+        )
+        .map_err(|e| format!("profile replay boot failed: {e:?}"))?;
+        vm.enable_telemetry(telemetry::DEFAULT_RING_CAP);
+        vm.enable_profiler();
+        let mut hook = dejavu::DejaVuReplayer::new(self.trace.clone(), SymmetryConfig::full());
+        hook.on_init_public(&mut vm);
+        djvm::interp::run(&mut vm, &mut hook, u64::MAX);
+        let profiler = vm
+            .telem
+            .profile
+            .take()
+            .ok_or_else(|| "profiler produced no log".to_string())?;
+        let report = dejavu::RunReport {
+            status: vm.status,
+            output: vm.output.clone(),
+            fingerprint: vm.fingerprint.digest(),
+            state_digest: vm.state_digest(),
+            counters: vm.counters,
+            gc_collections: vm.heap.stats.collections,
+            cycles: vm.cycles,
+            wall_time: std::time::Duration::ZERO,
+            telemetry: None,
+            profile: Some(profiler),
+        };
+        let prof = dejavu::ProfileReport::from_run(&report, &self.program)
+            .expect("profile log present");
+        Ok(prof.summary_json(top as usize).to_string())
     }
 }

@@ -41,6 +41,10 @@ pub enum Command {
     Metrics,
     /// Fetch the divergence forensics for the replay so far.
     Divergence,
+    /// Profile the session's trace: replay it to completion with the
+    /// flight recorder armed and return the top-`top` hot methods plus
+    /// phase/QOp attribution as canonical JSON.
+    Profile { top: u64 },
     Quit,
 }
 
@@ -77,6 +81,10 @@ pub enum Response {
         desyncs: Vec<String>,
         json: String,
     },
+    /// Canonical-JSON profile summary (top-N hot methods, phase table,
+    /// QOp cycle attribution, fingerprint), transported as a string like
+    /// `Metrics` so the packet stays byte-deterministic end to end.
+    Profile { json: String },
     Error { message: String },
     Bye,
 }
@@ -125,6 +133,7 @@ impl ToJson for Command {
             Command::Where => tagged("cmd", "where", vec![]),
             Command::Metrics => tagged("cmd", "metrics", vec![]),
             Command::Divergence => tagged("cmd", "divergence", vec![]),
+            Command::Profile { top } => tagged("cmd", "profile", vec![("top", top.to_json())]),
             Command::Quit => tagged("cmd", "quit", vec![]),
         }
     }
@@ -168,6 +177,9 @@ impl FromJson for Command {
             "where" => Command::Where,
             "metrics" => Command::Metrics,
             "divergence" => Command::Divergence,
+            "profile" => Command::Profile {
+                top: u64::from_json(j.field("top")?)?,
+            },
             "quit" => Command::Quit,
             other => return Err(JsonError::new(format!("unknown command \"{other}\""))),
         };
@@ -343,6 +355,9 @@ impl ToJson for Response {
                     ("json", json.to_json()),
                 ],
             ),
+            Response::Profile { json } => {
+                tagged("resp", "profile", vec![("json", json.to_json())])
+            }
             Response::Error { message } => {
                 tagged("resp", "error", vec![("message", message.to_json())])
             }
@@ -398,6 +413,9 @@ impl FromJson for Response {
                 desyncs: Vec::from_json(j.field("desyncs")?)?,
                 json: String::from_json(j.field("json")?)?,
             },
+            "profile" => Response::Profile {
+                json: String::from_json(j.field("json")?)?,
+            },
             "error" => Response::Error {
                 message: String::from_json(j.field("message")?)?,
             },
@@ -437,6 +455,8 @@ mod tests {
             Command::Where,
             Command::Metrics,
             Command::Divergence,
+            Command::Profile { top: 10 },
+            Command::Profile { top: u64::MAX },
             Command::Quit,
         ]
     }
@@ -540,6 +560,9 @@ mod tests {
                 ],
                 json: r#"[{"kind":"clock_stream","reads_so_far":2}]"#.into(),
             },
+            Response::Profile {
+                json: r#"{"hot_methods":[{"calls":1,"cycles_excl":9,"cycles_incl":9,"method":0,"name":"main"}],"total_cycles":9}"#.into(),
+            },
             Response::Error {
                 message: "no such location".into(),
             },
@@ -600,6 +623,7 @@ mod tests {
             "{\"cmd\":\"break\"}",
             "{\"resp\":\"stopped\",\"reason\":\"bogus\",\"step\":1}",
             "{\"cmd\":\"seek\",\"step\":-1}",
+            "{\"cmd\":\"profile\"}",
             "[1,2,3]",
         ] {
             assert!(Command::from_json_str(bad).is_err(), "accepted {bad:?}");

@@ -140,6 +140,10 @@ pub fn handle(session: &mut DebugSession, cmd: Command) -> Response {
         Command::Metrics => Response::Metrics {
             json: session.metrics_json(),
         },
+        Command::Profile { top } => match session.profile_json(top) {
+            Ok(json) => Response::Profile { json },
+            Err(message) => Response::Error { message },
+        },
         Command::Divergence => {
             let desyncs: Vec<String> = session.desyncs().iter().map(|d| d.describe()).collect();
             Response::Divergence {

@@ -242,6 +242,59 @@ fn metrics_and_divergence_over_the_wire() {
 }
 
 #[test]
+fn profile_over_the_wire_and_no_trace_error() {
+    let (program, vmc, trace, rec_output) = recorded("fig1_ab", 5);
+    let session = DebugSession::new(Arc::clone(&program), vmc.clone(), trace, 5_000);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+
+    let mut client = DebugClient::connect(&addr.to_string()).unwrap();
+    // Profile before stepping at all: the command replays the whole run in
+    // a scratch VM, so it works from any session position.
+    let Response::Profile { json } = client.profile(5).unwrap() else {
+        panic!("expected profile");
+    };
+    let parsed = codec::Json::parse(&json).expect("profile is valid JSON");
+    let hot = parsed.field("hot_methods").unwrap();
+    let codec::Json::Arr(hot) = hot else { panic!("hot_methods is an array") };
+    assert!(!hot.is_empty() && hot.len() <= 5, "top-5 hot methods");
+    assert!(parsed.get("fingerprint").is_some() && parsed.get("phases").is_some());
+    // Profile reads are byte-deterministic.
+    let Response::Profile { json: json2 } = client.profile(5).unwrap() else {
+        panic!("expected profile");
+    };
+    assert_eq!(json, json2, "profile reads are deterministic");
+    // …and must not perturb the session's own replay.
+    let r = client.cont().unwrap();
+    assert!(matches!(r, Response::Stopped { reason: StopReason::Halted, .. }), "{r:?}");
+    let Response::Output { text } = client.output().unwrap() else {
+        panic!("expected output");
+    };
+    assert_eq!(text, rec_output, "profiling must not perturb the replay");
+    client.quit().unwrap();
+    server.join().unwrap();
+
+    // Error path: a session with no trace loaded reports a protocol error
+    // instead of profiling garbage (or panicking).
+    let empty = dejavu::Trace { paranoid: true, switches: Vec::new(), data: Vec::new() };
+    let session = DebugSession::new(program, vmc, empty, 5_000);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+    let mut client = DebugClient::connect(&addr.to_string()).unwrap();
+    let Response::Error { message } = client.profile(5).unwrap() else {
+        panic!("expected error for profile with no trace");
+    };
+    assert!(message.contains("no trace loaded"), "{message}");
+    // The error leaves the session usable: metrics still answers.
+    assert!(matches!(client.metrics().unwrap(), Response::Metrics { .. }));
+    client.quit().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
 fn seek_time_replays_only_the_target_block_span() {
     let (program, vmc, trace, _) = recorded("racy_counter", 6);
     let budget = 64u32;

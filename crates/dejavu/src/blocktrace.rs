@@ -685,6 +685,27 @@ impl BlockFile {
         (0..self.index.len()).map(|i| self.block(i).is_ok()).collect()
     }
 
+    /// Which compressor won block `i`'s encode-time race: `"stored"`
+    /// (compression didn't pay, payload is raw), `"lz77"`, or `"range"`
+    /// (the adaptive order-1 range coder). Errors on an out-of-range
+    /// index or an unknown method byte (corrupt file).
+    pub fn block_compressor(&self, i: usize) -> Result<&'static str, TraceError> {
+        let info = *self
+            .index
+            .get(i)
+            .ok_or(TraceError::Corrupt("block index out of range"))?;
+        if info.comp_len == info.raw_len {
+            return Ok("stored");
+        }
+        let mut pos = info.offset as usize;
+        BlockInfo::get(&self.buf, &mut pos, Some(info.offset))?;
+        match self.buf.get(pos) {
+            Some(1) => Ok("lz77"),
+            Some(2) => Ok("range"),
+            _ => Err(TraceError::Corrupt("unknown compression method")),
+        }
+    }
+
     /// Reassemble the full in-memory [`Trace`].
     pub fn to_trace(&self) -> Result<Trace, TraceError> {
         let mut trace = Trace {
@@ -1029,6 +1050,26 @@ mod tests {
         assert!(s.compression_permille() < 1000);
         assert_eq!(s.per_block_permille.len(), s.blocks);
         assert!(codec::Json::parse(&s.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn block_compressor_names_the_winner() {
+        let t = sample(true, 4_000);
+        let bf = BlockFile::parse(encode_block(&t, DEFAULT_BLOCK_BUDGET)).unwrap();
+        for (i, b) in bf.index.iter().enumerate() {
+            let name = bf.block_compressor(i).unwrap();
+            if b.comp_len == b.raw_len {
+                assert_eq!(name, "stored");
+            } else {
+                assert!(name == "lz77" || name == "range", "block {i}: {name}");
+            }
+        }
+        // A regular stream must have at least one genuinely compressed block.
+        assert!(
+            (0..bf.index.len()).any(|i| bf.block_compressor(i).unwrap() != "stored"),
+            "all blocks stored raw"
+        );
+        assert!(bf.block_compressor(bf.index.len()).is_err(), "out of range");
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct ExecSpec {
     pub telemetry: bool,
     /// Event-ring capacity when `telemetry` is on.
     pub telemetry_ring: usize,
+    /// Arm the replay-time profiler (`telemetry::profile`) on every VM
+    /// this spec builds. Like `telemetry`, a pure observer: fingerprints
+    /// and state digests are bit-identical with it on or off.
+    pub profile: bool,
 }
 
 impl ExecSpec {
@@ -58,6 +62,7 @@ impl ExecSpec {
             max_steps: 200_000_000,
             telemetry: false,
             telemetry_ring: telemetry::DEFAULT_RING_CAP,
+            profile: false,
         }
     }
 
@@ -80,9 +85,19 @@ impl ExecSpec {
         self
     }
 
+    /// Arm the profiler for every VM built from this spec.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
     fn finish_vm(&self, mut vm: Vm) -> Vm {
         if self.telemetry {
             vm.enable_telemetry(self.telemetry_ring);
+        }
+        // After enable_telemetry: enabling telemetry replaces the sink.
+        if self.profile {
+            vm.enable_profiler();
         }
         vm
     }
@@ -141,6 +156,10 @@ pub struct RunReport {
     /// telemetry of a record run and its replay legitimately differ
     /// (different modes, clocks), while the guest-visible fields must not.
     pub telemetry: Option<Box<RunTelemetry>>,
+    /// The profiler's flight-recorder log (`None` unless
+    /// [`ExecSpec::profile`] was set). Excluded from [`RunReport::matches`]
+    /// for the same reason as `telemetry`.
+    pub profile: Option<Box<telemetry::Profiler>>,
 }
 
 impl RunReport {
@@ -155,6 +174,7 @@ impl RunReport {
             cycles: vm.cycles,
             wall_time,
             telemetry: RunTelemetry::capture(vm, mode, phases),
+            profile: vm.telem.profile.take(),
         }
     }
 

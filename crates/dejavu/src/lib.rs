@@ -45,6 +45,7 @@
 pub mod blocktrace;
 pub mod driver;
 pub mod observe;
+pub mod profiler;
 pub mod record;
 pub mod replay;
 pub mod symmetry;
@@ -61,6 +62,7 @@ pub use blocktrace::{
     decode_any, encode_trace, sniff_format, BlockFile, BlockInfo, BlockStats, TraceError,
     TraceFormat, DEFAULT_BLOCK_BUDGET,
 };
+pub use profiler::{profile_replay, ProfileReport};
 pub use record::DejaVuRecorder;
 pub use replay::{DejaVuReplayer, Desync};
 pub use symmetry::{Ablation, SymmetryConfig};

@@ -255,6 +255,12 @@ pub struct DivergenceReport {
     pub fingerprint_match: bool,
     pub state_digest_match: bool,
     pub output_match: bool,
+    /// Events the record-side bounded ring discarded (ring wrapped). When
+    /// nonzero, `first_divergence` localizes only within the retained
+    /// window — the true first mismatch may predate it.
+    pub record_ring_dropped: u64,
+    /// Same, for the replay side.
+    pub replay_ring_dropped: u64,
 }
 
 fn counter_pairs(c: &VmCounters) -> [(&'static str, u64); 11] {
@@ -316,6 +322,16 @@ impl DivergenceReport {
             fingerprint_match: record.fingerprint == replay.fingerprint,
             state_digest_match: record.state_digest == replay.state_digest,
             output_match: record.output == replay.output,
+            record_ring_dropped: record
+                .telemetry
+                .as_ref()
+                .map(|t| t.ring_dropped)
+                .unwrap_or(0),
+            replay_ring_dropped: replay
+                .telemetry
+                .as_ref()
+                .map(|t| t.ring_dropped)
+                .unwrap_or(0),
         }
     }
 
@@ -359,6 +375,8 @@ impl DivergenceReport {
                     .unwrap_or(Json::Null),
             ),
             ("output_match", Json::Bool(self.output_match)),
+            ("record_ring_dropped", Json::UInt(self.record_ring_dropped)),
+            ("replay_ring_dropped", Json::UInt(self.replay_ring_dropped)),
             ("state_digest_match", Json::Bool(self.state_digest_match)),
             ("thread_clock_deltas", deltas),
         ]);
@@ -376,6 +394,14 @@ impl DivergenceReport {
                 out.push('\n');
             }
             None => out.push_str("first divergence: not localized (enable telemetry on both sides for ring alignment)\n"),
+        }
+        if self.record_ring_dropped > 0 || self.replay_ring_dropped > 0 {
+            out.push_str(&format!(
+                "event ring wrapped: record dropped {} event(s), replay dropped {} — \
+                 localization covers only the retained window; the true first \
+                 mismatch may be earlier (raise the ring capacity to widen it)\n",
+                self.record_ring_dropped, self.replay_ring_dropped,
+            ));
         }
         for d in &self.desyncs {
             out.push_str(&format!("desync: {}\n", d.describe()));
@@ -403,6 +429,56 @@ impl DivergenceReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fake_report(fingerprint: u64, ring_dropped: u64) -> RunReport {
+        RunReport {
+            status: VmStatus::Halted,
+            output: String::new(),
+            fingerprint,
+            state_digest: 0,
+            counters: VmCounters::default(),
+            gc_collections: 0,
+            cycles: 0,
+            wall_time: std::time::Duration::ZERO,
+            telemetry: Some(Box::new(RunTelemetry {
+                mode: "record",
+                timer: "fixed",
+                wall: "cycle",
+                ring_events: Vec::new(),
+                ring_dropped,
+                ring_next_seq: ring_dropped,
+                ring_capacity: 4,
+                timer_intervals: Histogram::new(),
+                alloc_words: Histogram::new(),
+                compile_words: Histogram::new(),
+                heap: Default::default(),
+                pressure: Default::default(),
+                thread_clocks: Vec::new(),
+                phases: Vec::new(),
+            })),
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn divergence_report_states_when_ring_wrapped() {
+        let rec = fake_report(1, 9);
+        let rep = fake_report(2, 0);
+        let r = DivergenceReport::build(&rec, &rep, Vec::new());
+        assert_eq!(r.record_ring_dropped, 9);
+        assert_eq!(r.replay_ring_dropped, 0);
+        let text = r.describe();
+        assert!(
+            text.contains("event ring wrapped: record dropped 9"),
+            "{text}"
+        );
+        let json = r.to_json().to_string();
+        assert!(json.contains("\"record_ring_dropped\":9"), "{json}");
+        assert!(json.contains("\"replay_ring_dropped\":0"), "{json}");
+        // No wrap, no warning.
+        let quiet = DivergenceReport::build(&fake_report(1, 0), &fake_report(2, 0), Vec::new());
+        assert!(!quiet.describe().contains("ring wrapped"));
+    }
 
     #[test]
     fn phase_span_json_shape() {

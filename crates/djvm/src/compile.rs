@@ -281,7 +281,65 @@ impl QOp {
             _ => 1,
         }
     }
+
+    /// Index into the profiler's QOp attribution table (parallel to
+    /// [`QOP_KIND_NAMES`]). One slot per variant: the profiler's per-QOp
+    /// cycle counters are keyed by the *kind* of quickened op, not its
+    /// operands.
+    #[inline]
+    pub fn kind_index(self) -> usize {
+        match self {
+            QOp::Gen(_) => 0,
+            QOp::Const(_) => 1,
+            QOp::Load(_) => 2,
+            QOp::Store(_) => 3,
+            QOp::Dup => 4,
+            QOp::Pop => 5,
+            QOp::Swap => 6,
+            QOp::Neg => 7,
+            QOp::RefEq => 8,
+            QOp::Alu(_) => 9,
+            QOp::Cmp(_) => 10,
+            QOp::Goto { .. } => 11,
+            QOp::If { .. } => 12,
+            QOp::IfZ { .. } => 13,
+            QOp::CallMono { .. } => 14,
+            QOp::ConstStore { .. } => 15,
+            QOp::LoadLoadAlu { .. } => 16,
+            QOp::LoadConstAlu { .. } => 17,
+            QOp::CmpIf { .. } => 18,
+            QOp::LoadConstCmpIf { .. } => 19,
+        }
+    }
 }
+
+/// Number of [`QOp`] kinds ([`QOp::kind_index`] domain).
+pub const QOP_KIND_COUNT: usize = 20;
+
+/// Display names for the profiler's QOp attribution table, indexed by
+/// [`QOp::kind_index`].
+pub const QOP_KIND_NAMES: [&str; QOP_KIND_COUNT] = [
+    "gen",
+    "const",
+    "load",
+    "store",
+    "dup",
+    "pop",
+    "swap",
+    "neg",
+    "ref_eq",
+    "alu",
+    "cmp",
+    "goto",
+    "if",
+    "if_z",
+    "call_mono",
+    "const_store",
+    "load_load_alu",
+    "load_const_alu",
+    "cmp_if",
+    "load_const_cmp_if",
+];
 
 /// Baseline-compiler output attached to each method.
 #[derive(Debug, Clone, Default)]

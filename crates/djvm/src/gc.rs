@@ -33,6 +33,15 @@ use crate::vm::Vm;
 pub fn collect(vm: &mut Vm) {
     // Occupancy peaks immediately before a collection; sample it here.
     vm.heap.note_peak();
+    let words_before = vm.heap.stats.words_copied_or_swept;
+    if let Some(p) = vm.telem.profile.as_deref_mut() {
+        p.phase_begin(
+            vm.sched.current,
+            telemetry::profile::PHASE_GC,
+            vm.heap.stats.collections + 1,
+            vm.cycles,
+        );
+    }
     match vm.heap.kind() {
         GcKind::MarkSweep => mark_sweep(vm),
         GcKind::Copying => copying(vm),
@@ -46,6 +55,16 @@ pub fn collect(vm: &mut Vm) {
             collection: vm.heap.stats.collections,
         },
     );
+    if let Some(p) = vm.telem.profile.as_deref_mut() {
+        // Zero-width in logical time (GC runs between guest instructions);
+        // the work done is carried in the arg instead.
+        p.phase_end(
+            tid,
+            telemetry::profile::PHASE_GC,
+            vm.heap.stats.words_copied_or_swept - words_before,
+            vm.cycles,
+        );
+    }
 }
 
 /// Every root *slot address-independent value* in the VM. Used by mark;

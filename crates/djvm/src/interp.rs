@@ -90,6 +90,10 @@ fn run_quick(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
     // The program Arc never changes identity during a run; clone it once
     // so per-method qops slices can be borrowed while `vm` is mutated.
     let program = vm.program.clone();
+    // Per-QOp cycle attribution is keyed by the quickened stream, so it
+    // lives here and only here (the generic path has no QOps to key by).
+    // One hoisted bool keeps the profiler-off cost to a predicted branch.
+    let prof_on = vm.telem.profile.is_some();
     'outer: while vm.status.is_running() && n < max_steps {
         // ---- refresh the cached frame cursor ----
         let tid = vm.sched.current;
@@ -140,6 +144,11 @@ fn run_quick(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
                     vm.telem.timer_interval(to_tick);
                 }
                 n += 1;
+                if prof_on {
+                    if let Some(p) = vm.telem.profile.as_deref_mut() {
+                        p.qop(qops[pc as usize].kind_index(), 1);
+                    }
+                }
             }};
         }
         // Batched accounting for a width-`k` fusion. Caller must have
@@ -158,6 +167,11 @@ fn run_quick(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
                 }
                 to_tick -= k;
                 n += k;
+                if prof_on {
+                    if let Some(p) = vm.telem.profile.as_deref_mut() {
+                        p.qop(qops[pc as usize].kind_index(), k);
+                    }
+                }
             }};
         }
         macro_rules! fusible {
@@ -169,6 +183,14 @@ fn run_quick(vm: &mut Vm, hook: &mut dyn ExecHook, max_steps: u64) -> VmStatus {
         // timer may expire here, the op may fail, switch, or allocate.
         macro_rules! generic {
             () => {{
+                if prof_on {
+                    if let Some(p) = vm.telem.profile.as_deref_mut() {
+                        // One source instruction executes (a split fusion
+                        // runs only its first constituent); attribute its
+                        // cycle to the quickened kind that dispatched it.
+                        p.qop(qops[pc as usize].kind_index(), 1);
+                    }
+                }
                 flush!();
                 step(vm, hook);
                 n += 1;
@@ -978,11 +1000,22 @@ fn exec_op(vm: &mut Vm, hook: &mut dyn ExecHook, op: Op, pc: u32) -> Result<Flow
             for i in (0..nargs as usize).rev() {
                 args[i] = vm.pop_word() as i64;
             }
+            if let Some(p) = vm.telem.profile.as_deref_mut() {
+                p.phase_begin(
+                    vm.sched.current,
+                    telemetry::profile::PHASE_NATIVE,
+                    native as u64,
+                    vm.cycles,
+                );
+            }
             let outcome = hook.on_native_call(vm, native, &args);
             vm.counters.native_calls += 1;
             let tid = vm.sched.current;
             vm.telem
                 .event(tid, telemetry::EventKind::NativeCall { method: native });
+            if let Some(p) = vm.telem.profile.as_deref_mut() {
+                p.phase_end(tid, telemetry::profile::PHASE_NATIVE, native as u64, vm.cycles);
+            }
             if vm.program.natives[native as usize].returns {
                 vm.push_word(outcome.ret as Word);
             }
@@ -1106,12 +1139,16 @@ fn do_return(vm: &mut Vm, hook: &mut dyn ExecHook, retv: Option<Word>) {
     }
     let saved = SavedPc::decode(vm.heap.mem[fp as usize + 2]);
     let caller_method = vm.heap.mem[saved_fp as usize + 1] as MethodId;
+    let exiting = vm.threads[cur].method;
     {
         let t = &mut vm.threads[cur];
         t.sp = t.fp;
         t.fp = saved_fp;
         t.method = caller_method;
         t.pc = saved.caller_pc.wrapping_add(1);
+    }
+    if let Some(p) = vm.telem.profile.as_deref_mut() {
+        p.exit(cur as Tid, exiting, vm.cycles);
     }
     if let Some(v) = retv {
         if !saved.discard_result {
@@ -1139,6 +1176,9 @@ fn terminate_current(vm: &mut Vm, hook: &mut dyn ExecHook) {
         t.sp = 0;
     }
     vm.fingerprint.event(0x7E43, cur as u64, 0);
+    if let Some(p) = vm.telem.profile.as_deref_mut() {
+        p.thread_end(cur, vm.cycles);
+    }
     if let Some(waiters) = vm.sched.join_waiters.remove(&cur) {
         for w in waiters {
             vm.threads[w as usize].status = ThreadStatus::Ready;
@@ -1263,6 +1303,9 @@ fn schedule_next(vm: &mut Vm, hook: &mut dyn ExecHook, requeue_current: bool) {
             vm.fingerprint.thread_switch(tid, yp);
             vm.telem
                 .event(tid, telemetry::EventKind::Switch { to: tid, nyp: yp });
+            if let Some(p) = vm.telem.profile.as_deref_mut() {
+                p.switch_to(tid, yp, vm.cycles);
+            }
             hook.on_thread_switch(vm, tid);
             return;
         }

@@ -271,6 +271,43 @@ impl Vm {
         self.telem = telemetry::VmTelemetry::enabled(ring_cap);
     }
 
+    /// Arm the replay-time profiler (see `telemetry::profile`). Call
+    /// *after* [`Vm::enable_telemetry`] if both are wanted — enabling
+    /// telemetry replaces the whole sink. Safe at any point: the profiler
+    /// seeds itself from the live frame chains so spans opened before
+    /// arming still close correctly, and like the rest of the sink it is
+    /// pure observer state (never guest-visible, never fingerprinted,
+    /// never snapshotted into guest state).
+    pub fn enable_profiler(&mut self) {
+        let mut p = telemetry::Profiler::new(crate::compile::QOP_KIND_COUNT);
+        for t in &self.threads {
+            p.thread_name(t.tid, &t.name);
+            if t.status == ThreadStatus::Terminated || t.fp == 0 {
+                continue;
+            }
+            // Walk the saved-fp chain to recover the open frames
+            // (innermost first), then enter them outermost-first so the
+            // profiler's span stack mirrors the activation stack.
+            let mut chain = Vec::new();
+            let mut fp = t.fp;
+            loop {
+                chain.push(self.heap.mem[fp as usize + 1] as MethodId);
+                let sfp = self.heap.mem[fp as usize];
+                if sfp == 0 {
+                    break;
+                }
+                fp = sfp;
+            }
+            for &m in chain.iter().rev() {
+                p.enter(t.tid, m, self.cycles);
+            }
+        }
+        let cur = self.sched.current;
+        let nyp = self.threads[cur as usize].yield_points;
+        p.switch_to(cur, nyp, self.cycles);
+        self.telem.profile = Some(Box::new(p));
+    }
+
     fn err(&self, kind: ErrKind) -> VmError {
         let t = &self.threads[self.sched.current as usize];
         VmError {
@@ -429,6 +466,13 @@ impl Vm {
         let tid = self.sched.current;
         self.telem.event(tid, telemetry::EventKind::Compile { method: m });
         self.telem.compile(len as u64);
+        if let Some(p) = self.telem.profile.as_deref_mut() {
+            // Zero-width span: compilation costs no logical cycles (the
+            // triggering call's cycle stays with its method); arg carries
+            // method id in, code words out.
+            p.phase_begin(tid, telemetry::profile::PHASE_COMPILE, m as u64, self.cycles);
+            p.phase_end(tid, telemetry::profile::PHASE_COMPILE, len as u64, self.cycles);
+        }
         Ok(())
     }
 
@@ -578,6 +622,10 @@ impl Vm {
         });
         self.sched.ready.push_back(tid);
         self.fingerprint.event(0x59A3, tid as u64, method as u64);
+        if let Some(p) = self.telem.profile.as_deref_mut() {
+            p.thread_name(tid, name);
+            p.enter(tid, method, self.cycles);
+        }
         Ok(tid)
     }
 
@@ -706,6 +754,9 @@ impl Vm {
         t.sp = fp_new + 3 + nlocals as u64;
         t.method = callee;
         t.pc = 0;
+        if let Some(p) = self.telem.profile.as_deref_mut() {
+            p.enter(self.sched.current, callee, self.cycles);
+        }
         Ok(())
     }
 

@@ -26,10 +26,12 @@
 
 pub mod forensics;
 pub mod metrics;
+pub mod profile;
 pub mod ring;
 
 pub use forensics::{first_mismatch, RingMismatch};
 pub use metrics::{Histogram, Registry};
+pub use profile::{ProfEvent, ProfKind, ProfileModel, Profiler};
 pub use ring::{Event, EventKind, EventRing};
 
 /// Default ring capacity: enough to hold the tail of any divergence
@@ -51,6 +53,11 @@ pub struct VmTelemetry {
     pub alloc_words: Histogram,
     /// Distribution of compiled method sizes in code words.
     pub compile_words: Histogram,
+    /// The replay-time profiler, when armed (see [`profile`]). Like the
+    /// rest of this struct it is pure observer state: the VM appends
+    /// span/switch events and QOp cycle counts here, and nothing here is
+    /// ever read back by execution, fingerprinting, or snapshots.
+    pub profile: Option<Box<Profiler>>,
 }
 
 impl VmTelemetry {
@@ -63,6 +70,7 @@ impl VmTelemetry {
             timer_intervals: Histogram::new(),
             alloc_words: Histogram::new(),
             compile_words: Histogram::new(),
+            profile: None,
         }
     }
 
@@ -74,6 +82,7 @@ impl VmTelemetry {
             timer_intervals: Histogram::new(),
             alloc_words: Histogram::new(),
             compile_words: Histogram::new(),
+            profile: None,
         }
     }
 

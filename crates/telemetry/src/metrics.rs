@@ -85,6 +85,43 @@ impl Histogram {
         self.buckets[b]
     }
 
+    /// Deterministic quantile estimate at `permille` (500 = p50,
+    /// 990 = p99); `None` when empty.
+    ///
+    /// The estimate locates the sample of 0-indexed rank
+    /// `(count-1)*permille/1000` in the bucket array, then interpolates
+    /// linearly across the bucket's value range in pure integer
+    /// arithmetic (`u128` intermediates, no floats), clamping to the
+    /// exact observed `[min, max]`. Error is bounded by the bucket width
+    /// — a factor of 2 — which is the precision the log2 sketch pays for
+    /// its fixed size.
+    pub fn quantile(&self, permille: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count - 1) as u128 * permille.min(1000) as u128 / 1000) as u64;
+        let mut seen = 0u64;
+        for b in 0..BUCKETS {
+            let n = self.buckets[b];
+            if n == 0 {
+                continue;
+            }
+            if rank < seen + n {
+                let lo = bucket_lo(b);
+                let hi = if b + 1 < BUCKETS {
+                    bucket_lo(b + 1) - 1
+                } else {
+                    u64::MAX
+                };
+                let i = rank - seen;
+                let est = lo as u128 + (hi - lo) as u128 * i as u128 / n as u128;
+                return Some((est as u64).clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
+
     /// Deterministic JSON: non-empty buckets as `[index, count]` pairs in
     /// ascending index order, plus the exact aggregates.
     pub fn to_json(&self) -> Json {
@@ -100,6 +137,9 @@ impl Histogram {
             ("count", Json::UInt(self.count)),
             ("max", Json::UInt(if self.count > 0 { self.max } else { 0 })),
             ("min", Json::UInt(if self.count > 0 { self.min } else { 0 })),
+            ("p50", Json::UInt(self.quantile(500).unwrap_or(0))),
+            ("p95", Json::UInt(self.quantile(950).unwrap_or(0))),
+            ("p99", Json::UInt(self.quantile(990).unwrap_or(0))),
             ("sum", Json::UInt(self.sum)),
         ])
     }
@@ -262,6 +302,77 @@ mod tests {
         assert_eq!(buckets[0].as_arr().unwrap()[0].as_u64().unwrap(), 1);
         assert_eq!(buckets[1].as_arr().unwrap()[0].as_u64().unwrap(), 3);
         assert_eq!(buckets[1].as_arr().unwrap()[1].as_u64().unwrap(), 2);
+    }
+
+    #[test]
+    fn quantiles_on_single_value_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(7);
+        }
+        // All mass in one bucket, clamped to [min, max] = [7, 7].
+        assert_eq!(h.quantile(500), Some(7));
+        assert_eq!(h.quantile(950), Some(7));
+        assert_eq!(h.quantile(990), Some(7));
+        assert_eq!(h.quantile(0), Some(7));
+        assert_eq!(h.quantile(1000), Some(7));
+    }
+
+    #[test]
+    fn quantiles_pick_the_right_bucket() {
+        let mut h = Histogram::new();
+        // 90 small samples, 10 large: p50 lands in the small bucket,
+        // p95/p99 in the large one.
+        for _ in 0..90 {
+            h.observe(3); // bucket 2: [2, 3]
+        }
+        for _ in 0..10 {
+            h.observe(1000); // bucket 10: [512, 1023]
+        }
+        let p50 = h.quantile(500).unwrap();
+        assert!((2..=3).contains(&p50), "p50 = {p50}");
+        let p95 = h.quantile(950).unwrap();
+        assert!((512..=1000).contains(&p95), "p95 = {p95}");
+        let p99 = h.quantile(990).unwrap();
+        assert!((512..=1000).contains(&p99), "p99 = {p99}");
+        // Monotone in permille.
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_extremes() {
+        let mut h = Histogram::new();
+        h.observe(5); // bucket 3 spans [4, 7]; interpolation must not
+        h.observe(6); // wander outside the observed [5, 6].
+        for p in [0, 500, 950, 990, 1000] {
+            let q = h.quantile(p).unwrap();
+            assert!((5..=6).contains(&q), "q({p}) = {q}");
+        }
+        assert_eq!(Histogram::new().quantile(500), None);
+    }
+
+    #[test]
+    fn quantiles_survive_top_bucket() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX); // bucket 64: interpolation must not overflow
+        h.observe(u64::MAX - 1);
+        let q = h.quantile(990).unwrap();
+        assert!(q >= u64::MAX - 1);
+    }
+
+    #[test]
+    fn histogram_json_includes_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.observe(64);
+        }
+        let j = h.to_json();
+        assert_eq!(j.field("p50").unwrap().as_u64().unwrap(), 64);
+        assert_eq!(j.field("p95").unwrap().as_u64().unwrap(), 64);
+        assert_eq!(j.field("p99").unwrap().as_u64().unwrap(), 64);
+        // Empty histograms export 0 (consistent with min/max handling).
+        let e = Histogram::new().to_json();
+        assert_eq!(e.field("p50").unwrap().as_u64().unwrap(), 0);
     }
 
     #[test]

@@ -98,6 +98,41 @@ if [ "$rc" -ne 2 ]; then
     exit 1
 fi
 
+echo "== profile: perturbation-free, byte-deterministic artifacts =="
+PDIR="$BENCH_DIR/profile-verify"
+rm -rf "$PDIR"; mkdir -p "$PDIR"
+# Replay the same corpus-family trace twice with the flight recorder on:
+# both artifact sets must be byte-identical, and the summaries canonical.
+"$CLI" record fig1_hot 5 "$PDIR/trace.djvb" --trace-format block > /dev/null
+"$CLI" profile fig1_hot 5 "$PDIR/trace.djvb" --out "$PDIR/run1" \
+    > "$PDIR/summary1.json" 2> /dev/null
+"$CLI" profile fig1_hot 5 "$PDIR/trace.djvb" --out "$PDIR/run2" \
+    > "$PDIR/summary2.json" 2> /dev/null
+require "$PDIR/run1/profile.chrome.json" "$PDIR/run2/profile.chrome.json" \
+        "$PDIR/run1/profile.folded" "$PDIR/run2/profile.folded" \
+        "$PDIR/summary1.json" "$PDIR/summary2.json"
+cmp "$PDIR/run1/profile.chrome.json" "$PDIR/run2/profile.chrome.json"
+cmp "$PDIR/run1/profile.folded" "$PDIR/run2/profile.folded"
+cmp "$PDIR/summary1.json" "$PDIR/summary2.json"
+"$CLI" checkjson "$PDIR/run1/profile.chrome.json"
+"$CLI" checkjson "$PDIR/summary1.json"
+# Neutrality across the CLI boundary: the fingerprint a *profiled* replay
+# reports must equal the one the unprofiled replay metrics recorded.
+"$CLI" replay fig1_hot 5 "$PDIR/trace.djvb" --metrics-out "$PDIR/replay.json" > /dev/null
+require "$PDIR/replay.json"
+fp_off=$(grep -o '"fingerprint":[0-9]*' "$PDIR/replay.json" | head -1)
+fp_on=$(grep -o '"fingerprint":[0-9]*' "$PDIR/summary1.json" | head -1)
+if [ -z "$fp_off" ] || [ "$fp_off" != "$fp_on" ]; then
+    echo "verify: profiler perturbed the replay: off=$fp_off on=$fp_on" >&2
+    exit 1
+fi
+# The known-hot fig1 spin loop tops the folded flamegraph output.
+hot=$(sort -t' ' -k2 -rn "$PDIR/run1/profile.folded" | head -1)
+case "$hot" in
+    *";main "*|*";t2 "*) ;;
+    *) echo "verify: unexpected hottest folded stack: $hot" >&2; exit 1 ;;
+esac
+
 echo "== corpus: replay the committed trace corpus against its policies =="
 # The corpus is a committed artifact: a missing or empty corpus must fail
 # loudly, not skip.

@@ -6,6 +6,8 @@
 //! dejavu-cli record <workload> <seed> <trace-file> [--trace-format flat|block]
 //!                                                  [--metrics-out <file>]
 //! dejavu-cli replay <workload> <seed> <trace-file> [--metrics-out <file>]
+//! dejavu-cli profile <workload> <seed> <trace-file> [--out <dir>]
+//!                    [--format chrome|folded|both] [--top <n>]
 //! dejavu-cli trace inspect <trace-file>          # block index, canonical JSON
 //! dejavu-cli stats <workload> [seed]             # record+replay metrics JSON
 //! dejavu-cli neutrality <workload> [seed]        # telemetry on == off proof
@@ -98,13 +100,32 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: dejavu-cli <list|run|record|replay|trace|stats|neutrality|checkjson|check|corpus|dis|serve> [args...]\n\
+            "usage: dejavu-cli <list|run|record|replay|profile|trace|stats|neutrality|checkjson|check|corpus|dis|serve> [args...]\n\
              see the module docs for details"
         );
         ExitCode::FAILURE
     };
     let metrics_out = match take_value(&mut args, "--metrics-out") {
         Ok(m) => m,
+        Err(()) => return usage(),
+    };
+    let out_dir = match take_value(&mut args, "--out") {
+        Ok(m) => m,
+        Err(()) => return usage(),
+    };
+    let prof_format = match take_value(&mut args, "--format") {
+        Ok(m) => m,
+        Err(()) => return usage(),
+    };
+    let top: usize = match take_value(&mut args, "--top") {
+        Ok(None) => 10,
+        Ok(Some(s)) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--top requires an integer, got \"{s}\"");
+                return ExitCode::FAILURE;
+            }
+        },
         Err(()) => return usage(),
     };
     let trace_format = match take_value(&mut args, "--trace-format") {
@@ -251,6 +272,93 @@ fn main() -> ExitCode {
                 ExitCode::from(EXIT_DIVERGED)
             }
         }
+        Some("profile") => {
+            // Replay the trace with the flight recorder armed, emit the
+            // Chrome-trace / folded-stacks artifacts, and print the
+            // canonical-JSON summary. The profiler is a pure observer, so
+            // the profiled replay is also checked for neutrality against
+            // an unprofiled replay of the same trace (exit 2 on any
+            // fingerprint drift, same class as a divergence).
+            let (Some(w), Some(seed), Some(path)) = (
+                args.get(1).and_then(|n| find(n)),
+                args.get(2).and_then(|s| s.parse::<u64>().ok()),
+                args.get(3),
+            ) else {
+                return usage();
+            };
+            let format = match prof_format.as_deref() {
+                None | Some("both") => "both",
+                Some(f @ ("chrome" | "folded")) => f,
+                Some(f) => {
+                    eprintln!("--format must be \"chrome\", \"folded\" or \"both\", got \"{f}\"");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (trace, fmt) = match decode_any(&bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("[{path}: {} format]", fmt.name());
+            let spec = spec_of(&w, seed);
+            let (prof, report, desyncs) =
+                dejavu::profile_replay(&spec, trace.clone(), SymmetryConfig::full());
+            for d in &desyncs {
+                eprintln!("desync: {}", d.describe());
+            }
+            let (plain, _) = replay_run(&spec, trace, SymmetryConfig::full());
+            let neutral = report.fingerprint == plain.fingerprint
+                && report.state_digest == plain.state_digest;
+            if !neutral {
+                eprintln!(
+                    "profiler neutrality VIOLATED: profiled fingerprint {:016x} vs \
+                     unprofiled {:016x}",
+                    report.fingerprint, plain.fingerprint
+                );
+            }
+            if let Some(dir) = out_dir {
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("mkdir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if format != "folded" {
+                    let p = format!("{dir}/profile.chrome.json");
+                    let mut s = prof.chrome_json().to_string();
+                    s.push('\n');
+                    if let Err(e) = std::fs::write(&p, s) {
+                        eprintln!("write {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("[wrote {p}]");
+                }
+                if format != "chrome" {
+                    let p = format!("{dir}/profile.folded");
+                    if let Err(e) = std::fs::write(&p, prof.folded()) {
+                        eprintln!("write {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("[wrote {p}]");
+                }
+            }
+            println!("{}", prof.summary_json(top));
+            if let Some(hot) = prof.hottest_method() {
+                eprintln!("[hottest method: {hot}]");
+            }
+            if neutral && desyncs.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_DIVERGED)
+            }
+        }
         Some("trace") => {
             // trace inspect <file>: the block index as canonical JSON —
             // diffable, and a deterministic function of the file bytes.
@@ -290,10 +398,23 @@ fn main() -> ExitCode {
                     let blocks: Vec<Json> = bf
                         .index
                         .iter()
+                        .enumerate()
                         .zip(&crc_ok)
-                        .map(|(b, &ok)| {
+                        .map(|((i, b), &ok)| {
+                            // Per-block compression accounting: how well the
+                            // block squeezed and which compressor won its
+                            // encode-time race (corrupt method bytes keep the
+                            // inspection total, like `crc_ok: false` does).
+                            let permille = if b.raw_len == 0 {
+                                1000
+                            } else {
+                                b.comp_len as u64 * 1000 / b.raw_len as u64
+                            };
+                            let compressor = bf.block_compressor(i).unwrap_or("corrupt");
                             Json::obj(vec![
                                 ("comp_len", Json::UInt(b.comp_len as u64)),
+                                ("compression_permille", Json::UInt(permille)),
+                                ("compressor", Json::Str(compressor.into())),
                                 ("crc_ok", Json::Bool(ok)),
                                 ("event_count", Json::UInt(b.event_count as u64)),
                                 ("first_logical_time", Json::UInt(b.first_logical_time)),
@@ -338,6 +459,29 @@ fn main() -> ExitCode {
             ]);
             doc.canonicalize();
             println!("{doc}");
+            // Human-readable latency digest of the record-side histograms:
+            // the log2-bucket quantile estimates (exact min/max, p50/p95/p99
+            // interpolated within a bucket).
+            if let Some(t) = &out.record.telemetry {
+                for (name, h) in [
+                    ("alloc_words", &t.alloc_words),
+                    ("compile_words", &t.compile_words),
+                    ("timer_intervals", &t.timer_intervals),
+                ] {
+                    if h.count() == 0 {
+                        continue;
+                    }
+                    eprintln!(
+                        "[{name}: n={} min={} p50={} p95={} p99={} max={}]",
+                        h.count(),
+                        h.min().unwrap_or(0),
+                        h.quantile(500).unwrap_or(0),
+                        h.quantile(950).unwrap_or(0),
+                        h.quantile(990).unwrap_or(0),
+                        h.max().unwrap_or(0),
+                    );
+                }
+            }
             if let Some(report) = &out.report {
                 eprintln!("{}", report.describe());
                 return ExitCode::from(EXIT_DIVERGED);

@@ -174,6 +174,46 @@ fn telemetry_is_neutral_for_any_seed() {
 }
 
 // ---------------------------------------------------------------------
+// 3c. The replay-time profiler is perturbation-free and deterministic
+//     for arbitrary seeds and timer shapes: a profiled replay has the
+//     same guest-visible identity as an unprofiled one, and two profiled
+//     replays of the same trace produce byte-identical artifacts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn profiler_is_neutral_and_deterministic_for_any_seed() {
+    qc::check("profiler_is_neutral_and_deterministic_for_any_seed", 24, |g| {
+        let seed = g.u64_in(0, 9_999);
+        let base = g.u64_in(13, 149);
+        let w = workloads::suite::racy_counter(60);
+        let mut spec = ExecSpec::new(w).with_seed(seed);
+        spec.timer_base = base;
+        spec.timer_jitter = base / 4;
+        let (rec, trace) = dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), true);
+        let (plain, d0) = dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full());
+        let (p1, rep, d1) = dejavu::profile_replay(&spec, trace.clone(), SymmetryConfig::full());
+        qc_assert_eq!(d0.is_empty(), d1.is_empty(), "desync verdict");
+        qc_assert_eq!(rep.fingerprint, plain.fingerprint, "replay fingerprint on vs off");
+        qc_assert_eq!(rep.state_digest, plain.state_digest, "replay digest on vs off");
+        qc_assert_eq!(rep.output, plain.output, "replay output on vs off");
+        qc_assert_eq!(rep.fingerprint, rec.fingerprint, "profiled replay vs record");
+        let (p2, _, _) = dejavu::profile_replay(&spec, trace, SymmetryConfig::full());
+        qc_assert_eq!(
+            p1.chrome_json().to_string(),
+            p2.chrome_json().to_string(),
+            "chrome artifact bytes"
+        );
+        qc_assert_eq!(p1.folded(), p2.folded(), "folded artifact bytes");
+        qc_assert_eq!(
+            p1.summary_json(10).to_string(),
+            p2.summary_json(10).to_string(),
+            "summary bytes"
+        );
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
 // 4. The trace codec round-trips arbitrary traces.
 // ---------------------------------------------------------------------
 
