@@ -1,0 +1,85 @@
+//! Fleet service throughput: N≥64 concurrent sessions each doing
+//! record → replay → seek → divergence-check → close against a live
+//! fleet server, reported as sessions/sec plus p99 request latency in
+//! `BENCH_FLEET.json` (the `meta` object carries the latency quantiles
+//! and the fingerprint-equality verdict).
+//!
+//! Environment knobs:
+//!
+//! * `FLEET_ADDR=<host:port>` — drive an externally started server (the
+//!   verify.sh fleet stage does this); default spins one up in-process.
+//! * `FLEET_SESSIONS=<n>` — concurrent session count (default 64).
+//! * `FLEET_WORKLOAD=<name>` — workload per session (default fig1_ab).
+//!
+//! Fingerprint discipline: the drive compares every concurrently-hosted
+//! record/replay fingerprint against a single-session local run of the
+//! same workload/seed; any mismatch aborts the bench with a non-zero
+//! exit, because a fleet that perturbs its sessions has no throughput
+//! worth reporting.
+
+use bench::harness::Group;
+use codec::Json;
+use fleet::{bench::drive, FleetConfig, FleetServer};
+
+fn main() {
+    let sessions: usize = std::env::var("FLEET_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let workload = std::env::var("FLEET_WORKLOAD").unwrap_or_else(|_| "fig1_ab".to_string());
+    let threads = 16.min(sessions.max(1));
+
+    // External server if FLEET_ADDR is set, else an in-process one.
+    let local = match std::env::var("FLEET_ADDR") {
+        Ok(_) => None,
+        Err(_) => Some(
+            FleetServer::start("127.0.0.1:0", FleetConfig::default())
+                .expect("bind ephemeral fleet port"),
+        ),
+    };
+    let addr = std::env::var("FLEET_ADDR")
+        .unwrap_or_else(|_| local.as_ref().unwrap().addr().to_string());
+
+    let mut g = Group::new("FLEET");
+    g.sample_size(3);
+
+    let mut last = None;
+    g.bench_units(&format!("record_replay_seek/{workload}/x{sessions}"), sessions as u64, || {
+        let report = drive(&addr, sessions, &workload, threads).expect("fleet drive");
+        assert!(
+            report.fingerprints_match,
+            "fleet fingerprints diverged from single-session ground truth: {:?}",
+            report.mismatches
+        );
+        last = Some(report);
+    });
+
+    let report = last.expect("at least one sample ran");
+    g.meta("sessions", Json::UInt(report.sessions as u64));
+    g.meta("requests_per_drive", Json::UInt(report.requests));
+    g.meta("resident_peak", Json::UInt(report.resident_peak));
+    g.meta(
+        "fingerprints_match",
+        Json::Bool(report.fingerprints_match),
+    );
+    g.meta(
+        "p50_request_ns",
+        Json::UInt(report.latency.quantile(500).unwrap_or(0)),
+    );
+    g.meta(
+        "p95_request_ns",
+        Json::UInt(report.latency.quantile(950).unwrap_or(0)),
+    );
+    g.meta(
+        "p99_request_ns",
+        Json::UInt(report.latency.quantile(990).unwrap_or(0)),
+    );
+    // The full latency histogram rides along as telemetry sidecar.
+    g.attach_telemetry("request_latency_ns", report.latency.to_json());
+    g.finish();
+
+    if let Some(server) = local {
+        server.trigger_shutdown();
+        server.join();
+    }
+}

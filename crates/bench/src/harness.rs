@@ -46,6 +46,7 @@ pub struct Group {
     smoke: bool,
     results: Vec<BenchResult>,
     telemetry: Vec<(String, codec::Json)>,
+    meta: Vec<(String, codec::Json)>,
 }
 
 impl Group {
@@ -62,7 +63,18 @@ impl Group {
             smoke,
             results: Vec::new(),
             telemetry: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Attach a group-level metadata key embedded in `BENCH_<group>.json`
+    /// as a `"meta"` object (canonical, sorted keys) — derived figures a
+    /// timing row cannot carry, like a fleet run's p99 request latency or
+    /// a fingerprint-equality verdict. Last write per key wins.
+    pub fn meta(&mut self, key: &str, value: codec::Json) -> &mut Self {
+        self.meta.retain(|(k, _)| k != key);
+        self.meta.push((key.to_string(), value));
+        self
     }
 
     pub fn sample_size(&mut self, n: u64) -> &mut Self {
@@ -161,7 +173,13 @@ impl Group {
                 r.throughput,
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.meta.is_empty() {
+            let mut doc = codec::Json::Obj(self.meta.clone());
+            doc.canonicalize();
+            out.push_str(&format!(",\"meta\":{doc}"));
+        }
+        out.push('}');
         out
     }
 
@@ -233,6 +251,7 @@ mod tests {
             smoke: false,
             results: Vec::new(),
             telemetry: Vec::new(),
+            meta: Vec::new(),
         };
         let mut n = 0u64;
         g.bench("count", || {
@@ -272,6 +291,7 @@ mod tests {
             smoke: false,
             results: Vec::new(),
             telemetry: Vec::new(),
+            meta: Vec::new(),
         };
         g.bench_units("spin", 1_000, || {
             std::thread::sleep(Duration::from_micros(50));
@@ -290,6 +310,33 @@ mod tests {
     }
 
     #[test]
+    fn meta_embeds_canonically_in_the_bench_document() {
+        let mut g = Group {
+            name: "unit".into(),
+            sample_size: 1,
+            warm_up: Duration::ZERO,
+            smoke: false,
+            results: Vec::new(),
+            telemetry: Vec::new(),
+            meta: Vec::new(),
+        };
+        g.bench("noop", || {});
+        g.meta("p99_request_ns", codec::Json::UInt(123));
+        g.meta("fingerprints_match", codec::Json::Bool(true));
+        g.meta("p99_request_ns", codec::Json::UInt(456)); // last write wins
+        let json = g.to_json();
+        let doc = codec::Json::parse(&json).expect("valid json");
+        let meta = doc.field("meta").expect("meta object");
+        assert_eq!(meta.get("p99_request_ns").unwrap().as_u64().unwrap(), 456);
+        assert!(meta.get("fingerprints_match").unwrap().as_bool().unwrap());
+        // Canonical: keys sorted regardless of insertion order.
+        assert!(
+            json.contains(r#""meta":{"fingerprints_match":true,"p99_request_ns":456}"#),
+            "{json}"
+        );
+    }
+
+    #[test]
     fn zero_sample_override_is_guarded() {
         let mut g = Group {
             name: "unit".into(),
@@ -298,6 +345,7 @@ mod tests {
             smoke: false,
             results: Vec::new(),
             telemetry: Vec::new(),
+            meta: Vec::new(),
         };
         g.bench("never_zero", || {});
         assert_eq!(g.results[0].samples, 1);

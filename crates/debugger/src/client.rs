@@ -21,13 +21,20 @@ impl DebugClient {
         Ok(Self { stream, reader })
     }
 
-    /// Send a command and await its response.
+    /// Send a command and await its response. A peer that hangs up before
+    /// answering yields a typed `UnexpectedEof` error rather than a bogus
+    /// parse failure on an empty line.
     pub fn request(&mut self, cmd: &Command) -> std::io::Result<Response> {
         let mut s = cmd.to_json_string();
         s.push('\n');
         self.stream.write_all(s.as_bytes())?;
         let mut line = String::new();
-        self.reader.read_line(&mut line)?;
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "debugger server closed the connection mid-request",
+            ));
+        }
         Response::from_json_str(line.trim())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }

@@ -9,7 +9,7 @@
 //! breakpoints."
 
 use baselines::{SeekStats, TimeTravel};
-use dejavu::{sniff_format, BlockFile, SymmetryConfig, Trace, TraceError, TraceFormat};
+use dejavu::{SymmetryConfig, Trace, TraceError};
 use djvm::heap::Addr;
 use djvm::thread::ThreadStatus;
 use djvm::{CycleClock, FixedTimer, MethodId, Program, Tid, Vm, VmConfig, VmStatus};
@@ -113,35 +113,25 @@ impl DebugSession {
     }
 
     /// Start a session from serialized trace bytes in either on-disk
-    /// format ([`sniff_format`]). A block trace's footer index becomes the
-    /// checkpoint keying; a flat trace degrades to interval-only
-    /// checkpoints. Corrupt bytes produce a typed [`TraceError`], never a
-    /// panic.
+    /// format, via the session-safe [`dejavu::ingest_bytes`] path shared
+    /// with the fleet tier's streaming upload. A block trace's footer
+    /// index becomes the checkpoint keying; a flat trace degrades to
+    /// interval-only checkpoints. Corrupt bytes produce a typed
+    /// [`TraceError`], never a panic.
     pub fn from_trace_bytes(
         program: Arc<Program>,
         vm_config: VmConfig,
         bytes: &[u8],
         checkpoint_interval: u64,
     ) -> Result<Self, TraceError> {
-        match sniff_format(bytes)? {
-            TraceFormat::Flat => {
-                let trace = Trace::decode(bytes)
-                    .ok_or(TraceError::Corrupt("flat trace rejected by decoder"))?;
-                Ok(Self::new(program, vm_config, trace, checkpoint_interval))
-            }
-            TraceFormat::Block => {
-                let bf = BlockFile::parse(bytes.to_vec())?;
-                let boundaries = bf.boundaries();
-                let trace = bf.to_trace()?;
-                Ok(Self::new_indexed(
-                    program,
-                    vm_config,
-                    trace,
-                    checkpoint_interval,
-                    boundaries,
-                ))
-            }
-        }
+        let ingested = dejavu::ingest_bytes(bytes.to_vec())?;
+        Ok(Self::new_indexed(
+            program,
+            vm_config,
+            ingested.trace,
+            checkpoint_interval,
+            ingested.boundaries,
+        ))
     }
 
     pub fn vm(&self) -> &Vm {

@@ -791,6 +791,97 @@ pub fn decode_any(buf: &[u8]) -> Result<(Trace, TraceFormat), TraceError> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Streaming ingest (the session-safe upload path)
+// ---------------------------------------------------------------------
+
+/// A fully ingested trace: decoded events plus the checkpoint boundaries
+/// a block-format upload carries in its footer index (empty for flat).
+#[derive(Debug, Clone)]
+pub struct IngestedTrace {
+    pub trace: Trace,
+    pub boundaries: Vec<u64>,
+    pub format: TraceFormat,
+}
+
+/// Streaming trace ingest: accumulate serialized trace bytes chunk by
+/// chunk (a fleet session's `IngestBlocks` upload), then decode once the
+/// stream is complete. Every failure is a typed [`TraceError`] — a
+/// hostile or truncated upload must never panic the hosting server, and
+/// the size ceiling bounds what one session can make the server buffer.
+#[derive(Debug)]
+pub struct TraceIngest {
+    buf: Vec<u8>,
+    limit: usize,
+}
+
+/// Default per-session ingest ceiling (64 MiB — two orders of magnitude
+/// above the largest corpus trace).
+pub const DEFAULT_INGEST_LIMIT: usize = 64 << 20;
+
+impl TraceIngest {
+    pub fn new() -> Self {
+        Self::with_limit(DEFAULT_INGEST_LIMIT)
+    }
+
+    pub fn with_limit(limit: usize) -> Self {
+        Self { buf: Vec::new(), limit }
+    }
+
+    /// Append one chunk; returns the total bytes buffered so far.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<u64, TraceError> {
+        if self.buf.len().saturating_add(chunk.len()) > self.limit {
+            return Err(TraceError::Corrupt("ingest exceeds the size ceiling"));
+        }
+        self.buf.extend_from_slice(chunk);
+        Ok(self.buf.len() as u64)
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Decode the accumulated bytes in whichever on-disk format they
+    /// carry. Block uploads keep their footer index as seek boundaries.
+    pub fn finish(self) -> Result<IngestedTrace, TraceError> {
+        ingest_bytes(self.buf)
+    }
+}
+
+impl Default for TraceIngest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot form of [`TraceIngest`]: decode serialized trace bytes into
+/// an [`IngestedTrace`]. This is the single ingest path every session
+/// host (debugger tier, fleet tier) shares, so "corrupt bytes produce a
+/// typed error, never a panic" is proven in one place.
+pub fn ingest_bytes(bytes: Vec<u8>) -> Result<IngestedTrace, TraceError> {
+    match sniff_format(&bytes)? {
+        TraceFormat::Flat => {
+            let trace = Trace::decode(&bytes)
+                .ok_or(TraceError::Corrupt("flat trace rejected by decoder"))?;
+            Ok(IngestedTrace {
+                trace,
+                boundaries: Vec::new(),
+                format: TraceFormat::Flat,
+            })
+        }
+        TraceFormat::Block => {
+            let bf = BlockFile::parse(bytes)?;
+            let boundaries = bf.boundaries();
+            let trace = bf.to_trace()?;
+            Ok(IngestedTrace {
+                trace,
+                boundaries,
+                format: TraceFormat::Block,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,5 +1170,40 @@ mod tests {
         let a = bf.stats().to_json().to_string();
         let b = bf.stats().to_json().to_canonical_string();
         assert_eq!(a, b, "keys pre-sorted");
+    }
+
+    #[test]
+    fn chunked_ingest_matches_one_shot_decode() {
+        let t = sample(true, 500);
+        for format in [TraceFormat::Flat, TraceFormat::Block] {
+            let bytes = encode_trace(&t, format, 64);
+            // Stream in uneven chunks, as a TCP upload would arrive.
+            let mut ingest = TraceIngest::new();
+            for chunk in bytes.chunks(13) {
+                ingest.push(chunk).unwrap();
+            }
+            assert_eq!(ingest.bytes(), bytes.len() as u64);
+            let got = ingest.finish().unwrap();
+            assert_eq!(got.format, format);
+            assert_eq!(got.trace, t);
+            let direct = ingest_bytes(bytes).unwrap();
+            assert_eq!(direct.boundaries, got.boundaries);
+            if format == TraceFormat::Block {
+                assert!(!got.boundaries.is_empty(), "block footer keys checkpoints");
+            } else {
+                assert!(got.boundaries.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_rejects_oversize_and_garbage_with_typed_errors() {
+        let mut small = TraceIngest::with_limit(8);
+        assert!(small.push(&[0u8; 6]).is_ok());
+        assert!(matches!(small.push(&[0u8; 6]), Err(TraceError::Corrupt(_))));
+        assert!(matches!(ingest_bytes(b"not a trace".to_vec()), Err(TraceError::NotATrace)));
+        // Truncated block file: typed error, never a panic.
+        let bytes = encode_trace(&sample(true, 200), TraceFormat::Block, 32);
+        assert!(ingest_bytes(bytes[..40].to_vec()).is_err());
     }
 }

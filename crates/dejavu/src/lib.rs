@@ -59,8 +59,9 @@ pub use observe::{
     counters_json, run_metrics_json, DivergenceReport, PhaseSpan, RunTelemetry, ThreadClockDelta,
 };
 pub use blocktrace::{
-    decode_any, encode_trace, sniff_format, BlockFile, BlockInfo, BlockStats, TraceError,
-    TraceFormat, DEFAULT_BLOCK_BUDGET,
+    decode_any, encode_trace, ingest_bytes, sniff_format, BlockFile, BlockInfo, BlockStats,
+    IngestedTrace, TraceError, TraceFormat, TraceIngest, DEFAULT_BLOCK_BUDGET,
+    DEFAULT_INGEST_LIMIT,
 };
 pub use profiler::{profile_replay, ProfileReport};
 pub use record::DejaVuRecorder;

@@ -1,0 +1,101 @@
+//! A typed fleet client: one TCP connection, blocking request/response.
+//! Sessions outlive connections — a client may connect, open sessions,
+//! disconnect, and drive the same sessions later from a new connection
+//! (the 3-phase bench does exactly this).
+
+use crate::rpc::{Request, Response};
+use crate::wire::{self, WireError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upload chunk size for [`FleetClient::ingest_trace`]. Small enough to
+/// exercise the chunking path, large enough to not matter.
+pub const INGEST_CHUNK: usize = 64 * 1024;
+
+pub struct FleetClient {
+    stream: TcpStream,
+}
+
+impl FleetClient {
+    /// Connect and perform the hello exchange.
+    pub fn connect(addr: &str) -> Result<FleetClient, WireError> {
+        let mut stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        stream.set_nodelay(true).map_err(WireError::from)?;
+        stream.write_all(&wire::hello_bytes()).map_err(WireError::from)?;
+        let mut echo = [0u8; 5];
+        match stream.read_exact(&mut echo) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(WireError::PeerClosed)
+            }
+            Err(e) => return Err(e.into()),
+        }
+        wire::check_hello(&echo)?;
+        Ok(FleetClient { stream })
+    }
+
+    /// One round trip.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        wire::write_frame(&mut self.stream, &req.encode())?;
+        let frame = wire::read_frame(&mut self.stream)?;
+        Response::decode(&frame)
+    }
+
+    pub fn open(&mut self, workload: &str, seed: u64) -> Result<u64, WireError> {
+        match self.call(&Request::Open {
+            workload: workload.to_string(),
+            seed,
+        })? {
+            Response::Opened { session } => Ok(session),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Stream an encoded trace (flat or block format) into a session,
+    /// sealing it with the final chunk.
+    pub fn ingest_trace(&mut self, session: u64, bytes: &[u8]) -> Result<u64, WireError> {
+        let mut sent = 0u64;
+        let chunks: Vec<&[u8]> = if bytes.is_empty() {
+            vec![&[]]
+        } else {
+            bytes.chunks(INGEST_CHUNK).collect()
+        };
+        let last = chunks.len() - 1;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            match self.call(&Request::IngestBlocks {
+                session,
+                chunk: chunk.to_vec(),
+                done: i == last,
+            })? {
+                Response::Ingested { bytes, .. } => sent = bytes,
+                other => return Err(unexpected(other)),
+            }
+        }
+        Ok(sent)
+    }
+
+    pub fn stats(&mut self) -> Result<String, WireError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Request a graceful shutdown; `Ok(true)` iff the token was accepted.
+    pub fn shutdown(&mut self, token: &str) -> Result<bool, WireError> {
+        match self.call(&Request::Shutdown {
+            token: token.to_string(),
+        })? {
+            Response::ShuttingDown => Ok(true),
+            Response::Error { .. } => Ok(false),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> WireError {
+    match resp {
+        Response::Error { message, .. } => WireError::Io(format!("server error: {message}")),
+        other => WireError::Io(format!("unexpected response {other:?}")),
+    }
+}

@@ -1,0 +1,95 @@
+//! Backwards compatibility: the legacy single-session JSON-line debugger
+//! protocol, served as a thin adapter over the fleet RPC.
+//!
+//! The original `debugger::server::serve_one` accepted exactly one
+//! connection; a second client hung until the first disconnected. Here N
+//! worker threads `accept()` on a shared listener and every connection's
+//! commands are dispatched as `Request::Debug` through the same
+//! [`SessionManager`] the fleet server uses — so two simultaneous clients
+//! both make progress (serialized per command by the session lock), the
+//! wire format is byte-identical to `serve_one`'s, and the single- and
+//! multi-session servers cannot drift (they share
+//! `debugger::server::handle` *and* `serve_lines`).
+
+use crate::manager::SessionManager;
+use crate::rpc::{Request, Response as RpcResponse};
+use crate::session::Session;
+use codec::{FromJson, ToJson};
+use debugger::protocol::Response;
+use debugger::DebugSession;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Serve the legacy JSON-line protocol to any number of simultaneous
+/// clients, all sharing one debug session, until a client sends `quit`.
+/// Returns the session (like `serve_one`) so callers can inspect it.
+pub fn serve_debug(
+    session: DebugSession,
+    listener: TcpListener,
+    workers: usize,
+) -> std::io::Result<DebugSession> {
+    let manager = Arc::new(SessionManager::new());
+    let w = workloads::registry().remove(0); // label only; never re-built
+    let id = manager.install(|id| Session::from_debugger(id, w, 0, session));
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    let workers = workers.max(1);
+
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let listener = listener.try_clone()?;
+        let manager = Arc::clone(&manager);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let Ok((conn, _)) = listener.accept() else {
+                    break;
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let quit = debugger::server::serve_lines(conn, |cmd| {
+                    let req = Request::Debug {
+                        session: id,
+                        command: cmd.to_json_string(),
+                    };
+                    match manager.dispatch(req) {
+                        RpcResponse::Debug { json } => Response::from_json_str(&json)
+                            .unwrap_or_else(|e| Response::Error {
+                                message: format!("adapter decode: {e}"),
+                            }),
+                        RpcResponse::Error { message, .. } => Response::Error { message },
+                        other => Response::Error {
+                            message: format!("adapter: unexpected rpc response {other:?}"),
+                        },
+                    }
+                })
+                .unwrap_or(false);
+                if quit {
+                    stop.store(true, Ordering::SeqCst);
+                    // Wake every worker still blocked in accept().
+                    for _ in 0..workers {
+                        let _ = TcpStream::connect(addr);
+                    }
+                    break;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let slot = manager
+        .take(id)
+        .expect("compat session vanished from the manager");
+    let session = Arc::try_unwrap(slot)
+        .ok()
+        .expect("compat session still referenced after workers joined")
+        .into_inner()
+        .unwrap();
+    Ok(session
+        .into_debugger()
+        .expect("compat session left the Replaying phase"))
+}

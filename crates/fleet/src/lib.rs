@@ -1,0 +1,42 @@
+//! # fleet — a concurrent multi-session record/replay server
+//!
+//! The paper's platform is one VM, one trace, one process. This crate is
+//! the refactor that turns it into a *service* (DESIGN.md §9): N replay
+//! sessions hosted concurrently behind one long-lived TCP server, each
+//! session owning its own VM and `TimeTravel` checkpoints so fingerprint
+//! determinism is exactly the single-session story.
+//!
+//! Layering (nothing below knows about anything above):
+//!
+//! ```text
+//!  clients: FleetClient (binary RPC) · DebugClient (legacy JSON lines)
+//!      │                                  │
+//!  [`server`] thread-pool acceptor    [`compat`] JSON-line adapter
+//!      └──────────────┬─────────────────┘
+//!               [`manager::SessionManager`] — sharded session map,
+//!               dispatch, telemetry (the single semantic core)
+//!                      │
+//!               [`session::Session`] — Recording → Sealed → Replaying
+//!                      │
+//!               debugger::DebugSession → dejavu replay → djvm
+//! ```
+//!
+//! The wire protocol ([`wire`], [`rpc`]) is a magic+version hello
+//! followed by length-prefixed binary frames; every malformed input is a
+//! typed [`WireError`], fuzzed the same way the DJVB decoder is.
+
+pub mod bench;
+pub mod client;
+pub mod compat;
+pub mod manager;
+pub mod rpc;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::FleetClient;
+pub use manager::{SessionManager, DEFAULT_IDLE_TTL, SHARDS};
+pub use rpc::{Request, Response};
+pub use server::{FleetConfig, FleetServer};
+pub use session::{spec_for, FleetError, Phase, Session, DEFAULT_CHECKPOINT_INTERVAL};
+pub use wire::{WireError, MAGIC, MAX_FRAME, VERSION};

@@ -1,0 +1,315 @@
+//! The session manager: a sharded `Mutex<HashMap>` of live sessions plus
+//! the fleet-wide telemetry registry.
+//!
+//! Lock discipline: a shard lock is held only long enough to fetch (or
+//! insert/remove) the `Arc<Mutex<Session>>`; the actual work — recording,
+//! replaying, seeking — happens under the *session* lock, so a slow
+//! replay on one session never blocks requests for any other, and two
+//! requests for the same session serialize (the state machine stays
+//! coherent without a global lock).
+
+use crate::rpc::{Request, Response};
+use crate::session::{FleetError, Session};
+use codec::{Json, ToJson};
+use debugger::protocol::Command;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use telemetry::Registry;
+
+/// Shard count for the session map. Power of two; sized so ≥64 live
+/// sessions rarely contend on the same shard lock.
+pub const SHARDS: usize = 16;
+
+/// A session untouched this long is evicted by the housekeeper.
+pub const DEFAULT_IDLE_TTL: Duration = Duration::from_secs(300);
+
+pub struct SessionManager {
+    shards: Vec<Mutex<HashMap<u64, Arc<Mutex<Session>>>>>,
+    next_id: AtomicU64,
+    opened: AtomicU64,
+    closed: AtomicU64,
+    evicted: AtomicU64,
+    peak: AtomicU64,
+    /// Request-latency histograms (`rpc.<name>`, nanoseconds) live in one
+    /// registry behind a mutex: observations are O(1) bucket increments,
+    /// so the critical section is tiny compared to any request body.
+    metrics: Mutex<Registry>,
+    idle_ttl: Duration,
+}
+
+impl SessionManager {
+    pub fn new() -> Self {
+        Self::with_idle_ttl(DEFAULT_IDLE_TTL)
+    }
+
+    pub fn with_idle_ttl(idle_ttl: Duration) -> Self {
+        SessionManager {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+            opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            metrics: Mutex::new(Registry::new()),
+            idle_ttl,
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Session>>>> {
+        &self.shards[(id as usize) % SHARDS]
+    }
+
+    fn note_opened(&self) {
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        let active = self.active();
+        self.peak.fetch_max(active, Ordering::Relaxed);
+    }
+
+    /// Live session count (sums shard sizes; exact, not sampled).
+    pub fn active(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map(|m| m.len()).unwrap_or(0) as u64)
+            .sum()
+    }
+
+    /// Create a session for a registry workload.
+    pub fn open(&self, workload: &str, seed: u64) -> Result<u64, FleetError> {
+        let w = workloads::registry()
+            .into_iter()
+            .find(|w| w.name == workload)
+            .ok_or_else(|| FleetError::NoSuchWorkload(workload.to_string()))?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Mutex::new(Session::new(id, w, seed)));
+        self.shard(id).lock().unwrap().insert(id, session);
+        self.note_opened();
+        Ok(id)
+    }
+
+    /// Install an already-built session (compat adapter path).
+    pub fn install(&self, build: impl FnOnce(u64) -> Session) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Mutex::new(build(id)));
+        self.shard(id).lock().unwrap().insert(id, session);
+        self.note_opened();
+        id
+    }
+
+    /// Fetch a session handle (shard lock held only for the lookup).
+    pub fn get(&self, id: u64) -> Result<Arc<Mutex<Session>>, FleetError> {
+        self.shard(id)
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or(FleetError::NoSuchSession(id))
+    }
+
+    /// Remove a session, returning it to the caller.
+    pub fn take(&self, id: u64) -> Result<Arc<Mutex<Session>>, FleetError> {
+        let s = self
+            .shard(id)
+            .lock()
+            .unwrap()
+            .remove(&id)
+            .ok_or(FleetError::NoSuchSession(id))?;
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        Ok(s)
+    }
+
+    /// Drop sessions idle past the TTL. `try_lock` on the session keeps
+    /// the sweep from stalling behind an in-flight request — a busy
+    /// session is by definition not idle.
+    pub fn evict_idle(&self) -> usize {
+        let now = Instant::now();
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().unwrap();
+            let stale: Vec<u64> = map
+                .iter()
+                .filter_map(|(&id, s)| match s.try_lock() {
+                    Ok(sess) if now.duration_since(sess.last_touched) > self.idle_ttl => Some(id),
+                    _ => None,
+                })
+                .collect();
+            for id in stale {
+                map.remove(&id);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// Canonical (sorted-key, byte-deterministic) fleet metrics snapshot.
+    pub fn stats_json(&self) -> String {
+        let mut doc = Json::obj(vec![
+            (
+                "sessions",
+                Json::obj(vec![
+                    ("opened", Json::UInt(self.opened.load(Ordering::Relaxed))),
+                    ("closed", Json::UInt(self.closed.load(Ordering::Relaxed))),
+                    ("evicted", Json::UInt(self.evicted.load(Ordering::Relaxed))),
+                    ("active", Json::UInt(self.active())),
+                    ("peak", Json::UInt(self.peak.load(Ordering::Relaxed))),
+                ]),
+            ),
+            ("rpc", self.metrics.lock().unwrap().to_json()),
+        ]);
+        doc.canonicalize();
+        doc.to_string()
+    }
+
+    /// Record one request's latency under `rpc.<name>`.
+    pub fn observe_latency(&self, rpc: &'static str, nanos: u64) {
+        self.metrics.lock().unwrap().observe(rpc, nanos);
+    }
+
+    fn latency_key(req: &Request) -> &'static str {
+        match req.name() {
+            "open" => "rpc.open",
+            "ingest" => "rpc.ingest",
+            "record" => "rpc.record",
+            "replay" => "rpc.replay",
+            "seek" => "rpc.seek",
+            "divergence" => "rpc.divergence",
+            "profile" => "rpc.profile",
+            "close" => "rpc.close",
+            "debug" => "rpc.debug",
+            "stats" => "rpc.stats",
+            _ => "rpc.other",
+        }
+    }
+
+    /// Execute one RPC. This is the single semantic core: the TCP server,
+    /// the JSON-line compatibility adapter, and in-process tests all
+    /// funnel through here, so the protocol cannot fork. `Shutdown` is
+    /// *not* handled — it is a server-level concern (the manager has no
+    /// stop flag) and dispatching it yields a typed error.
+    pub fn dispatch(&self, req: Request) -> Response {
+        let key = Self::latency_key(&req);
+        let t0 = Instant::now();
+        let resp = self.dispatch_inner(req);
+        self.observe_latency(key, t0.elapsed().as_nanos() as u64);
+        resp
+    }
+
+    fn dispatch_inner(&self, req: Request) -> Response {
+        match self.try_dispatch(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                code: e.code(),
+                message: e.to_string(),
+            },
+        }
+    }
+
+    fn try_dispatch(&self, req: Request) -> Result<Response, FleetError> {
+        Ok(match req {
+            Request::Open { workload, seed } => Response::Opened {
+                session: self.open(&workload, seed)?,
+            },
+            Request::IngestBlocks {
+                session,
+                chunk,
+                done,
+            } => {
+                let s = self.get(session)?;
+                let mut s = s.lock().unwrap();
+                s.touch();
+                let bytes = s.ingest(&chunk, done)?;
+                Response::Ingested { session, bytes }
+            }
+            Request::Record { session } => {
+                let s = self.get(session)?;
+                let mut s = s.lock().unwrap();
+                s.touch();
+                let out = s.record()?;
+                Response::Recorded {
+                    session,
+                    fingerprint: out.fingerprint,
+                    state_digest: out.state_digest,
+                    events: out.events,
+                    trace_bytes: out.trace_bytes,
+                }
+            }
+            Request::Replay { session } => {
+                let s = self.get(session)?;
+                let mut s = s.lock().unwrap();
+                s.touch();
+                let out = s.replay()?;
+                Response::Replayed {
+                    session,
+                    fingerprint: out.fingerprint,
+                    state_digest: out.state_digest,
+                    clean: out.clean,
+                }
+            }
+            Request::SeekLogical { session, logical } => {
+                let s = self.get(session)?;
+                let mut s = s.lock().unwrap();
+                s.touch();
+                let st = s.debugger()?.seek_time(logical);
+                Response::Sought {
+                    session,
+                    target_logical: st.target_logical,
+                    final_step: st.final_step,
+                    final_logical: st.final_logical,
+                    steps_replayed: st.steps_replayed,
+                }
+            }
+            Request::DivergenceCheck { session } => {
+                let s = self.get(session)?;
+                let mut s = s.lock().unwrap();
+                s.touch();
+                let dbg = s.debugger()?;
+                Response::Divergence {
+                    session,
+                    clean: dbg.desyncs().is_empty(),
+                    json: dbg.divergence_json(),
+                }
+            }
+            Request::Profile { session, top } => {
+                let s = self.get(session)?;
+                let mut s = s.lock().unwrap();
+                s.touch();
+                let json = s
+                    .debugger()?
+                    .profile_json(top)
+                    .map_err(FleetError::Profile)?;
+                Response::Profiled { session, json }
+            }
+            Request::Close { session } => {
+                self.take(session)?;
+                Response::Closed { session }
+            }
+            Request::Debug { session, command } => {
+                use codec::FromJson;
+                let cmd = Command::from_json_str(&command)
+                    .map_err(|e| FleetError::BadDebugCommand(e.to_string()))?;
+                let s = self.get(session)?;
+                let mut s = s.lock().unwrap();
+                s.touch();
+                let dbg = s.debugger()?;
+                let resp = debugger::server::handle(dbg, cmd);
+                Response::Debug {
+                    json: resp.to_json_string(),
+                }
+            }
+            Request::Stats => Response::Stats {
+                json: self.stats_json(),
+            },
+            Request::Shutdown { .. } => return Err(FleetError::ShutdownDenied),
+        })
+    }
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}

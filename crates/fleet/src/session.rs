@@ -1,0 +1,285 @@
+//! One hosted replay session: the `Recording → Sealed → Replaying`
+//! state machine (DESIGN.md §9).
+//!
+//! * **Recording** — the session is an upload buffer ([`TraceIngest`]):
+//!   either the client streams a previously recorded trace up in chunks
+//!   (`IngestBlocks`), or asks the server to record the workload itself
+//!   (`Record`). Both transitions seal the trace.
+//! * **Sealed** — the trace (plus any block-boundary index) is resident
+//!   but no VM exists yet. Cheap to hold by the thousand.
+//! * **Replaying** — a [`DebugSession`] (VM + `TimeTravel` checkpoints)
+//!   is resident, iReplayer-style: re-entering an already-replayed
+//!   session costs a seek, not a re-decode. Seek/divergence/profile/debug
+//!   requests auto-promote a `Sealed` session here.
+//!
+//! Each session owns its VM outright — nothing is shared between
+//! sessions but the shard map — so fingerprint determinism is exactly
+//! the single-session story.
+
+use debugger::DebugSession;
+use dejavu::{record_run, ExecSpec, SymmetryConfig, Trace, TraceError, TraceIngest};
+use std::time::Instant;
+use workloads::Workload;
+
+/// Checkpoint interval for hosted replays — matches the CLI `serve`
+/// subcommand so a fleet-hosted session seeks like a local one.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 5_000;
+
+/// Build the execution spec the fleet uses for a hosted workload. This
+/// MUST mirror `dejavu_repro::corpus::corpus_spec` (timer base 211,
+/// jitter 60): a fleet-hosted recording and a corpus recording of the
+/// same workload/seed must have identical fingerprints, or the fleet
+/// would disagree with the CLI and the corpus gate. Guarded by a parity
+/// test in the root crate (`tests/fleet_rpc.rs`).
+pub fn spec_for(w: &Workload, seed: u64) -> ExecSpec {
+    let mut s = ExecSpec::new((w.build)()).with_seed(seed);
+    s.timer_base = 211;
+    s.timer_jitter = 60;
+    s
+}
+
+/// Typed session-layer failure; [`code`](FleetError::code) maps onto the
+/// CLI's exit-code contract (1 = bad input, 2 = divergence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    NoSuchSession(u64),
+    NoSuchWorkload(String),
+    /// Operation is invalid in the session's current phase.
+    BadState {
+        want: &'static str,
+        got: &'static str,
+    },
+    Trace(TraceError),
+    Profile(String),
+    BadDebugCommand(String),
+    ShutdownDenied,
+}
+
+impl FleetError {
+    pub fn code(&self) -> u8 {
+        // Everything here is a client/input error (exit-contract 1);
+        // divergence (2) is reported in-band by DivergenceCheck/Replay.
+        1
+    }
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoSuchSession(id) => write!(f, "no such session {id}"),
+            FleetError::NoSuchWorkload(w) => write!(f, "no such workload {w:?}"),
+            FleetError::BadState { want, got } => {
+                write!(f, "session is {got}, operation needs {want}")
+            }
+            FleetError::Trace(e) => write!(f, "trace: {e}"),
+            FleetError::Profile(e) => write!(f, "profile: {e}"),
+            FleetError::BadDebugCommand(e) => write!(f, "bad debug command: {e}"),
+            FleetError::ShutdownDenied => write!(f, "shutdown denied: bad ctrl token"),
+        }
+    }
+}
+
+impl From<TraceError> for FleetError {
+    fn from(e: TraceError) -> Self {
+        FleetError::Trace(e)
+    }
+}
+
+/// Where a session is in its lifecycle.
+pub enum Phase {
+    Recording { ingest: TraceIngest },
+    Sealed { trace: Trace, boundaries: Vec<u64> },
+    Replaying { dbg: DebugSession },
+}
+
+impl Phase {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Recording { .. } => "Recording",
+            Phase::Sealed { .. } => "Sealed",
+            Phase::Replaying { .. } => "Replaying",
+        }
+    }
+}
+
+/// Result of sealing a trace via server-side recording.
+pub struct RecordOutcome {
+    pub fingerprint: u64,
+    pub state_digest: u64,
+    pub events: u64,
+    pub trace_bytes: u64,
+}
+
+/// Result of replaying to completion.
+pub struct ReplayOutcome {
+    pub fingerprint: u64,
+    pub state_digest: u64,
+    pub clean: bool,
+}
+
+/// One hosted session. All methods take `&mut self`; the manager wraps
+/// each session in its own `Mutex` so concurrent requests serialize per
+/// session while distinct sessions run fully in parallel.
+pub struct Session {
+    pub id: u64,
+    pub workload: Workload,
+    pub seed: u64,
+    pub phase: Phase,
+    /// Refreshed on every touch; drives idle eviction.
+    pub last_touched: Instant,
+}
+
+impl Session {
+    pub fn new(id: u64, workload: Workload, seed: u64) -> Self {
+        Session {
+            id,
+            workload,
+            seed,
+            phase: Phase::Recording {
+                ingest: TraceIngest::new(),
+            },
+            last_touched: Instant::now(),
+        }
+    }
+
+    fn spec(&self) -> ExecSpec {
+        spec_for(&self.workload, self.seed)
+    }
+
+    /// Append an upload chunk; `done` seals the session.
+    pub fn ingest(&mut self, chunk: &[u8], done: bool) -> Result<u64, FleetError> {
+        let Phase::Recording { ingest } = &mut self.phase else {
+            return Err(FleetError::BadState {
+                want: "Recording",
+                got: self.phase.name(),
+            });
+        };
+        let total = ingest.push(chunk)?;
+        if done {
+            let taken = std::mem::replace(&mut self.phase, Phase::Sealed {
+                trace: Trace::default(),
+                boundaries: Vec::new(),
+            });
+            let Phase::Recording { ingest } = taken else {
+                unreachable!()
+            };
+            let ingested = match ingest.finish() {
+                Ok(i) => i,
+                Err(e) => {
+                    // A corrupt upload empties the buffer but keeps the
+                    // session usable: back to Recording for a retry.
+                    self.phase = Phase::Recording {
+                        ingest: TraceIngest::new(),
+                    };
+                    return Err(e.into());
+                }
+            };
+            self.phase = Phase::Sealed {
+                trace: ingested.trace,
+                boundaries: ingested.boundaries,
+            };
+        }
+        Ok(total)
+    }
+
+    /// Record the workload server-side, sealing the trace.
+    pub fn record(&mut self) -> Result<RecordOutcome, FleetError> {
+        if !matches!(&self.phase, Phase::Recording { .. }) {
+            return Err(FleetError::BadState {
+                want: "Recording",
+                got: self.phase.name(),
+            });
+        }
+        let spec = self.spec();
+        let (report, trace) = record_run(&spec, self.workload.natives, SymmetryConfig::full(), true);
+        let stats = trace.stats();
+        let outcome = RecordOutcome {
+            fingerprint: report.fingerprint,
+            state_digest: report.state_digest,
+            events: (stats.switch_count + stats.clock_count + stats.native_count) as u64,
+            trace_bytes: stats.total_bytes as u64,
+        };
+        self.phase = Phase::Sealed {
+            trace,
+            boundaries: Vec::new(),
+        };
+        Ok(outcome)
+    }
+
+    /// Ensure a resident [`DebugSession`] exists (promote `Sealed`).
+    pub fn make_resident(&mut self) -> Result<&mut DebugSession, FleetError> {
+        if let Phase::Recording { .. } = self.phase {
+            return Err(FleetError::BadState {
+                want: "Sealed or Replaying",
+                got: "Recording",
+            });
+        }
+        if let Phase::Sealed { .. } = self.phase {
+            let taken = std::mem::replace(&mut self.phase, Phase::Sealed {
+                trace: Trace::default(),
+                boundaries: Vec::new(),
+            });
+            let Phase::Sealed { trace, boundaries } = taken else {
+                unreachable!()
+            };
+            let spec = self.spec();
+            let dbg = DebugSession::new_indexed(
+                spec.program.clone(),
+                spec.vm.clone(),
+                trace,
+                DEFAULT_CHECKPOINT_INTERVAL,
+                boundaries,
+            );
+            self.phase = Phase::Replaying { dbg };
+        }
+        match &mut self.phase {
+            Phase::Replaying { dbg } => Ok(dbg),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Replay the sealed trace to completion; idempotent on a resident
+    /// session (it seeks back to step 0 and re-runs — deterministically).
+    pub fn replay(&mut self) -> Result<ReplayOutcome, FleetError> {
+        let already_resident = matches!(self.phase, Phase::Replaying { .. });
+        let dbg = self.make_resident()?;
+        if already_resident {
+            dbg.seek(0);
+        }
+        dbg.cont();
+        Ok(ReplayOutcome {
+            fingerprint: dbg.vm().fingerprint.digest(),
+            state_digest: dbg.vm().state_digest(),
+            clean: dbg.desyncs().is_empty(),
+        })
+    }
+
+    /// Expose the resident debugger for seek/profile/debug dispatch.
+    pub fn debugger(&mut self) -> Result<&mut DebugSession, FleetError> {
+        self.make_resident()
+    }
+
+    /// Tear the session apart into its resident debugger, if any (used by
+    /// the compatibility adapter to hand the session back to the caller).
+    pub fn into_debugger(self) -> Option<DebugSession> {
+        match self.phase {
+            Phase::Replaying { dbg } => Some(dbg),
+            _ => None,
+        }
+    }
+
+    /// Install an already-built debugger session (compat adapter path).
+    pub fn from_debugger(id: u64, workload: Workload, seed: u64, dbg: DebugSession) -> Self {
+        Session {
+            id,
+            workload,
+            seed,
+            phase: Phase::Replaying { dbg },
+            last_touched: Instant::now(),
+        }
+    }
+
+    pub fn touch(&mut self) {
+        self.last_touched = Instant::now();
+    }
+}

@@ -1,0 +1,180 @@
+//! Length-prefixed binary framing for the fleet RPC (DESIGN.md §9).
+//!
+//! A connection opens with a 5-byte hello — the magic `DJVF` plus a
+//! version byte — sent by the client and echoed by the server, so a
+//! version mismatch is detected before any frame is parsed. After the
+//! hello, each direction carries *frames*: a little-endian `u32` payload
+//! length followed by that many payload bytes. Payloads are the binary
+//! request/response encodings of [`crate::rpc`], built on the same LEB128
+//! varints as the trace codec (`codec::put_varint`).
+//!
+//! Every failure mode is a typed [`WireError`] — a truncated frame, a
+//! bogus length, a dropped peer — never a panic. The framing layer is
+//! fuzzed in `tests/fleet_rpc.rs` with the same seeded-mutation loop as
+//! `djvb_fuzz.rs`.
+
+use codec::{get_varint, put_varint};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Wire magic: first four bytes of every fleet connection.
+pub const MAGIC: [u8; 4] = *b"DJVF";
+/// Framing/protocol version carried in the hello.
+pub const VERSION: u8 = 1;
+/// Upper bound on a single frame's payload (32 MiB) — a corrupt length
+/// prefix must not become an allocation bomb.
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Everything that can go wrong on the wire, as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Hello did not start with `DJVF`.
+    BadMagic,
+    /// Hello magic was right but the version byte is one we don't speak.
+    BadVersion(u8),
+    /// A frame (or the hello) ended before its declared length.
+    Truncated,
+    /// Declared frame length exceeds [`MAX_FRAME`].
+    Oversize(usize),
+    /// A request/response payload carried an unknown discriminant.
+    BadTag(u8),
+    /// A payload decoded cleanly but had bytes left over.
+    TrailingBytes,
+    /// The peer closed the connection at a frame boundary.
+    PeerClosed,
+    /// Any other socket-level failure, stringified.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad magic (expected DJVF)"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversize(n) => write!(f, "frame length {n} exceeds cap {MAX_FRAME}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::PeerClosed => write!(f, "peer closed the connection"),
+            WireError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Truncated,
+            _ => WireError::Io(e.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives (shared by rpc.rs encode/decode).
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_varint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+pub(crate) fn get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, WireError> {
+    let n = get_varint(buf, pos).ok_or(WireError::Truncated)? as usize;
+    if n > MAX_FRAME {
+        return Err(WireError::Oversize(n));
+    }
+    let end = pos.checked_add(n).ok_or(WireError::Truncated)?;
+    let slice = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+    *pos = end;
+    Ok(slice.to_vec())
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+pub(crate) fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    String::from_utf8(get_bytes(buf, pos)?).map_err(|_| WireError::TrailingBytes)
+}
+
+pub(crate) fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    get_varint(buf, pos).ok_or(WireError::Truncated)
+}
+
+pub(crate) fn put_bool(buf: &mut Vec<u8>, b: bool) {
+    buf.push(b as u8);
+}
+
+pub(crate) fn get_bool(buf: &[u8], pos: &mut usize) -> Result<bool, WireError> {
+    match buf.get(*pos) {
+        Some(0) => {
+            *pos += 1;
+            Ok(false)
+        }
+        Some(1) => {
+            *pos += 1;
+            Ok(true)
+        }
+        Some(&b) => Err(WireError::BadTag(b)),
+        None => Err(WireError::Truncated),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hello + frames.
+// ---------------------------------------------------------------------
+
+/// The 5-byte connection preamble.
+pub fn hello_bytes() -> [u8; 5] {
+    [MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], VERSION]
+}
+
+/// Validate a received hello.
+pub fn check_hello(h: &[u8; 5]) -> Result<(), WireError> {
+    if h[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if h[4] != VERSION {
+        return Err(WireError::BadVersion(h[4]));
+    }
+    Ok(())
+}
+
+/// Write one frame: `u32` little-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversize(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame (blocking). A clean EOF *before* the length prefix is
+/// [`WireError::PeerClosed`]; an EOF mid-frame is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = r.read(&mut len[got..])?;
+        if n == 0 {
+            return Err(if got == 0 {
+                WireError::PeerClosed
+            } else {
+                WireError::Truncated
+            });
+        }
+        got += n;
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(WireError::Oversize(n));
+    }
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}

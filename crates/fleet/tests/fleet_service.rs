@@ -1,0 +1,258 @@
+//! Integration tests for the fleet service: concurrent sessions over the
+//! framed RPC, the legacy JSON-line adapter with simultaneous clients,
+//! the streaming ingest path, and token-gated graceful shutdown.
+
+use codec::ToJson;
+use debugger::protocol::{Command, Response as DbgResponse};
+use debugger::{DebugClient, DebugSession};
+use dejavu::{encode_trace, record_run, SymmetryConfig, TraceFormat, DEFAULT_BLOCK_BUDGET};
+use fleet::{spec_for, FleetClient, FleetConfig, FleetServer, Request, Response};
+use std::time::Duration;
+
+fn workload(name: &str) -> workloads::Workload {
+    workloads::registry()
+        .into_iter()
+        .find(|w| w.name == name)
+        .expect("workload in registry")
+}
+
+fn start_server(workers: usize) -> FleetServer {
+    FleetServer::start(
+        "127.0.0.1:0",
+        FleetConfig {
+            workers,
+            shutdown_token: "test-token".to_string(),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn concurrent_sessions_record_replay_seek_with_identical_fingerprints() {
+    let server = start_server(4);
+    let addr = server.addr().to_string();
+
+    // 16 sessions driven by 4 client threads keeps the tier-1 suite
+    // quick; the 64-session version runs in benches/fleet.rs + verify.sh.
+    let report = fleet::bench::drive(&addr, 16, "fig1_ab", 4).expect("drive");
+    assert_eq!(report.sessions, 16);
+    assert!(
+        report.fingerprints_match,
+        "fleet fingerprints diverged from single-session ground truth: {:?}",
+        report.mismatches
+    );
+    assert_eq!(report.resident_peak, 16, "all sessions resident at once");
+    assert!(report.latency.count() > 0);
+
+    // Stats survive the drive: peak must have seen all 16.
+    let mut client = FleetClient::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let doc = codec::Json::parse(&stats).expect("canonical stats json");
+    let peak = doc.field("sessions").unwrap().field("peak").unwrap();
+    assert!(peak.as_u64().unwrap() >= 16, "peak {peak} < 16");
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn streamed_ingest_replays_to_the_recorded_fingerprint() {
+    let server = start_server(2);
+    let addr = server.addr().to_string();
+
+    // Record locally, encode as a block trace, upload in chunks.
+    let w = workload("racy_counter");
+    let spec = spec_for(&w, 7);
+    let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+    let bytes = encode_trace(&trace, TraceFormat::Block, DEFAULT_BLOCK_BUDGET);
+
+    let mut client = FleetClient::connect(&addr).expect("connect");
+    let id = client.open("racy_counter", 7).expect("open");
+    // Tiny chunk size exercises the reassembly path hard.
+    for (i, chunk) in bytes.chunks(97).enumerate() {
+        let done = (i + 1) * 97 >= bytes.len();
+        match client
+            .call(&Request::IngestBlocks {
+                session: id,
+                chunk: chunk.to_vec(),
+                done,
+            })
+            .expect("ingest")
+        {
+            Response::Ingested { .. } => {}
+            other => panic!("ingest: {other:?}"),
+        }
+    }
+    match client.call(&Request::Replay { session: id }).expect("replay") {
+        Response::Replayed {
+            fingerprint,
+            state_digest,
+            clean,
+            ..
+        } => {
+            assert!(clean, "desyncs replaying an uploaded trace");
+            assert_eq!(fingerprint, rec.fingerprint, "fingerprint drift");
+            assert_eq!(state_digest, rec.state_digest, "state digest drift");
+        }
+        other => panic!("replay: {other:?}"),
+    }
+
+    // Ingest into a sealed session is a typed state error, not a panic.
+    match client
+        .call(&Request::IngestBlocks {
+            session: id,
+            chunk: vec![1, 2, 3],
+            done: true,
+        })
+        .expect("call")
+    {
+        Response::Error { code: 1, message } => {
+            assert!(message.contains("Replaying"), "got: {message}")
+        }
+        other => panic!("expected state error, got {other:?}"),
+    }
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn unknown_session_and_bad_workload_are_typed_errors() {
+    let server = start_server(2);
+    let addr = server.addr().to_string();
+    let mut client = FleetClient::connect(&addr).expect("connect");
+
+    match client.call(&Request::Replay { session: 999 }).expect("call") {
+        Response::Error { code: 1, message } => assert!(message.contains("999")),
+        other => panic!("expected error, got {other:?}"),
+    }
+    match client
+        .call(&Request::Open {
+            workload: "no_such_workload".to_string(),
+            seed: 1,
+        })
+        .expect("call")
+    {
+        Response::Error { code: 1, .. } => {}
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_is_token_gated_and_clean() {
+    let server = start_server(2);
+    let addr = server.addr().to_string();
+
+    let mut client = FleetClient::connect(&addr).expect("connect");
+    assert!(
+        !client.shutdown("wrong-token").expect("call"),
+        "wrong token must be refused"
+    );
+    // The connection survives a refused shutdown.
+    let id = client.open("fig1_ab", 1).expect("open after refusal");
+    assert!(id > 0);
+
+    assert!(client.shutdown("test-token").expect("call"), "right token");
+    server.join(); // would hang forever if shutdown didn't propagate
+}
+
+#[test]
+fn dropped_peer_mid_frame_does_not_kill_the_server() {
+    use std::io::Write;
+    let server = start_server(2);
+    let addr = server.addr();
+
+    // Half a hello, then hang up.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"DJ").unwrap();
+    drop(s);
+    // A full hello with a bogus frame length, then hang up.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"DJVF\x01").unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    drop(s);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Server still answers real clients.
+    let mut client = FleetClient::connect(&addr.to_string()).expect("connect after abuse");
+    assert!(client.open("fig1_ab", 1).is_ok());
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn two_simultaneous_jsonline_clients_make_progress() {
+    // Satellite regression: the old serve_one accepted one connection; a
+    // second client hung until the first quit. The compat adapter must
+    // interleave both.
+    let w = workload("fig1_ab");
+    let spec = spec_for(&w, 3);
+    let (_rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+    let session = DebugSession::new(spec.program.clone(), spec.vm.clone(), trace, 5_000);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let server = std::thread::spawn(move || fleet::compat::serve_debug(session, listener, 2));
+
+    let mut a = DebugClient::connect(&addr).expect("client A");
+    let mut b = DebugClient::connect(&addr).expect("client B");
+    // Interleave requests while BOTH connections are open: with the old
+    // accept-once loop, B's first request would block forever here.
+    for _ in 0..3 {
+        assert!(matches!(a.threads().expect("A threads"), DbgResponse::Threads { .. }));
+        assert!(matches!(b.metrics().expect("B metrics"), DbgResponse::Metrics { .. }));
+    }
+    assert!(matches!(b.step().expect("B step"), DbgResponse::Stopped { .. }));
+    assert!(matches!(a.output().expect("A output"), DbgResponse::Output { .. }));
+
+    drop(b); // dropped peer must not take the server down
+    assert!(matches!(a.quit().expect("A quit"), DbgResponse::Bye));
+    let session = server.join().expect("no panic").expect("serve_debug ok");
+    // The returned session reflects work done over the wire.
+    assert!(session.step_index() >= 1);
+}
+
+#[test]
+fn jsonline_adapter_speaks_the_exact_legacy_wire_format() {
+    // Raw-socket check (no DebugClient): bytes on the wire are the same
+    // JSON-line protocol serve_one spoke, including error replies.
+    use std::io::{BufRead, BufReader, Write};
+    let w = workload("fig1_ab");
+    let spec = spec_for(&w, 3);
+    let (_rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+    let session = DebugSession::new(spec.program.clone(), spec.vm.clone(), trace, 5_000);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let server = std::thread::spawn(move || fleet::compat::serve_debug(session, listener, 1));
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let mut line = String::new();
+
+    stream.write_all(b"this is not json\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"error\""), "bad command → error line: {line}");
+
+    line.clear();
+    let mut cmd = Command::Threads.to_json_string();
+    cmd.push('\n');
+    stream.write_all(cmd.as_bytes()).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"threads\""), "got: {line}");
+
+    line.clear();
+    let mut cmd = Command::Quit.to_json_string();
+    cmd.push('\n');
+    stream.write_all(cmd.as_bytes()).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"bye\""), "got: {line}");
+
+    server.join().expect("no panic").expect("serve_debug ok");
+}

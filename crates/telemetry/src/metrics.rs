@@ -122,6 +122,22 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Fold another histogram into this one. The merge is exact for
+    /// every exported statistic except `sum` saturation: bucket counts,
+    /// `count`, `min` and `max` of the merge equal those of observing
+    /// both sample streams into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for b in 0..BUCKETS {
+            self.buckets[b] += other.buckets[b];
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Deterministic JSON: non-empty buckets as `[index, count]` pairs in
     /// ascending index order, plus the exact aggregates.
     pub fn to_json(&self) -> Json {
@@ -201,6 +217,22 @@ impl Registry {
     /// Counters in sorted-name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Fold another registry into this one: counters and histograms
+    /// accumulate, gauges take the other's value (last writer wins, the
+    /// gauge contract). This is how per-shard registries aggregate into
+    /// one fleet-wide snapshot without a global metrics lock.
+    pub fn merge(&mut self, other: &Registry) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
     }
 
     /// Deterministic JSON export: three sorted-key objects.
@@ -373,6 +405,42 @@ mod tests {
         // Empty histograms export 0 (consistent with min/max handling).
         let e = Histogram::new().to_json();
         assert_eq!(e.field("p50").unwrap().as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_joint_observation() {
+        let (mut a, mut b, mut joint) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [0u64, 1, 7, 1000, u64::MAX] {
+            a.observe(v);
+            joint.observe(v);
+        }
+        for v in [3u64, 3, 1 << 40] {
+            b.observe(v);
+            joint.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn registry_merge_accumulates() {
+        let (mut a, mut b) = (Registry::new(), Registry::new());
+        a.add("reqs", 2);
+        a.observe("lat", 8);
+        a.set_gauge("active", 1);
+        b.add("reqs", 3);
+        b.add("evictions", 1);
+        b.observe("lat", 64);
+        b.set_gauge("active", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("reqs"), 5);
+        assert_eq!(a.counter("evictions"), 1);
+        assert_eq!(a.gauge("active"), Some(5));
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod suite;
 use djvm::{Program, Vm};
 
 /// A uniformly runnable workload.
+#[derive(Clone, Copy)]
 pub struct Workload {
     pub name: &'static str,
     pub description: &'static str,

@@ -182,4 +182,64 @@ require "$QDIR/TELEMETRY_interp.json" "$UDIR/TELEMETRY_interp.json"
 "$CLI" checkjson "$QDIR/TELEMETRY_interp.json"
 cmp "$QDIR/TELEMETRY_interp.json" "$UDIR/TELEMETRY_interp.json"
 
+echo "== fleet: 64 concurrent sessions, fingerprint parity, clean shutdown =="
+FDIR="$BENCH_DIR/fleet-verify"
+rm -rf "$FDIR"; mkdir -p "$FDIR"
+# Ephemeral port: the server binds port 0 and reports its pick.
+"$CLI" fleet-serve 0 --fleet-token verify-token --port-file "$FDIR/port" \
+    2> "$FDIR/server.log" &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$FDIR/port" ] && break
+    sleep 0.1
+done
+require "$FDIR/port"
+FLEET_PORT=$(cat "$FDIR/port")
+FLEET_ADDR="127.0.0.1:$FLEET_PORT"
+# The 64-session bench against the externally started server. The bench
+# itself asserts every concurrently-hosted fingerprint equals its
+# single-session ground truth (it aborts non-zero otherwise); the meta
+# object carries the verdict and the latency quantiles.
+BENCH_SMOKE=1 BENCH_DIR="$BENCH_DIR" FLEET_ADDR="$FLEET_ADDR" \
+    cargo bench --offline -p bench --bench fleet
+require "$BENCH_DIR/BENCH_FLEET.json" "$BENCH_DIR/TELEMETRY_FLEET.json"
+"$CLI" checkjson "$BENCH_DIR/TELEMETRY_FLEET.json"
+grep -q '"fingerprints_match":true' "$BENCH_DIR/BENCH_FLEET.json" || {
+    echo "verify: fleet fingerprints diverged from single-session replays" >&2
+    exit 1
+}
+grep -q '"p99_request_ns":[0-9]' "$BENCH_DIR/BENCH_FLEET.json" || {
+    echo "verify: BENCH_FLEET.json missing p99 request latency" >&2
+    exit 1
+}
+grep -q '"resident_peak":64' "$BENCH_DIR/BENCH_FLEET.json" || {
+    echo "verify: fleet did not hold 64 sessions resident concurrently" >&2
+    exit 1
+}
+# Live metrics snapshot: canonical JSON on stdout.
+"$CLI" stats --fleet "$FLEET_ADDR" > "$FDIR/stats.json" 2> /dev/null
+"$CLI" checkjson "$FDIR/stats.json"
+grep -q '"peak":' "$FDIR/stats.json"
+# Shutdown is token-gated: the wrong token is refused (exit 1)...
+rc=0
+"$CLI" fleet-shutdown "$FLEET_ADDR" wrong-token > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "verify: wrong-token fleet-shutdown exited $rc, want 1" >&2
+    exit 1
+fi
+kill -0 "$FLEET_PID" 2> /dev/null || {
+    echo "verify: fleet server died on a refused shutdown" >&2
+    exit 1
+}
+# ...and the right token stops the server cleanly (exit 0 from the
+# server process itself — every worker joined).
+"$CLI" fleet-shutdown "$FLEET_ADDR" verify-token
+rc=0
+wait "$FLEET_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "verify: fleet server exited $rc on graceful shutdown, want 0" >&2
+    exit 1
+fi
+grep -q "clean shutdown" "$FDIR/server.log"
+
 echo "verify: OK"

@@ -16,7 +16,21 @@
 //! dejavu-cli corpus record <corpus-dir>          # (re)record the corpus
 //! dejavu-cli dis <workload> [method-name]
 //! dejavu-cli serve <workload> <seed> <port>      # debugger tier over TCP
+//!                   [--workers <n>]              # concurrent JSON-line clients
+//! dejavu-cli fleet-serve <port> [--workers <n>]  # multi-session fleet server
+//!                   [--fleet-token <t>] [--port-file <f>]
+//! dejavu-cli fleet-bench <addr> [workload]       # drive N concurrent sessions
+//!                   [--sessions <n>] [--workers <n>]
+//! dejavu-cli fleet-shutdown <addr> <token>       # token-gated graceful stop
+//! dejavu-cli stats --fleet <addr>                # live fleet metrics JSON
 //! ```
+//!
+//! `fleet-serve` hosts ≥64 concurrent record/replay sessions behind one
+//! framed binary RPC endpoint (`crates/fleet`, DESIGN.md §9); `serve` now
+//! accepts any number of simultaneous JSON-line clients via the fleet
+//! compatibility adapter (same wire format as before). `fleet-bench`
+//! exits 2 if any concurrently-hosted fingerprint differs from its
+//! single-session ground truth.
 //!
 //! Traces written by `record` are [`dejavu::Trace::encoded`] (flat, the
 //! default) or the block-structured compressed format of
@@ -100,7 +114,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: dejavu-cli <list|run|record|replay|profile|trace|stats|neutrality|checkjson|check|corpus|dis|serve> [args...]\n\
+            "usage: dejavu-cli <list|run|record|replay|profile|trace|stats|neutrality|checkjson|check|corpus|dis|serve|fleet-serve|fleet-bench|fleet-shutdown> [args...]\n\
              see the module docs for details"
         );
         ExitCode::FAILURE
@@ -137,6 +151,40 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        Err(()) => return usage(),
+    };
+    let workers: usize = match take_value(&mut args, "--workers") {
+        Ok(None) => 8,
+        Ok(Some(s)) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--workers requires a positive integer, got \"{s}\"");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(()) => return usage(),
+    };
+    let sessions: usize = match take_value(&mut args, "--sessions") {
+        Ok(None) => 64,
+        Ok(Some(s)) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--sessions requires a positive integer, got \"{s}\"");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(()) => return usage(),
+    };
+    let fleet_addr = match take_value(&mut args, "--fleet") {
+        Ok(m) => m,
+        Err(()) => return usage(),
+    };
+    let fleet_token = match take_value(&mut args, "--fleet-token") {
+        Ok(m) => m.unwrap_or_else(|| "dejavu".to_string()),
+        Err(()) => return usage(),
+    };
+    let port_file = match take_value(&mut args, "--port-file") {
+        Ok(m) => m,
         Err(()) => return usage(),
     };
     // `--no-quicken` runs the generic dispatch loop instead of the
@@ -442,6 +490,66 @@ fn main() -> ExitCode {
             println!("{doc}");
             ExitCode::SUCCESS
         }
+        Some("stats") if fleet_addr.is_some() => {
+            // `stats --fleet <addr>`: live fleet-server metrics. Stdout is
+            // the canonical (sorted-key, byte-deterministic) JSON snapshot;
+            // the human latency digest goes to stderr like workload stats.
+            let addr = fleet_addr.unwrap();
+            let mut client = match fleet::FleetClient::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("connect {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let json = match client.stats() {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("stats rpc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Ok(doc) = codec::Json::parse(&json) else {
+                eprintln!("stats rpc returned unparseable json");
+                return ExitCode::FAILURE;
+            };
+            println!("{doc}");
+            if let Some(codec::Json::Obj(sessions)) = doc.get("sessions") {
+                let field = |k: &str| {
+                    sessions
+                        .iter()
+                        .find(|(n, _)| n == k)
+                        .and_then(|(_, v)| v.as_u64().ok())
+                        .unwrap_or(0)
+                };
+                eprintln!(
+                    "[sessions: active={} peak={} opened={} closed={} evicted={}]",
+                    field("active"),
+                    field("peak"),
+                    field("opened"),
+                    field("closed"),
+                    field("evicted"),
+                );
+            }
+            if let Some(codec::Json::Obj(hists)) = doc.get("rpc").and_then(|r| r.get("histograms"))
+            {
+                for (name, h) in hists {
+                    let q = |k: &str| h.get(k).and_then(|v| v.as_u64().ok()).unwrap_or(0);
+                    if q("count") == 0 {
+                        continue;
+                    }
+                    eprintln!(
+                        "[{name}: n={} p50={}ns p95={}ns p99={}ns max={}ns]",
+                        q("count"),
+                        q("p50"),
+                        q("p95"),
+                        q("p99"),
+                        q("max"),
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
         Some("stats") => {
             let Some(w) = args.get(1).and_then(|n| find(n)) else {
                 return usage();
@@ -669,11 +777,116 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            eprintln!("debugger tier listening on 127.0.0.1:{port} (JSON-line protocol)");
-            match debugger::server::serve_one(session, listener) {
+            eprintln!(
+                "debugger tier listening on 127.0.0.1:{port} \
+                 (JSON-line protocol, {workers} workers, concurrent clients ok)"
+            );
+            match fleet::compat::serve_debug(session, listener, workers) {
                 Ok(_) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("fleet-serve") => {
+            let Some(port) = args.get(1).and_then(|s| s.parse::<u16>().ok()) else {
+                return usage();
+            };
+            let config = fleet::FleetConfig {
+                workers,
+                shutdown_token: fleet_token,
+                ..fleet::FleetConfig::default()
+            };
+            let server = match fleet::FleetServer::start(&format!("127.0.0.1:{port}"), config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bind port {port}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = server.addr();
+            // `--port-file` lets scripts bind port 0 and learn the pick.
+            if let Some(path) = port_file {
+                if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
+                    eprintln!("write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            eprintln!("fleet server listening on {addr} ({workers} workers, framed RPC)");
+            server.join(); // returns when a Shutdown RPC is accepted
+            eprintln!("fleet server: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Some("fleet-bench") => {
+            let Some(addr) = args.get(1) else {
+                return usage();
+            };
+            let workload = args.get(2).map(String::as_str).unwrap_or("fig1_ab");
+            let threads = workers.min(sessions);
+            let report = match fleet::bench::drive(addr, sessions, workload, threads) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("fleet-bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let secs = report.elapsed.as_secs_f64();
+            let mut doc = codec::Json::obj(vec![
+                ("sessions", codec::Json::UInt(report.sessions as u64)),
+                ("requests", codec::Json::UInt(report.requests)),
+                ("elapsed_ns", codec::Json::UInt(report.elapsed.as_nanos() as u64)),
+                (
+                    "sessions_per_sec",
+                    codec::Json::UInt((report.sessions as f64 / secs.max(1e-9)) as u64),
+                ),
+                (
+                    "p50_request_ns",
+                    codec::Json::UInt(report.latency.quantile(500).unwrap_or(0)),
+                ),
+                (
+                    "p99_request_ns",
+                    codec::Json::UInt(report.latency.quantile(990).unwrap_or(0)),
+                ),
+                (
+                    "fingerprints_match",
+                    codec::Json::Bool(report.fingerprints_match),
+                ),
+                ("resident_peak", codec::Json::UInt(report.resident_peak)),
+            ]);
+            doc.canonicalize();
+            println!("{doc}");
+            for m in &report.mismatches {
+                eprintln!("MISMATCH: {m}");
+            }
+            if report.fingerprints_match {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_DIVERGED)
+            }
+        }
+        Some("fleet-shutdown") => {
+            let (Some(addr), Some(token)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let mut client = match fleet::FleetClient::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("connect {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.shutdown(token) {
+                Ok(true) => {
+                    eprintln!("fleet server at {addr}: shutting down");
+                    ExitCode::SUCCESS
+                }
+                Ok(false) => {
+                    eprintln!("fleet server at {addr}: shutdown denied (bad ctrl token)");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("shutdown rpc: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -13,5 +13,6 @@ pub use codec;
 pub use debugger;
 pub use dejavu;
 pub use djvm;
+pub use fleet;
 pub use reflect;
 pub use workloads;
