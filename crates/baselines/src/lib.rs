@@ -159,11 +159,7 @@ pub struct TraceSizeRow {
 }
 
 /// Run the same workload under all four recorders and report trace sizes.
-pub fn trace_size_comparison(
-    name: &str,
-    spec: &ExecSpec,
-    natives: fn(&mut Vm),
-) -> TraceSizeRow {
+pub fn trace_size_comparison(name: &str, spec: &ExecSpec, natives: fn(&mut Vm)) -> TraceSizeRow {
     let (dj_rep, dj_trace) = dejavu::record_run(spec, natives, SymmetryConfig::full(), false);
     let (_, rc_trace) = rc_record(spec, natives);
     let (_, ir_trace) = ir_record(spec, natives);

@@ -120,7 +120,9 @@ impl ExecHook for RcRecorder {
         } else {
             None
         };
-        self.trace.dispatches.push(DispatchRec { to, preempt_after });
+        self.trace
+            .dispatches
+            .push(DispatchRec { to, preempt_after });
     }
 
     fn on_clock_read(&mut self, vm: &mut Vm) -> i64 {

@@ -27,7 +27,12 @@ fn e5_trace_size_ordering_holds_across_workloads() {
     // A realistic preemption quantum (thousands of instructions, vs the
     // paper's ~10ms timer) — the stress tests elsewhere use absurdly short
     // quanta to exercise replay, which would skew a size comparison.
-    for name in ["racy_counter", "producer_consumer", "gc_churn", "bank_transfer"] {
+    for name in [
+        "racy_counter",
+        "producer_consumer",
+        "gc_churn",
+        "bank_transfer",
+    ] {
         let (mut s, natives) = spec(name, 5);
         s.timer_base = 2001;
         s.timer_jitter = 500;
@@ -164,7 +169,11 @@ fn e14_time_travel_seeks_backward_and_forward() {
     // Backward to the very same middle step: state must be identical.
     tt.seek(10_000);
     assert_eq!(tt.step, 10_000);
-    assert_eq!(tt.vm().state_digest(), digest_mid, "reverse execution lands on the same state");
+    assert_eq!(
+        tt.vm().state_digest(),
+        digest_mid,
+        "reverse execution lands on the same state"
+    );
     assert!(tt.restores >= 1);
     assert!(tt.storage_bytes() > 0);
 

@@ -37,31 +37,32 @@ fn main() {
                 .expect("bind ephemeral fleet port"),
         ),
     };
-    let addr = std::env::var("FLEET_ADDR")
-        .unwrap_or_else(|_| local.as_ref().unwrap().addr().to_string());
+    let addr =
+        std::env::var("FLEET_ADDR").unwrap_or_else(|_| local.as_ref().unwrap().addr().to_string());
 
     let mut g = Group::new("FLEET");
     g.sample_size(3);
 
     let mut last = None;
-    g.bench_units(&format!("record_replay_seek/{workload}/x{sessions}"), sessions as u64, || {
-        let report = drive(&addr, sessions, &workload, threads).expect("fleet drive");
-        assert!(
-            report.fingerprints_match,
-            "fleet fingerprints diverged from single-session ground truth: {:?}",
-            report.mismatches
-        );
-        last = Some(report);
-    });
+    g.bench_units(
+        &format!("record_replay_seek/{workload}/x{sessions}"),
+        sessions as u64,
+        || {
+            let report = drive(&addr, sessions, &workload, threads).expect("fleet drive");
+            assert!(
+                report.fingerprints_match,
+                "fleet fingerprints diverged from single-session ground truth: {:?}",
+                report.mismatches
+            );
+            last = Some(report);
+        },
+    );
 
     let report = last.expect("at least one sample ran");
     g.meta("sessions", Json::UInt(report.sessions as u64));
     g.meta("requests_per_drive", Json::UInt(report.requests));
     g.meta("resident_peak", Json::UInt(report.resident_peak));
-    g.meta(
-        "fingerprints_match",
-        Json::Bool(report.fingerprints_match),
-    );
+    g.meta("fingerprints_match", Json::Bool(report.fingerprints_match));
     g.meta(
         "p50_request_ns",
         Json::UInt(report.latency.quantile(500).unwrap_or(0)),

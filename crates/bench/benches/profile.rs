@@ -18,11 +18,19 @@ fn main() {
         let (rec, trace) = dejavu::record_run(&spec, natives, SymmetryConfig::full(), false);
         let steps = rec.counters.steps;
         g.bench_units(&format!("replay_profile_off/{name}"), steps, || {
-            black_box(dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full()));
+            black_box(dejavu::replay_run(
+                &spec,
+                trace.clone(),
+                SymmetryConfig::full(),
+            ));
         });
         let pspec = spec.clone().with_profile(true);
         g.bench_units(&format!("replay_profile_on/{name}"), steps, || {
-            black_box(dejavu::replay_run(&pspec, trace.clone(), SymmetryConfig::full()));
+            black_box(dejavu::replay_run(
+                &pspec,
+                trace.clone(),
+                SymmetryConfig::full(),
+            ));
         });
         // Neutrality guard: a perturbed profiled replay would make the
         // numbers above meaningless (it would be timing a different run).

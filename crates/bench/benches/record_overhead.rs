@@ -17,7 +17,12 @@ fn main() {
             black_box(dejavu::passthrough_run(&spec, natives));
         });
         g.bench(&format!("dejavu_record/{name}"), || {
-            black_box(dejavu::record_run(&spec, natives, SymmetryConfig::full(), false));
+            black_box(dejavu::record_run(
+                &spec,
+                natives,
+                SymmetryConfig::full(),
+                false,
+            ));
         });
         g.bench(&format!("rc_record/{name}"), || {
             black_box(baselines::rc_record(&spec, natives));

@@ -16,7 +16,11 @@ fn main() {
         let (_, rc_trace) = baselines::rc_record(&spec, natives);
         let (_, ir_trace) = baselines::ir_record(&spec, natives);
         g.bench(&format!("dejavu_replay/{name}"), || {
-            black_box(dejavu::replay_run(&spec, dj_trace.clone(), SymmetryConfig::full()));
+            black_box(dejavu::replay_run(
+                &spec,
+                dj_trace.clone(),
+                SymmetryConfig::full(),
+            ));
         });
         g.bench(&format!("rc_replay/{name}"), || {
             black_box(baselines::rc_replay(&spec, rc_trace.clone()));

@@ -75,7 +75,11 @@ fn main() {
             black_box(trace.encoded());
         });
         g.bench_units(&format!("encode_block/{name}"), events, || {
-            black_box(encode_trace(&trace, TraceFormat::Block, DEFAULT_BLOCK_BUDGET));
+            black_box(encode_trace(
+                &trace,
+                TraceFormat::Block,
+                DEFAULT_BLOCK_BUDGET,
+            ));
         });
         g.bench_units(&format!("decode_flat/{name}"), events, || {
             black_box(Trace::decode(&flat).expect("valid flat trace"));

@@ -33,11 +33,20 @@ fn main() {
         black_box(dejavu::passthrough_run(&spec, |_| {}));
     });
     g.bench("record_50k_yieldpoints", || {
-        black_box(dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false));
+        black_box(dejavu::record_run(
+            &spec,
+            |_| {},
+            SymmetryConfig::full(),
+            false,
+        ));
     });
     let (_, trace) = dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), false);
     g.bench("replay_50k_yieldpoints", || {
-        black_box(dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full()));
+        black_box(dejavu::replay_run(
+            &spec,
+            trace.clone(),
+            SymmetryConfig::full(),
+        ));
     });
     g.finish();
 }

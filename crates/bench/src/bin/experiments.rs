@@ -6,7 +6,9 @@
 
 use baselines::{ir_record, ir_replay, rc_record, rc_replay, trace_size_comparison, TimeTravel};
 use bench::{bench_spec, sized_spec};
-use dejavu::{passthrough_run, record_replay, record_run, replay_run, Ablation, ExecSpec, SymmetryConfig};
+use dejavu::{
+    passthrough_run, record_replay, record_run, replay_run, Ablation, ExecSpec, SymmetryConfig,
+};
 use djvm::{Program, ProgramBuilder, Ty, Vm};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -65,7 +67,10 @@ fn e2_fig1_cd() {
     }
     println!("case (C) wait-branch runs: {wait_runs}/60");
     println!("case (D) skip-branch runs: {skip_runs}/60");
-    println!("replay accurate on all: {}\n", if all_ok { "yes" } else { "NO" });
+    println!(
+        "replay accurate on all: {}\n",
+        if all_ok { "yes" } else { "NO" }
+    );
 }
 
 fn e4_record_overhead() {
@@ -146,7 +151,13 @@ fn e6_accuracy_matrix() {
             let (_, _, ok) = record_replay(&s, w.natives, SymmetryConfig::full());
             ok_count += ok as u32;
         }
-        println!("| {} | {} | {}/{} |", w.name, seeds.len(), ok_count, seeds.len());
+        println!(
+            "| {} | {} | {}/{} |",
+            w.name,
+            seeds.len(),
+            ok_count,
+            seeds.len()
+        );
     }
     println!();
 }
@@ -210,9 +221,15 @@ fn e8_reflection() {
     djvm::interp::run(&mut vm, &mut replayer, u64::MAX >> 1);
     let resumed_ok = vm.fingerprint.digest() == rec.fingerprint;
     println!("queries executed: {queries}");
-    println!("remote word reads: {reads} ({:.1}/query)", reads as f64 / queries as f64);
+    println!(
+        "remote word reads: {reads} ({:.1}/query)",
+        reads as f64 / queries as f64
+    );
     println!("tool-side interpreted bytecodes: {interp_steps}");
-    println!("application VM perturbed: {}", if unperturbed { "no" } else { "YES" });
+    println!(
+        "application VM perturbed: {}",
+        if unperturbed { "no" } else { "YES" }
+    );
     println!(
         "replay resumed accurately after inspection: {}\n",
         if resumed_ok { "yes" } else { "NO" }
@@ -244,7 +261,11 @@ fn e10_ablations() {
             a.goto("delay");
             a.label("dd");
             a.load(1).iconst(1).add().put_static(g, 0);
-            a.get_static(g, 1).new(cls).identity_hash().bxor().put_static(g, 1);
+            a.get_static(g, 1)
+                .new(cls)
+                .identity_hash()
+                .bxor()
+                .put_static(g, 1);
             a.load(0).iconst(1).add().store(0);
             a.goto("top");
             a.label("done");
@@ -272,7 +293,11 @@ fn e10_ablations() {
             a.iconst(0).store(1);
             a.label("top");
             a.load(1).load(0).ge().if_nz("done");
-            a.get_static(g, 0).new(cls).identity_hash().bxor().put_static(g, 0);
+            a.get_static(g, 0)
+                .new(cls)
+                .identity_hash()
+                .bxor()
+                .put_static(g, 0);
             a.load(1).iconst(1).add().store(1);
             a.goto("top");
             a.label("done");
@@ -331,7 +356,11 @@ fn e10_ablations() {
                 }
             }
         }
-        println!("| {} | {} |", abl.name(), if diverged { "yes" } else { "no (!)" });
+        println!(
+            "| {} | {} |",
+            abl.name(),
+            if diverged { "yes" } else { "no (!)" }
+        );
     }
     println!("| (none — full symmetry) | no |\n");
 }

@@ -77,6 +77,15 @@ impl Group {
         self
     }
 
+    /// Median of an already-measured row, for derived `meta` figures
+    /// (e.g. a tier-over-tier speedup ratio).
+    pub fn median_ns(&self, name: &str) -> Option<u64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    }
+
     pub fn sample_size(&mut self, n: u64) -> &mut Self {
         if std::env::var("BENCH_SAMPLES").is_err() {
             self.sample_size = n.max(1);
@@ -102,7 +111,11 @@ impl Group {
     pub fn bench_units<F: FnMut()>(&mut self, name: &str, work_units: u64, mut f: F) -> &mut Self {
         // `.max(1)` guards the mean/median divisions below against a
         // BENCH_SAMPLES=0 override.
-        let samples = if self.smoke { 1 } else { self.sample_size.max(1) };
+        let samples = if self.smoke {
+            1
+        } else {
+            self.sample_size.max(1)
+        };
         if !self.smoke {
             let start = Instant::now();
             while start.elapsed() < self.warm_up {

@@ -54,7 +54,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -423,7 +427,11 @@ mod tests {
     fn roundtrip_runs_compress_hard() {
         let data = vec![7u8; 10_000];
         let c = compress(&data);
-        assert!(c.len() < 64, "run of 10k bytes must collapse, got {}", c.len());
+        assert!(
+            c.len() < 64,
+            "run of 10k bytes must collapse, got {}",
+            c.len()
+        );
         assert_eq!(decompress(&c, data.len()).unwrap(), data);
     }
 

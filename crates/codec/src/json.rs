@@ -90,15 +90,18 @@ impl Json {
         match self {
             Json::Int(v) if *v >= 0 => Ok(*v as u64),
             Json::UInt(v) => Ok(*v),
-            other => Err(JsonError::new(format!("expected unsigned int, got {other}"))),
+            other => Err(JsonError::new(format!(
+                "expected unsigned int, got {other}"
+            ))),
         }
     }
 
     pub fn as_i64(&self) -> Result<i64, JsonError> {
         match self {
             Json::Int(v) => Ok(*v),
-            Json::UInt(v) => i64::try_from(*v)
-                .map_err(|_| JsonError::new(format!("integer {v} overflows i64"))),
+            Json::UInt(v) => {
+                i64::try_from(*v).map_err(|_| JsonError::new(format!("integer {v} overflows i64")))
+            }
             other => Err(JsonError::new(format!("expected int, got {other}"))),
         }
     }
@@ -462,7 +465,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u16, JsonError> {
         let mut v = 0u16;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("bad hex digit in \\u escape"))?;

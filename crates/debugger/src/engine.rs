@@ -289,10 +289,7 @@ impl DebugSession {
                     ThreadStatus::JoinWaiting(x) => format!("joining(t{x})"),
                     ThreadStatus::Terminated => "terminated".into(),
                 },
-                method_name: self
-                    .program
-                    .method(t.method)
-                    .qualified_name(&self.program),
+                method_name: self.program.method(t.method).qualified_name(&self.program),
                 pc: t.pc,
                 yield_points: t.yield_points,
             })
@@ -404,9 +401,10 @@ impl DebugSession {
             wall_time: std::time::Duration::ZERO,
             telemetry: None,
             profile: Some(profiler),
+            mega: vm.mega.stats,
         };
-        let prof = dejavu::ProfileReport::from_run(&report, &self.program)
-            .expect("profile log present");
+        let prof =
+            dejavu::ProfileReport::from_run(&report, &self.program).expect("profile log present");
         Ok(prof.summary_json(top as usize).to_string())
     }
 }

@@ -19,21 +19,40 @@ use codec::{FromJson, Json, JsonError, ToJson};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Set a breakpoint at (method id, pc).
-    Break { method: u32, pc: u32 },
+    Break {
+        method: u32,
+        pc: u32,
+    },
     /// Set a breakpoint by method name + source line.
-    BreakLine { method: String, line: u32 },
-    ClearBreak { method: u32, pc: u32 },
+    BreakLine {
+        method: String,
+        line: u32,
+    },
+    ClearBreak {
+        method: u32,
+        pc: u32,
+    },
     Continue,
     Step,
     StepBack,
-    Seek { step: u64 },
+    Seek {
+        step: u64,
+    },
     /// Seek to an absolute logical time (counted yield points); a
     /// block-trace session resolves it through the block index.
-    SeekTime { time: u64 },
-    Stack { tid: u32 },
+    SeekTime {
+        time: u64,
+    },
+    Stack {
+        tid: u32,
+    },
     Threads,
-    Inspect { addr: u64 },
-    Disassemble { method: u32 },
+    Inspect {
+        addr: u64,
+    },
+    Disassemble {
+        method: u32,
+    },
     Output,
     Where,
     /// Fetch the session's metrics snapshot (counters, telemetry ring,
@@ -44,7 +63,9 @@ pub enum Command {
     /// Profile the session's trace: replay it to completion with the
     /// flight recorder armed and return the top-`top` hot methods plus
     /// phase/QOp attribution as canonical JSON.
-    Profile { top: u64 },
+    Profile {
+        top: u64,
+    },
     Quit,
 }
 
@@ -52,13 +73,31 @@ pub enum Command {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     Ok,
-    Stopped { reason: StopReason, step: u64 },
-    Stack { frames: Vec<FrameInfo> },
-    Threads { threads: Vec<ThreadInfo> },
-    Object { description: String },
-    Listing { text: String },
-    Output { text: String },
-    Location { method: String, pc: u32, line: i64, step: u64 },
+    Stopped {
+        reason: StopReason,
+        step: u64,
+    },
+    Stack {
+        frames: Vec<FrameInfo>,
+    },
+    Threads {
+        threads: Vec<ThreadInfo>,
+    },
+    Object {
+        description: String,
+    },
+    Listing {
+        text: String,
+    },
+    Output {
+        text: String,
+    },
+    Location {
+        method: String,
+        pc: u32,
+        line: i64,
+        step: u64,
+    },
     /// What a `seek_time` actually did: where it restored from and how
     /// much trace it had to replay (the O(block) evidence).
     SeekStats {
@@ -73,7 +112,9 @@ pub enum Response {
     },
     /// Canonical-JSON metrics snapshot, transported as a string so the
     /// packet stays byte-deterministic end to end.
-    Metrics { json: String },
+    Metrics {
+        json: String,
+    },
     /// Replay-divergence forensics: `clean` iff no desync was flagged,
     /// each desync rendered human-readably, plus the canonical JSON array.
     Divergence {
@@ -84,8 +125,12 @@ pub enum Response {
     /// Canonical-JSON profile summary (top-N hot methods, phase table,
     /// QOp cycle attribution, fingerprint), transported as a string like
     /// `Metrics` so the packet stays byte-deterministic end to end.
-    Profile { json: String },
-    Error { message: String },
+    Profile {
+        json: String,
+    },
+    Error {
+        message: String,
+    },
     Bye,
 }
 
@@ -123,9 +168,7 @@ impl ToJson for Command {
             }
             Command::Stack { tid } => tagged("cmd", "stack", vec![("tid", tid.to_json())]),
             Command::Threads => tagged("cmd", "threads", vec![]),
-            Command::Inspect { addr } => {
-                tagged("cmd", "inspect", vec![("addr", addr.to_json())])
-            }
+            Command::Inspect { addr } => tagged("cmd", "inspect", vec![("addr", addr.to_json())]),
             Command::Disassemble { method } => {
                 tagged("cmd", "disassemble", vec![("method", method.to_json())])
             }
@@ -300,13 +343,14 @@ impl ToJson for Response {
                 "object",
                 vec![("description", description.to_json())],
             ),
-            Response::Listing { text } => {
-                tagged("resp", "listing", vec![("text", text.to_json())])
-            }
-            Response::Output { text } => {
-                tagged("resp", "output", vec![("text", text.to_json())])
-            }
-            Response::Location { method, pc, line, step } => tagged(
+            Response::Listing { text } => tagged("resp", "listing", vec![("text", text.to_json())]),
+            Response::Output { text } => tagged("resp", "output", vec![("text", text.to_json())]),
+            Response::Location {
+                method,
+                pc,
+                line,
+                step,
+            } => tagged(
                 "resp",
                 "location",
                 vec![
@@ -339,9 +383,7 @@ impl ToJson for Response {
                     ("final_logical", final_logical.to_json()),
                 ],
             ),
-            Response::Metrics { json } => {
-                tagged("resp", "metrics", vec![("json", json.to_json())])
-            }
+            Response::Metrics { json } => tagged("resp", "metrics", vec![("json", json.to_json())]),
             Response::Divergence {
                 clean,
                 desyncs,
@@ -355,9 +397,7 @@ impl ToJson for Response {
                     ("json", json.to_json()),
                 ],
             ),
-            Response::Profile { json } => {
-                tagged("resp", "profile", vec![("json", json.to_json())])
-            }
+            Response::Profile { json } => tagged("resp", "profile", vec![("json", json.to_json())]),
             Response::Error { message } => {
                 tagged("resp", "error", vec![("message", message.to_json())])
             }
@@ -607,7 +647,10 @@ mod tests {
     #[test]
     fn wire_form_is_one_line() {
         for r in all_responses() {
-            assert!(!r.to_json_string().contains('\n'), "line-delimited protocol");
+            assert!(
+                !r.to_json_string().contains('\n'),
+                "line-delimited protocol"
+            );
         }
         for c in all_commands() {
             assert!(!c.to_json_string().contains('\n'));

@@ -9,7 +9,10 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 
 /// Serve one client connection, then return the session.
-pub fn serve_one(mut session: DebugSession, listener: TcpListener) -> std::io::Result<DebugSession> {
+pub fn serve_one(
+    mut session: DebugSession,
+    listener: TcpListener,
+) -> std::io::Result<DebugSession> {
     let (conn, _) = listener.accept()?;
     serve_lines(conn, |cmd| handle(&mut session, cmd))?;
     Ok(session)
@@ -37,9 +40,12 @@ pub fn serve_lines(
         let cmd: Command = match Command::from_json_str(line.trim()) {
             Ok(c) => c,
             Err(e) => {
-                send(&mut conn, &Response::Error {
-                    message: format!("bad command: {e}"),
-                })?;
+                send(
+                    &mut conn,
+                    &Response::Error {
+                        message: format!("bad command: {e}"),
+                    },
+                )?;
                 continue;
             }
         };

@@ -118,7 +118,8 @@ fn e9_three_tier_tcp_session() {
 
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+    let server =
+        std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
 
     let mut client = DebugClient::connect(&addr.to_string()).unwrap();
     assert!(matches!(client.brk(worker, 0).unwrap(), Response::Ok));
@@ -149,7 +150,12 @@ fn e9_three_tier_tcp_session() {
     assert!(matches!(r, Response::Stopped { .. }));
     // clear and run to completion
     assert!(matches!(
-        client.request(&Command::ClearBreak { method: worker, pc: 0 }).unwrap(),
+        client
+            .request(&Command::ClearBreak {
+                method: worker,
+                pc: 0
+            })
+            .unwrap(),
         Response::Ok
     ));
     let r = client.cont().unwrap();
@@ -166,7 +172,10 @@ fn e9_three_tier_tcp_session() {
     let Response::Output { text } = client.output().unwrap() else {
         panic!("expected output");
     };
-    assert_eq!(text, rec_output, "replayed-through-debugger output matches record");
+    assert_eq!(
+        text, rec_output,
+        "replayed-through-debugger output matches record"
+    );
     client.quit().unwrap();
     let final_session = server.join().unwrap();
     assert_eq!(final_session.vm().status, VmStatus::Halted);
@@ -179,7 +188,8 @@ fn metrics_and_divergence_over_the_wire() {
 
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+    let server =
+        std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
 
     let mut client = DebugClient::connect(&addr.to_string()).unwrap();
     // Advance a little, then read metrics mid-replay.
@@ -211,7 +221,12 @@ fn metrics_and_divergence_over_the_wire() {
     assert_eq!(json, json2, "metrics reads are deterministic");
 
     // An accurate replay reports a clean divergence state.
-    let Response::Divergence { clean, desyncs, json } = client.divergence().unwrap() else {
+    let Response::Divergence {
+        clean,
+        desyncs,
+        json,
+    } = client.divergence().unwrap()
+    else {
         panic!("expected divergence");
     };
     assert!(clean && desyncs.is_empty());
@@ -248,7 +263,8 @@ fn profile_over_the_wire_and_no_trace_error() {
 
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+    let server =
+        std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
 
     let mut client = DebugClient::connect(&addr.to_string()).unwrap();
     // Profile before stepping at all: the command replays the whole run in
@@ -258,7 +274,9 @@ fn profile_over_the_wire_and_no_trace_error() {
     };
     let parsed = codec::Json::parse(&json).expect("profile is valid JSON");
     let hot = parsed.field("hot_methods").unwrap();
-    let codec::Json::Arr(hot) = hot else { panic!("hot_methods is an array") };
+    let codec::Json::Arr(hot) = hot else {
+        panic!("hot_methods is an array")
+    };
     assert!(!hot.is_empty() && hot.len() <= 5, "top-5 hot methods");
     assert!(parsed.get("fingerprint").is_some() && parsed.get("phases").is_some());
     // Profile reads are byte-deterministic.
@@ -268,7 +286,16 @@ fn profile_over_the_wire_and_no_trace_error() {
     assert_eq!(json, json2, "profile reads are deterministic");
     // …and must not perturb the session's own replay.
     let r = client.cont().unwrap();
-    assert!(matches!(r, Response::Stopped { reason: StopReason::Halted, .. }), "{r:?}");
+    assert!(
+        matches!(
+            r,
+            Response::Stopped {
+                reason: StopReason::Halted,
+                ..
+            }
+        ),
+        "{r:?}"
+    );
     let Response::Output { text } = client.output().unwrap() else {
         panic!("expected output");
     };
@@ -278,18 +305,26 @@ fn profile_over_the_wire_and_no_trace_error() {
 
     // Error path: a session with no trace loaded reports a protocol error
     // instead of profiling garbage (or panicking).
-    let empty = dejavu::Trace { paranoid: true, switches: Vec::new(), data: Vec::new() };
+    let empty = dejavu::Trace {
+        paranoid: true,
+        switches: Vec::new(),
+        data: Vec::new(),
+    };
     let session = DebugSession::new(program, vmc, empty, 5_000);
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+    let server =
+        std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
     let mut client = DebugClient::connect(&addr.to_string()).unwrap();
     let Response::Error { message } = client.profile(5).unwrap() else {
         panic!("expected error for profile with no trace");
     };
     assert!(message.contains("no trace loaded"), "{message}");
     // The error leaves the session usable: metrics still answers.
-    assert!(matches!(client.metrics().unwrap(), Response::Metrics { .. }));
+    assert!(matches!(
+        client.metrics().unwrap(),
+        Response::Metrics { .. }
+    ));
     client.quit().unwrap();
     server.join().unwrap();
 }
@@ -301,7 +336,11 @@ fn seek_time_replays_only_the_target_block_span() {
     let bytes = dejavu::encode_trace(&trace, dejavu::TraceFormat::Block, budget);
     let bf = dejavu::BlockFile::parse(bytes.clone()).expect("own encoding parses");
     let boundaries = bf.boundaries();
-    assert!(boundaries.len() > 3, "want a multi-block trace, got {}", boundaries.len());
+    assert!(
+        boundaries.len() > 3,
+        "want a multi-block trace, got {}",
+        boundaries.len()
+    );
 
     // Interval checkpoints off: block boundaries are the only keys, so
     // the measured replay span is attributable to the index alone.
@@ -315,10 +354,16 @@ fn seek_time_replays_only_the_target_block_span() {
     let stats = indexed.seek_time(target);
     assert!(stats.restored, "backward seek must restore a checkpoint");
     assert_eq!(stats.target_logical, target);
-    assert!(stats.final_logical >= target, "seek lands at or past the target");
+    assert!(
+        stats.final_logical >= target,
+        "seek lands at or past the target"
+    );
     // The restored checkpoint is the *nearest* block boundary ≤ target…
     let want = boundaries[boundaries.partition_point(|&b| b <= target) - 1];
-    assert_eq!(stats.checkpoint_logical, want, "checkpoint keyed to the covering block");
+    assert_eq!(
+        stats.checkpoint_logical, want,
+        "checkpoint keyed to the covering block"
+    );
     // …and the forward replay stayed within that block's event span.
     assert!(
         stats.events_replayed <= budget as u64 + 2,
@@ -330,11 +375,14 @@ fn seek_time_replays_only_the_target_block_span() {
     // replays the whole prefix — the block index is what makes the seek
     // O(block) instead of O(run).
     let flat = dejavu::encode_trace(&trace, dejavu::TraceFormat::Flat, budget);
-    let mut full = DebugSession::from_trace_bytes(program, vmc, &flat, u64::MAX)
-        .expect("flat bytes accepted");
+    let mut full =
+        DebugSession::from_trace_bytes(program, vmc, &flat, u64::MAX).expect("flat bytes accepted");
     assert_eq!(full.cont(), StopReason::Halted);
     let full_stats = full.seek_time(target);
-    assert_eq!(full_stats.checkpoint_logical, 0, "flat session restores step 0");
+    assert_eq!(
+        full_stats.checkpoint_logical, 0,
+        "flat session restores step 0"
+    );
     assert!(
         full_stats.events_replayed > stats.events_replayed * 4,
         "full replay {} events vs indexed {}",
@@ -361,11 +409,21 @@ fn seek_time_over_the_wire() {
 
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+    let server =
+        std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
 
     let mut client = DebugClient::connect(&addr.to_string()).unwrap();
     let r = client.cont().unwrap();
-    assert!(matches!(r, Response::Stopped { reason: StopReason::Halted, .. }), "{r:?}");
+    assert!(
+        matches!(
+            r,
+            Response::Stopped {
+                reason: StopReason::Halted,
+                ..
+            }
+        ),
+        "{r:?}"
+    );
     let Response::SeekStats {
         target_logical,
         restored,

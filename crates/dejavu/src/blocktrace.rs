@@ -118,7 +118,10 @@ impl fmt::Display for TraceError {
             }
             TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
             TraceError::BadCrc { block } => {
-                write!(f, "block {block}: payload CRC mismatch (damaged or truncated)")
+                write!(
+                    f,
+                    "block {block}: payload CRC mismatch (damaged or truncated)"
+                )
             }
         }
     }
@@ -261,7 +264,12 @@ impl BlockStats {
             ),
             (
                 "per_block_permille",
-                Json::Arr(self.per_block_permille.iter().map(|&p| Json::UInt(p)).collect()),
+                Json::Arr(
+                    self.per_block_permille
+                        .iter()
+                        .map(|&p| Json::UInt(p))
+                        .collect(),
+                ),
             ),
             ("stored_blocks", Json::UInt(self.stored_blocks as u64)),
             ("switch_events", Json::UInt(self.switch_events)),
@@ -298,16 +306,14 @@ fn get_for_column(raw: &[u8], pos: &mut usize, n: usize) -> Result<Vec<u64>, Tra
     if n == 0 {
         return Ok(Vec::new());
     }
-    let min =
-        get_varint(raw, pos).ok_or(TraceError::Corrupt("short frame-of-reference column"))?;
+    let min = get_varint(raw, pos).ok_or(TraceError::Corrupt("short frame-of-reference column"))?;
     let mut vals = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let delta =
             get_varint(raw, pos).ok_or(TraceError::Corrupt("short frame-of-reference column"))?;
-        vals.push(
-            min.checked_add(delta)
-                .ok_or(TraceError::Corrupt("frame-of-reference column overflows u64"))?,
-        );
+        vals.push(min.checked_add(delta).ok_or(TraceError::Corrupt(
+            "frame-of-reference column overflows u64",
+        ))?);
     }
     Ok(vals)
 }
@@ -489,7 +495,11 @@ pub fn encode_block(trace: &Trace, budget: u32) -> Vec<u8> {
         // byte; `comp_len == raw_len` marks "stored raw" (no method byte).
         let lz = codec::compress(&raw);
         let rc = codec::entropy_compress(&raw);
-        let (method, stream) = if rc.len() < lz.len() { (2u8, rc) } else { (1u8, lz) };
+        let (method, stream) = if rc.len() < lz.len() {
+            (2u8, rc)
+        } else {
+            (1u8, lz)
+        };
         let payload = if stream.len() + 1 < raw.len() {
             let mut p = Vec::with_capacity(stream.len() + 1);
             p.push(method);
@@ -643,7 +653,9 @@ impl BlockFile {
         let mut pos = info.offset as usize;
         let inline = BlockInfo::get(&self.buf, &mut pos, Some(info.offset))?;
         if inline != info {
-            return Err(TraceError::Corrupt("index and in-line block header disagree"));
+            return Err(TraceError::Corrupt(
+                "index and in-line block header disagree",
+            ));
         }
         let end = pos
             .checked_add(info.comp_len as usize)
@@ -682,7 +694,9 @@ impl BlockFile {
     /// Per-block CRC status without failing fast (the `trace inspect`
     /// view).
     pub fn crc_status(&self) -> Vec<bool> {
-        (0..self.index.len()).map(|i| self.block(i).is_ok()).collect()
+        (0..self.index.len())
+            .map(|i| self.block(i).is_ok())
+            .collect()
     }
 
     /// Which compressor won block `i`'s encode-time race: `"stored"`
@@ -755,8 +769,11 @@ impl BlockFile {
             if b.comp_len == b.raw_len {
                 s.stored_blocks += 1;
             }
-            s.per_block_permille
-                .push(if b.raw_len == 0 { 1000 } else { b.comp_len as u64 * 1000 / b.raw_len as u64 });
+            s.per_block_permille.push(if b.raw_len == 0 {
+                1000
+            } else {
+                b.comp_len as u64 * 1000 / b.raw_len as u64
+            });
         }
         s.data_events = s.events - s.switch_events;
         s
@@ -825,7 +842,10 @@ impl TraceIngest {
     }
 
     pub fn with_limit(limit: usize) -> Self {
-        Self { buf: Vec::new(), limit }
+        Self {
+            buf: Vec::new(),
+            limit,
+        }
     }
 
     /// Append one chunk; returns the total bytes buffered so far.
@@ -950,8 +970,14 @@ mod tests {
         let t = Trace {
             paranoid: true,
             switches: vec![
-                SwitchRec { nyp: u64::MAX, check_tid: u32::MAX },
-                SwitchRec { nyp: 1, check_tid: 0 },
+                SwitchRec {
+                    nyp: u64::MAX,
+                    check_tid: u32::MAX,
+                },
+                SwitchRec {
+                    nyp: 1,
+                    check_tid: 0,
+                },
             ],
             data: vec![DataRec::Clock(i64::MIN), DataRec::Clock(i64::MAX)],
         };
@@ -1096,7 +1122,7 @@ mod tests {
         put_varint(&mut p, 2); // data count
         p.push(0); // tag: clock
         p.push(0); // tag: clock
-        // no clock column at all
+                   // no clock column at all
         let bf = BlockFile::parse(handcrafted_block_file(&p, 2, 0)).unwrap();
         assert_eq!(
             bf.block(0).unwrap_err(),
@@ -1201,7 +1227,10 @@ mod tests {
         let mut small = TraceIngest::with_limit(8);
         assert!(small.push(&[0u8; 6]).is_ok());
         assert!(matches!(small.push(&[0u8; 6]), Err(TraceError::Corrupt(_))));
-        assert!(matches!(ingest_bytes(b"not a trace".to_vec()), Err(TraceError::NotATrace)));
+        assert!(matches!(
+            ingest_bytes(b"not a trace".to_vec()),
+            Err(TraceError::NotATrace)
+        ));
         // Truncated block file: typed error, never a panic.
         let bytes = encode_trace(&sample(true, 200), TraceFormat::Block, 32);
         assert!(ingest_bytes(bytes[..40].to_vec()).is_err());

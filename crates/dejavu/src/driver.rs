@@ -91,6 +91,39 @@ impl ExecSpec {
         self
     }
 
+    /// Select the fingerprint mode (default [`FingerprintMode::Full`],
+    /// the strongest accuracy check; `Coarse` hashes scheduling and
+    /// output only and is the cheap production setting the dispatch
+    /// benches measure under).
+    pub fn with_fingerprint(mut self, mode: FingerprintMode) -> Self {
+        self.vm.fingerprint = mode;
+        self
+    }
+
+    /// Force tier-2 megablock execution on or off for every VM built from
+    /// this spec (the `DJVM_NO_MEGA` ablation as an API knob). Like
+    /// quickening, purely a speed setting: runs are bit-identical either
+    /// way. Megablocks additionally require quickening.
+    pub fn with_mega(mut self, mega: bool) -> Self {
+        self.vm.mega = mega;
+        self
+    }
+
+    /// Inject a deopt at every `stride`-th megablock guard evaluation
+    /// (0 disables). Forced deopts exit before the guarded step, so they
+    /// are semantics-preserving — used by the neutrality test suite.
+    pub fn with_mega_deopt_stride(mut self, stride: u64) -> Self {
+        self.vm.mega_deopt_stride = stride;
+        self
+    }
+
+    /// Force the guard with this per-iteration ordinal to always fail
+    /// (`None` disables). Semantics-preserving like the stride knob.
+    pub fn with_mega_deopt_guard(mut self, guard: Option<u32>) -> Self {
+        self.vm.mega_deopt_guard = guard;
+        self
+    }
+
     fn finish_vm(&self, mut vm: Vm) -> Vm {
         if self.telemetry {
             vm.enable_telemetry(self.telemetry_ring);
@@ -103,37 +136,41 @@ impl ExecSpec {
     }
 
     fn build_live_vm(&self) -> Vm {
-        self.finish_vm(Vm::boot(
-            Arc::clone(&self.program),
-            self.vm.clone(),
-            Box::new(JitteredTimer::new(
-                self.seed,
-                self.timer_base,
-                self.timer_jitter,
-            )),
-            Box::new(JitteredClock::new(
-                self.seed,
-                self.clock_origin,
-                self.cycles_per_ms,
-                self.clock_noise,
-            )),
+        self.finish_vm(
+            Vm::boot(
+                Arc::clone(&self.program),
+                self.vm.clone(),
+                Box::new(JitteredTimer::new(
+                    self.seed,
+                    self.timer_base,
+                    self.timer_jitter,
+                )),
+                Box::new(JitteredClock::new(
+                    self.seed,
+                    self.clock_origin,
+                    self.cycles_per_ms,
+                    self.clock_noise,
+                )),
+            )
+            .expect("boot failed"),
         )
-        .expect("boot failed"))
     }
 
     fn build_replay_vm(&self) -> Vm {
         // Replay ignores both sources; deterministic stand-ins are used.
-        self.finish_vm(Vm::boot(
-            Arc::clone(&self.program),
-            self.vm.clone(),
-            Box::new(JitteredTimer::new(
-                self.seed,
-                self.timer_base,
-                self.timer_jitter,
-            )),
-            Box::new(CycleClock::new(self.clock_origin, self.cycles_per_ms)),
+        self.finish_vm(
+            Vm::boot(
+                Arc::clone(&self.program),
+                self.vm.clone(),
+                Box::new(JitteredTimer::new(
+                    self.seed,
+                    self.timer_base,
+                    self.timer_jitter,
+                )),
+                Box::new(CycleClock::new(self.clock_origin, self.cycles_per_ms)),
+            )
+            .expect("boot failed"),
         )
-        .expect("boot failed"))
     }
 }
 
@@ -160,10 +197,21 @@ pub struct RunReport {
     /// [`ExecSpec::profile`] was set). Excluded from [`RunReport::matches`]
     /// for the same reason as `telemetry`.
     pub profile: Option<Box<telemetry::Profiler>>,
+    /// Tier-2 megablock runtime statistics. Observer state: entry and
+    /// deopt counts legitimately differ between a record run and its
+    /// replay (hook horizons differ), so — like `telemetry` — this is
+    /// excluded from [`RunReport::matches`]. Tier-*up* counts, by
+    /// contrast, are deterministic and surface in the event ring.
+    pub mega: djvm::MegaStats,
 }
 
 impl RunReport {
-    fn from_vm(vm: &mut Vm, wall_time: Duration, mode: &'static str, phases: Vec<PhaseSpan>) -> Self {
+    fn from_vm(
+        vm: &mut Vm,
+        wall_time: Duration,
+        mode: &'static str,
+        phases: Vec<PhaseSpan>,
+    ) -> Self {
         Self {
             status: vm.status,
             output: vm.output.clone(),
@@ -175,6 +223,7 @@ impl RunReport {
             wall_time,
             telemetry: RunTelemetry::capture(vm, mode, phases),
             profile: vm.telem.profile.take(),
+            mega: vm.mega.stats,
         }
     }
 
@@ -200,7 +249,12 @@ pub fn passthrough_run(spec: &ExecSpec, natives: impl FnOnce(&mut Vm)) -> RunRep
     let t0 = Instant::now();
     interp::run(&mut vm, &mut hook, spec.max_steps);
     let run = PhaseSpan::mark("passthrough", &vm);
-    RunReport::from_vm(&mut vm, t0.elapsed(), "passthrough", vec![boot, warmup, run])
+    RunReport::from_vm(
+        &mut vm,
+        t0.elapsed(),
+        "passthrough",
+        vec![boot, warmup, run],
+    )
 }
 
 /// Record an execution: returns the report and the DejaVu trace.

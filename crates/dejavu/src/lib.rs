@@ -51,17 +51,17 @@ pub mod replay;
 pub mod symmetry;
 pub mod trace;
 
+pub use blocktrace::{
+    decode_any, encode_trace, ingest_bytes, sniff_format, BlockFile, BlockInfo, BlockStats,
+    IngestedTrace, TraceError, TraceFormat, TraceIngest, DEFAULT_BLOCK_BUDGET,
+    DEFAULT_INGEST_LIMIT,
+};
 pub use driver::{
     full_fidelity, passthrough_run, record_replay, record_replay_forensic, record_run, replay_run,
     ExecSpec, ForensicOutcome, RunReport,
 };
 pub use observe::{
     counters_json, run_metrics_json, DivergenceReport, PhaseSpan, RunTelemetry, ThreadClockDelta,
-};
-pub use blocktrace::{
-    decode_any, encode_trace, ingest_bytes, sniff_format, BlockFile, BlockInfo, BlockStats,
-    IngestedTrace, TraceError, TraceFormat, TraceIngest, DEFAULT_BLOCK_BUDGET,
-    DEFAULT_INGEST_LIMIT,
 };
 pub use profiler::{profile_replay, ProfileReport};
 pub use record::DejaVuRecorder;

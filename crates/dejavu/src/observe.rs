@@ -98,11 +98,7 @@ impl RunTelemetry {
             compile_words: vm.telem.compile_words.clone(),
             heap: vm.heap.stats,
             pressure: vm.sched.pressure(),
-            thread_clocks: vm
-                .threads
-                .iter()
-                .map(|t| (t.tid, t.yield_points))
-                .collect(),
+            thread_clocks: vm.threads.iter().map(|t| (t.tid, t.yield_points)).collect(),
             phases,
         }))
     }
@@ -119,8 +115,14 @@ impl RunTelemetry {
             ),
         ]);
         let sched = Json::obj(vec![
-            ("entry_blocked", Json::UInt(self.pressure.entry_blocked as u64)),
-            ("join_waiters", Json::UInt(self.pressure.join_waiters as u64)),
+            (
+                "entry_blocked",
+                Json::UInt(self.pressure.entry_blocked as u64),
+            ),
+            (
+                "join_waiters",
+                Json::UInt(self.pressure.join_waiters as u64),
+            ),
             ("monitors", Json::UInt(self.pressure.monitors as u64)),
             ("ready", Json::UInt(self.pressure.ready as u64)),
             ("sleepers", Json::UInt(self.pressure.sleepers as u64)),
@@ -457,6 +459,7 @@ mod tests {
                 phases: Vec::new(),
             })),
             profile: None,
+            mega: Default::default(),
         }
     }
 

@@ -133,15 +133,19 @@ mod tests {
         assert!(d0.is_empty());
         let (prof, report, desyncs) = profile_replay(&spec, trace, SymmetryConfig::full());
         assert!(desyncs.is_empty());
-        assert_eq!(report.fingerprint, plain.fingerprint, "profiler perturbed replay");
+        assert_eq!(
+            report.fingerprint, plain.fingerprint,
+            "profiler perturbed replay"
+        );
         assert_eq!(report.state_digest, plain.state_digest);
         assert_eq!(report.fingerprint, rec.fingerprint);
         assert_eq!(prof.fingerprint, report.fingerprint);
         // The model accounts for the whole run and resolves real names.
         assert!(prof.model.total_cycles > 0);
         let hot = prof.hottest_method().unwrap();
-        let unresolved =
-            hot.strip_prefix('m').is_some_and(|r| !r.is_empty() && r.bytes().all(|b| b.is_ascii_digit()));
+        let unresolved = hot
+            .strip_prefix('m')
+            .is_some_and(|r| !r.is_empty() && r.bytes().all(|b| b.is_ascii_digit()));
         assert!(!unresolved, "unresolved method name: {hot}");
         assert!(!prof.folded().is_empty());
     }

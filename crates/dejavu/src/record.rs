@@ -192,6 +192,22 @@ impl ExecHook for DejaVuRecorder {
         YieldAction::NONE
     }
 
+    fn quiet_yield_horizon(&self, vm: &Vm) -> u64 {
+        // Like passthrough, recording switches only on the hardware preempt
+        // bit; in a tick-free window every consult just advances `nyp`.
+        if vm.preempt_bit {
+            0
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn on_yield_points_skipped(&mut self, k: u64) {
+        // Batched yield points still tick the logical clock (Fig. 2's
+        // delta): the recorded trace must not depend on the execution tier.
+        self.nyp += k;
+    }
+
     fn on_clock_read(&mut self, vm: &mut Vm) -> i64 {
         let v = vm.read_live_clock();
         self.trace.data.push(DataRec::Clock(v));

@@ -191,6 +191,24 @@ impl ExecHook for DejaVuReplayer {
         YieldAction::NONE
     }
 
+    fn quiet_yield_horizon(&self, _vm: &Vm) -> u64 {
+        // The consult that brings `remaining` to zero forces the recorded
+        // switch, so exactly `remaining - 1` consults ahead are quiet. With
+        // the switch stream exhausted, every remaining consult is a no-op.
+        match self.pending.as_ref() {
+            Some(p) => p.remaining.saturating_sub(1),
+            None => u64::MAX,
+        }
+    }
+
+    fn on_yield_points_skipped(&mut self, k: u64) {
+        // Count down the recorded delta for yield points the tier-2 engine
+        // batched; `k` is bounded by the horizon, so this never crosses 0.
+        if let Some(p) = self.pending.as_mut() {
+            p.remaining -= k;
+        }
+    }
+
     fn on_clock_read(&mut self, _vm: &mut Vm) -> i64 {
         self.clock_reads += 1;
         match self.data.pop_front() {

@@ -329,8 +329,14 @@ mod tests {
         let t = Trace {
             paranoid: false,
             switches: vec![
-                SwitchRec { nyp: u64::MAX, check_tid: u32::MAX },
-                SwitchRec { nyp: 1, check_tid: u32::MAX },
+                SwitchRec {
+                    nyp: u64::MAX,
+                    check_tid: u32::MAX,
+                },
+                SwitchRec {
+                    nyp: 1,
+                    check_tid: u32::MAX,
+                },
             ],
             data: vec![DataRec::Clock(i64::MIN)],
         };
@@ -341,7 +347,10 @@ mod tests {
     fn roundtrip_paranoid_max_tid() {
         let t = Trace {
             paranoid: true,
-            switches: vec![SwitchRec { nyp: u64::MAX, check_tid: u32::MAX }],
+            switches: vec![SwitchRec {
+                nyp: u64::MAX,
+                check_tid: u32::MAX,
+            }],
             data: vec![],
         };
         assert_eq!(Trace::decode(&t.encoded()).unwrap(), t);

@@ -40,9 +40,17 @@ fn profiler_neutral_across_the_registry() {
             "{}: profiled replay differs from the record",
             w.name
         );
-        assert_eq!(prof.fingerprint, rep.fingerprint, "{}: report identity", w.name);
+        assert_eq!(
+            prof.fingerprint, rep.fingerprint,
+            "{}: report identity",
+            w.name
+        );
         // Every profiled run accounts its full logical length.
-        assert_eq!(prof.final_cycles, rep.cycles, "{}: cycle accounting", w.name);
+        assert_eq!(
+            prof.final_cycles, rep.cycles,
+            "{}: cycle accounting",
+            w.name
+        );
     }
 }
 
@@ -61,7 +69,10 @@ fn artifacts_are_deterministic_and_canonical() {
     let (c1, c2) = (p1.chrome_json().to_string(), p2.chrome_json().to_string());
     assert_eq!(c1, c2, "chrome artifact bytes");
     assert_eq!(p1.folded(), p2.folded(), "folded artifact bytes");
-    let (s1, s2) = (p1.summary_json(10).to_string(), p2.summary_json(10).to_string());
+    let (s1, s2) = (
+        p1.summary_json(10).to_string(),
+        p2.summary_json(10).to_string(),
+    );
     assert_eq!(s1, s2, "summary bytes");
     for doc in [&c1, &s1] {
         let j = codec::Json::parse(doc).expect("valid JSON");
@@ -121,6 +132,45 @@ fn cycle_attribution_is_complete() {
     let by_thread: u64 = m.thread_cycles.values().sum();
     let sched = m.phases[telemetry::profile::PHASE_SCHED as usize].cycles;
     let interp = m.phases[telemetry::profile::PHASE_INTERP as usize].cycles;
-    assert_eq!(by_thread, m.total_cycles, "per-thread attribution covers the run");
+    assert_eq!(
+        by_thread, m.total_cycles,
+        "per-thread attribution covers the run"
+    );
     assert_eq!(interp + sched, m.total_cycles, "interp + sched = total");
+}
+
+/// Tier-2 megablocks unfold to their constituent QOp spans: profiling the
+/// same trace with megablocks on and off yields byte-identical artifacts
+/// and a complete attribution, while the tier-2 replay provably tiered up
+/// (a vacuous pass would mean the profiler silently pinned tier 1).
+#[test]
+fn megablock_unfold_keeps_attribution_complete() {
+    let w = workloads::registry()
+        .into_iter()
+        .find(|w| w.name == "fig1_hot")
+        .expect("fig1_hot registered");
+    let spec = spec_for(&w, 4);
+    let (_, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+    let off = spec.clone().with_mega(false);
+    let (p_off, rep_off, d_off) = profile_replay(&off, trace.clone(), SymmetryConfig::full());
+    let (p_on, rep_on, d_on) = profile_replay(&spec, trace, SymmetryConfig::full());
+    assert!(d_off.is_empty() && d_on.is_empty());
+    assert!(
+        rep_on.mega.tier_ups > 0,
+        "profiled replay never tiered up: {:?}",
+        rep_on.mega
+    );
+    assert!(rep_on.matches(&rep_off), "tier-2 visible to the profiler");
+    assert_eq!(p_on.final_cycles, rep_on.cycles, "tier-2 cycle accounting");
+    assert_eq!(
+        p_on.chrome_json().to_string(),
+        p_off.chrome_json().to_string(),
+        "chrome artifact differs across tiers"
+    );
+    assert_eq!(p_on.folded(), p_off.folded(), "folded artifact differs");
+    assert_eq!(
+        p_on.summary_json(10).to_string(),
+        p_off.summary_json(10).to_string(),
+        "summary differs across tiers"
+    );
 }

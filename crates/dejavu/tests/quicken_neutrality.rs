@@ -39,7 +39,11 @@ fn quickening_is_neutral_across_the_workload_suite() {
             "{}: step counts differ",
             w.name
         );
-        assert_eq!(rec_q.cycles, rec_u.cycles, "{}: cycle counts differ", w.name);
+        assert_eq!(
+            rec_q.cycles, rec_u.cycles,
+            "{}: cycle counts differ",
+            w.name
+        );
         assert_eq!(
             trace_q.encoded(),
             trace_u.encoded(),
@@ -58,7 +62,11 @@ fn traces_replay_accurately_across_dispatch_modes() {
         // Record unfused, replay quickened — and the reverse.
         let (rec_u, trace_u) = record_run(&u, w.natives, SymmetryConfig::full(), true);
         let (rep_q, de_q) = replay_run(&q, trace_u, SymmetryConfig::full());
-        assert!(de_q.is_empty(), "{}: desyncs replaying unfused trace quickened", w.name);
+        assert!(
+            de_q.is_empty(),
+            "{}: desyncs replaying unfused trace quickened",
+            w.name
+        );
         assert!(
             rec_u.matches(&rep_q),
             "{}: unfused record vs quickened replay",
@@ -66,7 +74,11 @@ fn traces_replay_accurately_across_dispatch_modes() {
         );
         let (rec_q, trace_q) = record_run(&q, w.natives, SymmetryConfig::full(), true);
         let (rep_u, de_u) = replay_run(&u, trace_q, SymmetryConfig::full());
-        assert!(de_u.is_empty(), "{}: desyncs replaying quickened trace unfused", w.name);
+        assert!(
+            de_u.is_empty(),
+            "{}: desyncs replaying quickened trace unfused",
+            w.name
+        );
         assert!(
             rec_q.matches(&rep_u),
             "{}: quickened record vs unfused replay",
@@ -93,7 +105,10 @@ fn interval_one_is_neutral_on_scheduling_workloads() {
         let u = s.clone().with_quicken(false);
         let (rec_q, trace_q) = record_run(&q, w.natives, SymmetryConfig::full(), true);
         let (rec_u, trace_u) = record_run(&u, w.natives, SymmetryConfig::full(), true);
-        assert!(rec_q.matches(&rec_u), "{name}: interval-1 observables differ");
+        assert!(
+            rec_q.matches(&rec_u),
+            "{name}: interval-1 observables differ"
+        );
         assert_eq!(
             trace_q.encoded(),
             trace_u.encoded(),

@@ -3,9 +3,7 @@
 //! reproduces the recorded execution exactly (event sequence, program
 //! states, output); across seeds, executions genuinely differ.
 
-use dejavu::{
-    passthrough_run, record_replay, record_run, replay_run, ExecSpec, SymmetryConfig,
-};
+use dejavu::{passthrough_run, record_replay, record_run, replay_run, ExecSpec, SymmetryConfig};
 use djvm::{GcKind, NativeOutcome, Program, ProgramBuilder, Ty};
 
 /// Two threads race unsynchronized increments on a shared static; the
@@ -282,7 +280,9 @@ fn native_calls_replayed_without_execution() {
         vm.natives.register(
             n,
             Box::new(move |ctx| {
-                counter = counter.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(1442695040888963407);
+                counter = counter
+                    .wrapping_mul(0x5851F42D4C957F2D)
+                    .wrapping_add(1442695040888963407);
                 NativeOutcome::value((counter >> 33) as i64 ^ ctx.args[0])
             }),
         );

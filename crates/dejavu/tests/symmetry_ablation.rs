@@ -38,7 +38,11 @@ fn observer_workload(iters: i64) -> Program {
         a.label("delay_done");
         a.load(1).iconst(1).add().put_static(g, 0);
         // fold a fresh allocation's identity hash into shared state
-        a.get_static(g, 1).new(cls).identity_hash().bxor().put_static(g, 1);
+        a.get_static(g, 1)
+            .new(cls)
+            .identity_hash()
+            .bxor()
+            .put_static(g, 1);
         a.load(0).iconst(1).add().store(0);
         a.goto("top");
         a.label("done");
@@ -72,7 +76,11 @@ fn deep_stack_workload() -> Program {
         a.iconst(0).store(1);
         a.label("top");
         a.load(1).load(0).ge().if_nz("done");
-        a.get_static(g, 0).new(cls).identity_hash().bxor().put_static(g, 0);
+        a.get_static(g, 0)
+            .new(cls)
+            .identity_hash()
+            .bxor()
+            .put_static(g, 0);
         a.load(1).iconst(1).add().store(1);
         a.goto("top");
         a.label("done");

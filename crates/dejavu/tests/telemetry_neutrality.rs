@@ -35,7 +35,11 @@ fn sensitive_workload(iters: i64) -> Program {
         a.goto("delay");
         a.label("delay_done");
         a.load(1).iconst(1).add().put_static(g, 0);
-        a.get_static(g, 1).new(cls).identity_hash().bxor().put_static(g, 1);
+        a.get_static(g, 1)
+            .new(cls)
+            .identity_hash()
+            .bxor()
+            .put_static(g, 1);
         a.load(0).iconst(1).add().store(0);
         a.goto("top");
         a.label("done");
@@ -66,7 +70,10 @@ fn spec(seed: u64) -> ExecSpec {
 /// bit-identical, under full symmetry and under every single ablation.
 #[test]
 fn telemetry_neutral_for_every_symmetry_config() {
-    let mut configs = vec![("full", SymmetryConfig::full()), ("naive", SymmetryConfig::naive())];
+    let mut configs = vec![
+        ("full", SymmetryConfig::full()),
+        ("naive", SymmetryConfig::naive()),
+    ];
     for a in Ablation::ALL {
         configs.push((a.name(), SymmetryConfig::ablate(a)));
     }
@@ -112,10 +119,7 @@ fn forced_desync_is_localized_by_the_rings() {
                 text.contains(&format!("first divergence at event #{}", first.seq)),
                 "{text}"
             );
-            assert!(
-                text.contains(&format!("({})", first.kind_name())),
-                "{text}"
-            );
+            assert!(text.contains(&format!("({})", first.kind_name())), "{text}");
             localized = true;
             break;
         }

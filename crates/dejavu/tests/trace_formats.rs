@@ -97,7 +97,8 @@ fn corrupt_files_fail_typed_not_loud() {
             let short = &bytes[..bytes.len() - cut];
             match decode_any(short) {
                 Ok((t, _)) => assert_eq!(
-                    t, trace,
+                    t,
+                    trace,
                     "{}: a {cut}-byte truncation decoded to a different trace",
                     format.name()
                 ),
@@ -120,7 +121,10 @@ fn corrupt_files_fail_typed_not_loud() {
         }
     }
     // Garbage is NotATrace, empty is NotATrace.
-    assert_eq!(decode_any(b"garbage bytes").unwrap_err(), TraceError::NotATrace);
+    assert_eq!(
+        decode_any(b"garbage bytes").unwrap_err(),
+        TraceError::NotATrace
+    );
     assert_eq!(decode_any(b"").unwrap_err(), TraceError::NotATrace);
     // A block file whose CRC is damaged reports the block index.
     let bytes = encode_trace(&trace, TraceFormat::Block, 64);

@@ -96,9 +96,15 @@ pub enum Op {
     /// the declared field type (like a JVM field descriptor); it types the
     /// verifier's dataflow and is checked against the receiver's actual
     /// layout at run time.
-    GetField { idx: u16, ty: Ty },
+    GetField {
+        idx: u16,
+        ty: Ty,
+    },
     /// Pop a value then a receiver ref; store into instance field `idx`.
-    PutField { idx: u16, ty: Ty },
+    PutField {
+        idx: u16,
+        ty: Ty,
+    },
     /// Push the value of static field `n` of the class (loads the class
     /// lazily on first touch, which allocates its class object).
     GetStatic(ClassId, u16),
@@ -128,7 +134,10 @@ pub enum Op {
     /// symbolic method reference of JVM `invokevirtual`) and `slot` its
     /// vtable slot; the callee is resolved through the *dynamic* receiver's
     /// vtable at run time. The receiver sits deepest among the arguments.
-    CallVirtual { class: ClassId, slot: u16 },
+    CallVirtual {
+        class: ClassId,
+        slot: u16,
+    },
     /// Return with no value.
     Ret,
     /// Pop a value and return it to the caller.
@@ -154,7 +163,10 @@ pub enum Op {
     // ---- threading ----
     /// Pop `nargs` arguments; spawn a new thread running the method; push
     /// a reference to the new Thread object.
-    Spawn { method: MethodId, nargs: u8 },
+    Spawn {
+        method: MethodId,
+        nargs: u8,
+    },
     /// Pop a Thread object ref; block until that thread terminates.
     Join,
     /// Pop a Thread object ref; interrupt that thread.
@@ -176,7 +188,10 @@ pub enum Op {
     /// push its result. Return values (and any callback invocations the
     /// native requests) are captured during record and regenerated during
     /// replay (§2.5).
-    NativeCall { native: NativeId, nargs: u8 },
+    NativeCall {
+        native: NativeId,
+        nargs: u8,
+    },
 
     // ---- output ----
     /// Pop an int and append its decimal form plus newline to VM output.

@@ -78,9 +78,7 @@ impl ToJson for Op {
             Op::CallVirtual { class, slot } => {
                 op_arr("CallVirtual", vec![class.to_json(), slot.to_json()])
             }
-            Op::Spawn { method, nargs } => {
-                op_arr("Spawn", vec![method.to_json(), nargs.to_json()])
-            }
+            Op::Spawn { method, nargs } => op_arr("Spawn", vec![method.to_json(), nargs.to_json()]),
             Op::NativeCall { native, nargs } => {
                 op_arr("NativeCall", vec![native.to_json(), nargs.to_json()])
             }
@@ -533,8 +531,14 @@ mod tests {
             Op::If(3),
             Op::IfZ(0),
             Op::New(1),
-            Op::GetField { idx: 2, ty: Ty::Int },
-            Op::PutField { idx: 3, ty: Ty::Ref },
+            Op::GetField {
+                idx: 2,
+                ty: Ty::Int,
+            },
+            Op::PutField {
+                idx: 3,
+                ty: Ty::Ref,
+            },
             Op::GetStatic(1, 2),
             Op::PutStatic(3, 4),
             Op::NewArray(Ty::Ref),
@@ -553,14 +557,20 @@ mod tests {
             Op::TimedWait,
             Op::Notify,
             Op::NotifyAll,
-            Op::Spawn { method: 5, nargs: 2 },
+            Op::Spawn {
+                method: 5,
+                nargs: 2,
+            },
             Op::Join,
             Op::Interrupt,
             Op::YieldNow,
             Op::Sleep,
             Op::CurrentThread,
             Op::Now,
-            Op::NativeCall { native: 1, nargs: 255 },
+            Op::NativeCall {
+                native: 1,
+                nargs: 255,
+            },
             Op::Print,
             Op::PrintStr(0),
             Op::Halt,

@@ -55,7 +55,6 @@ impl AbsTy {
             Ty::Ref => AbsTy::Ref,
         }
     }
-
 }
 
 /// Which slots of a frame hold references at a given pc (state *before*
@@ -232,9 +231,18 @@ pub enum QOp {
     Cmp(CmpFn),
     /// Branches carry their backedge bit so the dispatch loop needs no
     /// side-table probe.
-    Goto { target: u32, backedge: bool },
-    If { target: u32, backedge: bool },
-    IfZ { target: u32, backedge: bool },
+    Goto {
+        target: u32,
+        backedge: bool,
+    },
+    If {
+        target: u32,
+        backedge: bool,
+    },
+    IfZ {
+        target: u32,
+        backedge: bool,
+    },
     /// `CallVirtual` whose receiver class is statically unique (no loaded
     /// subclass overrides the slot): dispatches directly to `callee` after
     /// the same null / subclass checks, skipping both vtable probes.
@@ -245,11 +253,22 @@ pub enum QOp {
     },
     // ---- superinstructions ----
     /// `Const v; Store local` (width 2).
-    ConstStore { v: i64, local: u16 },
+    ConstStore {
+        v: i64,
+        local: u16,
+    },
     /// `Load a; Load b; <alu>` (width 3).
-    LoadLoadAlu { a: u16, b: u16, f: AluFn },
+    LoadLoadAlu {
+        a: u16,
+        b: u16,
+        f: AluFn,
+    },
     /// `Load a; Const v; <alu>` (width 3).
-    LoadConstAlu { a: u16, v: i64, f: AluFn },
+    LoadConstAlu {
+        a: u16,
+        v: i64,
+        f: AluFn,
+    },
     /// `<cmp>; If/IfZ target` (width 2). `jump_if` is the comparison
     /// result that takes the branch (`true` for `If`, `false` for `IfZ`).
     CmpIf {
@@ -377,19 +396,62 @@ pub const FRAME_HEADER_WORDS: u32 = 3;
 /// Verification / compilation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
-    StackUnderflow { method: String, pc: usize },
-    StackOverflowStatic { method: String, pc: usize },
-    TypeMismatch { method: String, pc: usize, expected: &'static str, found: &'static str },
-    BadLocal { method: String, pc: usize, local: u16 },
-    DeadSlotUse { method: String, pc: usize, local: u16 },
-    BadBranchTarget { method: String, pc: usize, target: u32 },
-    FallsOffEnd { method: String },
-    BadCallee { method: String, pc: usize },
-    SignatureMismatch { method: String, pc: usize, detail: String },
-    InconsistentStackDepth { method: String, pc: usize },
-    BadStaticField { method: String, pc: usize },
-    ReturnMismatch { method: String, pc: usize },
-    EmptyMethod { method: String },
+    StackUnderflow {
+        method: String,
+        pc: usize,
+    },
+    StackOverflowStatic {
+        method: String,
+        pc: usize,
+    },
+    TypeMismatch {
+        method: String,
+        pc: usize,
+        expected: &'static str,
+        found: &'static str,
+    },
+    BadLocal {
+        method: String,
+        pc: usize,
+        local: u16,
+    },
+    DeadSlotUse {
+        method: String,
+        pc: usize,
+        local: u16,
+    },
+    BadBranchTarget {
+        method: String,
+        pc: usize,
+        target: u32,
+    },
+    FallsOffEnd {
+        method: String,
+    },
+    BadCallee {
+        method: String,
+        pc: usize,
+    },
+    SignatureMismatch {
+        method: String,
+        pc: usize,
+        detail: String,
+    },
+    InconsistentStackDepth {
+        method: String,
+        pc: usize,
+    },
+    BadStaticField {
+        method: String,
+        pc: usize,
+    },
+    ReturnMismatch {
+        method: String,
+        pc: usize,
+    },
+    EmptyMethod {
+        method: String,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -401,7 +463,12 @@ impl std::fmt::Display for CompileError {
             CompileError::StackOverflowStatic { method, pc } => {
                 write!(f, "{method}@{pc}: operand stack exceeds limit")
             }
-            CompileError::TypeMismatch { method, pc, expected, found } => {
+            CompileError::TypeMismatch {
+                method,
+                pc,
+                expected,
+                found,
+            } => {
                 write!(f, "{method}@{pc}: expected {expected}, found {found}")
             }
             CompileError::BadLocal { method, pc, local } => {
@@ -498,7 +565,11 @@ fn inject_builtins(program: &mut Program) {
     let vm_method_class = ensure_class(
         program,
         "VM_Method",
-        vec![("methodId", Ty::Int), ("name", Ty::Ref), ("lineTable", Ty::Ref)],
+        vec![
+            ("methodId", Ty::Int),
+            ("name", Ty::Ref),
+            ("lineTable", Ty::Ref),
+        ],
     );
 
     // VM_Method.getLineNumberAt(offset): the reflective query of Fig. 3.
@@ -517,10 +588,13 @@ fn inject_builtins(program: &mut Program) {
     } else {
         let line_table_idx = 2u16; // third field of VM_Method
         let ops = vec![
-            Op::Load(0),                                    // this
-            Op::GetField { idx: line_table_idx, ty: Ty::Ref }, // lineTable
+            Op::Load(0), // this
+            Op::GetField {
+                idx: line_table_idx,
+                ty: Ty::Ref,
+            }, // lineTable
             Op::Store(2),
-            Op::Load(1),                                    // offset
+            Op::Load(1), // offset
             Op::Load(2),
             Op::ArrayLen,
             Op::Lt,
@@ -622,52 +696,56 @@ fn inject_builtins(program: &mut Program) {
     // sys$getMethods: the VM_Dictionary.getMethods() analogue. Stub body —
     // a tool JVM *maps* this method (intercepting its invocation to return
     // a remote object); it is never meant to execute.
-    let get_methods = program.method_id_by_name("sys$getMethods").unwrap_or_else(|| {
-        program.methods.push(Method {
-            name: "sys$getMethods".into(),
-            owner: None,
-            nargs: 0,
-            nlocals: 0,
-            arg_types: vec![],
-            ret: Some(Ty::Ref),
-            ops: vec![Op::Null, Op::RetVal],
-            lines: vec![1, 1],
-            compiled: None,
+    let get_methods = program
+        .method_id_by_name("sys$getMethods")
+        .unwrap_or_else(|| {
+            program.methods.push(Method {
+                name: "sys$getMethods".into(),
+                owner: None,
+                nargs: 0,
+                nlocals: 0,
+                arg_types: vec![],
+                ret: Some(Ty::Ref),
+                ops: vec![Op::Null, Op::RetVal],
+                lines: vec![1, 1],
+                compiled: None,
+            });
+            (program.methods.len() - 1) as MethodId
         });
-        (program.methods.len() - 1) as MethodId
-    });
 
     // sys$lineNumberOf(methodNumber, offset): the paper's Figure 3 query:
     //   VM_Method[] mtable = VM_Dictionary.getMethods();
     //   VM_Method candidate = mtable[methodNumber];
     //   return candidate.getLineNumberAt(offset);
-    let line_number_of = program.method_id_by_name("sys$lineNumberOf").unwrap_or_else(|| {
-        let slot = program.classes[vm_method_class as usize].vslots["getLineNumberAt"];
-        program.methods.push(Method {
-            name: "sys$lineNumberOf".into(),
-            owner: None,
-            nargs: 2,
-            nlocals: 3,
-            arg_types: vec![Ty::Int, Ty::Int],
-            ret: Some(Ty::Int),
-            ops: vec![
-                Op::Call(get_methods),   // mtable
-                Op::Load(0),             // methodNumber
-                Op::ALoad(Ty::Ref),      // candidate
-                Op::Store(2),
-                Op::Load(2),
-                Op::Load(1),             // offset
-                Op::CallVirtual {
-                    class: vm_method_class,
-                    slot,
-                },
-                Op::RetVal,
-            ],
-            lines: vec![2, 3, 3, 3, 4, 4, 4, 4],
-            compiled: None,
+    let line_number_of = program
+        .method_id_by_name("sys$lineNumberOf")
+        .unwrap_or_else(|| {
+            let slot = program.classes[vm_method_class as usize].vslots["getLineNumberAt"];
+            program.methods.push(Method {
+                name: "sys$lineNumberOf".into(),
+                owner: None,
+                nargs: 2,
+                nlocals: 3,
+                arg_types: vec![Ty::Int, Ty::Int],
+                ret: Some(Ty::Int),
+                ops: vec![
+                    Op::Call(get_methods), // mtable
+                    Op::Load(0),           // methodNumber
+                    Op::ALoad(Ty::Ref),    // candidate
+                    Op::Store(2),
+                    Op::Load(2),
+                    Op::Load(1), // offset
+                    Op::CallVirtual {
+                        class: vm_method_class,
+                        slot,
+                    },
+                    Op::RetVal,
+                ],
+                lines: vec![2, 3, 3, 3, 4, 4, 4, 4],
+                compiled: None,
+            });
+            (program.methods.len() - 1) as MethodId
         });
-        (program.methods.len() - 1) as MethodId
-    });
 
     program.builtins = crate::program::Builtins {
         thread_class,
@@ -762,49 +840,53 @@ impl<'p> Verifier<'p> {
         states[0] = Some((entry_locals, Vec::new()));
         let mut work: VecDeque<usize> = VecDeque::from([0]);
 
-        let flow_to =
-            |states: &mut Vec<Option<State>>, work: &mut VecDeque<usize>, pc: usize, to: usize, st: &State| -> Result<(), CompileError> {
-                if to >= n {
-                    return Err(CompileError::BadBranchTarget {
-                        method: self.name.clone(),
-                        pc,
-                        target: to as u32,
-                    });
+        let flow_to = |states: &mut Vec<Option<State>>,
+                       work: &mut VecDeque<usize>,
+                       pc: usize,
+                       to: usize,
+                       st: &State|
+         -> Result<(), CompileError> {
+            if to >= n {
+                return Err(CompileError::BadBranchTarget {
+                    method: self.name.clone(),
+                    pc,
+                    target: to as u32,
+                });
+            }
+            match &mut states[to] {
+                None => {
+                    states[to] = Some(st.clone());
+                    work.push_back(to);
                 }
-                match &mut states[to] {
-                    None => {
-                        states[to] = Some(st.clone());
+                Some(existing) => {
+                    if existing.1.len() != st.1.len() {
+                        return Err(CompileError::InconsistentStackDepth {
+                            method: self.name.clone(),
+                            pc: to,
+                        });
+                    }
+                    let mut changed = false;
+                    for (e, &v) in existing.0.iter_mut().zip(st.0.iter()) {
+                        let merged = e.merge(v);
+                        if merged != *e {
+                            *e = merged;
+                            changed = true;
+                        }
+                    }
+                    for (e, &v) in existing.1.iter_mut().zip(st.1.iter()) {
+                        let merged = e.merge(v);
+                        if merged != *e {
+                            *e = merged;
+                            changed = true;
+                        }
+                    }
+                    if changed {
                         work.push_back(to);
                     }
-                    Some(existing) => {
-                        if existing.1.len() != st.1.len() {
-                            return Err(CompileError::InconsistentStackDepth {
-                                method: self.name.clone(),
-                                pc: to,
-                            });
-                        }
-                        let mut changed = false;
-                        for (e, &v) in existing.0.iter_mut().zip(st.0.iter()) {
-                            let merged = e.merge(v);
-                            if merged != *e {
-                                *e = merged;
-                                changed = true;
-                            }
-                        }
-                        for (e, &v) in existing.1.iter_mut().zip(st.1.iter()) {
-                            let merged = e.merge(v);
-                            if merged != *e {
-                                *e = merged;
-                                changed = true;
-                            }
-                        }
-                        if changed {
-                            work.push_back(to);
-                        }
-                    }
                 }
-                Ok(())
-            };
+            }
+            Ok(())
+        };
 
         while let Some(pc) = work.pop_front() {
             let (mut locals, mut stack) = states[pc].clone().expect("state present");
@@ -870,8 +952,16 @@ impl<'p> Verifier<'p> {
                     stack.push(a);
                     stack.push(b);
                 }
-                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::BitAnd | Op::BitOr
-                | Op::BitXor | Op::Shl | Op::Shr => bin_int!(),
+                Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::Div
+                | Op::Rem
+                | Op::BitAnd
+                | Op::BitOr
+                | Op::BitXor
+                | Op::Shl
+                | Op::Shr => bin_int!(),
                 Op::Neg => {
                     self.pop_expect(pc, &mut stack, AbsTy::Int, "int")?;
                     stack.push(AbsTy::Int);
@@ -908,37 +998,37 @@ impl<'p> Verifier<'p> {
                     self.pop_expect(pc, &mut stack, AbsTy::Ref, "ref")?;
                 }
                 Op::GetStatic(c, i) => {
-                    let layout = self
-                        .program
-                        .classes
-                        .get(c as usize)
-                        .ok_or(CompileError::BadStaticField {
-                            method: self.name.clone(),
-                            pc,
-                        })?;
-                    let decl = layout.statics.get(i as usize).ok_or(
+                    let layout = self.program.classes.get(c as usize).ok_or(
                         CompileError::BadStaticField {
                             method: self.name.clone(),
                             pc,
                         },
                     )?;
+                    let decl =
+                        layout
+                            .statics
+                            .get(i as usize)
+                            .ok_or(CompileError::BadStaticField {
+                                method: self.name.clone(),
+                                pc,
+                            })?;
                     stack.push(AbsTy::of(decl.ty));
                 }
                 Op::PutStatic(c, i) => {
-                    let layout = self
-                        .program
-                        .classes
-                        .get(c as usize)
-                        .ok_or(CompileError::BadStaticField {
-                            method: self.name.clone(),
-                            pc,
-                        })?;
-                    let decl = layout.statics.get(i as usize).ok_or(
+                    let layout = self.program.classes.get(c as usize).ok_or(
                         CompileError::BadStaticField {
                             method: self.name.clone(),
                             pc,
                         },
                     )?;
+                    let decl =
+                        layout
+                            .statics
+                            .get(i as usize)
+                            .ok_or(CompileError::BadStaticField {
+                                method: self.name.clone(),
+                                pc,
+                            })?;
                     self.pop_expect(pc, &mut stack, AbsTy::of(decl.ty), "static value")?;
                 }
                 Op::NewArray(_) => {
@@ -1283,6 +1373,613 @@ fn quicken(program: &Program, ops: &[Op], backedge: &[bool]) -> Vec<QOp> {
     q
 }
 
+// ---------------------------------------------------------------------------
+// Tier-2: megablock compilation (hot-loop traces with deopt guards)
+// ---------------------------------------------------------------------------
+
+/// Taken-backedge count at which a loop head tiers up: the threshold-th
+/// taken backedge of a loop triggers one `compile_loop` attempt. The
+/// crossing is a pure function of the deterministic execution, so it fires
+/// at the identical instruction in passthrough, record, and replay.
+pub const MEGA_HOT_THRESHOLD: u32 = 64;
+
+/// Cap on micro-ops per megablock. Blocks must stay narrow enough that the
+/// per-iteration `cycles_to_tick > width` gate almost always passes
+/// (timer intervals are a few hundred cycles).
+const MEGA_MAX_STEPS: usize = 48;
+
+/// Cap on the quickened length of a callee inlined through `CallMono`.
+const MEGA_MAX_INLINE_OPS: usize = 16;
+
+/// One pre-resolved micro-op of a megablock. Jump decoding, vtable probes,
+/// and type/null checks are hoisted into guards: a *guard* micro-op either
+/// proceeds along the traced path or side-exits to the quickened
+/// interpreter *before* executing anything, so the deopt pc re-executes
+/// the instruction with full generic semantics (error events, hook
+/// consults) in exactly one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MegaOp {
+    // ---- total micro-ops (cannot fail, block, allocate, or consult) ----
+    Const(i64),
+    Load(u16),
+    Store(u16),
+    Dup,
+    Pop,
+    Swap,
+    Neg,
+    RefEq,
+    Alu(AluFn),
+    Cmp(CmpFn),
+    ConstStore {
+        v: i64,
+        local: u16,
+    },
+    LoadLoadAlu {
+        a: u16,
+        b: u16,
+        f: AluFn,
+    },
+    LoadConstAlu {
+        a: u16,
+        v: i64,
+        f: AluFn,
+    },
+    /// A forward `Goto` interior to the trace: control transfer is implicit
+    /// in step order, so this is pure accounting (one cycle, one pc mix).
+    Jump,
+    // ---- guarded micro-ops (each one is a side exit) ----
+    /// `Div`/`Rem` with the zero-divisor check as the guard.
+    Div,
+    Rem,
+    /// Interior conditional branch traced as *fallthrough*: peeks the
+    /// condition and side-exits if the branch would be taken (`jump_if` is
+    /// the condition sense that takes it: `If` => true, `IfZ` => false).
+    GuardIf {
+        jump_if: bool,
+    },
+    /// Interior fused `<cmp>; If/IfZ` traced as fallthrough.
+    GuardCmpIf {
+        f: CmpFn,
+        jump_if: bool,
+    },
+    /// Interior fused `Load a; Const v; <cmp>; If/IfZ` traced as
+    /// fallthrough.
+    GuardLoadConstCmpIf {
+        a: u16,
+        v: i64,
+        f: CmpFn,
+        jump_if: bool,
+    },
+    /// Devirtualized call: the hoisted null + dispatch check is the guard;
+    /// on the traced path a *real* frame is pushed (inlining here means
+    /// tracing through the call, never eliding the frame — physical writes
+    /// stay identical to the quickened tier).
+    Call {
+        class: ClassId,
+        callee: MethodId,
+        nargs: u16,
+    },
+    /// Return from an inlined callee frame (real frame pop).
+    Ret {
+        has_val: bool,
+    },
+    // ---- backedge terminators (always the final step) ----
+    /// Unconditional backedge to the loop head: iteration complete.
+    BackGoto,
+    /// Conditional backedge traced as *taken*: side-exits on fallthrough.
+    BackIf {
+        jump_if: bool,
+    },
+    BackCmpIf {
+        f: CmpFn,
+        jump_if: bool,
+    },
+    BackLoadConstCmpIf {
+        a: u16,
+        v: i64,
+        f: CmpFn,
+        jump_if: bool,
+    },
+}
+
+impl MegaOp {
+    /// Whether this micro-op can side-exit (a deopt point). Forced-deopt
+    /// injection enumerates guards by their order within the block.
+    pub fn is_guard(self) -> bool {
+        matches!(
+            self,
+            MegaOp::Div
+                | MegaOp::Rem
+                | MegaOp::GuardIf { .. }
+                | MegaOp::GuardCmpIf { .. }
+                | MegaOp::GuardLoadConstCmpIf { .. }
+                | MegaOp::Call { .. }
+                | MegaOp::BackIf { .. }
+                | MegaOp::BackCmpIf { .. }
+                | MegaOp::BackLoadConstCmpIf { .. }
+        )
+    }
+}
+
+/// One step of a megablock: the micro-op plus everything needed to (a)
+/// account for it exactly as the quickened tier would, and (b) reconstruct
+/// interpreter state if its guard fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MegaStep {
+    pub op: MegaOp,
+    /// Source pc of the constituent QOp — the deopt target, and the base
+    /// pc of the step's fingerprint mixes.
+    pub pc: u32,
+    /// Method the step executes in (differs from the loop's method inside
+    /// an inlined callee).
+    pub method: MethodId,
+    /// Source instructions this step executes (the constituent QOp width).
+    pub width: u32,
+    /// Operand-stack depth *before* this step, relative to the executing
+    /// frame's stack base (from the verifier's ref map — deopt sets
+    /// `sp = stack_base + depth`).
+    pub depth: u16,
+    /// Profiler attribution kind (the constituent's `QOp::kind_index`), so
+    /// megablock execution unfolds into the same per-QOp cycle counters
+    /// the quickened tier feeds.
+    pub kind: usize,
+}
+
+/// A compiled hot-loop body: one iteration, head pc through the taken
+/// backedge, as a flat array of guarded micro-ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MegaBlock {
+    /// Method owning the loop.
+    pub method: MethodId,
+    /// Loop-head pc (block entry point; the backedge target).
+    pub head: u32,
+    /// Source instructions (= cycles) per full iteration: sum of step
+    /// widths. The entry gate `cycles_to_tick > width` makes a timer tick
+    /// inside a batched iteration impossible.
+    pub width: u64,
+    /// Yield points consumed per full iteration: the taken backedge plus
+    /// one method-prologue yield per inlined call.
+    pub yields: u64,
+    /// Number of guard steps (side exits) per iteration.
+    pub guards: u32,
+    pub steps: Vec<MegaStep>,
+    /// Closed-form stepper for canonical counting loops (see
+    /// [`ClosedLoop::detect`]): lets the tier-2 engine retire a whole
+    /// batch of iterations with one multiply instead of stepping, when no
+    /// per-step observer (full fingerprint, profiler, deopt injection) is
+    /// attached. `None` for every other loop shape.
+    pub closed: Option<ClosedLoop>,
+}
+
+/// Closed-form description of a single-induction-variable counting loop:
+/// per iteration the induction local advances by `step` (wrapping add) and
+/// a single order-comparison guard against `bound` decides whether the
+/// iteration runs. Everything else in the iteration is transient operand
+/// stack traffic with no observable effect (the state digest and GC walk
+/// live stack depth only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedLoop {
+    /// The induction local (frame-relative).
+    pub local: u16,
+    /// Per-iteration increment.
+    pub step: i64,
+    /// Guard comparison bound.
+    pub bound: i64,
+    /// Guard comparison (order comparisons only).
+    pub f: CmpFn,
+    /// The loop exits (deopts) when `f.apply(x, bound) == exit_if`.
+    pub exit_if: bool,
+    /// Index offset of the guarded evaluation: 0 when the guard reads the
+    /// induction variable before the increment (head-guarded loop), 1 when
+    /// it reads the incremented value (tail-guarded / do-while).
+    pub eval_offset: u32,
+}
+
+/// All loop-head pcs of a compiled method: targets of its backedge
+/// branches, ascending. Shared by the runtime tier-up path and `dis
+/// --mega` (which compiles hotness-independently).
+pub fn loop_heads(c: &CompiledMethod) -> Vec<u32> {
+    let mut heads: Vec<u32> = c
+        .qops
+        .iter()
+        .filter_map(|q| match *q {
+            QOp::Goto {
+                target,
+                backedge: true,
+            }
+            | QOp::If {
+                target,
+                backedge: true,
+            }
+            | QOp::IfZ {
+                target,
+                backedge: true,
+            }
+            | QOp::CmpIf {
+                target,
+                backedge: true,
+                ..
+            }
+            | QOp::LoadConstCmpIf {
+                target,
+                backedge: true,
+                ..
+            } => Some(target),
+            _ => None,
+        })
+        .collect();
+    heads.sort_unstable();
+    heads.dedup();
+    heads
+}
+
+/// Trace one loop iteration starting at `head` into a megablock, or
+/// `None` if the body is not traceable: only total QOps, `Div`/`Rem`,
+/// forward branches (traced as fallthrough), straight-line `CallMono`
+/// inlining, and a single backedge returning to `head` qualify. Anything
+/// that can block, allocate, emit output, consult the hook per-access, or
+/// branch irregularly aborts the trace — those loops simply stay tier-1.
+///
+/// Pure function of the compiled program: compiling allocates nothing
+/// guest-visible, so tier-up does not perturb the execution it speeds up.
+pub fn compile_loop(program: &Program, method: MethodId, head: u32) -> Option<MegaBlock> {
+    let c = program.methods[method as usize].compiled.as_ref()?;
+    let depth_at =
+        |c: &CompiledMethod, pc: usize| c.ref_maps.get(pc)?.as_ref().map(|m| m.stack_depth);
+
+    let mut steps: Vec<MegaStep> = Vec::new();
+    let mut yields = 1u64; // the taken backedge ending each iteration
+    let mut pc = head as usize;
+
+    macro_rules! step {
+        ($op:expr, $pc:expr, $method:expr, $width:expr, $depth:expr, $kind:expr) => {{
+            if steps.len() >= MEGA_MAX_STEPS {
+                return None;
+            }
+            steps.push(MegaStep {
+                op: $op,
+                pc: $pc as u32,
+                method: $method,
+                width: $width,
+                depth: $depth,
+                kind: $kind,
+            });
+        }};
+    }
+
+    loop {
+        let q = *c.qops.get(pc)?;
+        let depth = depth_at(c, pc)?;
+        let (width, kind) = (q.width(), q.kind_index());
+        macro_rules! emit {
+            ($op:expr) => {
+                step!($op, pc, method, width, depth, kind)
+            };
+        }
+        // Conditional-branch triage: backedge-to-head terminates the
+        // trace (expected taken), any other backward branch aborts, and a
+        // forward branch becomes a fallthrough guard.
+        macro_rules! branch {
+            ($target:expr, $backedge:expr, $guard:expr, $back:expr) => {{
+                if $backedge {
+                    if $target != head {
+                        return None;
+                    }
+                    emit!($back);
+                    break;
+                }
+                emit!($guard);
+                pc += width as usize;
+            }};
+        }
+        match q {
+            QOp::Const(v) => {
+                emit!(MegaOp::Const(v));
+                pc += 1;
+            }
+            QOp::Load(i) => {
+                emit!(MegaOp::Load(i));
+                pc += 1;
+            }
+            QOp::Store(i) => {
+                emit!(MegaOp::Store(i));
+                pc += 1;
+            }
+            QOp::Dup => {
+                emit!(MegaOp::Dup);
+                pc += 1;
+            }
+            QOp::Pop => {
+                emit!(MegaOp::Pop);
+                pc += 1;
+            }
+            QOp::Swap => {
+                emit!(MegaOp::Swap);
+                pc += 1;
+            }
+            QOp::Neg => {
+                emit!(MegaOp::Neg);
+                pc += 1;
+            }
+            QOp::RefEq => {
+                emit!(MegaOp::RefEq);
+                pc += 1;
+            }
+            QOp::Alu(f) => {
+                emit!(MegaOp::Alu(f));
+                pc += 1;
+            }
+            QOp::Cmp(f) => {
+                emit!(MegaOp::Cmp(f));
+                pc += 1;
+            }
+            QOp::ConstStore { v, local } => {
+                emit!(MegaOp::ConstStore { v, local });
+                pc += 2;
+            }
+            QOp::LoadLoadAlu { a, b, f } => {
+                emit!(MegaOp::LoadLoadAlu { a, b, f });
+                pc += 3;
+            }
+            QOp::LoadConstAlu { a, v, f } => {
+                emit!(MegaOp::LoadConstAlu { a, v, f });
+                pc += 3;
+            }
+            QOp::Goto { target, backedge } => {
+                if backedge {
+                    if target != head {
+                        return None;
+                    }
+                    emit!(MegaOp::BackGoto);
+                    break;
+                }
+                emit!(MegaOp::Jump);
+                pc = target as usize;
+            }
+            QOp::If { target, backedge } => branch!(
+                target,
+                backedge,
+                MegaOp::GuardIf { jump_if: true },
+                MegaOp::BackIf { jump_if: true }
+            ),
+            QOp::IfZ { target, backedge } => branch!(
+                target,
+                backedge,
+                MegaOp::GuardIf { jump_if: false },
+                MegaOp::BackIf { jump_if: false }
+            ),
+            QOp::CmpIf {
+                f,
+                target,
+                backedge,
+                jump_if,
+            } => branch!(
+                target,
+                backedge,
+                MegaOp::GuardCmpIf { f, jump_if },
+                MegaOp::BackCmpIf { f, jump_if }
+            ),
+            QOp::LoadConstCmpIf {
+                a,
+                v,
+                f,
+                target,
+                backedge,
+                jump_if,
+            } => branch!(
+                target,
+                backedge,
+                MegaOp::GuardLoadConstCmpIf { a, v, f, jump_if },
+                MegaOp::BackLoadConstCmpIf { a, v, f, jump_if }
+            ),
+            QOp::CallMono {
+                class,
+                callee,
+                nargs,
+            } => {
+                // Inline only a straight-line callee of total micro-ops
+                // ending in Ret/RetVal (no branches, calls, or ops with
+                // failure/hook paths). The call itself keeps its guard and
+                // pushes a real frame.
+                let cc = program.methods[callee as usize].compiled.as_ref()?;
+                if cc.qops.len() > MEGA_MAX_INLINE_OPS {
+                    return None;
+                }
+                emit!(MegaOp::Call {
+                    class,
+                    callee,
+                    nargs
+                });
+                let mut cpc = 0usize;
+                loop {
+                    let cq = *cc.qops.get(cpc)?;
+                    let cdepth = depth_at(cc, cpc)?;
+                    let (cw, ck) = (cq.width(), cq.kind_index());
+                    let op = match cq {
+                        QOp::Const(v) => MegaOp::Const(v),
+                        QOp::Load(i) => MegaOp::Load(i),
+                        QOp::Store(i) => MegaOp::Store(i),
+                        QOp::Dup => MegaOp::Dup,
+                        QOp::Pop => MegaOp::Pop,
+                        QOp::Swap => MegaOp::Swap,
+                        QOp::Neg => MegaOp::Neg,
+                        QOp::RefEq => MegaOp::RefEq,
+                        QOp::Alu(f) => MegaOp::Alu(f),
+                        QOp::Cmp(f) => MegaOp::Cmp(f),
+                        QOp::ConstStore { v, local } => MegaOp::ConstStore { v, local },
+                        QOp::LoadLoadAlu { a, b, f } => MegaOp::LoadLoadAlu { a, b, f },
+                        QOp::LoadConstAlu { a, v, f } => MegaOp::LoadConstAlu { a, v, f },
+                        QOp::Gen(Op::Div) => MegaOp::Div,
+                        QOp::Gen(Op::Rem) => MegaOp::Rem,
+                        QOp::Gen(Op::Ret) => MegaOp::Ret { has_val: false },
+                        QOp::Gen(Op::RetVal) => MegaOp::Ret { has_val: true },
+                        _ => return None,
+                    };
+                    step!(op, cpc, callee, cw, cdepth, ck);
+                    if matches!(op, MegaOp::Ret { .. }) {
+                        break;
+                    }
+                    cpc += cw as usize;
+                }
+                yields += 1; // the callee's method-prologue yield point
+                pc += 1;
+            }
+            QOp::Gen(Op::Div) => {
+                emit!(MegaOp::Div);
+                pc += 1;
+            }
+            QOp::Gen(Op::Rem) => {
+                emit!(MegaOp::Rem);
+                pc += 1;
+            }
+            QOp::Gen(_) => return None,
+        }
+    }
+
+    let width: u64 = steps.iter().map(|s| s.width as u64).sum();
+    let guards = steps.iter().filter(|s| s.op.is_guard()).count() as u32;
+    let closed = ClosedLoop::detect(&steps);
+    Some(MegaBlock {
+        method,
+        head,
+        width,
+        yields,
+        guards,
+        steps,
+        closed,
+    })
+}
+
+impl CmpFn {
+    /// [`CmpFn::apply`] lifted to `i128`: agrees with the `i64` version on
+    /// every pair of in-range values (the closed-form stepper only ever
+    /// evaluates trajectories it has proven stay inside `i64`).
+    #[inline]
+    pub fn apply_i128(self, a: i128, b: i128) -> bool {
+        match self {
+            CmpFn::Eq => a == b,
+            CmpFn::Ne => a != b,
+            CmpFn::Lt => a < b,
+            CmpFn::Le => a <= b,
+            CmpFn::Gt => a > b,
+            CmpFn::Ge => a >= b,
+        }
+    }
+}
+
+impl ClosedLoop {
+    /// Recognize the two canonical counting-loop shapes:
+    ///
+    /// * head-guarded: `[GuardLoadConstCmpIf, LoadConstAlu(Add), Store,
+    ///   BackGoto]` over a single induction local (fig. 1's delay loops);
+    /// * tail-guarded (do-while): `[LoadConstAlu(Add), Store,
+    ///   BackLoadConstCmpIf]` over a single induction local.
+    ///
+    /// Only order comparisons qualify: with a monotone trajectory they
+    /// make the per-iteration pass predicate prefix-monotone, which is
+    /// what lets [`ClosedLoop::passes`] binary-search the deopt point.
+    /// (`Eq`/`Ne` guards can pass again *after* failing once, so they stay
+    /// on the step-by-step path.)
+    fn detect(steps: &[MegaStep]) -> Option<ClosedLoop> {
+        let order = |f: CmpFn| matches!(f, CmpFn::Lt | CmpFn::Le | CmpFn::Gt | CmpFn::Ge);
+        match steps {
+            [g, inc, st, term] => {
+                let (
+                    MegaOp::GuardLoadConstCmpIf { a, v, f, jump_if },
+                    MegaOp::LoadConstAlu {
+                        a: a2,
+                        v: step,
+                        f: AluFn::Add,
+                    },
+                    MegaOp::Store(a3),
+                    MegaOp::BackGoto,
+                ) = (g.op, inc.op, st.op, term.op)
+                else {
+                    return None;
+                };
+                (a == a2 && a2 == a3 && order(f)).then_some(ClosedLoop {
+                    local: a,
+                    step,
+                    bound: v,
+                    f,
+                    exit_if: jump_if,
+                    eval_offset: 0,
+                })
+            }
+            [inc, st, term] => {
+                let (
+                    MegaOp::LoadConstAlu {
+                        a,
+                        v: step,
+                        f: AluFn::Add,
+                    },
+                    MegaOp::Store(a2),
+                    MegaOp::BackLoadConstCmpIf {
+                        a: a3,
+                        v,
+                        f,
+                        jump_if,
+                    },
+                ) = (inc.op, st.op, term.op)
+                else {
+                    return None;
+                };
+                (a == a2 && a2 == a3 && order(f)).then_some(ClosedLoop {
+                    local: a,
+                    step,
+                    bound: v,
+                    f,
+                    exit_if: !jump_if,
+                    eval_offset: 1,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// How many consecutive iterations pass their guard starting from
+    /// induction value `x0`, capped at `cap`. Exact by construction: the
+    /// predicate is evaluated in `i128` (no overflow), and the count never
+    /// crosses an `i64` wrap of the induction variable — the step-by-step
+    /// loop executes the wrapping iteration with true wrapping semantics.
+    pub fn passes(&self, x0: i64, cap: u64) -> u64 {
+        let x0 = x0 as i128;
+        let step = self.step as i128;
+        let off = self.eval_offset as i128;
+        // Highest iteration count whose last evaluated index keeps the
+        // trajectory inside i64 (division operands kept non-negative so
+        // truncation == floor).
+        let idx_max = if step > 0 {
+            (i64::MAX as i128 - x0) / step
+        } else if step < 0 {
+            (x0 - i64::MIN as i128) / -step
+        } else {
+            i128::MAX
+        };
+        // Saturating: `step == 0` makes `idx_max` unbounded (i128::MAX).
+        let cap = (cap as i128)
+            .min(idx_max.saturating_sub(off).saturating_add(1))
+            .max(0);
+        let pass =
+            |i: i128| self.f.apply_i128(x0 + (i + off) * step, self.bound as i128) != self.exit_if;
+        if cap == 0 || !pass(0) {
+            return 0;
+        }
+        // First failing iteration in [1, cap); pass() is prefix-monotone
+        // (order comparison × monotone trajectory), so binary search.
+        let (mut lo, mut hi) = (1i128, cap);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pass(mid) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u64
+    }
+}
+
 fn compile_method(program: &Program, id: MethodId) -> Result<CompiledMethod, CompileError> {
     let method = &program.methods[id as usize];
     let v = Verifier {
@@ -1536,10 +2233,30 @@ mod tests {
         assert!(matches!(c.qops[1], QOp::Store(0)));
         assert!(matches!(
             c.qops[4],
-            QOp::LoadConstCmpIf { a: 0, v: 10, f: CmpFn::Ge, jump_if: true, .. }
+            QOp::LoadConstCmpIf {
+                a: 0,
+                v: 10,
+                f: CmpFn::Ge,
+                jump_if: true,
+                ..
+            }
         ));
-        assert!(matches!(c.qops[8], QOp::LoadLoadAlu { a: 1, b: 0, f: AluFn::Add }));
-        assert!(matches!(c.qops[12], QOp::LoadConstAlu { a: 0, v: 1, f: AluFn::Add }));
+        assert!(matches!(
+            c.qops[8],
+            QOp::LoadLoadAlu {
+                a: 1,
+                b: 0,
+                f: AluFn::Add
+            }
+        ));
+        assert!(matches!(
+            c.qops[12],
+            QOp::LoadConstAlu {
+                a: 0,
+                v: 1,
+                f: AluFn::Add
+            }
+        ));
         // The goto back to "top" bakes its backedge bit.
         let goto_pc = (0..n)
             .find(|&pc| matches!(p.method(m).ops[pc], Op::Goto(_)))
@@ -1566,10 +2283,10 @@ mod tests {
         });
         let p = pb.finish(m).unwrap();
         let c = p.compiled(m);
-        assert!(c.qops.iter().all(|q| !matches!(
-            q,
-            QOp::LoadLoadAlu { .. } | QOp::LoadConstAlu { .. }
-        )));
+        assert!(c
+            .qops
+            .iter()
+            .all(|q| !matches!(q, QOp::LoadLoadAlu { .. } | QOp::LoadConstAlu { .. })));
         assert!(c
             .qops
             .iter()
@@ -1580,16 +2297,19 @@ mod tests {
     fn monomorphic_virtual_calls_devirtualize_overridden_ones_do_not() {
         let mut pb = ProgramBuilder::new();
         let base = pb.class("Base").build();
-        pb.virtual_method(base, "f", vec![], 1, Some(Ty::Int)).code(|a| {
-            a.iconst(1).ret_val();
-        });
-        pb.virtual_method(base, "g", vec![], 1, Some(Ty::Int)).code(|a| {
-            a.iconst(3).ret_val();
-        });
+        pb.virtual_method(base, "f", vec![], 1, Some(Ty::Int))
+            .code(|a| {
+                a.iconst(1).ret_val();
+            });
+        pb.virtual_method(base, "g", vec![], 1, Some(Ty::Int))
+            .code(|a| {
+                a.iconst(3).ret_val();
+            });
         let derived = pb.class_extends("Derived", Some(base)).build();
-        pb.virtual_method(derived, "f", vec![], 1, Some(Ty::Int)).code(|a| {
-            a.iconst(2).ret_val();
-        });
+        pb.virtual_method(derived, "f", vec![], 1, Some(Ty::Int))
+            .code(|a| {
+                a.iconst(2).ret_val();
+            });
         let f_slot = pb.vslot(base, "f");
         let g_slot = pb.vslot(base, "g");
         let m = pb.method("main", 0, 1).code(|a| {
@@ -1654,5 +2374,389 @@ mod tests {
         });
         let p = pb.finish(m).unwrap();
         assert!(p.compiled(m).max_stack >= 1);
+    }
+
+    #[test]
+    fn megablock_traces_fig1_style_counting_loop() {
+        // Same loop shape as the fig1_hot workload's inner loop:
+        //   top: load l0; const; ge; ifnz done   => GuardLoadConstCmpIf (4)
+        //        load l0; const; add             => LoadConstAlu        (3)
+        //        store l0                        => Store               (1)
+        //        goto top                        => BackGoto            (1)
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("hot", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(100).ge().if_nz("done");
+            a.load(0).iconst(1).add();
+            a.store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let heads = loop_heads(p.compiled(m));
+        assert_eq!(heads, vec![2], "one loop head at the label pc");
+        let b = compile_loop(&p, m, 2).expect("loop is traceable");
+        assert_eq!(b.head, 2);
+        assert_eq!(b.width, 9, "4 + 3 + 1 + 1 source instructions");
+        assert_eq!(b.yields, 1, "just the taken backedge");
+        assert_eq!(b.guards, 1, "the interior exit branch");
+        assert_eq!(b.steps.len(), 4);
+        assert!(matches!(
+            b.steps[0].op,
+            MegaOp::GuardLoadConstCmpIf {
+                a: 0,
+                v: 100,
+                f: CmpFn::Ge,
+                jump_if: true
+            }
+        ));
+        assert!(matches!(
+            b.steps[1].op,
+            MegaOp::LoadConstAlu {
+                a: 0,
+                v: 1,
+                f: AluFn::Add
+            }
+        ));
+        assert!(matches!(b.steps[2].op, MegaOp::Store(0)));
+        assert!(matches!(b.steps[3].op, MegaOp::BackGoto));
+        // Deopt metadata: pcs are the constituent heads, depths pre-step.
+        assert_eq!(b.steps[0].pc, 2);
+        assert_eq!(b.steps[0].depth, 0);
+        assert_eq!(b.steps[2].depth, 1, "the Alu result is on the stack");
+        assert_eq!(b.width, b.steps.iter().map(|s| s.width as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn megablock_inlines_monomorphic_call_with_frame_steps() {
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("C").build();
+        pb.virtual_method(cls, "twice", vec![Ty::Int], 2, Some(Ty::Int))
+            .code(|a| {
+                a.load(1).iconst(2).mul().ret_val();
+            });
+        let slot = pb.vslot(cls, "twice");
+        let m = pb.method("main", 0, 2).code(|a| {
+            a.new(cls).store(1);
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(50).ge().if_nz("done");
+            a.load(1).load(0).call_virtual(cls, slot).store(0);
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let heads = loop_heads(p.compiled(m));
+        assert_eq!(heads.len(), 1);
+        let b = compile_loop(&p, m, heads[0]).expect("call loop is traceable");
+        assert_eq!(b.yields, 2, "backedge + inlined callee prologue");
+        let call_ix = b
+            .steps
+            .iter()
+            .position(|s| matches!(s.op, MegaOp::Call { .. }))
+            .expect("call step present");
+        // The inlined callee's steps carry the *callee* method id and the
+        // callee's pcs, ending in a real-frame return.
+        let callee = match b.steps[call_ix].op {
+            MegaOp::Call { callee, .. } => callee,
+            _ => unreachable!(),
+        };
+        assert_eq!(b.steps[call_ix + 1].method, callee);
+        assert_eq!(b.steps[call_ix + 1].pc, 0);
+        assert!(b.steps[call_ix..]
+            .iter()
+            .any(|s| matches!(s.op, MegaOp::Ret { has_val: true })));
+        let ret_ix = b
+            .steps
+            .iter()
+            .position(|s| matches!(s.op, MegaOp::Ret { .. }))
+            .unwrap();
+        // After the return, steps are back in the caller.
+        assert_eq!(b.steps[ret_ix + 1].method, m);
+        // Call guard counts toward the guard total.
+        assert!(b.guards >= 2, "exit branch + call dispatch guard");
+    }
+
+    #[test]
+    fn megablock_rejects_untraceable_bodies() {
+        // Allocation in the body: not traceable.
+        let mut pb = ProgramBuilder::new();
+        let cls = pb.class("Box").field("v", Ty::Int).build();
+        let m = pb.method("alloc_loop", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(5).ge().if_nz("done");
+            a.new(cls).pop();
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let heads = loop_heads(p.compiled(m));
+        assert_eq!(heads.len(), 1);
+        assert!(compile_loop(&p, m, heads[0]).is_none());
+
+        // Output in the body: not traceable.
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("print_loop", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(5).ge().if_nz("done");
+            a.load(0).print();
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let heads = loop_heads(p.compiled(m));
+        assert!(compile_loop(&p, m, heads[0]).is_none());
+    }
+
+    #[test]
+    fn megablock_traces_div_and_interior_forward_goto() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("divloop", 0, 2).code(|a| {
+            a.iconst(1).store(0);
+            a.iconst(7).store(1);
+            a.label("top");
+            a.load(0).iconst(60).ge().if_nz("done");
+            a.load(0).load(1).div().pop(); // guard: divisor != 0
+            a.goto("skip"); // interior forward goto => Jump
+            a.label("skip");
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let heads = loop_heads(p.compiled(m));
+        assert_eq!(heads.len(), 1);
+        let b = compile_loop(&p, m, heads[0]).expect("div loop is traceable");
+        assert!(b.steps.iter().any(|s| matches!(s.op, MegaOp::Div)));
+        assert!(b.steps.iter().any(|s| matches!(s.op, MegaOp::Jump)));
+        assert_eq!(b.guards, 2, "exit branch + div");
+        // The Jump costs one cycle like the Goto it replaces.
+        let jump = b
+            .steps
+            .iter()
+            .find(|s| matches!(s.op, MegaOp::Jump))
+            .unwrap();
+        assert_eq!(jump.width, 1);
+    }
+
+    #[test]
+    fn megablock_compilation_is_deterministic() {
+        let build = || {
+            let mut pb = ProgramBuilder::new();
+            let m = pb.method("m", 0, 2).code(|a| {
+                a.iconst(0).store(0);
+                a.label("top");
+                a.load(0).iconst(100).ge().if_nz("done");
+                a.load(0).iconst(1).add().store(0);
+                a.goto("top");
+                a.label("done");
+                a.halt();
+            });
+            pb.finish(m).unwrap()
+        };
+        let (pa, pb_) = (build(), build());
+        let (ea, eb) = (pa.entry, pb_.entry);
+        let (ha, hb) = (loop_heads(pa.compiled(ea)), loop_heads(pb_.compiled(eb)));
+        assert_eq!(ha, hb);
+        assert!(!ha.is_empty(), "the entry method's loop is found");
+        for (&a, &b) in ha.iter().zip(hb.iter()) {
+            let (ba, bb) = (compile_loop(&pa, ea, a), compile_loop(&pb_, eb, b));
+            assert!(ba.is_some(), "the loop compiles");
+            assert_eq!(ba, bb);
+        }
+    }
+
+    /// Compile the entry method's sole loop and return its megablock.
+    fn sole_block(p: &Program) -> MegaBlock {
+        let heads = loop_heads(p.compiled(p.entry));
+        assert_eq!(heads.len(), 1);
+        compile_loop(p, p.entry, heads[0]).expect("loop is traceable")
+    }
+
+    #[test]
+    fn closed_loop_detects_head_guarded_counting_loop() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(100).ge().if_nz("done");
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let cl = sole_block(&p).closed.expect("shape A is recognized");
+        assert_eq!(
+            cl,
+            ClosedLoop {
+                local: 0,
+                step: 1,
+                bound: 100,
+                f: CmpFn::Ge,
+                exit_if: true,
+                eval_offset: 0,
+            }
+        );
+        // Starting at 0 with room to spare, all 100 guard passes retire
+        // in one closed-form call; at 99 exactly one remains.
+        assert_eq!(cl.passes(0, 1_000), 100);
+        assert_eq!(cl.passes(99, 1_000), 1);
+        assert_eq!(cl.passes(100, 1_000), 0);
+        assert_eq!(cl.passes(0, 7), 7, "cap limits the batch");
+    }
+
+    #[test]
+    fn closed_loop_detects_tail_guarded_counting_loop() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(1).add().store(0);
+            a.load(0).iconst(64).lt().if_nz("top");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let cl = sole_block(&p).closed.expect("shape B is recognized");
+        assert_eq!(cl.local, 0);
+        assert_eq!(cl.step, 1);
+        assert_eq!(cl.bound, 64);
+        assert_eq!(cl.eval_offset, 1, "guard evaluates the post-step value");
+        // exit_if is inverted: the branch *continues* the loop.
+        assert!(!cl.exit_if);
+        // From 0 the post-step values 1..=63 pass `< 64`; value 64 fails.
+        assert_eq!(cl.passes(0, 1_000), 63);
+        assert_eq!(cl.passes(63, 1_000), 0);
+    }
+
+    #[test]
+    fn closed_loop_rejects_non_monotone_guards_and_extra_ops() {
+        // Eq guard: the pass set is not prefix-monotone — must stay on the
+        // step-by-step path.
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(100).eq().if_nz("done");
+            a.load(0).iconst(3).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        assert!(sole_block(&p).closed.is_none(), "Eq guard rejected");
+
+        // Extra body work: still a megablock, but not closed-form.
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("m", 0, 2).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(100).ge().if_nz("done");
+            a.load(0).iconst(7).mul().store(1);
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let b = sole_block(&p);
+        assert!(b.closed.is_none(), "non-canonical body rejected");
+        assert!(b.steps.len() > 4);
+    }
+
+    #[test]
+    fn closed_loop_passes_matches_brute_force() {
+        // Sweep step signs, offsets, and comparison kinds against a
+        // literal per-iteration evaluation of the same predicate.
+        let cases = [
+            (1i64, 50i64, CmpFn::Ge, true, 0u32),
+            (3, 49, CmpFn::Ge, true, 0),
+            (-2, -30, CmpFn::Le, true, 0),
+            (5, 64, CmpFn::Lt, false, 1),
+            (-1, 0, CmpFn::Gt, false, 1),
+        ];
+        for (step, bound, f, exit_if, eval_offset) in cases {
+            let cl = ClosedLoop {
+                local: 0,
+                step,
+                bound,
+                f,
+                exit_if,
+                eval_offset,
+            };
+            for x0 in [-40i64, -1, 0, 1, 17] {
+                for cap in [0u64, 1, 2, 13, 200] {
+                    let mut brute = 0u64;
+                    while brute < cap {
+                        let x = x0 as i128 + (brute as i128 + eval_offset as i128) * step as i128;
+                        if cl.f.apply_i128(x, bound as i128) == exit_if {
+                            break;
+                        }
+                        brute += 1;
+                    }
+                    assert_eq!(
+                        cl.passes(x0, cap),
+                        brute,
+                        "step={step} bound={bound} f={f:?} exit_if={exit_if} \
+                         off={eval_offset} x0={x0} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_passes_stops_at_the_i64_wrap_horizon() {
+        // Counting up from near i64::MAX: the closed form may retire the
+        // last in-range guard evaluations, but the write-back wraps exactly
+        // like the interpreter's wrapping add.
+        let cl = ClosedLoop {
+            local: 0,
+            step: 3,
+            bound: 0,
+            f: CmpFn::Lt,
+            exit_if: true,
+            eval_offset: 0,
+        };
+        let x0 = i64::MAX - 5;
+        // Guard evaluations at MAX-5 and MAX-2 stay in range; the next
+        // index would cross the wrap, so the batch stops there even though
+        // the predicate (x >= 0) would keep passing.
+        assert_eq!(cl.passes(x0, 1_000), 2);
+
+        // Zero step: unbounded horizon must not overflow; the predicate is
+        // constant, so every requested iteration passes.
+        let idle = ClosedLoop {
+            local: 0,
+            step: 0,
+            bound: 10,
+            f: CmpFn::Lt,
+            exit_if: false,
+            eval_offset: 0,
+        };
+        assert_eq!(idle.passes(3, 1_000), 1_000);
+        assert_eq!(idle.passes(30, 1_000), 0, "constant-false exits at once");
+
+        // Counting down toward i64::MIN mirrors the cap.
+        let down = ClosedLoop {
+            local: 0,
+            step: -4,
+            bound: 0,
+            f: CmpFn::Lt,
+            exit_if: false,
+            eval_offset: 0,
+        };
+        assert_eq!(down.passes(i64::MIN + 9, 1_000), 3);
     }
 }

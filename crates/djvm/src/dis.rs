@@ -4,7 +4,7 @@
 //! view of the executing method's Java source and machine instructions").
 
 use crate::bytecode::{Op, Ty};
-use crate::compile::QOp;
+use crate::compile::{MegaOp, QOp};
 use crate::program::Program;
 use crate::MethodId;
 use std::fmt::Write;
@@ -160,15 +160,28 @@ pub fn render_qop(program: &Program, q: QOp) -> String {
         QOp::Alu(f) => format!("q.alu {f:?}"),
         QOp::Cmp(f) => format!("q.cmp {f:?}"),
         QOp::Goto { target, backedge } => {
-            format!("q.goto @{target}{}", if backedge { " [backedge]" } else { "" })
+            format!(
+                "q.goto @{target}{}",
+                if backedge { " [backedge]" } else { "" }
+            )
         }
         QOp::If { target, backedge } => {
-            format!("q.ifnz @{target}{}", if backedge { " [backedge]" } else { "" })
+            format!(
+                "q.ifnz @{target}{}",
+                if backedge { " [backedge]" } else { "" }
+            )
         }
         QOp::IfZ { target, backedge } => {
-            format!("q.ifz @{target}{}", if backedge { " [backedge]" } else { "" })
+            format!(
+                "q.ifz @{target}{}",
+                if backedge { " [backedge]" } else { "" }
+            )
         }
-        QOp::CallMono { class, callee, nargs } => format!(
+        QOp::CallMono {
+            class,
+            callee,
+            nargs,
+        } => format!(
             "q.callmono {}.{} ({nargs} args)",
             program.class(class).name,
             program.method(callee).name
@@ -176,12 +189,24 @@ pub fn render_qop(program: &Program, q: QOp) -> String {
         QOp::ConstStore { v, local } => format!("q.const+store {v} -> l{local}"),
         QOp::LoadLoadAlu { a, b, f } => format!("q.load+load+alu l{a}, l{b}, {f:?}"),
         QOp::LoadConstAlu { a, v, f } => format!("q.load+const+alu l{a}, {v}, {f:?}"),
-        QOp::CmpIf { f, target, backedge, jump_if } => format!(
+        QOp::CmpIf {
+            f,
+            target,
+            backedge,
+            jump_if,
+        } => format!(
             "q.cmp+{} {f:?} @{target}{}",
             if jump_if { "ifnz" } else { "ifz" },
             if backedge { " [backedge]" } else { "" }
         ),
-        QOp::LoadConstCmpIf { a, v, f, target, backedge, jump_if } => format!(
+        QOp::LoadConstCmpIf {
+            a,
+            v,
+            f,
+            target,
+            backedge,
+            jump_if,
+        } => format!(
             "q.load+const+cmp+{} l{a}, {v}, {f:?} @{target}{}",
             if jump_if { "ifnz" } else { "ifz" },
             if backedge { " [backedge]" } else { "" }
@@ -233,6 +258,166 @@ pub fn disassemble_quickened(program: &Program, method: MethodId) -> String {
 pub fn disassemble_quickened_all(program: &Program) -> String {
     (0..program.methods.len() as MethodId)
         .map(|m| disassemble_quickened(program, m))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Render one megablock micro-op. Guarded ops state the condition that
+/// side-exits to the quickened tier; the `^` marks how far the call
+/// inliner descended.
+pub fn render_mega_op(program: &Program, op: MegaOp) -> String {
+    fn dir(jump_if: bool) -> &'static str {
+        if jump_if {
+            "ifnz"
+        } else {
+            "ifz"
+        }
+    }
+    match op {
+        MegaOp::Const(v) => format!("m.const {v}"),
+        MegaOp::Load(i) => format!("m.load l{i}"),
+        MegaOp::Store(i) => format!("m.store l{i}"),
+        MegaOp::Dup => "m.dup".into(),
+        MegaOp::Pop => "m.pop".into(),
+        MegaOp::Swap => "m.swap".into(),
+        MegaOp::Neg => "m.neg".into(),
+        MegaOp::RefEq => "m.refeq".into(),
+        MegaOp::Alu(f) => format!("m.alu {f:?}"),
+        MegaOp::Cmp(f) => format!("m.cmp {f:?}"),
+        MegaOp::ConstStore { v, local } => format!("m.const+store {v} -> l{local}"),
+        MegaOp::LoadLoadAlu { a, b, f } => format!("m.load+load+alu l{a}, l{b}, {f:?}"),
+        MegaOp::LoadConstAlu { a, v, f } => format!("m.load+const+alu l{a}, {v}, {f:?}"),
+        MegaOp::Jump => "m.jump (forward goto, folded into step order)".into(),
+        MegaOp::Div => "m.div                      [guard: divisor != 0]".into(),
+        MegaOp::Rem => "m.rem                      [guard: divisor != 0]".into(),
+        MegaOp::GuardIf { jump_if } => {
+            format!(
+                "m.fallthrough.{:18} [guard: branch not taken]",
+                dir(jump_if)
+            )
+        }
+        MegaOp::GuardCmpIf { f, jump_if } => format!(
+            "m.fallthrough.cmp+{} {f:?} [guard: branch not taken]",
+            dir(jump_if)
+        ),
+        MegaOp::GuardLoadConstCmpIf { a, v, f, jump_if } => format!(
+            "m.fallthrough.load+const+cmp+{} l{a}, {v}, {f:?} [guard: branch not taken]",
+            dir(jump_if)
+        ),
+        MegaOp::Call {
+            class,
+            callee,
+            nargs,
+        } => format!(
+            "m.call.inlined {}.{} ({nargs} args) [guard: receiver is {}]",
+            program.class(class).name,
+            program.method(callee).name,
+            program.class(class).name
+        ),
+        MegaOp::Ret { has_val } => {
+            format!("m.ret{} (inlined return)", if has_val { "val" } else { "" })
+        }
+        MegaOp::BackGoto => "m.backedge goto -> head".into(),
+        MegaOp::BackIf { jump_if } => {
+            format!("m.backedge.{:21} [guard: branch taken]", dir(jump_if))
+        }
+        MegaOp::BackCmpIf { f, jump_if } => format!(
+            "m.backedge.cmp+{} {f:?} [guard: branch taken]",
+            dir(jump_if)
+        ),
+        MegaOp::BackLoadConstCmpIf { a, v, f, jump_if } => format!(
+            "m.backedge.load+const+cmp+{} l{a}, {v}, {f:?} [guard: branch taken]",
+            dir(jump_if)
+        ),
+    }
+}
+
+/// Disassemble the tier-2 megablocks a method's loops *would* compile to.
+/// The listing is static (blocks are built from the quickened stream, not
+/// from runtime state), so it shows every candidate loop head: compiled
+/// ones with their guard list, constituent pc ranges and side-exit table;
+/// rejected ones with a `not traceable` note.
+pub fn disassemble_mega(program: &Program, method: MethodId) -> String {
+    let m = program.method(method);
+    let cm = program.compiled(method);
+    let heads = crate::compile::loop_heads(cm);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {} (tier-2, {} loop head{})",
+        m.qualified_name(program),
+        heads.len(),
+        if heads.len() == 1 { "" } else { "s" }
+    );
+    for head in heads {
+        match crate::compile::compile_loop(program, method, head) {
+            None => {
+                let _ = writeln!(out, "  loop @{head}: not traceable (stays quickened)");
+            }
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "  loop @{head}: megablock — {} steps, width {} cycles, {} yield point{}, {} guard{}",
+                    b.steps.len(),
+                    b.width,
+                    b.yields,
+                    if b.yields == 1 { "" } else { "s" },
+                    b.guards,
+                    if b.guards == 1 { "" } else { "s" }
+                );
+                if let Some(cl) = b.closed {
+                    let _ = writeln!(
+                        out,
+                        "    closed form: l{} += {} while {:?}(l{}, {}) != {}",
+                        cl.local, cl.step, cl.f, cl.local, cl.bound, cl.exit_if
+                    );
+                }
+                let mut guard_ix = 0u32;
+                let mut exits: Vec<(u32, u32, MethodId)> = Vec::new();
+                for s in &b.steps {
+                    let caret = "^".repeat(s.depth as usize + 1);
+                    let range = if s.width > 1 {
+                        format!("{}..{}", s.pc, s.pc + s.width - 1)
+                    } else {
+                        format!("{}", s.pc)
+                    };
+                    let gtag = if s.op.is_guard() {
+                        exits.push((guard_ix, s.pc, s.method));
+                        let t = format!("g{guard_ix} ");
+                        guard_ix += 1;
+                        t
+                    } else {
+                        "   ".into()
+                    };
+                    let _ = writeln!(
+                        out,
+                        "    {gtag}{caret:>3} {range:>9}  {}",
+                        render_mega_op(program, s.op)
+                    );
+                }
+                if exits.is_empty() {
+                    let _ = writeln!(out, "    side exits: none");
+                } else {
+                    let _ = writeln!(out, "    side exits (deopt to quickened, pre-step):");
+                    for (g, pc, meth) in exits {
+                        let _ = writeln!(
+                            out,
+                            "      g{g} -> {}@{pc}",
+                            program.method(meth).qualified_name(program)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tier-2 disassembly of every method that has at least one loop head.
+pub fn disassemble_mega_all(program: &Program) -> String {
+    (0..program.methods.len() as MethodId)
+        .filter(|&m| !crate::compile::loop_heads(program.compiled(m)).is_empty())
+        .map(|m| disassemble_mega(program, m))
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -324,6 +509,57 @@ mod tests {
         // The backedge goto carries its pre-decoded flag.
         assert!(text.contains("[backedge]"), "{text}");
         assert!(text.contains("(quickened,"), "{text}");
+    }
+
+    #[test]
+    fn mega_listing_shows_guards_and_side_exits() {
+        let mut pb = ProgramBuilder::new();
+        let m = pb.method("hot", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(5).ge().if_nz("done");
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let text = disassemble_mega(&p, m);
+        assert!(text.contains("megablock"), "{text}");
+        assert!(text.contains("g0"), "guard ordinals shown: {text}");
+        assert!(text.contains("side exits"), "{text}");
+        assert!(text.contains("m.backedge goto"), "{text}");
+        assert!(
+            text.contains("[guard: branch not taken]"),
+            "exit condition shown: {text}"
+        );
+        assert!(text.contains("2..5"), "constituent pc ranges shown: {text}");
+        // The canonical counting loop also prints its closed form.
+        assert!(
+            text.contains("closed form: l0 += 1 while Ge(l0, 5) != true"),
+            "closed form shown: {text}"
+        );
+    }
+
+    #[test]
+    fn mega_listing_flags_untraceable_loops() {
+        let mut pb = ProgramBuilder::new();
+        // The loop body allocates — New is not traceable, so the loop
+        // head must be listed as rejected.
+        let cls = pb.class("Box").field("v", Ty::Int).build();
+        let m = pb.method("alloc_loop", 0, 1).code(|a| {
+            a.iconst(0).store(0);
+            a.label("top");
+            a.load(0).iconst(5).ge().if_nz("done");
+            a.new(cls).pop();
+            a.load(0).iconst(1).add().store(0);
+            a.goto("top");
+            a.label("done");
+            a.halt();
+        });
+        let p = pb.finish(m).unwrap();
+        let text = disassemble_mega(&p, m);
+        assert!(text.contains("not traceable"), "{text}");
     }
 
     #[test]

@@ -40,7 +40,8 @@ pub struct Fingerprint {
 #[inline]
 fn mix(mut h: u64, v: u64) -> u64 {
     // splitmix64-style avalanche over (h ^ rotated v).
-    h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15)
+    h ^= v
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(h << 6)
         .wrapping_add(h >> 2);
     h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -93,7 +94,10 @@ impl Fingerprint {
     /// cached `h` without touching `self`.
     #[inline]
     pub fn mix_step(h: u64, tid: u32, method: u32, pc: u32) -> u64 {
-        mix(h, ((tid as u64) << 48) | ((method as u64) << 24) | pc as u64)
+        mix(
+            h,
+            ((tid as u64) << 48) | ((method as u64) << 24) | pc as u64,
+        )
     }
 
     /// A thread switch to `to` after `yp` yield points on the switching

@@ -23,9 +23,7 @@
 //! paper's replay strategy: "the archetypical Java runtime service —
 //! automatic memory management — is completely deterministic in Jalapeño."
 
-use crate::heap::{
-    forward_target, forward_word, is_forwarded, Addr, GcKind, Header, RESERVED,
-};
+use crate::heap::{forward_target, forward_word, is_forwarded, Addr, GcKind, Header, RESERVED};
 use crate::thread::ThreadStatus;
 use crate::vm::Vm;
 
@@ -192,9 +190,11 @@ fn mark_sweep(vm: &mut Vm) {
         }
         let raw = vm.heap.raw_header(pos as Addr);
         let h = Header::decode(raw);
-        let words = vm
-            .heap
-            .object_words(pos as Addr, &vm.program.field_layouts, &vm.program.static_layouts);
+        let words = vm.heap.object_words(
+            pos as Addr,
+            &vm.program.field_layouts,
+            &vm.program.static_layouts,
+        );
         if h.marked {
             vm.heap
                 .set_raw_header(pos as Addr, Header { marked: false, ..h }.encode());

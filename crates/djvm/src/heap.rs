@@ -70,8 +70,8 @@ pub struct Header {
 
 impl Header {
     pub fn encode(self) -> Word {
-        let mut w = (self.class_id as u64 & CLASS_MASK)
-            | ((self.serial & SERIAL_MASK) << SERIAL_SHIFT);
+        let mut w =
+            (self.class_id as u64 & CLASS_MASK) | ((self.serial & SERIAL_MASK) << SERIAL_SHIFT);
         if self.is_array {
             w |= ARRAY_BIT;
         }

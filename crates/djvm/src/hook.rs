@@ -77,6 +77,26 @@ pub trait ExecHook {
         YieldAction::NONE
     }
 
+    /// How many upcoming [`ExecHook::on_yield_point`] consults are
+    /// guaranteed *quiet* — they would return [`YieldAction::NONE`] and
+    /// have no effect beyond advancing the hook's yield-point arithmetic —
+    /// assuming no timer tick fires before they happen. The tier-2
+    /// megablock engine batches that many consults away (crediting them
+    /// back via [`ExecHook::on_yield_points_skipped`]), so the answer must
+    /// be exact: passthrough and record switch only when the preempt bit
+    /// is set (which a tick-free window cannot set), replay switches when
+    /// the recorded delta expires. The conservative default of 0 keeps
+    /// custom hooks correct: megablocks simply never run for them.
+    fn quiet_yield_horizon(&self, _vm: &Vm) -> u64 {
+        0
+    }
+
+    /// `k` quiet yield points were batched by tier-2 execution instead of
+    /// consulting [`ExecHook::on_yield_point`] one by one. Hooks that
+    /// count yield points (the logical clock) must advance their counters
+    /// by `k` here; `k` never exceeds the horizon they last reported.
+    fn on_yield_points_skipped(&mut self, _k: u64) {}
+
     /// A wall-clock read. Passthrough/record return (and record) the live
     /// value; replay returns the recorded one.
     fn on_clock_read(&mut self, vm: &mut Vm) -> i64;
@@ -130,6 +150,16 @@ impl ExecHook for Passthrough {
             YieldAction::switch()
         } else {
             YieldAction::NONE
+        }
+    }
+
+    fn quiet_yield_horizon(&self, vm: &Vm) -> u64 {
+        // Without the preempt bit, every consult is a no-op; with it, the
+        // very next one switches.
+        if vm.preempt_bit {
+            0
+        } else {
+            u64::MAX
         }
     }
 

@@ -48,7 +48,7 @@ pub mod vm;
 pub use builder::ProgramBuilder;
 pub use bytecode::{ClassId, MethodId, NativeId, Op, StrId, Ty};
 pub use clock::{CycleClock, FixedTimer, JitteredClock, JitteredTimer, TimerSource, WallClock};
-pub use compile::{AluFn, CmpFn, QOp};
+pub use compile::{AluFn, ClosedLoop, CmpFn, MegaBlock, MegaOp, QOp};
 pub use fingerprint::FingerprintMode;
 pub use heap::{Addr, ArrKind, GcKind, Word};
 pub use hook::{ExecHook, Passthrough, YieldAction};
@@ -57,4 +57,4 @@ pub use program::Program;
 pub use rng::SplitMix64;
 pub use sched::SchedPressure;
 pub use thread::{ThreadStatus, Tid};
-pub use vm::{ErrKind, Vm, VmConfig, VmError, VmStatus};
+pub use vm::{ErrKind, MegaStats, Vm, VmConfig, VmError, VmStatus};

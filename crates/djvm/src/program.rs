@@ -211,7 +211,10 @@ mod tests {
         let base = Class {
             name: "Base".into(),
             super_class: None,
-            fields: vec![FieldDecl { name: "a".into(), ty: Ty::Int }],
+            fields: vec![FieldDecl {
+                name: "a".into(),
+                ty: Ty::Int,
+            }],
             statics: vec![],
             vtable: vec![],
             vslots: HashMap::new(),
@@ -219,7 +222,10 @@ mod tests {
         let derived = Class {
             name: "Derived".into(),
             super_class: Some(0),
-            fields: vec![FieldDecl { name: "b".into(), ty: Ty::Ref }],
+            fields: vec![FieldDecl {
+                name: "b".into(),
+                ty: Ty::Ref,
+            }],
             statics: vec![],
             vtable: vec![],
             vslots: HashMap::new(),

@@ -88,6 +88,21 @@ pub struct VmConfig {
     /// bit-identical either way (the cycle-accounting invariant, DESIGN §5).
     /// Defaults to on; `DJVM_NO_QUICKEN=1` in the environment turns it off.
     pub quicken: bool,
+    /// Tier-2 execution: compile hot loop bodies into straight-line guarded
+    /// megablocks (DESIGN §10). Like `quicken`, purely a speed knob — the
+    /// cycle-accounting invariant makes fingerprints, traces and digests
+    /// bit-identical with it on or off. Requires `quicken` (the tier-2
+    /// engine compiles from the quickened stream). Defaults to on;
+    /// `DJVM_NO_MEGA=1` in the environment turns it off.
+    pub mega: bool,
+    /// Forced-deopt injection for testing: every `stride`-th megablock
+    /// guard evaluation fails even though the guarded condition holds
+    /// (0 = off). Deopt is exit-before-step, so a spurious failure is
+    /// always semantics-preserving — neutrality tests sweep this.
+    pub mega_deopt_stride: u64,
+    /// Forced-deopt injection: the guard with this per-iteration ordinal
+    /// always fails (the deopt-at-every-guard sweep).
+    pub mega_deopt_guard: Option<u32>,
 }
 
 impl Default for VmConfig {
@@ -98,6 +113,9 @@ impl Default for VmConfig {
             initial_stack: 256,
             fingerprint: FingerprintMode::Full,
             quicken: std::env::var_os("DJVM_NO_QUICKEN").is_none(),
+            mega: std::env::var_os("DJVM_NO_MEGA").is_none(),
+            mega_deopt_stride: 0,
+            mega_deopt_guard: None,
         }
     }
 }
@@ -125,6 +143,77 @@ pub struct VmCounters {
     pub io_reads: u64,
     pub clock_reads: u64,
     pub native_calls: u64,
+}
+
+/// Tier-2 runtime counters. Pure observer state: how often megablocks ran
+/// is *mode-dependent* (record and replay legitimately batch different
+/// spans, because their quiet-yield horizons differ), so these counters are
+/// excluded from [`VmCounters`], the fingerprint, [`Vm::state_digest`] and
+/// [`VmSnapshot`] — only the tier-up count is deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MegaStats {
+    /// Loops promoted to megablocks (deterministic across modes).
+    pub tier_ups: u64,
+    /// Megablock entries (≥1 iteration each).
+    pub entries: u64,
+    /// Completed megablock iterations.
+    pub iters: u64,
+    /// Subset of `iters` retired by the closed-form counting-loop stepper
+    /// (no per-step execution at all).
+    pub closed_iters: u64,
+    /// Guard-failure deopts back to the quickened interpreter.
+    pub deopts: u64,
+    /// Deopts injected by `mega_deopt_stride` / `mega_deopt_guard`.
+    pub forced_deopts: u64,
+    /// Entry-gate misses (tick too close, budget exhausted, or the hook's
+    /// quiet-yield horizon too short).
+    pub gate_misses: u64,
+}
+
+impl MegaStats {
+    /// Deterministic JSON (keys pre-sorted).
+    pub fn to_json(&self) -> codec::Json {
+        use codec::Json;
+        Json::obj(vec![
+            ("closed_iters", Json::UInt(self.closed_iters)),
+            ("deopts", Json::UInt(self.deopts)),
+            ("entries", Json::UInt(self.entries)),
+            ("forced_deopts", Json::UInt(self.forced_deopts)),
+            ("gate_misses", Json::UInt(self.gate_misses)),
+            ("iters", Json::UInt(self.iters)),
+            ("tier_ups", Json::UInt(self.tier_ups)),
+        ])
+    }
+}
+
+/// Per-method tier-2 state: a hotness counter and a compiled-block slot per
+/// qop index (only loop heads ever become non-zero / non-`None`).
+struct MethodMega {
+    hot: Vec<u32>,
+    blocks: Vec<Option<Arc<crate::compile::MegaBlock>>>,
+}
+
+/// Tier-2 engine state hanging off the [`Vm`]. Not guest-visible: the
+/// compiled blocks are a pure cache over the (immutable) quickened streams,
+/// and the stats are observer counters.
+pub struct MegaState {
+    /// Master switch (`VmConfig::mega && VmConfig::quicken`).
+    pub enabled: bool,
+    /// Global guard-evaluation counter driving `mega_deopt_stride`.
+    pub guard_evals: u64,
+    pub stats: MegaStats,
+    methods: Vec<Option<Box<MethodMega>>>,
+}
+
+impl MegaState {
+    fn new(nmethods: usize, enabled: bool) -> Self {
+        Self {
+            enabled,
+            guard_evals: 0,
+            stats: MegaStats::default(),
+            methods: (0..nmethods).map(|_| None).collect(),
+        }
+    }
 }
 
 /// Where a new thread's arguments come from.
@@ -170,6 +259,9 @@ pub struct Vm {
     /// [`VmSnapshot`] — so enabling it cannot perturb the execution
     /// (the §2.4 discipline, applied to observability).
     pub telem: telemetry::VmTelemetry,
+    /// Tier-2 megablock engine state (hotness counters, compiled blocks,
+    /// observer stats). Like `telem`, deliberately outside guest state.
+    pub mega: MegaState,
     pub config: VmConfig,
     pub boot_image: BootImage,
 
@@ -214,6 +306,7 @@ impl Vm {
         let nclasses = program.classes.len();
         let nmethods = program.methods.len();
         let fingerprint = Fingerprint::new(config.fingerprint);
+        let mega = MegaState::new(nmethods, config.mega && config.quicken);
         let mut vm = Vm {
             program,
             heap,
@@ -232,6 +325,7 @@ impl Vm {
             fingerprint,
             counters: VmCounters::default(),
             telem: telemetry::VmTelemetry::disabled(),
+            mega,
             config,
             boot_image: BootImage::default(),
             class_objects: vec![None; nclasses],
@@ -323,6 +417,73 @@ impl Vm {
         self.status = VmStatus::Error(e);
         self.fingerprint.event(0xE44, kind as u64, e.pc as u64);
         e
+    }
+
+    // ------------------------------------------------------------------
+    // Tier-2 megablocks (hotness, compilation, lookup)
+    // ------------------------------------------------------------------
+
+    /// Count one taken backedge to `head` in `method`; at exactly
+    /// [`crate::compile::MEGA_HOT_THRESHOLD`] takes, try to compile the
+    /// loop into a megablock. Pre-tier-up execution is bit-identical in
+    /// every mode, so the threshold crossing — and the `compile.mega`
+    /// telemetry event it emits — lands at the same logical instant
+    /// everywhere, even though post-tier-up *entry* counts are
+    /// mode-dependent. A loop whose compile fails stays saturated at the
+    /// threshold and is never retried.
+    #[inline]
+    pub(crate) fn mega_note_backedge(&mut self, method: MethodId, head: u32) {
+        if !self.mega.enabled {
+            return;
+        }
+        self.mega_note_backedge_slow(method, head);
+    }
+
+    fn mega_note_backedge_slow(&mut self, method: MethodId, head: u32) {
+        let nq = self.program.compiled(method).qops.len();
+        let mm = self.mega.methods[method as usize].get_or_insert_with(|| {
+            Box::new(MethodMega {
+                hot: vec![0; nq],
+                blocks: vec![None; nq],
+            })
+        });
+        let h = &mut mm.hot[head as usize];
+        if *h >= crate::compile::MEGA_HOT_THRESHOLD {
+            return; // saturated: compiled, or gave up on this loop
+        }
+        *h += 1;
+        if *h < crate::compile::MEGA_HOT_THRESHOLD {
+            return;
+        }
+        let trip = *h as u64;
+        let block = crate::compile::compile_loop(&self.program, method, head);
+        if let Some(b) = block {
+            let width = b.width;
+            self.mega.stats.tier_ups += 1;
+            let tid = self.sched.current;
+            self.telem.event(
+                tid,
+                telemetry::EventKind::MegaCompile {
+                    method: method as u32,
+                    loop_pc: head,
+                    trip_count: trip,
+                    block_width: width,
+                },
+            );
+            let mm = self.mega.methods[method as usize].as_mut().unwrap();
+            mm.blocks[head as usize] = Some(Arc::new(b));
+        }
+    }
+
+    /// The compiled megablock headed at (`method`, `pc`), if one exists.
+    #[inline]
+    pub(crate) fn mega_block(
+        &self,
+        method: MethodId,
+        pc: u32,
+    ) -> Option<Arc<crate::compile::MegaBlock>> {
+        let mm = self.mega.methods[method as usize].as_deref()?;
+        mm.blocks.get(pc as usize)?.clone()
     }
 
     // ------------------------------------------------------------------
@@ -449,7 +610,8 @@ impl Vm {
         self.counters.class_loads += 1;
         self.fingerprint.event(0xC1A55, class as u64, 0);
         let tid = self.sched.current;
-        self.telem.event(tid, telemetry::EventKind::ClassLoad { class });
+        self.telem
+            .event(tid, telemetry::EventKind::ClassLoad { class });
         Ok(a)
     }
 
@@ -464,14 +626,25 @@ impl Vm {
         self.counters.methods_compiled += 1;
         self.fingerprint.event(0xC0DE, m as u64, 0);
         let tid = self.sched.current;
-        self.telem.event(tid, telemetry::EventKind::Compile { method: m });
+        self.telem
+            .event(tid, telemetry::EventKind::Compile { method: m });
         self.telem.compile(len as u64);
         if let Some(p) = self.telem.profile.as_deref_mut() {
             // Zero-width span: compilation costs no logical cycles (the
             // triggering call's cycle stays with its method); arg carries
             // method id in, code words out.
-            p.phase_begin(tid, telemetry::profile::PHASE_COMPILE, m as u64, self.cycles);
-            p.phase_end(tid, telemetry::profile::PHASE_COMPILE, len as u64, self.cycles);
+            p.phase_begin(
+                tid,
+                telemetry::profile::PHASE_COMPILE,
+                m as u64,
+                self.cycles,
+            );
+            p.phase_end(
+                tid,
+                telemetry::profile::PHASE_COMPILE,
+                len as u64,
+                self.cycles,
+            );
         }
         Ok(())
     }

@@ -161,13 +161,11 @@ fn join_chain_and_many_joiners() {
         a.iconst(20).sleep().pop();
         a.ret();
     });
-    let joiner = pb
-        .method_typed("joiner", vec![Ty::Ref], 1, None)
-        .code(|a| {
-            a.load(0).join();
-            a.get_static(g, 0).iconst(1).add().put_static(g, 0);
-            a.ret();
-        });
+    let joiner = pb.method_typed("joiner", vec![Ty::Ref], 1, None).code(|a| {
+        a.load(0).join();
+        a.get_static(g, 0).iconst(1).add().put_static(g, 0);
+        a.ret();
+    });
     let m = pb.method("main", 0, 4).code(|a| {
         a.iconst(0).put_static(g, 0);
         a.spawn(slow, 0).store(0);

@@ -106,8 +106,7 @@ pub fn drive(
             };
             // Single-session ground truth for the same workload/seed.
             let spec = spec_for(&workload, seed);
-            let (local, _trace) =
-                record_run(&spec, workload.natives, SymmetryConfig::full(), true);
+            let (local, _trace) = record_run(&spec, workload.natives, SymmetryConfig::full(), true);
             if local.fingerprint != fleet_fp {
                 local_mismatches.push(format!(
                     "session {id} (seed {seed}): fleet record fp {fleet_fp:#x} != local {:#x}",
@@ -127,8 +126,8 @@ pub fn drive(
     let resident_peak = {
         let mut client = FleetClient::connect(addr)?;
         let json = client.stats()?;
-        let doc = codec::Json::parse(&json)
-            .map_err(|e| WireError::Io(format!("stats parse: {e}")))?;
+        let doc =
+            codec::Json::parse(&json).map_err(|e| WireError::Io(format!("stats parse: {e}")))?;
         doc.field("sessions")
             .and_then(|s| s.field("active"))
             .and_then(|a| a.as_u64())
@@ -157,8 +156,7 @@ pub fn drive(
                 other => return Err(WireError::Io(format!("replay: {other:?}"))),
             };
             let spec = spec_for(&workload, seed);
-            let (local, _trace) =
-                record_run(&spec, workload.natives, SymmetryConfig::full(), true);
+            let (local, _trace) = record_run(&spec, workload.natives, SymmetryConfig::full(), true);
             if local.fingerprint != fleet_fp || !clean {
                 local_mismatches.push(format!(
                     "session {id} (seed {seed}): fleet replay fp {fleet_fp:#x} (clean={clean}) != local {:#x}",
@@ -252,7 +250,8 @@ fn wave(
             handles.push(scope.spawn(move || body(lo, hi)));
         }
         for h in handles {
-            h.join().map_err(|_| WireError::Io("drive worker panicked".into()))??;
+            h.join()
+                .map_err(|_| WireError::Io("drive worker panicked".into()))??;
         }
         Ok(())
     })

@@ -21,7 +21,9 @@ impl FleetClient {
     pub fn connect(addr: &str) -> Result<FleetClient, WireError> {
         let mut stream = TcpStream::connect(addr).map_err(WireError::from)?;
         stream.set_nodelay(true).map_err(WireError::from)?;
-        stream.write_all(&wire::hello_bytes()).map_err(WireError::from)?;
+        stream
+            .write_all(&wire::hello_bytes())
+            .map_err(WireError::from)?;
         let mut echo = [0u8; 5];
         match stream.read_exact(&mut echo) {
             Ok(()) => {}

@@ -3,9 +3,7 @@
 //! prefixed). Decoding is strict — a payload must parse exactly and
 //! consume every byte, or it is a typed [`WireError`].
 
-use crate::wire::{
-    get_bool, get_bytes, get_str, get_u64, put_bool, put_bytes, put_str, WireError,
-};
+use crate::wire::{get_bool, get_bytes, get_str, get_u64, put_bool, put_bytes, put_str, WireError};
 use codec::put_varint;
 
 /// Client → server messages.

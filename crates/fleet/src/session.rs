@@ -156,10 +156,13 @@ impl Session {
         };
         let total = ingest.push(chunk)?;
         if done {
-            let taken = std::mem::replace(&mut self.phase, Phase::Sealed {
-                trace: Trace::default(),
-                boundaries: Vec::new(),
-            });
+            let taken = std::mem::replace(
+                &mut self.phase,
+                Phase::Sealed {
+                    trace: Trace::default(),
+                    boundaries: Vec::new(),
+                },
+            );
             let Phase::Recording { ingest } = taken else {
                 unreachable!()
             };
@@ -191,7 +194,8 @@ impl Session {
             });
         }
         let spec = self.spec();
-        let (report, trace) = record_run(&spec, self.workload.natives, SymmetryConfig::full(), true);
+        let (report, trace) =
+            record_run(&spec, self.workload.natives, SymmetryConfig::full(), true);
         let stats = trace.stats();
         let outcome = RecordOutcome {
             fingerprint: report.fingerprint,
@@ -215,10 +219,13 @@ impl Session {
             });
         }
         if let Phase::Sealed { .. } = self.phase {
-            let taken = std::mem::replace(&mut self.phase, Phase::Sealed {
-                trace: Trace::default(),
-                boundaries: Vec::new(),
-            });
+            let taken = std::mem::replace(
+                &mut self.phase,
+                Phase::Sealed {
+                    trace: Trace::default(),
+                    boundaries: Vec::new(),
+                },
+            );
             let Phase::Sealed { trace, boundaries } = taken else {
                 unreachable!()
             };

@@ -84,7 +84,10 @@ fn streamed_ingest_replays_to_the_recorded_fingerprint() {
             other => panic!("ingest: {other:?}"),
         }
     }
-    match client.call(&Request::Replay { session: id }).expect("replay") {
+    match client
+        .call(&Request::Replay { session: id })
+        .expect("replay")
+    {
         Response::Replayed {
             fingerprint,
             state_digest,
@@ -123,7 +126,10 @@ fn unknown_session_and_bad_workload_are_typed_errors() {
     let addr = server.addr().to_string();
     let mut client = FleetClient::connect(&addr).expect("connect");
 
-    match client.call(&Request::Replay { session: 999 }).expect("call") {
+    match client
+        .call(&Request::Replay { session: 999 })
+        .expect("call")
+    {
         Response::Error { code: 1, message } => assert!(message.contains("999")),
         other => panic!("expected error, got {other:?}"),
     }
@@ -204,11 +210,23 @@ fn two_simultaneous_jsonline_clients_make_progress() {
     // Interleave requests while BOTH connections are open: with the old
     // accept-once loop, B's first request would block forever here.
     for _ in 0..3 {
-        assert!(matches!(a.threads().expect("A threads"), DbgResponse::Threads { .. }));
-        assert!(matches!(b.metrics().expect("B metrics"), DbgResponse::Metrics { .. }));
+        assert!(matches!(
+            a.threads().expect("A threads"),
+            DbgResponse::Threads { .. }
+        ));
+        assert!(matches!(
+            b.metrics().expect("B metrics"),
+            DbgResponse::Metrics { .. }
+        ));
     }
-    assert!(matches!(b.step().expect("B step"), DbgResponse::Stopped { .. }));
-    assert!(matches!(a.output().expect("A output"), DbgResponse::Output { .. }));
+    assert!(matches!(
+        b.step().expect("B step"),
+        DbgResponse::Stopped { .. }
+    ));
+    assert!(matches!(
+        a.output().expect("A output"),
+        DbgResponse::Output { .. }
+    ));
 
     drop(b); // dropped peer must not take the server down
     assert!(matches!(a.quit().expect("A quit"), DbgResponse::Bye));
@@ -238,7 +256,10 @@ fn jsonline_adapter_speaks_the_exact_legacy_wire_format() {
 
     stream.write_all(b"this is not json\n").unwrap();
     reader.read_line(&mut line).unwrap();
-    assert!(line.contains("\"error\""), "bad command → error line: {line}");
+    assert!(
+        line.contains("\"error\""),
+        "bad command → error line: {line}"
+    );
 
     line.clear();
     let mut cmd = Command::Threads.to_json_string();

@@ -111,7 +111,9 @@ impl<'m> RemoteReflector<'m> {
     }
 
     fn read(&self, addr: Addr) -> Result<u64, ReflectError> {
-        self.mem.read_word(addr).ok_or(ReflectError::BadAddress(addr))
+        self.mem
+            .read_word(addr)
+            .ok_or(ReflectError::BadAddress(addr))
     }
 
     fn remote_header(&self, addr: Addr) -> Result<Header, ReflectError> {
@@ -183,8 +185,21 @@ impl<'m> RemoteReflector<'m> {
                     stack.push(a);
                     stack.push(b);
                 }
-                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::BitAnd | Op::BitOr
-                | Op::BitXor | Op::Shl | Op::Shr | Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt
+                Op::Add
+                | Op::Sub
+                | Op::Mul
+                | Op::Div
+                | Op::Rem
+                | Op::BitAnd
+                | Op::BitOr
+                | Op::BitXor
+                | Op::Shl
+                | Op::Shr
+                | Op::Eq
+                | Op::Ne
+                | Op::Lt
+                | Op::Le
+                | Op::Gt
                 | Op::Ge => {
                     let b = pop_int!();
                     let a = pop_int!();
@@ -310,8 +325,7 @@ impl<'m> RemoteReflector<'m> {
                     let a: Vec<TVal> = stack.split_off(stack.len() - n);
                     let recv = a[0].as_remote().ok_or(ReflectError::NullDeref)?;
                     let h = self.remote_header(recv)?;
-                    if h.is_array || h.is_classobj || !self.program.is_subclass(h.class_id, class)
-                    {
+                    if h.is_array || h.is_classobj || !self.program.is_subclass(h.class_id, class) {
                         return Err(ReflectError::TypeConfusion);
                     }
                     let callee = self.program.class(h.class_id).vtable[slot as usize];
@@ -335,11 +349,18 @@ impl<'m> RemoteReflector<'m> {
                     // via mapped methods instead.
                     return Err(ReflectError::Unsupported("static (use a mapped method)"));
                 }
-                Op::MonitorEnter | Op::MonitorExit | Op::Wait | Op::TimedWait | Op::Notify
-                | Op::NotifyAll | Op::Spawn { .. } | Op::Join | Op::Interrupt | Op::YieldNow
-                | Op::Sleep | Op::CurrentThread => {
-                    return Err(ReflectError::Unsupported("threading"))
-                }
+                Op::MonitorEnter
+                | Op::MonitorExit
+                | Op::Wait
+                | Op::TimedWait
+                | Op::Notify
+                | Op::NotifyAll
+                | Op::Spawn { .. }
+                | Op::Join
+                | Op::Interrupt
+                | Op::YieldNow
+                | Op::Sleep
+                | Op::CurrentThread => return Err(ReflectError::Unsupported("threading")),
                 Op::Now | Op::NativeCall { .. } | Op::Print | Op::PrintStr(_) | Op::Halt => {
                     return Err(ReflectError::Unsupported("environment"))
                 }
@@ -354,7 +375,8 @@ impl<'m> RemoteReflector<'m> {
     pub fn line_number_of(&mut self, method: MethodId, offset: u32) -> Result<i64, ReflectError> {
         let q = self.program.builtins.line_number_of;
         let r = self.invoke(q, &[TVal::Int(method as i64), TVal::Int(offset as i64)])?;
-        r.and_then(TVal::as_int).ok_or(ReflectError::Internal("no result"))
+        r.and_then(TVal::as_int)
+            .ok_or(ReflectError::Internal("no result"))
     }
 }
 

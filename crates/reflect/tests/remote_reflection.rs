@@ -2,7 +2,7 @@
 //! Figure 3).
 
 use dejavu::{record_run, replay_run, ExecSpec, SymmetryConfig};
-use djvm::{interp, FixedTimer, CycleClock, Program, ProgramBuilder, Ty, Vm, VmConfig};
+use djvm::{interp, CycleClock, FixedTimer, Program, ProgramBuilder, Ty, Vm, VmConfig};
 use reflect::{
     mirror, CountingMemory, LocalVmMemory, ProcessMemory, RemoteReflector, SnapshotMemory, TVal,
 };
@@ -150,12 +150,10 @@ fn snapshot_memory_gives_same_answers() {
 fn mutation_bytecodes_rejected() {
     let mut pb = ProgramBuilder::new();
     let c = pb.class("C").field("x", Ty::Int).build();
-    let bad = pb
-        .method_typed("bad", vec![Ty::Ref], 1, None)
-        .code(|a| {
-            a.load(0).iconst(1).put_field(0);
-            a.ret();
-        });
+    let bad = pb.method_typed("bad", vec![Ty::Ref], 1, None).code(|a| {
+        a.load(0).iconst(1).put_field(0);
+        a.ret();
+    });
     let m = pb.method("main", 0, 1).code(|a| {
         a.new(c).store(0);
         a.halt();
@@ -174,7 +172,10 @@ fn mutation_bytecodes_rejected() {
     // find any remote object: the thread object will do
     let tobj = vm.threads[0].thread_obj;
     let err = refl.invoke(bad, &[TVal::Remote(tobj)]).unwrap_err();
-    assert!(matches!(err, reflect::ReflectError::Unsupported("mutation")));
+    assert!(matches!(
+        err,
+        reflect::ReflectError::Unsupported("mutation")
+    ));
 }
 
 #[test]

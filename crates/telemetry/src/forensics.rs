@@ -177,8 +177,9 @@ mod tests {
     #[test]
     fn different_capacities_still_align_on_overlap() {
         // Record ring kept everything; replay ring dropped its oldest.
-        let evs: Vec<(u32, EventKind)> =
-            (0..6).map(|i| (0, EventKind::Gc { collection: i })).collect();
+        let evs: Vec<(u32, EventKind)> = (0..6)
+            .map(|i| (0, EventKind::Gc { collection: i }))
+            .collect();
         let mut bad = evs.clone();
         bad[4] = (0, EventKind::Gc { collection: 99 });
         let a = ring_of(&evs, 16);

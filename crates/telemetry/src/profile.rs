@@ -236,8 +236,7 @@ impl ProfileModel {
             let n = active.entry(f.method).or_insert(0);
             *n = n.saturating_sub(1);
             if *n == 0 {
-                methods.entry(f.method).or_default().cycles_incl +=
-                    now.saturating_sub(f.entered);
+                methods.entry(f.method).or_default().cycles_incl += now.saturating_sub(f.entered);
             }
         };
 
@@ -658,10 +657,7 @@ mod tests {
         p.enter(1, 2, 16);
         let m = ProfileModel::build(&p, 20);
         assert_eq!(m.phases[PHASE_SCHED as usize].cycles, 6);
-        assert_eq!(
-            m.phases[PHASE_INTERP as usize].cycles,
-            m.total_cycles - 6
-        );
+        assert_eq!(m.phases[PHASE_INTERP as usize].cycles, m.total_cycles - 6);
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub enum EventKind {
     Compile { method: u32 },
     /// Class id `class` was (lazily) loaded.
     ClassLoad { class: u32 },
+    /// The loop headed at `loop_pc` in `method` crossed the tier-2 hotness
+    /// threshold (`trip_count` taken backedges) and was compiled into a
+    /// megablock of `block_width` accounted cycles per iteration. Emitted
+    /// at the threshold crossing, which happens at the same logical instant
+    /// in every mode — tier-up is deterministic even though per-block entry
+    /// counts are not.
+    MegaCompile {
+        method: u32,
+        loop_pc: u32,
+        trip_count: u64,
+        block_width: u64,
+    },
 }
 
 impl EventKind {
@@ -45,6 +57,7 @@ impl EventKind {
             EventKind::StackGrowth { .. } => "stack_growth",
             EventKind::Compile { .. } => "compile",
             EventKind::ClassLoad { .. } => "class_load",
+            EventKind::MegaCompile { .. } => "compile.mega",
         }
     }
 }
@@ -61,8 +74,11 @@ pub struct Event {
 impl Event {
     /// Deterministic JSON (keys pre-sorted within each shape).
     pub fn to_json(&self) -> Json {
-        let mut pairs: Vec<(&str, Json)> = Vec::with_capacity(5);
+        let mut pairs: Vec<(&str, Json)> = Vec::with_capacity(7);
         match self.kind {
+            EventKind::MegaCompile { block_width, .. } => {
+                pairs.push(("block_width", Json::UInt(block_width)));
+            }
             EventKind::ClassLoad { class } => {
                 pairs.push(("class", Json::UInt(class as u64)));
             }
@@ -73,6 +89,12 @@ impl Event {
         }
         pairs.push(("kind", Json::Str(self.kind.name().into())));
         match self.kind {
+            EventKind::MegaCompile {
+                loop_pc, method, ..
+            } => {
+                pairs.push(("loop_pc", Json::UInt(loop_pc as u64)));
+                pairs.push(("method", Json::UInt(method as u64)));
+            }
             EventKind::NativeCall { method } | EventKind::Compile { method } => {
                 pairs.push(("method", Json::UInt(method as u64)));
             }
@@ -88,6 +110,9 @@ impl Event {
         pairs.push(("tid", Json::UInt(self.tid as u64)));
         match self.kind {
             EventKind::Switch { to, .. } => pairs.push(("to", Json::UInt(to as u64))),
+            EventKind::MegaCompile { trip_count, .. } => {
+                pairs.push(("trip_count", Json::UInt(trip_count)));
+            }
             EventKind::ClockRead { value } => pairs.push(("value", Json::Int(value))),
             _ => {}
         }
@@ -98,16 +123,25 @@ impl Event {
     pub fn describe(&self) -> String {
         match self.kind {
             EventKind::Switch { to, nyp } => {
-                format!("#{} tid {} switch to={} nyp={}", self.seq, self.tid, to, nyp)
+                format!(
+                    "#{} tid {} switch to={} nyp={}",
+                    self.seq, self.tid, to, nyp
+                )
             }
             EventKind::ClockRead { value } => {
                 format!("#{} tid {} clock_read value={}", self.seq, self.tid, value)
             }
             EventKind::NativeCall { method } => {
-                format!("#{} tid {} native_call method={}", self.seq, self.tid, method)
+                format!(
+                    "#{} tid {} native_call method={}",
+                    self.seq, self.tid, method
+                )
             }
             EventKind::Gc { collection } => {
-                format!("#{} tid {} gc collection={}", self.seq, self.tid, collection)
+                format!(
+                    "#{} tid {} gc collection={}",
+                    self.seq, self.tid, collection
+                )
             }
             EventKind::StackGrowth { new_words } => format!(
                 "#{} tid {} stack_growth new_words={}",
@@ -119,6 +153,15 @@ impl Event {
             EventKind::ClassLoad { class } => {
                 format!("#{} tid {} class_load class={}", self.seq, self.tid, class)
             }
+            EventKind::MegaCompile {
+                method,
+                loop_pc,
+                trip_count,
+                block_width,
+            } => format!(
+                "#{} tid {} compile.mega method={} loop_pc={} trip_count={} block_width={}",
+                self.seq, self.tid, method, loop_pc, trip_count, block_width
+            ),
         }
     }
 }
@@ -247,6 +290,12 @@ mod tests {
             EventKind::StackGrowth { new_words: 512 },
             EventKind::Compile { method: 4 },
             EventKind::ClassLoad { class: 1 },
+            EventKind::MegaCompile {
+                method: 6,
+                loop_pc: 11,
+                trip_count: 64,
+                block_width: 9,
+            },
         ];
         for (i, k) in kinds.iter().enumerate() {
             let ev = Event {

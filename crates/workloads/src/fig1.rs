@@ -123,7 +123,11 @@ pub fn fig1_cd() -> Program {
     // T2: y = x + 100; o1.notify();
     let t2 = pb.method("t2", 0, 0).code(|a| {
         a.line(20).get_static(g, 0).monitor_enter();
-        a.line(21).get_static(g, 1).iconst(100).add().put_static(g, 2);
+        a.line(21)
+            .get_static(g, 1)
+            .iconst(100)
+            .add()
+            .put_static(g, 2);
         a.line(22).get_static(g, 0).notify();
         a.get_static(g, 0).monitor_exit();
         a.ret();

@@ -92,7 +92,13 @@ pub fn gc_pressure(iters: i64) -> Program {
         a.goto("fill");
         a.label("filled");
         // observe allocation order through one identity hash per page
-        a.get_static(g, 0).load(1).iconst(0).aload_ref().identity_hash().bxor().put_static(g, 0);
+        a.get_static(g, 0)
+            .load(1)
+            .iconst(0)
+            .aload_ref()
+            .identity_hash()
+            .bxor()
+            .put_static(g, 0);
         // int-array garbage alongside the ref pages
         a.iconst(24).new_array_int().pop();
         // retain every 8th page; everything else is immediate garbage
@@ -104,7 +110,13 @@ pub fn gc_pressure(iters: i64) -> Program {
         a.label("done");
         // keep `kept` live to the end so retention actually matters
         a.load(2).null().ref_eq().if_nz("end");
-        a.get_static(g, 0).load(2).iconst(0).aload_ref().get_field(0).add().put_static(g, 0);
+        a.get_static(g, 0)
+            .load(2)
+            .iconst(0)
+            .aload_ref()
+            .get_field(0)
+            .add()
+            .put_static(g, 0);
         a.label("end");
         a.ret();
     });
@@ -210,7 +222,14 @@ pub fn clock_spin(reads: i64) -> Program {
         a.iconst(0).store(0);
         a.label("top");
         a.load(0).iconst(reads).ge().if_nz("done");
-        a.get_static(g, 0).iconst(31).mul().now().iconst(997).rem().add().put_static(g, 0);
+        a.get_static(g, 0)
+            .iconst(31)
+            .mul()
+            .now()
+            .iconst(997)
+            .rem()
+            .add()
+            .put_static(g, 0);
         a.load(0).iconst(1).add().store(0);
         a.goto("top");
         a.label("done");

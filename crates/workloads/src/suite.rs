@@ -54,49 +54,47 @@ pub fn bank_transfer(nthreads: i64, naccts: i64, transfers: i64) -> Program {
         .build();
     let acct = pb.class("Account").field("balance", Ty::Int).build();
     // locals: 0=id, 1=t, 2=from, 3=to, 4=tmp/loRef, 5=hiRef, 6=fromRef, 7=toRef
-    let teller = pb
-        .method_typed("teller", vec![Ty::Int], 8, None)
-        .code(|a| {
-            a.iconst(0).store(1);
-            a.label("top");
-            a.load(1).iconst(transfers).ge().if_nz("done");
-            a.load(1).load(0).add().iconst(naccts).rem().store(2);
-            a.load(1)
-                .iconst(7)
-                .mul()
-                .load(0)
-                .add()
-                .iconst(1)
-                .add()
-                .iconst(naccts)
-                .rem()
-                .store(3);
-            a.load(2).load(3).eq().if_nz("next");
-            // fromRef / toRef
-            a.get_static(g, 0).load(2).aload_ref().store(6);
-            a.get_static(g, 0).load(3).aload_ref().store(7);
-            // ordered lock refs by index
-            a.load(2).load(3).lt().if_nz("lo_first");
-            a.load(7).store(4);
-            a.load(6).store(5);
-            a.goto("locked_order");
-            a.label("lo_first");
-            a.load(6).store(4);
-            a.load(7).store(5);
-            a.label("locked_order");
-            a.load(4).monitor_enter();
-            a.load(5).monitor_enter();
-            // from.balance -= 1; to.balance += 1
-            a.load(6).load(6).get_field(0).iconst(1).sub().put_field(0);
-            a.load(7).load(7).get_field(0).iconst(1).add().put_field(0);
-            a.load(5).monitor_exit();
-            a.load(4).monitor_exit();
-            a.label("next");
-            a.load(1).iconst(1).add().store(1);
-            a.goto("top");
-            a.label("done");
-            a.ret();
-        });
+    let teller = pb.method_typed("teller", vec![Ty::Int], 8, None).code(|a| {
+        a.iconst(0).store(1);
+        a.label("top");
+        a.load(1).iconst(transfers).ge().if_nz("done");
+        a.load(1).load(0).add().iconst(naccts).rem().store(2);
+        a.load(1)
+            .iconst(7)
+            .mul()
+            .load(0)
+            .add()
+            .iconst(1)
+            .add()
+            .iconst(naccts)
+            .rem()
+            .store(3);
+        a.load(2).load(3).eq().if_nz("next");
+        // fromRef / toRef
+        a.get_static(g, 0).load(2).aload_ref().store(6);
+        a.get_static(g, 0).load(3).aload_ref().store(7);
+        // ordered lock refs by index
+        a.load(2).load(3).lt().if_nz("lo_first");
+        a.load(7).store(4);
+        a.load(6).store(5);
+        a.goto("locked_order");
+        a.label("lo_first");
+        a.load(6).store(4);
+        a.load(7).store(5);
+        a.label("locked_order");
+        a.load(4).monitor_enter();
+        a.load(5).monitor_enter();
+        // from.balance -= 1; to.balance += 1
+        a.load(6).load(6).get_field(0).iconst(1).sub().put_field(0);
+        a.load(7).load(7).get_field(0).iconst(1).add().put_field(0);
+        a.load(5).monitor_exit();
+        a.load(4).monitor_exit();
+        a.label("next");
+        a.load(1).iconst(1).add().store(1);
+        a.goto("top");
+        a.label("done");
+        a.ret();
+    });
     // main: build accounts with balance 100 each, spawn tellers, join, print total
     let m = pb.method("main", 0, 4).code(|a| {
         a.iconst(naccts).new_array_ref().put_static(g, 0);
@@ -130,7 +128,13 @@ pub fn bank_transfer(nthreads: i64, naccts: i64, transfers: i64) -> Program {
         a.iconst(0).store(0);
         a.label("sum");
         a.load(0).iconst(naccts).ge().if_nz("summed");
-        a.load(1).get_static(g, 0).load(0).aload_ref().get_field(0).add().store(1);
+        a.load(1)
+            .get_static(g, 0)
+            .load(0)
+            .aload_ref()
+            .get_field(0)
+            .add()
+            .store(1);
         a.load(0).iconst(1).add().store(0);
         a.goto("sum");
         a.label("summed");
@@ -153,32 +157,34 @@ pub fn dining_philosophers(meals_each: i64) -> Program {
         .build();
     let fork = pb.class("Fork").build();
     // locals: 0=id, 1=meal, 2=first, 3=second, 4=firstRef, 5=secondRef
-    let phil = pb.method_typed("philosopher", vec![Ty::Int], 6, None).code(|a| {
-        a.iconst(0).store(1);
-        a.label("top");
-        a.load(1).iconst(meals_each).ge().if_nz("done");
-        // left = id, right = (id+1)%n; acquire lower index first
-        a.load(0).store(2);
-        a.load(0).iconst(1).add().iconst(n).rem().store(3);
-        a.load(2).load(3).lt().if_nz("ordered");
-        // swap fork indices via the operand stack
-        a.load(2).load(3).store(2).store(3);
-        a.label("ordered");
-        a.get_static(g, 0).load(2).aload_ref().store(4);
-        a.get_static(g, 0).load(3).aload_ref().store(5);
-        a.load(4).monitor_enter();
-        a.load(5).monitor_enter();
-        // eat
-        a.get_static(g, 2).monitor_enter();
-        a.get_static(g, 1).iconst(1).add().put_static(g, 1);
-        a.get_static(g, 2).monitor_exit();
-        a.load(5).monitor_exit();
-        a.load(4).monitor_exit();
-        a.load(1).iconst(1).add().store(1);
-        a.goto("top");
-        a.label("done");
-        a.ret();
-    });
+    let phil = pb
+        .method_typed("philosopher", vec![Ty::Int], 6, None)
+        .code(|a| {
+            a.iconst(0).store(1);
+            a.label("top");
+            a.load(1).iconst(meals_each).ge().if_nz("done");
+            // left = id, right = (id+1)%n; acquire lower index first
+            a.load(0).store(2);
+            a.load(0).iconst(1).add().iconst(n).rem().store(3);
+            a.load(2).load(3).lt().if_nz("ordered");
+            // swap fork indices via the operand stack
+            a.load(2).load(3).store(2).store(3);
+            a.label("ordered");
+            a.get_static(g, 0).load(2).aload_ref().store(4);
+            a.get_static(g, 0).load(3).aload_ref().store(5);
+            a.load(4).monitor_enter();
+            a.load(5).monitor_enter();
+            // eat
+            a.get_static(g, 2).monitor_enter();
+            a.get_static(g, 1).iconst(1).add().put_static(g, 1);
+            a.get_static(g, 2).monitor_exit();
+            a.load(5).monitor_exit();
+            a.load(4).monitor_exit();
+            a.load(1).iconst(1).add().store(1);
+            a.goto("top");
+            a.label("done");
+            a.ret();
+        });
     let m = pb.method("main", 0, 3).code(|a| {
         a.iconst(n).new_array_ref().put_static(g, 0);
         a.new(fork).put_static(g, 2); // meals lock (any object)
@@ -370,14 +376,24 @@ pub fn sleepy_workers() -> Program {
         a.load(0).sleep().pop();
         a.get_static(g, 0).monitor_enter();
         a.get_static(g, 0).iconst(15).timed_wait().store(0);
-        a.get_static(g, 1).load(0).add().iconst(1).add().put_static(g, 1);
+        a.get_static(g, 1)
+            .load(0)
+            .add()
+            .iconst(1)
+            .add()
+            .put_static(g, 1);
         a.get_static(g, 0).monitor_exit();
         a.ret();
     });
     let napper = pb.method("napper", 0, 1).code(|a| {
         a.iconst(1_000_000).sleep().store(0); // interrupted by main
         a.get_static(g, 0).monitor_enter();
-        a.get_static(g, 1).load(0).iconst(10).mul().add().put_static(g, 1);
+        a.get_static(g, 1)
+            .load(0)
+            .iconst(10)
+            .mul()
+            .add()
+            .put_static(g, 1);
         a.get_static(g, 0).monitor_exit();
         a.ret();
     });
@@ -402,10 +418,7 @@ pub fn sleepy_workers() -> Program {
 /// pressure interleaved with preemptive switches.
 pub fn gc_churn(iters: i64) -> Program {
     let mut pb = ProgramBuilder::new();
-    let g = pb
-        .class("G")
-        .static_field("mix", Ty::Int)
-        .build();
+    let g = pb.class("G").static_field("mix", Ty::Int).build();
     let node = pb
         .class("Node")
         .field("v", Ty::Int)
@@ -425,7 +438,11 @@ pub fn gc_churn(iters: i64) -> Program {
         a.null().store(1);
         a.label("keep");
         // fold an identity hash into shared state
-        a.get_static(g, 0).load(2).identity_hash().bxor().put_static(g, 0);
+        a.get_static(g, 0)
+            .load(2)
+            .identity_hash()
+            .bxor()
+            .put_static(g, 0);
         a.iconst(12).new_array_int().pop(); // immediate garbage
         a.load(0).iconst(1).add().store(0);
         a.goto("top");
@@ -502,7 +519,12 @@ pub fn server_loop(requests: i64) -> Program {
         a.get_static(g, 2).iconst(1).add().put_static(g, 2);
         a.get_static(g, 0).monitor_exit();
         // "process": hash the request id
-        a.load(0).iconst(2654435761).mul().iconst(1000003).rem().store(1);
+        a.load(0)
+            .iconst(2654435761)
+            .mul()
+            .iconst(1000003)
+            .rem()
+            .store(1);
         a.get_static(g, 0).monitor_enter();
         a.get_static(g, 5).load(1).add().put_static(g, 5);
         a.get_static(g, 0).monitor_exit();
@@ -599,7 +621,14 @@ pub fn matrix_sum(len: i64, nthreads: i64) -> Program {
         a.iconst(0).store(0);
         a.label("fill");
         a.load(0).iconst(len).ge().if_nz("filled");
-        a.get_static(g, 0).load(0).load(0).iconst(3).mul().iconst(1).add().astore();
+        a.get_static(g, 0)
+            .load(0)
+            .load(0)
+            .iconst(3)
+            .mul()
+            .iconst(1)
+            .add()
+            .astore();
         a.load(0).iconst(1).add().store(0);
         a.goto("fill");
         a.label("filled");

@@ -51,11 +51,11 @@ fn invariants_hold_under_any_schedule() {
     // Schedule-independent outputs (correct synchronization) stay fixed
     // across seeds even though interleavings differ.
     let fixed_expect: &[(&str, &str)] = &[
-        ("bank_transfer", "600\n"),        // 6 accounts x 100
-        ("dining_philosophers", "200\n"),  // 5 philosophers x 40 meals
-        ("producer_consumer", "1770\n"),   // sum 0..59
-        ("matrix_sum", "392960\n"),        // sum of 3i+1, i<512
-        ("barrier", "100\n"),              // 4 threads x 25 rounds
+        ("bank_transfer", "600\n"),       // 6 accounts x 100
+        ("dining_philosophers", "200\n"), // 5 philosophers x 40 meals
+        ("producer_consumer", "1770\n"),  // sum 0..59
+        ("matrix_sum", "392960\n"),       // sum of 3i+1, i<512
+        ("barrier", "100\n"),             // 4 threads x 25 rounds
     ];
     for (name, expect) in fixed_expect {
         let w = workloads::registry()

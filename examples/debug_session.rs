@@ -27,7 +27,8 @@ fn main() {
     let session = DebugSession::new(spec.program.clone(), spec.vm.clone(), trace, 5_000);
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
+    let server =
+        std::thread::spawn(move || debugger::server::serve_one(session, listener).unwrap());
 
     // Tier 2: the "GUI" (CLI client) connects over TCP.
     let mut client = DebugClient::connect(&addr.to_string()).unwrap();

@@ -76,7 +76,10 @@ fn main() {
     let (rec, rep, ok) = record_replay(&s, w.natives, SymmetryConfig::full());
     assert!(ok);
     let rec_lines: Vec<&str> = rec.output.lines().collect();
-    println!("  checksum: {}   callback events: {}", rec_lines[0], rec_lines[1]);
+    println!(
+        "  checksum: {}   callback events: {}",
+        rec_lines[0], rec_lines[1]
+    );
     println!("  replay identical: {}", rec.output == rep.output);
     println!("\nEvery source of non-determinism, replayed. ✓");
 }

@@ -58,9 +58,7 @@ fn main() {
         }
 
         // Walk the remote object graph with mirrors.
-        let gobj = vm.class_objects
-            [program.class_id_by_name("G").unwrap() as usize]
-            .unwrap();
+        let gobj = vm.class_objects[program.class_id_by_name("G").unwrap() as usize].unwrap();
         let mut cur = mem.read_word(gobj + 1).unwrap();
         println!("\n  remote list walk:");
         while cur != 0 {

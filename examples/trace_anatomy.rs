@@ -58,10 +58,22 @@ fn main() {
 
     println!("\n== the same execution under every scheme (paper §5) ==");
     let row = trace_size_comparison("producer_consumer", &spec, w.natives);
-    println!("DejaVu        : {:>8} bytes  ({} preemptive switch records)", row.dejavu_bytes, row.dejavu_switches);
-    println!("Russinovich-C : {:>8} bytes  ({} dispatch records — every switch)", row.rc_bytes, row.rc_dispatches);
-    println!("InstantReplay : {:>8} bytes  ({} access records — every shared access)", row.ir_bytes, row.ir_accesses);
-    println!("Recap readlog : {:>8} bytes  ({} read values)", row.readlog_bytes, row.readlog_reads);
+    println!(
+        "DejaVu        : {:>8} bytes  ({} preemptive switch records)",
+        row.dejavu_bytes, row.dejavu_switches
+    );
+    println!(
+        "Russinovich-C : {:>8} bytes  ({} dispatch records — every switch)",
+        row.rc_bytes, row.rc_dispatches
+    );
+    println!(
+        "InstantReplay : {:>8} bytes  ({} access records — every shared access)",
+        row.ir_bytes, row.ir_accesses
+    );
+    println!(
+        "Recap readlog : {:>8} bytes  ({} read values)",
+        row.readlog_bytes, row.readlog_reads
+    );
     println!(
         "\nDejaVu's trace is {:.0}x smaller than access logging on this run.",
         row.ir_bytes as f64 / row.dejavu_bytes as f64

@@ -42,8 +42,12 @@
 //! is how the verify script proves the writer is a pure observer.
 //!
 //! `--no-quicken` (any run-like subcommand) disables the quickened
-//! dispatch engine — runs are bit-identical, only slower. `dis --quick`
-//! prints the quickened `QOp` stream with fusion pc ranges.
+//! dispatch engine — runs are bit-identical, only slower. `--no-mega`
+//! keeps quickening but disables tier-2 megablock execution of hot loops
+//! (the `DJVM_NO_MEGA` env var is the same ablation). `dis --quick`
+//! prints the quickened `QOp` stream with fusion pc ranges; `dis --mega`
+//! prints each loop's compiled megablock — entry guards, constituent ops
+//! with original pc ranges, and the side-exit (deopt) table.
 //!
 //! Exit codes (uniform across every subcommand): `0` success / accurate
 //! replay / corpus pass, `1` usage, I/O, or corrupt-input error, `2`
@@ -189,9 +193,25 @@ fn main() -> ExitCode {
     };
     // `--no-quicken` runs the generic dispatch loop instead of the
     // quickened QOp stream — a speed ablation, observationally identical.
+    // `--no-mega` keeps quickening but disables tier-2 megablock execution
+    // of hot loops (same contract: bit-identical observables, only slower).
     let quicken = !take_flag(&mut args, "--no-quicken");
+    let mega = !take_flag(&mut args, "--no-mega");
     let quick_dis = take_flag(&mut args, "--quick");
-    let spec_of = |w: &workloads::Workload, seed: u64| spec_of(w, seed).with_quicken(quicken);
+    let mega_dis = take_flag(&mut args, "--mega");
+    // Only force the knobs when a flag was given: the defaults must stay
+    // env-driven so `DJVM_NO_QUICKEN=1` / `DJVM_NO_MEGA=1` work through
+    // the CLI too.
+    let spec_of = move |w: &workloads::Workload, seed: u64| {
+        let mut s = spec_of(w, seed);
+        if !quicken {
+            s = s.with_quicken(false);
+        }
+        if !mega {
+            s = s.with_mega(false);
+        }
+        s
+    };
     match args.first().map(String::as_str) {
         Some("list") => {
             for w in workloads::registry() {
@@ -410,8 +430,7 @@ fn main() -> ExitCode {
         Some("trace") => {
             // trace inspect <file>: the block index as canonical JSON —
             // diffable, and a deterministic function of the file bytes.
-            let (Some("inspect"), Some(path)) =
-                (args.get(1).map(String::as_str), args.get(2))
+            let (Some("inspect"), Some(path)) = (args.get(1).map(String::as_str), args.get(2))
             else {
                 return usage();
             };
@@ -557,8 +576,19 @@ fn main() -> ExitCode {
             let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
             let spec = spec_of(&w, seed).with_telemetry();
             let out = record_replay_forensic(&spec, w.natives, SymmetryConfig::full());
+            // Tier-2 stats are observer-side (excluded from the byte-compared
+            // run metrics) but worth surfacing here: tier_ups is deterministic
+            // across record/replay, the entry/iteration split is not required
+            // to be (it depends on each side's quiet-yield horizon).
             let mut doc = codec::Json::obj(vec![
                 ("accurate", codec::Json::Bool(out.accurate)),
+                (
+                    "mega",
+                    codec::Json::obj(vec![
+                        ("record", out.record.mega.to_json()),
+                        ("replay", out.replay.mega.to_json()),
+                    ]),
+                ),
                 (
                     "record",
                     run_metrics_json(&out.record, Some(&out.trace_stats)),
@@ -720,8 +750,7 @@ fn main() -> ExitCode {
             ExitCode::from(report.exit_class())
         }
         Some("corpus") => {
-            let (Some("record"), Some(dir)) = (args.get(1).map(String::as_str), args.get(2))
-            else {
+            let (Some("record"), Some(dir)) = (args.get(1).map(String::as_str), args.get(2)) else {
                 return usage();
             };
             match dejavu_repro::corpus::record_corpus(std::path::Path::new(dir)) {
@@ -745,6 +774,9 @@ fn main() -> ExitCode {
             let p = (w.build)();
             match args.get(2) {
                 Some(mname) => match p.method_id_by_name(mname) {
+                    Some(m) if mega_dis => {
+                        println!("{}", djvm::dis::disassemble_mega(&p, m))
+                    }
                     Some(m) if quick_dis => {
                         println!("{}", djvm::dis::disassemble_quickened(&p, m))
                     }
@@ -754,6 +786,7 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 },
+                None if mega_dis => println!("{}", djvm::dis::disassemble_mega_all(&p)),
                 None if quick_dis => println!("{}", djvm::dis::disassemble_quickened_all(&p)),
                 None => println!("{}", djvm::dis::disassemble_all(&p)),
             }
@@ -769,7 +802,8 @@ fn main() -> ExitCode {
             };
             let spec = spec_of(&w, seed);
             let (_rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
-            let session = debugger::DebugSession::new(spec.program.clone(), spec.vm.clone(), trace, 5_000);
+            let session =
+                debugger::DebugSession::new(spec.program.clone(), spec.vm.clone(), trace, 5_000);
             let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
                 Ok(l) => l,
                 Err(e) => {
@@ -835,7 +869,10 @@ fn main() -> ExitCode {
             let mut doc = codec::Json::obj(vec![
                 ("sessions", codec::Json::UInt(report.sessions as u64)),
                 ("requests", codec::Json::UInt(report.requests)),
-                ("elapsed_ns", codec::Json::UInt(report.elapsed.as_nanos() as u64)),
+                (
+                    "elapsed_ns",
+                    codec::Json::UInt(report.elapsed.as_nanos() as u64),
+                ),
                 (
                     "sessions_per_sec",
                     codec::Json::UInt((report.sessions as f64 / secs.max(1e-9)) as u64),

@@ -25,8 +25,8 @@
 use baselines::TimeTravel;
 use codec::Json;
 use dejavu::{
-    decode_any, encode_trace, record_run, replay_run, BlockFile, DataRec, ExecSpec,
-    SymmetryConfig, Trace, TraceFormat,
+    decode_any, encode_trace, record_run, replay_run, BlockFile, DataRec, ExecSpec, SymmetryConfig,
+    Trace, TraceFormat,
 };
 use std::path::Path;
 
@@ -76,8 +76,14 @@ pub struct Policy {
 impl Policy {
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("expected_fingerprint", Json::UInt(self.expected_fingerprint)),
-            ("expected_state_digest", Json::UInt(self.expected_state_digest)),
+            (
+                "expected_fingerprint",
+                Json::UInt(self.expected_fingerprint),
+            ),
+            (
+                "expected_state_digest",
+                Json::UInt(self.expected_state_digest),
+            ),
             (
                 "forbid",
                 Json::Arr(self.forbid.iter().map(|s| Json::Str(s.clone())).collect()),
@@ -492,7 +498,9 @@ pub fn record_corpus(dir: &Path) -> Result<Vec<String>, String> {
         // Refuse to publish a trace that does not replay accurately.
         let (rep, desyncs) = replay_run(&spec, trace.clone(), SymmetryConfig::full());
         if !rec.matches(&rep) || !desyncs.is_empty() {
-            return Err(format!("{name} seed {seed}: recorded trace does not replay"));
+            return Err(format!(
+                "{name} seed {seed}: recorded trace does not replay"
+            ));
         }
         let bytes = encode_trace(&trace, TraceFormat::Block, CORPUS_BLOCK_BUDGET);
         let bf = BlockFile::parse(bytes.clone()).map_err(|e| format!("{name}: {e}"))?;

@@ -30,9 +30,18 @@ fn paranoid_trace_roundtrips() {
     bin_roundtrip(&Trace {
         paranoid: true,
         switches: vec![
-            SwitchRec { nyp: 0, check_tid: 0 },
-            SwitchRec { nyp: 1, check_tid: 3 },
-            SwitchRec { nyp: 1 << 40, check_tid: u32::MAX - 1 },
+            SwitchRec {
+                nyp: 0,
+                check_tid: 0,
+            },
+            SwitchRec {
+                nyp: 1,
+                check_tid: 3,
+            },
+            SwitchRec {
+                nyp: 1 << 40,
+                check_tid: u32::MAX - 1,
+            },
         ],
         data: vec![DataRec::Clock(-1), DataRec::Clock(0)],
     });
@@ -45,8 +54,14 @@ fn extreme_values_roundtrip() {
     bin_roundtrip(&Trace {
         paranoid: false,
         switches: vec![
-            SwitchRec { nyp: u64::MAX, check_tid: u32::MAX },
-            SwitchRec { nyp: u64::MAX - 1, check_tid: u32::MAX },
+            SwitchRec {
+                nyp: u64::MAX,
+                check_tid: u32::MAX,
+            },
+            SwitchRec {
+                nyp: u64::MAX - 1,
+                check_tid: u32::MAX,
+            },
         ],
         data: vec![
             DataRec::Clock(i64::MIN),
@@ -63,7 +78,10 @@ fn extreme_values_roundtrip() {
 fn truncated_trace_rejected() {
     let full = Trace {
         paranoid: true,
-        switches: vec![SwitchRec { nyp: 500_000, check_tid: 2 }],
+        switches: vec![SwitchRec {
+            nyp: 500_000,
+            check_tid: 2,
+        }],
         data: vec![DataRec::Clock(123_456_789)],
     }
     .encoded();
@@ -83,8 +101,14 @@ fn truncated_trace_rejected() {
 
 fn every_command() -> Vec<Command> {
     vec![
-        Command::Break { method: 0, pc: u32::MAX },
-        Command::BreakLine { method: "Worker.run \"q\"".into(), line: 42 },
+        Command::Break {
+            method: 0,
+            pc: u32::MAX,
+        },
+        Command::BreakLine {
+            method: "Worker.run \"q\"".into(),
+            line: 42,
+        },
         Command::ClearBreak { method: 3, pc: 7 },
         Command::Continue,
         Command::Step,
@@ -103,11 +127,24 @@ fn every_command() -> Vec<Command> {
 fn every_response() -> Vec<Response> {
     vec![
         Response::Ok,
-        Response::Stopped { reason: StopReason::StepDone, step: 0 },
-        Response::Stopped { reason: StopReason::Halted, step: u64::MAX },
-        Response::Stopped { reason: StopReason::Deadlocked, step: 17 },
         Response::Stopped {
-            reason: StopReason::Breakpoint { method: 1, pc: 2, tid: 3 },
+            reason: StopReason::StepDone,
+            step: 0,
+        },
+        Response::Stopped {
+            reason: StopReason::Halted,
+            step: u64::MAX,
+        },
+        Response::Stopped {
+            reason: StopReason::Deadlocked,
+            step: 17,
+        },
+        Response::Stopped {
+            reason: StopReason::Breakpoint {
+                method: 1,
+                pc: 2,
+                tid: 3,
+            },
             step: 9,
         },
         Response::Stopped {
@@ -134,11 +171,24 @@ fn every_response() -> Vec<Response> {
                 yield_points: u64::MAX,
             }],
         },
-        Response::Object { description: "Node { v: 1, next: null }".into() },
-        Response::Listing { text: "0000  Iconst 1\n0001  Halt\n".into() },
-        Response::Output { text: "line1\nline2\\with\\backslashes".into() },
-        Response::Location { method: "main".into(), pc: 0, line: 1, step: 2 },
-        Response::Error { message: "no such method \u{7}".into() },
+        Response::Object {
+            description: "Node { v: 1, next: null }".into(),
+        },
+        Response::Listing {
+            text: "0000  Iconst 1\n0001  Halt\n".into(),
+        },
+        Response::Output {
+            text: "line1\nline2\\with\\backslashes".into(),
+        },
+        Response::Location {
+            method: "main".into(),
+            pc: 0,
+            line: 1,
+            step: 2,
+        },
+        Response::Error {
+            message: "no such method \u{7}".into(),
+        },
         Response::Bye,
     ]
 }
@@ -148,8 +198,8 @@ fn every_command_roundtrips_as_one_json_line() {
     for cmd in every_command() {
         let line = cmd.to_json_string();
         assert!(!line.contains('\n'), "multi-line wire form: {line}");
-        let back = Command::from_json_str(&line)
-            .unwrap_or_else(|e| panic!("{cmd:?}: {e} in {line}"));
+        let back =
+            Command::from_json_str(&line).unwrap_or_else(|e| panic!("{cmd:?}: {e} in {line}"));
         assert_eq!(back, cmd, "wire form {line}");
     }
 }
@@ -159,8 +209,8 @@ fn every_response_roundtrips_as_one_json_line() {
     for resp in every_response() {
         let line = resp.to_json_string();
         assert!(!line.contains('\n'), "multi-line wire form: {line}");
-        let back = Response::from_json_str(&line)
-            .unwrap_or_else(|e| panic!("{resp:?}: {e} in {line}"));
+        let back =
+            Response::from_json_str(&line).unwrap_or_else(|e| panic!("{resp:?}: {e} in {line}"));
         assert_eq!(back, resp, "wire form {line}");
     }
 }

@@ -34,7 +34,12 @@ fn copy_corpus(tag: &str) -> PathBuf {
 #[test]
 fn committed_corpus_passes() {
     let report = check_corpus(&corpus_dir()).unwrap();
-    assert_eq!(report.exit_class(), 0, "corpus failed: {:#?}", report.checks);
+    assert_eq!(
+        report.exit_class(),
+        0,
+        "corpus failed: {:#?}",
+        report.checks
+    );
     // Acceptance floor: ≥10 traces over ≥5 scenarios.
     assert!(report.checks.len() >= 10, "only {}", report.checks.len());
     let mut scenarios: Vec<String> = report
@@ -48,7 +53,12 @@ fn committed_corpus_passes() {
     // The seek-latency policy must actually be exercised on multi-block
     // traces, not vacuously skipped everywhere.
     assert!(
-        report.checks.iter().filter(|c| c.seek_events.is_some()).count() >= 5,
+        report
+            .checks
+            .iter()
+            .filter(|c| c.seek_events.is_some())
+            .count()
+            >= 5,
         "too few multi-block traces"
     );
 }
@@ -91,11 +101,8 @@ fn injected_corruption_is_corrupt_class() {
     // A missing policy is also corruption, not a silent skip.
     std::fs::remove_file(dir.join("gc_pressure_s1.policy.json")).unwrap();
     let report = check_corpus(&dir).unwrap();
-    assert!(report
-        .checks
-        .iter()
-        .any(|c| c.name == "gc_pressure_s1"
-            && c.corrupt.as_deref().is_some_and(|m| m.contains("policy"))));
+    assert!(report.checks.iter().any(|c| c.name == "gc_pressure_s1"
+        && c.corrupt.as_deref().is_some_and(|m| m.contains("policy"))));
     let _ = std::fs::remove_dir_all(dir);
 }
 

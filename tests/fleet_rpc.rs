@@ -279,12 +279,20 @@ fn fleet_spec_matches_the_corpus_execution_environment() {
             .unwrap();
         for seed in [1u64, 77, 4242] {
             let (a, _) = record_run(&spec_for(&w, seed), w.natives, SymmetryConfig::full(), true);
-            let (b, _) = record_run(&corpus_spec(&w, seed), w.natives, SymmetryConfig::full(), true);
+            let (b, _) = record_run(
+                &corpus_spec(&w, seed),
+                w.natives,
+                SymmetryConfig::full(),
+                true,
+            );
             assert_eq!(
                 a.fingerprint, b.fingerprint,
                 "{name}/{seed}: fleet spec fingerprint drifted from corpus spec"
             );
-            assert_eq!(a.state_digest, b.state_digest, "{name}/{seed}: state digest");
+            assert_eq!(
+                a.state_digest, b.state_digest,
+                "{name}/{seed}: state digest"
+            );
         }
     }
 }

@@ -28,22 +28,10 @@ fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
     let choice = if depth == 0 { 0 } else { g.u64_in(0, 4) };
     match choice {
         0 => Expr::Const(g.any_i32()),
-        1 => Expr::Add(
-            gen_expr(g, depth - 1).into(),
-            gen_expr(g, depth - 1).into(),
-        ),
-        2 => Expr::Sub(
-            gen_expr(g, depth - 1).into(),
-            gen_expr(g, depth - 1).into(),
-        ),
-        3 => Expr::Mul(
-            gen_expr(g, depth - 1).into(),
-            gen_expr(g, depth - 1).into(),
-        ),
-        _ => Expr::Xor(
-            gen_expr(g, depth - 1).into(),
-            gen_expr(g, depth - 1).into(),
-        ),
+        1 => Expr::Add(gen_expr(g, depth - 1).into(), gen_expr(g, depth - 1).into()),
+        2 => Expr::Sub(gen_expr(g, depth - 1).into(), gen_expr(g, depth - 1).into()),
+        3 => Expr::Mul(gen_expr(g, depth - 1).into(), gen_expr(g, depth - 1).into()),
+        _ => Expr::Xor(gen_expr(g, depth - 1).into(), gen_expr(g, depth - 1).into()),
     }
 }
 
@@ -97,7 +85,11 @@ fn interpreter_matches_host_arithmetic() {
         });
         let spec = ExecSpec::new(pb.finish(m).unwrap());
         let r = passthrough_run(&spec, |_| {});
-        qc_assert_eq!(r.output.trim().parse::<i64>().unwrap(), eval(&e), "expr {e:?}");
+        qc_assert_eq!(
+            r.output.trim().parse::<i64>().unwrap(),
+            eval(&e),
+            "expr {e:?}"
+        );
         Ok(())
     });
 }
@@ -163,9 +155,17 @@ fn telemetry_is_neutral_for_any_seed() {
         let on = off.clone().with_telemetry();
         let (rec_off, rep_off, ok_off) = record_replay(&off, |_| {}, SymmetryConfig::full());
         let (rec_on, rep_on, ok_on) = record_replay(&on, |_| {}, SymmetryConfig::full());
-        qc_assert_eq!(rec_off.fingerprint, rec_on.fingerprint, "record fingerprint");
+        qc_assert_eq!(
+            rec_off.fingerprint,
+            rec_on.fingerprint,
+            "record fingerprint"
+        );
         qc_assert_eq!(rec_off.state_digest, rec_on.state_digest, "record digest");
-        qc_assert_eq!(rep_off.fingerprint, rep_on.fingerprint, "replay fingerprint");
+        qc_assert_eq!(
+            rep_off.fingerprint,
+            rep_on.fingerprint,
+            "replay fingerprint"
+        );
         qc_assert_eq!(rep_off.state_digest, rep_on.state_digest, "replay digest");
         qc_assert_eq!(rec_off.output, rec_on.output, "record output");
         qc_assert_eq!(ok_off, ok_on, "accuracy verdict");
@@ -182,35 +182,52 @@ fn telemetry_is_neutral_for_any_seed() {
 
 #[test]
 fn profiler_is_neutral_and_deterministic_for_any_seed() {
-    qc::check("profiler_is_neutral_and_deterministic_for_any_seed", 24, |g| {
-        let seed = g.u64_in(0, 9_999);
-        let base = g.u64_in(13, 149);
-        let w = workloads::suite::racy_counter(60);
-        let mut spec = ExecSpec::new(w).with_seed(seed);
-        spec.timer_base = base;
-        spec.timer_jitter = base / 4;
-        let (rec, trace) = dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), true);
-        let (plain, d0) = dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full());
-        let (p1, rep, d1) = dejavu::profile_replay(&spec, trace.clone(), SymmetryConfig::full());
-        qc_assert_eq!(d0.is_empty(), d1.is_empty(), "desync verdict");
-        qc_assert_eq!(rep.fingerprint, plain.fingerprint, "replay fingerprint on vs off");
-        qc_assert_eq!(rep.state_digest, plain.state_digest, "replay digest on vs off");
-        qc_assert_eq!(rep.output, plain.output, "replay output on vs off");
-        qc_assert_eq!(rep.fingerprint, rec.fingerprint, "profiled replay vs record");
-        let (p2, _, _) = dejavu::profile_replay(&spec, trace, SymmetryConfig::full());
-        qc_assert_eq!(
-            p1.chrome_json().to_string(),
-            p2.chrome_json().to_string(),
-            "chrome artifact bytes"
-        );
-        qc_assert_eq!(p1.folded(), p2.folded(), "folded artifact bytes");
-        qc_assert_eq!(
-            p1.summary_json(10).to_string(),
-            p2.summary_json(10).to_string(),
-            "summary bytes"
-        );
-        Ok(())
-    });
+    qc::check(
+        "profiler_is_neutral_and_deterministic_for_any_seed",
+        24,
+        |g| {
+            let seed = g.u64_in(0, 9_999);
+            let base = g.u64_in(13, 149);
+            let w = workloads::suite::racy_counter(60);
+            let mut spec = ExecSpec::new(w).with_seed(seed);
+            spec.timer_base = base;
+            spec.timer_jitter = base / 4;
+            let (rec, trace) = dejavu::record_run(&spec, |_| {}, SymmetryConfig::full(), true);
+            let (plain, d0) = dejavu::replay_run(&spec, trace.clone(), SymmetryConfig::full());
+            let (p1, rep, d1) =
+                dejavu::profile_replay(&spec, trace.clone(), SymmetryConfig::full());
+            qc_assert_eq!(d0.is_empty(), d1.is_empty(), "desync verdict");
+            qc_assert_eq!(
+                rep.fingerprint,
+                plain.fingerprint,
+                "replay fingerprint on vs off"
+            );
+            qc_assert_eq!(
+                rep.state_digest,
+                plain.state_digest,
+                "replay digest on vs off"
+            );
+            qc_assert_eq!(rep.output, plain.output, "replay output on vs off");
+            qc_assert_eq!(
+                rep.fingerprint,
+                rec.fingerprint,
+                "profiled replay vs record"
+            );
+            let (p2, _, _) = dejavu::profile_replay(&spec, trace, SymmetryConfig::full());
+            qc_assert_eq!(
+                p1.chrome_json().to_string(),
+                p2.chrome_json().to_string(),
+                "chrome artifact bytes"
+            );
+            qc_assert_eq!(p1.folded(), p2.folded(), "folded artifact bytes");
+            qc_assert_eq!(
+                p1.summary_json(10).to_string(),
+                p2.summary_json(10).to_string(),
+                "summary bytes"
+            );
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -232,8 +249,8 @@ fn trace_codec_roundtrips() {
             }),
             data: g.vec_of(0, 50, |g| dejavu::DataRec::Clock(g.any_i64())),
         };
-        let decoded = dejavu::Trace::decode(&trace.encoded())
-            .ok_or_else(|| "decode failed".to_string())?;
+        let decoded =
+            dejavu::Trace::decode(&trace.encoded()).ok_or_else(|| "decode failed".to_string())?;
         qc_assert_eq!(decoded, trace);
         Ok(())
     });
@@ -315,12 +332,40 @@ fn gc_preserves_linked_list() {
 /// trap itself must be mode-neutral.
 #[derive(Debug, Clone)]
 enum QStmt {
-    ConstStore { v: i64, d: u16 },
-    LoadLoadAlu { x: u16, y: u16, f: u8, d: u16 },
-    LoadConstAlu { x: u16, v: i64, f: u8, d: u16 },
-    CmpSkip { x: u16, y: u16, f: u8, nz: bool, v: i64, d: u16 },
-    DivRem { x: u16, y: u16, rem: bool, d: u16 },
-    NegStore { x: u16, d: u16 },
+    ConstStore {
+        v: i64,
+        d: u16,
+    },
+    LoadLoadAlu {
+        x: u16,
+        y: u16,
+        f: u8,
+        d: u16,
+    },
+    LoadConstAlu {
+        x: u16,
+        v: i64,
+        f: u8,
+        d: u16,
+    },
+    CmpSkip {
+        x: u16,
+        y: u16,
+        f: u8,
+        nz: bool,
+        v: i64,
+        d: u16,
+    },
+    DivRem {
+        x: u16,
+        y: u16,
+        rem: bool,
+        d: u16,
+    },
+    NegStore {
+        x: u16,
+        d: u16,
+    },
 }
 
 fn gen_stmt(g: &mut Gen, ndata: u16) -> QStmt {
@@ -401,14 +446,7 @@ fn emit_stmt(s: &QStmt, tag: &str, i: usize, a: &mut djvm::builder::Asm) {
             emit_alu(*f, a);
             a.store(*d);
         }
-        QStmt::CmpSkip {
-            x,
-            y,
-            f,
-            nz,
-            v,
-            d,
-        } => {
+        QStmt::CmpSkip { x, y, f, nz, v, d } => {
             let skip = format!("{tag}_skip{i}");
             a.load(*x).load(*y);
             emit_cmp(*f, a);
@@ -517,10 +555,16 @@ fn quicken_modes_agree(spec: &ExecSpec) -> Result<(), String> {
     qc_assert_eq!(trace_q.encoded(), trace_u.encoded(), "trace bytes");
     let (rep_q, de_q) = replay_run(&q, trace_u, SymmetryConfig::full());
     qc_assert!(de_q.is_empty(), "desyncs replaying unfused trace quickened");
-    qc_assert!(rec_q.matches(&rep_q), "unfused trace under quickened replay");
+    qc_assert!(
+        rec_q.matches(&rep_q),
+        "unfused trace under quickened replay"
+    );
     let (rep_u, de_u) = replay_run(&u, trace_q, SymmetryConfig::full());
     qc_assert!(de_u.is_empty(), "desyncs replaying quickened trace unfused");
-    qc_assert!(rec_u.matches(&rep_u), "quickened trace under unfused replay");
+    qc_assert!(
+        rec_u.matches(&rep_u),
+        "quickened trace under unfused replay"
+    );
     Ok(())
 }
 
@@ -533,8 +577,7 @@ fn quickening_is_neutral_for_random_programs() {
         let m_iters = g.i64_in(2, 30);
         let w_stmts = g.vec_of(1, 8, |g| gen_stmt(g, ndata));
         let m_stmts = g.vec_of(1, 8, |g| gen_stmt(g, ndata));
-        let program =
-            build_quick_program(ndata, &init, w_iters, &w_stmts, m_iters, &m_stmts);
+        let program = build_quick_program(ndata, &init, w_iters, &w_stmts, m_iters, &m_stmts);
         let seed = g.u64_in(0, 9_999);
         let base = g.u64_in(2, 33);
         let jitter = g.u64_in(0, base / 2);
@@ -600,7 +643,11 @@ fn gen_trace(g: &mut Gen) -> dejavu::Trace {
         } else {
             g.u64_in(1, 400)
         },
-        check_tid: if paranoid { g.u64_in(0, 3) as u32 } else { u32::MAX },
+        check_tid: if paranoid {
+            g.u64_in(0, 3) as u32
+        } else {
+            u32::MAX
+        },
     });
     t.data = g.vec_of(0, 120, |g| {
         if g.bool() {
