@@ -15,14 +15,19 @@
 //!   recursive-descent parser and a writer, plus the [`json::FromJson`] /
 //!   [`json::ToJson`] traits the debugger protocol and the `djvm` program
 //!   dump implement by hand.
+//! * [`digest`] — 128-bit content digests (double-keyed SipHash-2-4), the
+//!   keying under the content-addressed trace store and the digest column
+//!   `trace inspect` prints.
 //!
 //! Everything here is `std`-only and deterministic: the writer emits object
 //! keys in insertion order, so encoding is a pure function of the value.
 
 pub mod bin;
 pub mod block;
+pub mod digest;
 pub mod json;
 
 pub use bin::{get_varint, put_varint, unzigzag, zigzag};
 pub use block::{compress, crc32, decompress, entropy_compress, entropy_decompress};
+pub use digest::{digest128, Digest128};
 pub use json::{FromJson, Json, JsonError, ToJson};

@@ -94,6 +94,46 @@ impl TraceFormat {
     }
 }
 
+/// Which compressor a block's on-disk payload went through — `Stored`
+/// when neither compressor paid for itself. The store's catalog records
+/// this per block so [`assemble_block_file`] can re-emit the exact
+/// original payload bytes (both compressors are deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockMethod {
+    Stored,
+    Lz77,
+    Range,
+}
+
+impl BlockMethod {
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlockMethod::Stored => "stored",
+            BlockMethod::Lz77 => "lz77",
+            BlockMethod::Range => "range",
+        }
+    }
+
+    /// Stable numeric code (store catalog + tier byte). `Stored` is 0;
+    /// 1 and 2 match the DJVB in-payload method byte.
+    pub fn code(&self) -> u8 {
+        match self {
+            BlockMethod::Stored => 0,
+            BlockMethod::Lz77 => 1,
+            BlockMethod::Range => 2,
+        }
+    }
+
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(BlockMethod::Stored),
+            1 => Some(BlockMethod::Lz77),
+            2 => Some(BlockMethod::Range),
+            _ => None,
+        }
+    }
+}
+
 /// Why a trace file was rejected. Typed — decode never panics on
 /// hostile bytes, and callers can distinguish I/O-grade corruption from
 /// an unknown format.
@@ -550,6 +590,109 @@ pub fn encode_trace(trace: &Trace, format: TraceFormat, budget: u32) -> Vec<u8> 
     }
 }
 
+/// Decode one block's **raw payload bytes** into events without a
+/// surrounding file — the store's read path, where a block arrives from
+/// the shared database rather than a DJVB file. The counts come from the
+/// store's catalog and are validated against the payload exactly as the
+/// in-file path does.
+pub fn decode_block_events(
+    raw: &[u8],
+    event_count: u32,
+    switch_count: u32,
+    paranoid: bool,
+) -> Result<(Vec<SwitchRec>, Vec<DataRec>), TraceError> {
+    if switch_count > event_count {
+        return Err(TraceError::Corrupt("implausible block event counts"));
+    }
+    if raw.len() as u64 > MAX_RAW_LEN {
+        return Err(TraceError::Corrupt("implausible block payload length"));
+    }
+    let info = BlockInfo {
+        offset: 0,
+        first_seq: 0,
+        first_logical_time: 0,
+        event_count,
+        switch_count,
+        raw_len: raw.len() as u32,
+        comp_len: raw.len() as u32,
+        crc: 0, // payload integrity is the caller's contract here
+    };
+    decode_block_payload(raw, &info, paranoid, 0)
+}
+
+/// One block's identity: the fields the store's catalog records per
+/// block reference, plus the raw payload. [`assemble_block_file`] turns
+/// a sequence of these back into the exact original DJVB bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawBlock {
+    /// Cumulative logical clock before the block's first event.
+    pub first_logical_time: u64,
+    pub event_count: u32,
+    pub switch_count: u32,
+    /// The compressor that won this block's encode-time race.
+    pub method: BlockMethod,
+    /// Raw (pre-compression) payload bytes — the dedup identity.
+    pub raw: Vec<u8>,
+}
+
+/// Reassemble a DJVB file from raw blocks, re-running each block's
+/// original compressor. Because both compressors are deterministic pure
+/// functions and every header field is recomputed exactly as
+/// [`encode_block`] computes it, the output is byte-identical to the
+/// file the blocks were deconstructed from ([`BlockFile::raw_blocks`]) —
+/// the property that lets `store get` satisfy a binary `cmp` against the
+/// originally ingested file.
+pub fn assemble_block_file(paranoid: bool, budget: u32, blocks: &[RawBlock]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(BLOCK_MAGIC);
+    out.push(VERSION);
+    out.push(paranoid as u8);
+    put_varint(&mut out, budget.max(1) as u64);
+
+    let mut index: Vec<BlockInfo> = Vec::new();
+    let mut seq = 0u64;
+    for b in blocks {
+        let crc = codec::crc32(&b.raw);
+        let payload = match b.method {
+            BlockMethod::Stored => b.raw.clone(),
+            BlockMethod::Lz77 | BlockMethod::Range => {
+                let stream = match b.method {
+                    BlockMethod::Lz77 => codec::compress(&b.raw),
+                    _ => codec::entropy_compress(&b.raw),
+                };
+                let mut p = Vec::with_capacity(stream.len() + 1);
+                p.push(b.method.code());
+                p.extend_from_slice(&stream);
+                p
+            }
+        };
+        let info = BlockInfo {
+            offset: out.len() as u64,
+            first_seq: seq,
+            first_logical_time: b.first_logical_time,
+            event_count: b.event_count,
+            switch_count: b.switch_count,
+            raw_len: b.raw.len() as u32,
+            comp_len: payload.len() as u32,
+            crc,
+        };
+        info.put(&mut out, false);
+        out.extend_from_slice(&payload);
+        index.push(info);
+        seq += b.event_count as u64;
+    }
+
+    let footer_start = out.len();
+    put_varint(&mut out, index.len() as u64);
+    for info in &index {
+        info.put(&mut out, true);
+    }
+    let footer_len = (out.len() - footer_start) as u32;
+    out.extend_from_slice(&footer_len.to_le_bytes());
+    out.extend_from_slice(INDEX_MAGIC);
+    out
+}
+
 // ---------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------
@@ -642,8 +785,11 @@ impl BlockFile {
         self.index.iter().map(|b| b.event_count as u64).sum()
     }
 
-    /// Decode block `i`: decompress, CRC-check, and expand the columns.
-    pub fn block(&self, i: usize) -> Result<(Vec<SwitchRec>, Vec<DataRec>), TraceError> {
+    /// Decode block `i`'s **raw (pre-compression) payload bytes**:
+    /// locate via the index, revalidate the in-line header, decompress,
+    /// and CRC-check. These bytes are the block's content-addressed
+    /// identity — the store keys dedup on their digest.
+    pub fn block_raw(&self, i: usize) -> Result<Vec<u8>, TraceError> {
         let info = *self
             .index
             .get(i)
@@ -662,25 +808,33 @@ impl BlockFile {
             .filter(|&e| e <= self.buf.len())
             .ok_or(TraceError::Corrupt("block payload out of range"))?;
         let payload = &self.buf[pos..end];
-        let raw_owned;
-        let raw: &[u8] = if info.comp_len == info.raw_len {
-            payload
+        let raw = if info.comp_len == info.raw_len {
+            payload.to_vec()
         } else {
             let (&method, stream) = payload
                 .split_first()
                 .ok_or(TraceError::Corrupt("empty compressed payload"))?;
-            raw_owned = match method {
+            match method {
                 1 => codec::decompress(stream, info.raw_len as usize),
                 2 => codec::entropy_decompress(stream, info.raw_len as usize),
                 _ => return Err(TraceError::Corrupt("unknown compression method")),
             }
-            .ok_or(TraceError::BadCrc { block: i })?;
-            &raw_owned
+            .ok_or(TraceError::BadCrc { block: i })?
         };
-        if codec::crc32(raw) != info.crc {
+        if codec::crc32(&raw) != info.crc {
             return Err(TraceError::BadCrc { block: i });
         }
-        decode_block_payload(raw, &info, self.paranoid, i)
+        Ok(raw)
+    }
+
+    /// Decode block `i`: decompress, CRC-check, and expand the columns.
+    pub fn block(&self, i: usize) -> Result<(Vec<SwitchRec>, Vec<DataRec>), TraceError> {
+        let info = *self
+            .index
+            .get(i)
+            .ok_or(TraceError::Corrupt("block index out of range"))?;
+        let raw = self.block_raw(i)?;
+        decode_block_payload(&raw, &info, self.paranoid, i)
     }
 
     /// Validate every block's CRC; `Ok` only if all pass.
@@ -699,25 +853,46 @@ impl BlockFile {
             .collect()
     }
 
-    /// Which compressor won block `i`'s encode-time race: `"stored"`
-    /// (compression didn't pay, payload is raw), `"lz77"`, or `"range"`
-    /// (the adaptive order-1 range coder). Errors on an out-of-range
-    /// index or an unknown method byte (corrupt file).
-    pub fn block_compressor(&self, i: usize) -> Result<&'static str, TraceError> {
+    /// Which compressor won block `i`'s encode-time race. Errors on an
+    /// out-of-range index or an unknown method byte (corrupt file).
+    pub fn block_method(&self, i: usize) -> Result<BlockMethod, TraceError> {
         let info = *self
             .index
             .get(i)
             .ok_or(TraceError::Corrupt("block index out of range"))?;
         if info.comp_len == info.raw_len {
-            return Ok("stored");
+            return Ok(BlockMethod::Stored);
         }
         let mut pos = info.offset as usize;
         BlockInfo::get(&self.buf, &mut pos, Some(info.offset))?;
         match self.buf.get(pos) {
-            Some(1) => Ok("lz77"),
-            Some(2) => Ok("range"),
+            Some(1) => Ok(BlockMethod::Lz77),
+            Some(2) => Ok(BlockMethod::Range),
             _ => Err(TraceError::Corrupt("unknown compression method")),
         }
+    }
+
+    /// [`BlockFile::block_method`] as the display name `trace inspect`
+    /// prints: `"stored"`, `"lz77"`, or `"range"`.
+    pub fn block_compressor(&self, i: usize) -> Result<&'static str, TraceError> {
+        self.block_method(i).map(|m| m.name())
+    }
+
+    /// Deconstruct the file into its [`RawBlock`]s — everything the
+    /// store's catalog needs to reassemble the exact original bytes via
+    /// [`assemble_block_file`].
+    pub fn raw_blocks(&self) -> Result<Vec<RawBlock>, TraceError> {
+        (0..self.index.len())
+            .map(|i| {
+                Ok(RawBlock {
+                    first_logical_time: self.index[i].first_logical_time,
+                    event_count: self.index[i].event_count,
+                    switch_count: self.index[i].switch_count,
+                    method: self.block_method(i)?,
+                    raw: self.block_raw(i)?,
+                })
+            })
+            .collect()
     }
 
     /// Reassemble the full in-memory [`Trace`].
@@ -859,6 +1034,11 @@ impl TraceIngest {
 
     pub fn bytes(&self) -> u64 {
         self.buf.len() as u64
+    }
+
+    /// The bytes buffered so far — the exact upload, pre-decode.
+    pub fn peek(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Decode the accumulated bytes in whichever on-disk format they
@@ -1187,6 +1367,64 @@ mod tests {
             "all blocks stored raw"
         );
         assert!(bf.block_compressor(bf.index.len()).is_err(), "out of range");
+    }
+
+    #[test]
+    fn deconstruct_assemble_is_byte_identical() {
+        for paranoid in [false, true] {
+            let t = sample(paranoid, 700);
+            for budget in [1u32, 7, 64, DEFAULT_BLOCK_BUDGET] {
+                let enc = encode_block(&t, budget);
+                let bf = BlockFile::parse(enc.clone()).unwrap();
+                let blocks = bf.raw_blocks().unwrap();
+                let back = assemble_block_file(bf.paranoid, bf.budget, &blocks);
+                assert_eq!(back, enc, "paranoid={paranoid} budget={budget}");
+            }
+        }
+        // Empty trace: zero blocks still reassembles exactly.
+        let enc = encode_block(&Trace::default(), 512);
+        let bf = BlockFile::parse(enc.clone()).unwrap();
+        assert_eq!(
+            assemble_block_file(bf.paranoid, bf.budget, &bf.raw_blocks().unwrap()),
+            enc
+        );
+    }
+
+    #[test]
+    fn block_raw_and_decode_block_events_match_block() {
+        let t = sample(true, 300);
+        let bf = BlockFile::parse(encode_block(&t, 32)).unwrap();
+        for i in 0..bf.index.len() {
+            let raw = bf.block_raw(i).unwrap();
+            assert_eq!(codec::crc32(&raw), bf.index[i].crc);
+            let via_raw = decode_block_events(
+                &raw,
+                bf.index[i].event_count,
+                bf.index[i].switch_count,
+                bf.paranoid,
+            )
+            .unwrap();
+            assert_eq!(via_raw, bf.block(i).unwrap());
+        }
+        // Count/paranoid contract violations are typed errors.
+        let raw = bf.block_raw(0).unwrap();
+        assert!(decode_block_events(&raw, 1, 2, true).is_err());
+        assert!(decode_block_events(&raw, bf.index[0].event_count, 0, bf.paranoid).is_err());
+    }
+
+    #[test]
+    fn block_method_codes_roundtrip() {
+        for m in [BlockMethod::Stored, BlockMethod::Lz77, BlockMethod::Range] {
+            assert_eq!(BlockMethod::from_code(m.code()), Some(m));
+        }
+        assert_eq!(BlockMethod::from_code(3), None);
+        let bf = BlockFile::parse(encode_block(&sample(true, 2_000), 256)).unwrap();
+        for i in 0..bf.index.len() {
+            assert_eq!(
+                bf.block_method(i).unwrap().name(),
+                bf.block_compressor(i).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -52,9 +52,9 @@ pub mod symmetry;
 pub mod trace;
 
 pub use blocktrace::{
-    decode_any, encode_trace, ingest_bytes, sniff_format, BlockFile, BlockInfo, BlockStats,
-    IngestedTrace, TraceError, TraceFormat, TraceIngest, DEFAULT_BLOCK_BUDGET,
-    DEFAULT_INGEST_LIMIT,
+    assemble_block_file, decode_any, decode_block_events, encode_trace, ingest_bytes, sniff_format,
+    BlockFile, BlockInfo, BlockMethod, BlockStats, IngestedTrace, RawBlock, TraceError,
+    TraceFormat, TraceIngest, DEFAULT_BLOCK_BUDGET, DEFAULT_INGEST_LIMIT,
 };
 pub use driver::{
     full_fidelity, passthrough_run, record_replay, record_replay_forensic, record_run, replay_run,

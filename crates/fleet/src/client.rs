@@ -76,6 +76,17 @@ impl FleetClient {
         Ok(sent)
     }
 
+    /// Open a session over a trace-store catalog entry: no upload, the
+    /// server serves the run out of its shared deduped blocks.
+    pub fn open_stored(&mut self, entry: &str) -> Result<u64, WireError> {
+        match self.call(&Request::OpenStored {
+            entry: entry.to_string(),
+        })? {
+            Response::Opened { session } => Ok(session),
+            other => Err(unexpected(other)),
+        }
+    }
+
     pub fn stats(&mut self) -> Result<String, WireError> {
         match self.call(&Request::Stats)? {
             Response::Stats { json } => Ok(json),

@@ -37,6 +37,10 @@ pub struct SessionManager {
     /// so the critical section is tiny compared to any request body.
     metrics: Mutex<Registry>,
     idle_ttl: Duration,
+    /// Optional content-addressed trace store: sealed uploads and
+    /// server-side records dedup into it, and `OpenStored` serves
+    /// sessions straight out of its shared blocks.
+    store: Option<Arc<store::Store>>,
 }
 
 impl SessionManager {
@@ -54,7 +58,17 @@ impl SessionManager {
             peak: AtomicU64::new(0),
             metrics: Mutex::new(Registry::new()),
             idle_ttl,
+            store: None,
         }
+    }
+
+    /// Attach a trace store (before the manager is shared).
+    pub fn set_store(&mut self, store: Arc<store::Store>) {
+        self.store = Some(store);
+    }
+
+    pub fn store(&self) -> Option<&Arc<store::Store>> {
+        self.store.as_ref()
     }
 
     fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<Mutex<Session>>>> {
@@ -146,8 +160,11 @@ impl SessionManager {
     }
 
     /// Canonical (sorted-key, byte-deterministic) fleet metrics snapshot.
+    /// When a trace store is attached, its observer counters (blocks
+    /// stored/deduped/compacted, checkpoint hits/misses) ride along
+    /// under `"store"`.
     pub fn stats_json(&self) -> String {
-        let mut doc = Json::obj(vec![
+        let mut fields = vec![
             (
                 "sessions",
                 Json::obj(vec![
@@ -159,7 +176,11 @@ impl SessionManager {
                 ]),
             ),
             ("rpc", self.metrics.lock().unwrap().to_json()),
-        ]);
+        ];
+        if let Some(store) = &self.store {
+            fields.push(("store", store.counters_json()));
+        }
+        let mut doc = Json::obj(fields);
         doc.canonicalize();
         doc.to_string()
     }
@@ -181,6 +202,7 @@ impl SessionManager {
             "close" => "rpc.close",
             "debug" => "rpc.debug",
             "stats" => "rpc.stats",
+            "open_stored" => "rpc.open_stored",
             _ => "rpc.other",
         }
     }
@@ -221,7 +243,13 @@ impl SessionManager {
                 let s = self.get(session)?;
                 let mut s = s.lock().unwrap();
                 s.touch();
-                let bytes = s.ingest(&chunk, done)?;
+                let (bytes, sealed) = s.ingest(&chunk, done, self.store.is_some())?;
+                // A sealed upload dedups into the store unverified
+                // (fingerprint 0): ingest trusts nothing it has not
+                // replayed. A later verified put upgrades in place.
+                if let (Some(store), Some(data)) = (self.store.as_ref(), sealed) {
+                    store.put_bytes(&s.workload.name, s.seed, &data, 0, "")?;
+                }
                 Response::Ingested { session, bytes }
             }
             Request::Record { session } => {
@@ -229,6 +257,19 @@ impl SessionManager {
                 let mut s = s.lock().unwrap();
                 s.touch();
                 let out = s.record()?;
+                // The server ran the record itself, so the fingerprint is
+                // first-hand: store the sealed trace as verified.
+                if let Some(store) = self.store.as_ref() {
+                    if let crate::session::Phase::Sealed { trace, .. } = &s.phase {
+                        store.put_bytes(
+                            &s.workload.name,
+                            s.seed,
+                            &trace.encoded(),
+                            out.fingerprint,
+                            "",
+                        )?;
+                    }
+                }
                 Response::Recorded {
                     session,
                     fingerprint: out.fingerprint,
@@ -236,6 +277,21 @@ impl SessionManager {
                     events: out.events,
                     trace_bytes: out.trace_bytes,
                 }
+            }
+            Request::OpenStored { entry } => {
+                let store = self.store.as_ref().ok_or(FleetError::NoStore)?;
+                let stored = store.open_trace(&entry)?;
+                let w = workloads::registry()
+                    .into_iter()
+                    .find(|w| w.name == stored.entry.workload)
+                    .ok_or_else(|| {
+                        FleetError::NoSuchWorkload(stored.entry.workload.clone())
+                    })?;
+                let seed = stored.entry.seed;
+                let (trace, boundaries) = (stored.trace, stored.boundaries);
+                let session =
+                    self.install(|id| Session::from_sealed(id, w, seed, trace, boundaries));
+                Response::Opened { session }
             }
             Request::Replay { session } => {
                 let s = self.get(session)?;

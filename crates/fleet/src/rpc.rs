@@ -39,6 +39,10 @@ pub enum Request {
     Stats,
     /// Graceful shutdown, gated on the server's ctrl token.
     Shutdown { token: String },
+    /// Open a session over a catalog entry of the server's trace store:
+    /// the trace is served out of shared deduped blocks (no upload),
+    /// already sealed with the store's checkpoint boundaries.
+    OpenStored { entry: String },
 }
 
 /// Server → client messages.
@@ -113,6 +117,7 @@ impl Request {
             Request::Debug { .. } => "debug",
             Request::Stats => "stats",
             Request::Shutdown { .. } => "shutdown",
+            Request::OpenStored { .. } => "open_stored",
         }
     }
 
@@ -170,6 +175,10 @@ impl Request {
                 b.push(11);
                 put_str(&mut b, token);
             }
+            Request::OpenStored { entry } => {
+                b.push(12);
+                put_str(&mut b, entry);
+            }
         }
         b
     }
@@ -214,6 +223,9 @@ impl Request {
             10 => Request::Stats,
             11 => Request::Shutdown {
                 token: get_str(buf, &mut pos)?,
+            },
+            12 => Request::OpenStored {
+                entry: get_str(buf, &mut pos)?,
             },
             t => return Err(WireError::BadTag(t)),
         };

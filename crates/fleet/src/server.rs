@@ -33,6 +33,9 @@ pub struct FleetConfig {
     pub shutdown_token: String,
     /// Idle-session eviction TTL.
     pub idle_ttl: Duration,
+    /// Root of a content-addressed trace store to attach (`None` = no
+    /// store: ingests stay session-local and `OpenStored` is refused).
+    pub store_root: Option<std::path::PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -42,6 +45,7 @@ impl Default for FleetConfig {
             queue: 128,
             shutdown_token: "dejavu".to_string(),
             idle_ttl: crate::manager::DEFAULT_IDLE_TTL,
+            store_root: None,
         }
     }
 }
@@ -72,7 +76,13 @@ impl FleetServer {
     /// Run on an already-bound listener.
     pub fn serve(listener: TcpListener, config: FleetConfig) -> std::io::Result<FleetServer> {
         let addr = listener.local_addr()?;
-        let manager = Arc::new(SessionManager::with_idle_ttl(config.idle_ttl));
+        let mut manager = SessionManager::with_idle_ttl(config.idle_ttl);
+        if let Some(root) = &config.store_root {
+            let store = store::Store::open(root)
+                .map_err(|e| std::io::Error::other(format!("open store {root:?}: {e}")))?;
+            manager.set_store(Arc::new(store));
+        }
+        let manager = Arc::new(manager);
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = sync_channel::<TcpStream>(config.queue.max(1));
         let rx = Arc::new(Mutex::new(rx));

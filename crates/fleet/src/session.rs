@@ -53,13 +53,22 @@ pub enum FleetError {
     Profile(String),
     BadDebugCommand(String),
     ShutdownDenied,
+    /// A trace-store operation failed (corrupt store, missing entry,
+    /// conflicting verified fingerprints).
+    Store(store::StoreError),
+    /// An `OpenStored` reached a server with no store configured.
+    NoStore,
 }
 
 impl FleetError {
     pub fn code(&self) -> u8 {
-        // Everything here is a client/input error (exit-contract 1);
-        // divergence (2) is reported in-band by DivergenceCheck/Replay.
-        1
+        // Everything here is a client/input error (exit-contract 1)
+        // except a store fingerprint conflict, which is divergence-class
+        // (2) like an in-band DivergenceCheck/Replay failure.
+        match self {
+            FleetError::Store(e) => e.code(),
+            _ => 1,
+        }
     }
 }
 
@@ -75,6 +84,8 @@ impl std::fmt::Display for FleetError {
             FleetError::Profile(e) => write!(f, "profile: {e}"),
             FleetError::BadDebugCommand(e) => write!(f, "bad debug command: {e}"),
             FleetError::ShutdownDenied => write!(f, "shutdown denied: bad ctrl token"),
+            FleetError::Store(e) => write!(f, "store: {e}"),
+            FleetError::NoStore => write!(f, "server has no trace store configured"),
         }
     }
 }
@@ -82,6 +93,12 @@ impl std::fmt::Display for FleetError {
 impl From<TraceError> for FleetError {
     fn from(e: TraceError) -> Self {
         FleetError::Trace(e)
+    }
+}
+
+impl From<store::StoreError> for FleetError {
+    fn from(e: store::StoreError) -> Self {
+        FleetError::Store(e)
     }
 }
 
@@ -146,8 +163,17 @@ impl Session {
         spec_for(&self.workload, self.seed)
     }
 
-    /// Append an upload chunk; `done` seals the session.
-    pub fn ingest(&mut self, chunk: &[u8], done: bool) -> Result<u64, FleetError> {
+    /// Append an upload chunk; `done` seals the session. When
+    /// `keep_bytes` is set, a successful seal also hands back the
+    /// complete uploaded file bytes — the manager forwards them to the
+    /// trace store, which needs the *original* bytes (its byte-fidelity
+    /// contract is against what was uploaded, not a re-encoding).
+    pub fn ingest(
+        &mut self,
+        chunk: &[u8],
+        done: bool,
+        keep_bytes: bool,
+    ) -> Result<(u64, Option<Vec<u8>>), FleetError> {
         let Phase::Recording { ingest } = &mut self.phase else {
             return Err(FleetError::BadState {
                 want: "Recording",
@@ -166,6 +192,7 @@ impl Session {
             let Phase::Recording { ingest } = taken else {
                 unreachable!()
             };
+            let sealed_bytes = keep_bytes.then(|| ingest.peek().to_vec());
             let ingested = match ingest.finish() {
                 Ok(i) => i,
                 Err(e) => {
@@ -181,8 +208,9 @@ impl Session {
                 trace: ingested.trace,
                 boundaries: ingested.boundaries,
             };
+            return Ok((total, sealed_bytes));
         }
-        Ok(total)
+        Ok((total, None))
     }
 
     /// Record the workload server-side, sealing the trace.
@@ -272,6 +300,25 @@ impl Session {
         match self.phase {
             Phase::Replaying { dbg } => Some(dbg),
             _ => None,
+        }
+    }
+
+    /// Install an already-sealed trace (the `OpenStored` path: the store
+    /// hands over a decoded trace plus its block-boundary checkpoint
+    /// keys, no upload or server-side record needed).
+    pub fn from_sealed(
+        id: u64,
+        workload: Workload,
+        seed: u64,
+        trace: Trace,
+        boundaries: Vec<u64>,
+    ) -> Self {
+        Session {
+            id,
+            workload,
+            seed,
+            phase: Phase::Sealed { trace, boundaries },
+            last_touched: Instant::now(),
         }
     }
 

@@ -121,6 +121,125 @@ fn streamed_ingest_replays_to_the_recorded_fingerprint() {
 }
 
 #[test]
+fn store_backed_fleet_dedups_ingests_and_serves_open_stored() {
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fleet-store");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let server = FleetServer::start(
+        "127.0.0.1:0",
+        FleetConfig {
+            workers: 4,
+            shutdown_token: "test-token".to_string(),
+            store_root: Some(root.clone()),
+            ..FleetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    // Record locally (fig1_hot: the block-rich family member), then
+    // upload every run TWICE from concurrent clients — the store must
+    // dedup the repeats while sessions ingest in parallel.
+    let w = workload("fig1_hot");
+    let runs: Vec<(u64, u64, Vec<u8>)> = (21u64..25)
+        .map(|seed| {
+            let spec = spec_for(&w, seed);
+            let (rec, trace) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+            let bytes = encode_trace(&trace, TraceFormat::Block, DEFAULT_BLOCK_BUDGET);
+            (seed, rec.fingerprint, bytes)
+        })
+        .collect();
+    let handles: Vec<_> = runs
+        .iter()
+        .cloned()
+        .map(|(seed, _, bytes)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = FleetClient::connect(&addr).expect("connect");
+                for _ in 0..2 {
+                    let id = client.open("fig1_hot", seed).expect("open");
+                    client.ingest_trace(id, &bytes).expect("ingest");
+                    client.call(&Request::Close { session: id }).expect("close");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("uploader");
+    }
+
+    // Server-side Record also lands in the store — verified first-hand.
+    let mut client = FleetClient::connect(&addr).expect("connect");
+    let rec_session = client.open("fig1_cd", 3).expect("open");
+    let recorded_fp = match client
+        .call(&Request::Record {
+            session: rec_session,
+        })
+        .expect("record")
+    {
+        Response::Recorded { fingerprint, .. } => fingerprint,
+        other => panic!("record: {other:?}"),
+    };
+
+    // The store converged 8 uploads of 4 runs into 4 entries (puts=2
+    // each, fingerprint 0: ingest is unverified) plus the record.
+    let store = server.manager().store().expect("store attached").clone();
+    let entries = store.entries().expect("catalog");
+    assert_eq!(entries.len(), 5);
+    for e in &entries {
+        if e.workload == "fig1_hot" {
+            assert_eq!(e.puts, 2, "both uploads converged");
+            assert_eq!(e.fingerprint, 0, "ingest stores unverified");
+        } else {
+            assert_eq!(e.workload, "fig1_cd");
+            assert_eq!(e.fingerprint, recorded_fp, "record stores verified");
+        }
+    }
+
+    // OpenStored serves each run out of shared blocks; replay must hit
+    // the locally recorded fingerprint exactly.
+    for (seed, fp, _) in &runs {
+        let e = entries
+            .iter()
+            .find(|e| e.workload == "fig1_hot" && e.seed == *seed)
+            .expect("entry for seed");
+        let sid = client.open_stored(&e.identity()).expect("open_stored");
+        match client.call(&Request::Replay { session: sid }).expect("replay") {
+            Response::Replayed {
+                fingerprint, clean, ..
+            } => {
+                assert!(clean, "seed {seed}: desyncs replaying from store");
+                assert_eq!(fingerprint, *fp, "seed {seed}: fingerprint drift");
+            }
+            other => panic!("replay: {other:?}"),
+        }
+    }
+
+    // The stats surface carries the store counters.
+    let stats = client.stats().expect("stats");
+    let doc = codec::Json::parse(&stats).expect("canonical stats json");
+    let counters = doc.field("store").unwrap().field("counters").unwrap();
+    let counter = |k: &str| counters.field(k).unwrap().as_u64().unwrap();
+    assert!(counter("store.blocks_deduped") > 0, "repeat uploads dedup");
+    assert!(counter("store.blocks_stored") > 0);
+    assert!(counter("store.checkpoint_misses") > 0, "open_stored decoded blocks");
+
+    // An unknown entry is a typed error, not a panic.
+    match client
+        .call(&Request::OpenStored {
+            entry: "f".repeat(32),
+        })
+        .expect("call")
+    {
+        Response::Error { code: 1, .. } => {}
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
 fn unknown_session_and_bad_workload_are_typed_errors() {
     let server = start_server(2);
     let addr = server.addr().to_string();

@@ -1,0 +1,732 @@
+//! # store — content-addressed block database for DJVB traces
+//!
+//! DJVB files are write-once single-run artifacts; a fleet serving many
+//! runs of the same workload family pays full price in bytes and cold
+//! decode for every run. This crate turns the block layer into a
+//! storage engine (ROADMAP item 1, mirroring the ethrex
+//! store/backend/snapshot split):
+//!
+//! * [`backend`] — the persistence layer: self-validating block record
+//!   files keyed by content digest ([`codec::digest128`] of the raw,
+//!   pre-compression payload), atomic tmp+rename writes, catalog and
+//!   heat-map files.
+//! * [`catalog`] — one canonical-JSON manifest per run: workload, seed,
+//!   format, block-digest list, fingerprint, policy pointer. A run is a
+//!   *view* over shared blocks; identical blocks across runs store once.
+//! * [`snapshot`] — the checkpoint tier: a bounded decoded-block cache
+//!   plus per-block logical-time boundaries, so `TimeTravel` seeks
+//!   served from the store keep the ≤-one-block-span guarantee.
+//! * [`compact`] — GC of unreferenced blocks and heat-driven tier
+//!   migration (cold → order-1 range coder, hot → LZ77), deterministic
+//!   and idempotent.
+//!
+//! ## Byte fidelity
+//!
+//! `put` deconstructs a trace file into raw block payloads; `get`
+//! re-runs each block's original compressor and reassembles the exact
+//! original file bytes (validated against the recorded length). Both
+//! compressors are deterministic pure functions, so the store can hand
+//! back a file that passes a binary `cmp` against what was put —
+//! fingerprints are untouched by construction, not by trust.
+//!
+//! ## Perturbation-freedom
+//!
+//! Store maintenance (dedup, tier migration, GC, caching) only ever
+//! rewrites *representations* of raw block bytes, never the bytes
+//! themselves, and replay output is a pure function of those bytes. The
+//! integration tests replay store-served traces under concurrent
+//! compaction and assert bit-identical fingerprints.
+
+pub mod backend;
+pub mod catalog;
+pub mod compact;
+pub mod error;
+pub mod snapshot;
+
+pub use backend::Backend;
+pub use catalog::{BlockRef, CatalogEntry};
+pub use compact::{CompactReport, GcReport};
+pub use error::StoreError;
+pub use snapshot::{BlockCache, BlockKey, StoredTrace, DEFAULT_CACHE_BLOCKS};
+
+use codec::{digest128, Digest128, Json};
+use dejavu::blocktrace::encode_block;
+use dejavu::{
+    assemble_block_file, decode_block_events, BlockFile, RawBlock, TraceFormat,
+    DEFAULT_BLOCK_BUDGET,
+};
+use snapshot::DecodedBlock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use telemetry::Registry;
+
+/// Blocks read fewer than this many times count as cold for
+/// [`Store::compact`] unless the caller chooses otherwise.
+pub const DEFAULT_COLD_THRESHOLD: u64 = 2;
+
+/// What one `put` did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// Catalog entry id (the content identity of the run).
+    pub entry: String,
+    /// False when an identical run was already cataloged.
+    pub new_entry: bool,
+    pub blocks_total: u64,
+    /// Blocks actually written (the rest deduped against the store).
+    pub blocks_new: u64,
+    /// The entry's fingerprint after merge (0 = still unverified).
+    pub fingerprint: u64,
+}
+
+impl PutOutcome {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("blocks_new", Json::UInt(self.blocks_new)),
+            ("blocks_total", Json::UInt(self.blocks_total)),
+            ("entry", Json::Str(self.entry.clone())),
+            ("fingerprint", Json::UInt(self.fingerprint)),
+            ("new_entry", Json::Bool(self.new_entry)),
+        ])
+    }
+}
+
+/// Mutable store state behind one lock: access heat, the decoded-block
+/// cache, and the observer counters. Filesystem writes happen outside
+/// the lock (they are atomic per file); the lock only guards in-process
+/// bookkeeping, so concurrent fleet sessions share one `Store` cheaply.
+struct State {
+    heat: BTreeMap<Digest128, u64>,
+    heat_dirty: bool,
+    cache: BlockCache,
+    metrics: Registry,
+}
+
+/// A content-addressed trace store rooted at one directory. All methods
+/// take `&self`; share it as `Arc<Store>` across threads.
+pub struct Store {
+    backend: Backend,
+    state: Mutex<State>,
+}
+
+impl Store {
+    /// Open (and create if absent) a store at `root`.
+    pub fn open(root: &Path) -> Result<Store, StoreError> {
+        let backend = Backend::open(root)?;
+        let heat = load_heat(&backend)?;
+        Ok(Store {
+            backend,
+            state: Mutex::new(State {
+                heat,
+                heat_dirty: false,
+                cache: BlockCache::new(DEFAULT_CACHE_BLOCKS),
+                metrics: Registry::new(),
+            }),
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        self.backend.root()
+    }
+
+    /// Ingest one serialized trace file (either format). Blocks dedup
+    /// against everything already stored; the catalog entry converges
+    /// across repeated puts of the same run, with `fingerprint`
+    /// upgrading 0 → verified in place. Two *verified* puts that
+    /// disagree are a [`StoreError::FingerprintMismatch`].
+    pub fn put_bytes(
+        &self,
+        workload: &str,
+        seed: u64,
+        bytes: &[u8],
+        fingerprint: u64,
+        policy: &str,
+    ) -> Result<PutOutcome, StoreError> {
+        let format = dejavu::sniff_format(bytes)?;
+        let (paranoid, budget, raw_blocks) = match format {
+            TraceFormat::Block => {
+                let bf = BlockFile::parse(bytes.to_vec())?;
+                (bf.paranoid, bf.budget, bf.raw_blocks()?)
+            }
+            TraceFormat::Flat => {
+                // Flat sources are blockified for storage at the default
+                // budget; `get` reconstructs the flat bytes through the
+                // decoded trace (`Trace::encoded` is a pure function).
+                let ingested = dejavu::ingest_bytes(bytes.to_vec())?;
+                let enc = encode_block(&ingested.trace, DEFAULT_BLOCK_BUDGET);
+                let bf = BlockFile::parse(enc)?;
+                (bf.paranoid, bf.budget, bf.raw_blocks()?)
+            }
+        };
+
+        let mut blocks = Vec::with_capacity(raw_blocks.len());
+        let mut blocks_new = 0u64;
+        let mut bytes_written = 0u64;
+        for rb in &raw_blocks {
+            let digest = digest128(&rb.raw);
+            let (_, written, was_new) = self.backend.write_block(digest, &rb.raw, rb.method)?;
+            if was_new {
+                blocks_new += 1;
+                bytes_written += written;
+            }
+            blocks.push(BlockRef {
+                digest,
+                event_count: rb.event_count,
+                switch_count: rb.switch_count,
+                first_logical_time: rb.first_logical_time,
+                method: rb.method,
+                raw_len: rb.raw.len() as u32,
+            });
+        }
+
+        let mut entry = CatalogEntry {
+            workload: workload.to_owned(),
+            seed,
+            format: format.name().to_owned(),
+            paranoid,
+            budget,
+            file_bytes: bytes.len() as u64,
+            fingerprint,
+            policy: policy.to_owned(),
+            puts: 1,
+            blocks,
+        };
+        let id = entry.identity();
+
+        let path = self.backend.catalog_path(&id);
+        let mut new_entry = true;
+        if path.exists() {
+            let existing = self.read_entry(&id)?;
+            if existing.fingerprint != 0 && fingerprint != 0 && existing.fingerprint != fingerprint
+            {
+                return Err(StoreError::FingerprintMismatch {
+                    entry: id,
+                    have: existing.fingerprint,
+                    got: fingerprint,
+                });
+            }
+            new_entry = false;
+            if entry.fingerprint == 0 {
+                entry.fingerprint = existing.fingerprint;
+            }
+            if entry.policy.is_empty() {
+                entry.policy = existing.policy.clone();
+            }
+            entry.puts = existing.puts.saturating_add(1);
+        }
+        self.backend
+            .write_atomic(&path, entry.to_json().to_string().as_bytes())?;
+
+        let mut st = self.lock();
+        if new_entry {
+            st.metrics.incr("store.entries_put");
+        } else {
+            st.metrics.incr("store.entries_deduped");
+        }
+        st.metrics.add("store.blocks_stored", blocks_new);
+        st.metrics
+            .add("store.blocks_deduped", raw_blocks.len() as u64 - blocks_new);
+        st.metrics.add("store.bytes_written", bytes_written);
+        Ok(PutOutcome {
+            fingerprint: entry.fingerprint,
+            entry: id,
+            new_entry,
+            blocks_total: raw_blocks.len() as u64,
+            blocks_new,
+        })
+    }
+
+    /// Reconstruct the exact original file bytes of an entry.
+    pub fn get_bytes(&self, id: &str) -> Result<Vec<u8>, StoreError> {
+        let entry = self.read_entry(id)?;
+        let mut raw_blocks = Vec::with_capacity(entry.blocks.len());
+        let mut bytes_read = 0u64;
+        for bref in &entry.blocks {
+            let (_, raw) = self.backend.read_block(bref.digest)?;
+            if raw.len() as u64 != bref.raw_len as u64 {
+                return Err(StoreError::Corrupt(format!(
+                    "block {}: raw length disagrees with catalog",
+                    bref.digest
+                )));
+            }
+            bytes_read += raw.len() as u64;
+            raw_blocks.push(RawBlock {
+                first_logical_time: bref.first_logical_time,
+                event_count: bref.event_count,
+                switch_count: bref.switch_count,
+                method: bref.method,
+                raw,
+            });
+        }
+        let bytes = match entry.format.as_str() {
+            "block" => assemble_block_file(entry.paranoid, entry.budget, &raw_blocks),
+            _ => {
+                let decoded = raw_blocks
+                    .iter()
+                    .map(|rb| {
+                        decode_block_events(&rb.raw, rb.event_count, rb.switch_count, entry.paranoid)
+                            .map(Arc::new)
+                    })
+                    .collect::<Result<Vec<DecodedBlock>, _>>()?;
+                snapshot::splice_blocks(entry.paranoid, decoded)?.encoded()
+            }
+        };
+        if bytes.len() as u64 != entry.file_bytes {
+            return Err(StoreError::Corrupt(format!(
+                "entry {id}: reconstruction is {} bytes, catalog says {}",
+                bytes.len(),
+                entry.file_bytes
+            )));
+        }
+        let mut st = self.lock();
+        st.metrics.add("store.bytes_read", bytes_read);
+        for bref in &entry.blocks {
+            *st.heat.entry(bref.digest).or_insert(0) += 1;
+        }
+        st.heat_dirty = true;
+        Ok(bytes)
+    }
+
+    /// Open an entry for replay: decoded trace + checkpoint boundaries,
+    /// served through the snapshot tier (shared blocks decode once per
+    /// process, counted as checkpoint hits/misses).
+    pub fn open_trace(&self, id: &str) -> Result<StoredTrace, StoreError> {
+        let entry = self.read_entry(id)?;
+        let mut decoded: Vec<DecodedBlock> = Vec::with_capacity(entry.blocks.len());
+        for bref in &entry.blocks {
+            let key = BlockKey {
+                digest: bref.digest,
+                paranoid: entry.paranoid,
+                event_count: bref.event_count,
+                switch_count: bref.switch_count,
+            };
+            let cached = {
+                let mut st = self.lock();
+                let hit = st.cache.get(&key);
+                if hit.is_some() {
+                    st.metrics.incr("store.checkpoint_hits");
+                } else {
+                    st.metrics.incr("store.checkpoint_misses");
+                }
+                hit
+            };
+            let block = match cached {
+                Some(b) => b,
+                None => {
+                    let (_, raw) = self.backend.read_block(bref.digest)?;
+                    if raw.len() as u64 != bref.raw_len as u64 {
+                        return Err(StoreError::Corrupt(format!(
+                            "block {}: raw length disagrees with catalog",
+                            bref.digest
+                        )));
+                    }
+                    let events = decode_block_events(
+                        &raw,
+                        bref.event_count,
+                        bref.switch_count,
+                        entry.paranoid,
+                    )?;
+                    let arc: DecodedBlock = Arc::new(events);
+                    let mut st = self.lock();
+                    st.metrics.add("store.bytes_read", raw.len() as u64);
+                    st.cache.insert(key, arc.clone());
+                    arc
+                }
+            };
+            decoded.push(block);
+        }
+        let trace = snapshot::splice_blocks(entry.paranoid, decoded)?;
+        {
+            let mut st = self.lock();
+            for bref in &entry.blocks {
+                *st.heat.entry(bref.digest).or_insert(0) += 1;
+            }
+            st.heat_dirty = !entry.blocks.is_empty() || st.heat_dirty;
+        }
+        let boundaries = entry.boundaries();
+        Ok(StoredTrace {
+            entry,
+            trace,
+            boundaries,
+        })
+    }
+
+    /// One catalog entry.
+    pub fn entry(&self, id: &str) -> Result<CatalogEntry, StoreError> {
+        self.read_entry(id)
+    }
+
+    /// All catalog entries, sorted by id.
+    pub fn entries(&self) -> Result<Vec<CatalogEntry>, StoreError> {
+        self.backend
+            .list_catalog()?
+            .into_iter()
+            .map(|(id, _)| self.read_entry(&id))
+            .collect()
+    }
+
+    /// Remove unreferenced blocks, stale temp files, and dead heat
+    /// counters.
+    pub fn gc(&self) -> Result<GcReport, StoreError> {
+        let referenced: BTreeSet<Digest128> = self
+            .entries()?
+            .iter()
+            .flat_map(|e| e.blocks.iter().map(|b| b.digest))
+            .collect();
+        let mut heat = {
+            let st = self.lock();
+            st.heat.clone()
+        };
+        let report = compact::gc_pass(&self.backend, &referenced, &mut heat)?;
+        let mut st = self.lock();
+        st.heat = heat;
+        st.heat_dirty = st.heat_dirty || report.pruned_heat > 0;
+        st.metrics.add("store.gc_removed", report.removed_blocks);
+        drop(st);
+        self.flush()?;
+        Ok(report)
+    }
+
+    /// Heat-driven tier migration: blocks with fewer than
+    /// `cold_threshold` client reads move to the range-coder tier, the
+    /// rest to LZ77 (either degrading to stored when compression does
+    /// not pay). Idempotent: a second pass with unchanged heat issues
+    /// zero writes.
+    pub fn compact(&self, cold_threshold: u64) -> Result<CompactReport, StoreError> {
+        let heat = {
+            let st = self.lock();
+            st.heat.clone()
+        };
+        let report = compact::compact_pass(&self.backend, &heat, cold_threshold)?;
+        let mut st = self.lock();
+        st.metrics.add("store.blocks_compacted", report.migrated);
+        Ok(report)
+    }
+
+    /// Deterministic disk-shape statistics: a pure function of store
+    /// *content* (catalog + blocks), independent of access history, so
+    /// byte-stable across gc/compact idempotence checks.
+    pub fn disk_stats(&self) -> Result<Json, StoreError> {
+        let entries = self.entries()?;
+        // Naive cost = one file per *put run* (repeated puts of the same
+        // run converge on one entry but would each have been a file).
+        let naive_bytes: u64 = entries.iter().map(|e| e.file_bytes * e.puts).sum();
+        let runs: u64 = entries.iter().map(|e| e.puts).sum();
+        let total_refs: u64 = entries.iter().map(|e| e.blocks.len() as u64).sum();
+        let blocks = self.backend.list_blocks()?;
+        let block_bytes: u64 = blocks.iter().map(|&(_, len)| len).sum();
+        let catalog_bytes: u64 = self
+            .backend
+            .list_catalog()?
+            .iter()
+            .map(|&(_, len)| len)
+            .sum();
+        let (mut tier_stored, mut tier_lz77, mut tier_range) = (0u64, 0u64, 0u64);
+        for &(digest, _) in &blocks {
+            match self.backend.read_block(digest)?.0 {
+                dejavu::BlockMethod::Stored => tier_stored += 1,
+                dejavu::BlockMethod::Lz77 => tier_lz77 += 1,
+                dejavu::BlockMethod::Range => tier_range += 1,
+            }
+        }
+        let store_bytes = block_bytes + catalog_bytes;
+        let dedup_ratio_milli = if store_bytes == 0 {
+            0
+        } else {
+            naive_bytes * 1000 / store_bytes
+        };
+        let bytes_per_run = if runs == 0 { 0 } else { store_bytes / runs };
+        let naive_bytes_per_run = if runs == 0 { 0 } else { naive_bytes / runs };
+        Ok(Json::obj(vec![
+            ("block_bytes", Json::UInt(block_bytes)),
+            ("blocks", Json::UInt(blocks.len() as u64)),
+            ("bytes_per_run", Json::UInt(bytes_per_run)),
+            ("catalog_bytes", Json::UInt(catalog_bytes)),
+            ("dedup_ratio_milli", Json::UInt(dedup_ratio_milli)),
+            ("entries", Json::UInt(entries.len() as u64)),
+            ("naive_bytes", Json::UInt(naive_bytes)),
+            ("naive_bytes_per_run", Json::UInt(naive_bytes_per_run)),
+            ("runs", Json::UInt(runs)),
+            ("store_bytes", Json::UInt(store_bytes)),
+            ("tier_lz77", Json::UInt(tier_lz77)),
+            ("tier_range", Json::UInt(tier_range)),
+            ("tier_stored", Json::UInt(tier_stored)),
+            ("total_block_refs", Json::UInt(total_refs)),
+        ]))
+    }
+
+    /// The observer counters (blocks stored/deduped/compacted,
+    /// checkpoint tier hits/misses, byte totals) as canonical JSON —
+    /// the "store" section of fleet `stats --fleet`.
+    pub fn counters_json(&self) -> Json {
+        let mut j = self.lock().metrics.to_json();
+        j.canonicalize();
+        j
+    }
+
+    /// Persist the heat map if it changed. Called on drop; explicit
+    /// calls make heat visible to other processes (the CLI between
+    /// subcommand invocations).
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let snapshot = {
+            let mut st = self.lock();
+            if !st.heat_dirty {
+                return Ok(());
+            }
+            st.heat_dirty = false;
+            st.heat.clone()
+        };
+        let pairs: Vec<(String, Json)> = snapshot
+            .iter()
+            .map(|(d, &n)| (d.hex(), Json::UInt(n)))
+            .collect();
+        self.backend
+            .write_atomic(&self.backend.heat_path(), Json::Obj(pairs).to_string().as_bytes())
+    }
+
+    fn read_entry(&self, id: &str) -> Result<CatalogEntry, StoreError> {
+        if Digest128::parse(id).is_none() {
+            return Err(StoreError::Corrupt(format!("not a valid entry id: {id:?}")));
+        }
+        let path = self.backend.catalog_path(id);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::NotFound(format!("entry {id}"))
+            } else {
+                StoreError::io(&path, e)
+            }
+        })?;
+        let json = Json::parse(&text)
+            .map_err(|e| StoreError::Corrupt(format!("entry {id}: bad JSON: {e:?}")))?;
+        let entry = CatalogEntry::from_json(&json)?;
+        if entry.identity() != id {
+            return Err(StoreError::Corrupt(format!(
+                "entry {id}: file content identifies as {}",
+                entry.identity()
+            )));
+        }
+        Ok(entry)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A poisoned lock means another thread panicked mid-bookkeeping;
+        // the bookkeeping is observer-only, so continue with its state.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("root", &self.backend.root())
+            .finish()
+    }
+}
+
+fn load_heat(backend: &Backend) -> Result<BTreeMap<Digest128, u64>, StoreError> {
+    let path = backend.heat_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(StoreError::io(&path, e)),
+    };
+    let json =
+        Json::parse(&text).map_err(|e| StoreError::Corrupt(format!("heat map: bad JSON: {e:?}")))?;
+    let mut heat = BTreeMap::new();
+    for (k, v) in json
+        .as_obj()
+        .map_err(|_| StoreError::Corrupt("heat map: not an object".into()))?
+    {
+        let digest = Digest128::parse(k)
+            .ok_or_else(|| StoreError::Corrupt(format!("heat map: bad digest key {k:?}")))?;
+        let n = v
+            .as_u64()
+            .map_err(|_| StoreError::Corrupt("heat map: non-integer count".into()))?;
+        heat.insert(digest, n);
+    }
+    Ok(heat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dejavu::trace::{DataRec, SwitchRec, Trace};
+    use dejavu::encode_trace;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        // CARGO_TARGET_TMPDIR is only set for integration tests, so unit
+        // tests use the OS temp dir, pid-scoped against parallel runs.
+        let dir = std::env::temp_dir().join(format!("djv-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(paranoid: bool, n: usize, salt: u64) -> Trace {
+        let mut t = Trace {
+            paranoid,
+            ..Trace::default()
+        };
+        for i in 0..n {
+            t.switches.push(SwitchRec {
+                nyp: 200 + ((i as u64 + salt) % 17),
+                check_tid: if paranoid { (i % 3) as u32 } else { u32::MAX },
+            });
+        }
+        for i in 0..n {
+            t.data.push(DataRec::Clock(1_000_000 + salt as i64 + 2 * i as i64));
+        }
+        t
+    }
+
+    #[test]
+    fn put_get_roundtrip_both_formats() {
+        let root = scratch("roundtrip");
+        let store = Store::open(&root).unwrap();
+        for (i, format) in [TraceFormat::Block, TraceFormat::Flat].iter().enumerate() {
+            let t = sample(true, 400, i as u64);
+            let bytes = encode_trace(&t, *format, 64);
+            let put = store.put_bytes("w", i as u64, &bytes, 0, "").unwrap();
+            assert!(put.new_entry);
+            assert!(put.blocks_total > 0);
+            let back = store.get_bytes(&put.entry).unwrap();
+            assert_eq!(back, bytes, "byte-identical reconstruction ({format:?})");
+        }
+    }
+
+    #[test]
+    fn identical_runs_dedup_to_one_copy() {
+        let root = scratch("dedup");
+        let store = Store::open(&root).unwrap();
+        let bytes = encode_trace(&sample(false, 500, 3), TraceFormat::Block, 64);
+        let a = store.put_bytes("w", 1, &bytes, 0, "").unwrap();
+        let b = store.put_bytes("w", 1, &bytes, 0, "").unwrap();
+        assert_eq!(a.entry, b.entry);
+        assert!(a.new_entry && !b.new_entry);
+        assert_eq!(b.blocks_new, 0, "second put writes no blocks");
+        // A different seed under the same workload still shares every
+        // block (same trace content), but catalogs separately.
+        let c = store.put_bytes("w", 2, &bytes, 0, "").unwrap();
+        assert_ne!(c.entry, a.entry);
+        assert_eq!(c.blocks_new, 0);
+        assert_eq!(store.entries().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_upgrades_but_never_flips() {
+        let root = scratch("fingerprint");
+        let store = Store::open(&root).unwrap();
+        let bytes = encode_trace(&sample(false, 100, 0), TraceFormat::Block, 32);
+        let a = store.put_bytes("w", 1, &bytes, 0, "").unwrap();
+        assert_eq!(a.fingerprint, 0);
+        let b = store.put_bytes("w", 1, &bytes, 0xabc, "p.json").unwrap();
+        assert_eq!(b.entry, a.entry);
+        assert_eq!(b.fingerprint, 0xabc);
+        let e = store.entry(&a.entry).unwrap();
+        assert_eq!(e.fingerprint, 0xabc);
+        assert_eq!(e.policy, "p.json");
+        // Unverified re-put keeps the verified fingerprint.
+        let c = store.put_bytes("w", 1, &bytes, 0, "").unwrap();
+        assert_eq!(c.fingerprint, 0xabc);
+        // A conflicting verified fingerprint is divergence-class.
+        let err = store.put_bytes("w", 1, &bytes, 0xdef, "").unwrap_err();
+        assert!(matches!(err, StoreError::FingerprintMismatch { .. }));
+        assert_eq!(err.code(), 2);
+    }
+
+    #[test]
+    fn open_trace_matches_decode_and_counts_cache() {
+        let root = scratch("open");
+        let store = Store::open(&root).unwrap();
+        let t = sample(true, 600, 9);
+        let bytes = encode_trace(&t, TraceFormat::Block, 64);
+        let put = store.put_bytes("w", 1, &bytes, 0, "").unwrap();
+        let first = store.open_trace(&put.entry).unwrap();
+        assert_eq!(first.trace, t);
+        assert!(!first.boundaries.is_empty());
+        let second = store.open_trace(&put.entry).unwrap();
+        assert_eq!(second.trace, t);
+        let j = store.counters_json();
+        let counters = j.field("counters").unwrap();
+        let hits = counters.field("store.checkpoint_hits").unwrap().as_u64().unwrap();
+        let misses = counters
+            .field("store.checkpoint_misses")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(misses, first.boundaries.len() as u64, "first open all misses");
+        assert_eq!(hits, first.boundaries.len() as u64, "second open all hits");
+    }
+
+    #[test]
+    fn gc_and_compact_preserve_bytes_and_are_idempotent() {
+        let root = scratch("gc-compact");
+        let store = Store::open(&root).unwrap();
+        let keep = encode_trace(&sample(false, 400, 1), TraceFormat::Block, 64);
+        let dead = encode_trace(&sample(false, 400, 2), TraceFormat::Block, 64);
+        let kept = store.put_bytes("w", 1, &keep, 0, "").unwrap();
+        let doomed = store.put_bytes("w", 2, &dead, 0, "").unwrap();
+        // Remove the doomed entry's catalog file; its unshared blocks
+        // become garbage.
+        std::fs::remove_file(store.backend.catalog_path(&doomed.entry)).unwrap();
+        let gc1 = store.gc().unwrap();
+        assert!(gc1.removed_blocks > 0);
+        let gc2 = store.gc().unwrap();
+        assert_eq!(gc2.removed_blocks, 0, "gc idempotent");
+        // Compact everything cold → range tier; bytes still reconstruct.
+        let c1 = store.compact(DEFAULT_COLD_THRESHOLD).unwrap();
+        assert_eq!(c1.examined, gc1.live_blocks);
+        let back = store.get_bytes(&kept.entry).unwrap();
+        assert_eq!(back, keep, "compaction preserves reconstruction");
+        let c2 = store.compact(DEFAULT_COLD_THRESHOLD).unwrap();
+        assert_eq!(c2.migrated, 0, "second compact is a no-op");
+        assert_eq!(c2.unchanged, c2.examined);
+        // Stats JSON is canonical and carries the dedup ratio.
+        let stats = store.disk_stats().unwrap();
+        assert_eq!(stats.to_string(), stats.to_canonical_string());
+        assert!(stats.field("dedup_ratio_milli").unwrap().as_u64().is_ok());
+    }
+
+    #[test]
+    fn heat_persists_across_opens() {
+        let root = scratch("heat");
+        let entry;
+        {
+            let store = Store::open(&root).unwrap();
+            let bytes = encode_trace(&sample(false, 300, 5), TraceFormat::Block, 64);
+            entry = store.put_bytes("w", 1, &bytes, 0, "").unwrap().entry;
+            store.get_bytes(&entry).unwrap();
+            store.get_bytes(&entry).unwrap();
+            // Drop flushes heat.
+        }
+        let store = Store::open(&root).unwrap();
+        let st = store.lock();
+        assert!(st.heat.values().all(|&n| n == 2), "two reads per block");
+        assert!(!st.heat.is_empty());
+    }
+
+    #[test]
+    fn missing_and_malformed_ids_are_typed() {
+        let root = scratch("errors");
+        let store = Store::open(&root).unwrap();
+        assert!(matches!(
+            store.get_bytes(&"0".repeat(32)),
+            Err(StoreError::NotFound(_))
+        ));
+        let err = store.get_bytes("../../etc/passwd").unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        assert_eq!(err.code(), 1);
+        assert!(store
+            .put_bytes("w", 1, b"not a trace", 0, "")
+            .is_err());
+    }
+}

@@ -303,4 +303,82 @@ if [ "$rc" -ne 0 ]; then
 fi
 grep -q "clean shutdown" "$FDIR/server.log"
 
+echo "== store: 150+-run corpus, dedup >= 2x, byte-exact reconstruction =="
+SDIR="$BENCH_DIR/store-verify"
+rm -rf "$SDIR"; mkdir -p "$SDIR/traces"
+STORE="$SDIR/store"
+# The fig1 family across 17 seeds, each run put 3 times (the fleet-ingest
+# pattern): first put verified (replay + fresh record before cataloging a
+# fingerprint), the repeats unverified — they must dedup onto the same
+# entry either way.
+for wl in fig1_ab fig1_cd fig1_hot; do
+    for seed in $(seq 1 17); do
+        t="$SDIR/traces/$wl-$seed.djvb"
+        "$CLI" record "$wl" "$seed" "$t" --trace-format block > /dev/null
+        "$CLI" store put "$STORE" "$wl" "$seed" "$t" > /dev/null 2> /dev/null
+        "$CLI" store put "$STORE" "$wl" "$seed" "$t" --no-verify > /dev/null 2> /dev/null
+        "$CLI" store put "$STORE" "$wl" "$seed" "$t" --no-verify > /dev/null 2> /dev/null
+    done
+done
+# Maintenance idempotence, byte-level: a second gc+compact pass over an
+# unread store must leave every file untouched.
+"$CLI" store gc "$STORE" > /dev/null 2> /dev/null
+"$CLI" store compact "$STORE" > /dev/null 2> /dev/null
+(cd "$STORE" && find . -type f | sort | xargs cksum) > "$SDIR/pass1.cksum"
+"$CLI" store gc "$STORE" > /dev/null 2> /dev/null
+"$CLI" store compact "$STORE" > /dev/null 2> /dev/null
+(cd "$STORE" && find . -type f | sort | xargs cksum) > "$SDIR/pass2.cksum"
+require "$SDIR/pass1.cksum" "$SDIR/pass2.cksum"
+cmp "$SDIR/pass1.cksum" "$SDIR/pass2.cksum"
+# The measured shape: canonical JSON, 150+ runs, dedup past the 2x line.
+"$CLI" store stats "$STORE" > "$SDIR/stats.json" 2> /dev/null
+"$CLI" checkjson "$SDIR/stats.json"
+runs=$(grep -o '"runs":[0-9]*' "$SDIR/stats.json" | cut -d: -f2)
+dedup=$(grep -o '"dedup_ratio_milli":[0-9]*' "$SDIR/stats.json" | cut -d: -f2)
+if [ -z "$runs" ] || [ "$runs" -lt 100 ]; then
+    echo "verify: store corpus holds $runs runs, want >= 100" >&2
+    exit 1
+fi
+if [ -z "$dedup" ] || [ "$dedup" -lt 2000 ]; then
+    echo "verify: store dedup ratio ${dedup} milli, want >= 2000 (2x)" >&2
+    exit 1
+fi
+echo "store: runs=$runs dedup_ratio_milli=$dedup"
+# Keying parity with `trace inspect --dedup`: the inspector's dedup
+# summary over the same 51 distinct trace files must count exactly the
+# unique blocks the store holds (both key by digest128 of the raw
+# pre-compression payload).
+"$CLI" trace inspect --dedup "$SDIR"/traces/*.djvb > "$SDIR/inspect.out" 2> /dev/null
+tail -1 "$SDIR/inspect.out" > "$SDIR/dedup.json"
+"$CLI" checkjson "$SDIR/dedup.json"
+inspect_blocks=$(grep -o '"unique_blocks":[0-9]*' "$SDIR/dedup.json" | cut -d: -f2)
+store_blocks=$(grep -o '"blocks":[0-9]*' "$SDIR/stats.json" | head -1 | cut -d: -f2)
+if [ "$inspect_blocks" != "$store_blocks" ]; then
+    echo "verify: inspect --dedup counts $inspect_blocks unique blocks," \
+         "store holds $store_blocks — keying drifted" >&2
+    exit 1
+fi
+# Byte-exact reconstruction out of the compacted store, and the
+# store-served trace still replays ACCURATE (exit 0).
+"$CLI" store ls "$STORE" > "$SDIR/store-ls.json" 2> /dev/null
+sid=$(grep '"workload":"fig1_hot"' "$SDIR/store-ls.json" | grep '"seed":5,' \
+    | sed 's/.*"id":"\([0-9a-f]*\)".*/\1/')
+if [ -z "$sid" ]; then
+    echo "verify: fig1_hot/5 missing from store catalog" >&2
+    exit 1
+fi
+"$CLI" store get "$STORE" "$sid" "$SDIR/back.djvb" 2> /dev/null
+require "$SDIR/back.djvb"
+cmp "$SDIR/traces/fig1_hot-5.djvb" "$SDIR/back.djvb"
+"$CLI" replay fig1_hot 5 "$SDIR/back.djvb" > /dev/null
+# Exit-code contract at the store boundary: claiming the wrong seed is a
+# divergence (2), not an I/O error.
+rc=0
+"$CLI" store put "$STORE" fig1_hot 6 "$SDIR/traces/fig1_hot-5.djvb" \
+    > /dev/null 2> /dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "verify: wrong-seed store put exited $rc, want 2" >&2
+    exit 1
+fi
+
 echo "verify: OK"

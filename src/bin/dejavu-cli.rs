@@ -8,8 +8,15 @@
 //! dejavu-cli replay <workload> <seed> <trace-file> [--metrics-out <file>]
 //! dejavu-cli profile <workload> <seed> <trace-file> [--out <dir>]
 //!                    [--format chrome|folded|both] [--top <n>]
-//! dejavu-cli trace inspect <trace-file>          # block index, canonical JSON
+//! dejavu-cli trace inspect <trace-file>... [--dedup]  # block index, canonical JSON
 //! dejavu-cli stats <workload> [seed]             # record+replay metrics JSON
+//! dejavu-cli store put <dir> <workload> <seed> <trace-file>
+//!                   [--policy <p>] [--no-verify] # ingest (verified by default)
+//! dejavu-cli store get <dir> <entry-id> <out>    # byte-exact reconstruction
+//! dejavu-cli store ls <dir>                      # catalog summary, one JSON/line
+//! dejavu-cli store gc <dir>                      # drop unreferenced blocks
+//! dejavu-cli store compact <dir> [--cold <n>]    # heat-driven tier migration
+//! dejavu-cli store stats <dir>                   # content-deterministic shape JSON
 //! dejavu-cli neutrality <workload> [seed]        # telemetry on == off proof
 //! dejavu-cli checkjson <file>                    # validate via crates/codec
 //! dejavu-cli check <corpus-dir>                  # replay corpus vs policies
@@ -18,7 +25,7 @@
 //! dejavu-cli serve <workload> <seed> <port>      # debugger tier over TCP
 //!                   [--workers <n>]              # concurrent JSON-line clients
 //! dejavu-cli fleet-serve <port> [--workers <n>]  # multi-session fleet server
-//!                   [--fleet-token <t>] [--port-file <f>]
+//!                   [--fleet-token <t>] [--port-file <f>] [--store <dir>]
 //! dejavu-cli fleet-bench <addr> [workload]       # drive N concurrent sessions
 //!                   [--sessions <n>] [--workers <n>]
 //! dejavu-cli fleet-shutdown <addr> <token>       # token-gated graceful stop
@@ -58,6 +65,15 @@
 //! corpus directory ([`dejavu_repro::corpus`]); on a divergence it
 //! minimizes the failing workload spec with the qc tape shrinker and
 //! prints a canonical-JSON repro blob.
+//!
+//! `store` subcommands drive the content-addressed trace store
+//! (`crates/store`, DESIGN.md §11). `store put` replays the trace before
+//! cataloging and records the verified fingerprint (exit 2 if it
+//! diverges from a fresh record); `--no-verify` ingests with fingerprint
+//! 0, the fleet-ingest semantics. `trace inspect --dedup` keys blocks
+//! exactly as the store does — [`codec::digest128`] over the raw
+//! pre-compression payload — so its unique-block accounting predicts
+//! store dedup byte-for-byte.
 
 use dejavu::{
     decode_any, encode_trace, passthrough_run, record_replay_forensic, record_run, replay_run,
@@ -118,7 +134,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: dejavu-cli <list|run|record|replay|profile|trace|stats|neutrality|checkjson|check|corpus|dis|serve|fleet-serve|fleet-bench|fleet-shutdown> [args...]\n\
+            "usage: dejavu-cli <list|run|record|replay|profile|trace|stats|neutrality|checkjson|check|corpus|store|dis|serve|fleet-serve|fleet-bench|fleet-shutdown> [args...]\n\
              see the module docs for details"
         );
         ExitCode::FAILURE
@@ -191,6 +207,10 @@ fn main() -> ExitCode {
         Ok(m) => m,
         Err(()) => return usage(),
     };
+    let store_root = match take_value(&mut args, "--store") {
+        Ok(m) => m,
+        Err(()) => return usage(),
+    };
     // `--no-quicken` runs the generic dispatch loop instead of the
     // quickened QOp stream — a speed ablation, observationally identical.
     // `--no-mega` keeps quickening but disables tier-2 megablock execution
@@ -199,6 +219,23 @@ fn main() -> ExitCode {
     let mega = !take_flag(&mut args, "--no-mega");
     let quick_dis = take_flag(&mut args, "--quick");
     let mega_dis = take_flag(&mut args, "--mega");
+    let dedup = take_flag(&mut args, "--dedup");
+    let no_verify = take_flag(&mut args, "--no-verify");
+    let policy = match take_value(&mut args, "--policy") {
+        Ok(m) => m.unwrap_or_default(),
+        Err(()) => return usage(),
+    };
+    let cold: u64 = match take_value(&mut args, "--cold") {
+        Ok(None) => store::DEFAULT_COLD_THRESHOLD,
+        Ok(Some(s)) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--cold requires an integer, got \"{s}\"");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(()) => return usage(),
+    };
     // Only force the knobs when a flag was given: the defaults must stay
     // env-driven so `DJVM_NO_QUICKEN=1` / `DJVM_NO_MEGA=1` work through
     // the CLI too.
@@ -428,85 +465,159 @@ fn main() -> ExitCode {
             }
         }
         Some("trace") => {
-            // trace inspect <file>: the block index as canonical JSON —
+            // trace inspect <file>...: the block index as canonical JSON —
             // diffable, and a deterministic function of the file bytes.
-            let (Some("inspect"), Some(path)) = (args.get(1).map(String::as_str), args.get(2))
-            else {
+            // Each block carries its content digest (digest128 of the raw
+            // pre-compression payload — the store's dedup key, computed
+            // over the same bytes), and `--dedup` appends a summary of
+            // unique vs total blocks across all the named files: what a
+            // `store put` of this set would share.
+            let Some("inspect") = args.get(1).map(String::as_str) else {
                 return usage();
             };
-            let bytes = match std::fs::read(path) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let paths: Vec<String> = args.iter().skip(2).cloned().collect();
+            if paths.is_empty() {
+                return usage();
+            }
             use codec::Json;
-            let mut doc = match sniff_format(&bytes) {
-                Ok(TraceFormat::Flat) => {
-                    let Some(trace) = Trace::decode(&bytes) else {
-                        eprintln!("{path}: corrupt trace: flat trace rejected by decoder");
+            use std::collections::BTreeMap;
+            // digest hex → raw payload length, across all files.
+            let mut seen: BTreeMap<String, u64> = BTreeMap::new();
+            let mut total_blocks = 0u64;
+            let mut total_raw = 0u64;
+            for path in &paths {
+                let bytes = match std::fs::read(path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("read {path}: {e}");
                         return ExitCode::FAILURE;
-                    };
-                    Json::obj(vec![
-                        ("format", Json::Str("flat".into())),
-                        ("stats", trace.stats().to_json()),
-                    ])
-                }
-                Ok(TraceFormat::Block) => {
-                    let bf = match BlockFile::parse(bytes) {
-                        Ok(bf) => bf,
-                        Err(e) => {
-                            eprintln!("{path}: {e}");
+                    }
+                };
+                let mut doc = match sniff_format(&bytes) {
+                    Ok(TraceFormat::Flat) => {
+                        let Some(trace) = Trace::decode(&bytes) else {
+                            eprintln!("{path}: corrupt trace: flat trace rejected by decoder");
                             return ExitCode::FAILURE;
-                        }
-                    };
-                    let crc_ok = bf.crc_status();
-                    let blocks: Vec<Json> = bf
-                        .index
-                        .iter()
-                        .enumerate()
-                        .zip(&crc_ok)
-                        .map(|((i, b), &ok)| {
-                            // Per-block compression accounting: how well the
-                            // block squeezed and which compressor won its
-                            // encode-time race (corrupt method bytes keep the
-                            // inspection total, like `crc_ok: false` does).
-                            let permille = if b.raw_len == 0 {
-                                1000
-                            } else {
-                                b.comp_len as u64 * 1000 / b.raw_len as u64
+                        };
+                        if dedup {
+                            // Key flat sources exactly as the store does:
+                            // blockified at the default budget first.
+                            let enc = dejavu::blocktrace::encode_block(
+                                &trace,
+                                DEFAULT_BLOCK_BUDGET,
+                            );
+                            let raws = match BlockFile::parse(enc).and_then(|bf| bf.raw_blocks())
+                            {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    eprintln!("{path}: blockify for dedup: {e}");
+                                    return ExitCode::FAILURE;
+                                }
                             };
-                            let compressor = bf.block_compressor(i).unwrap_or("corrupt");
-                            Json::obj(vec![
-                                ("comp_len", Json::UInt(b.comp_len as u64)),
-                                ("compression_permille", Json::UInt(permille)),
-                                ("compressor", Json::Str(compressor.into())),
-                                ("crc_ok", Json::Bool(ok)),
-                                ("event_count", Json::UInt(b.event_count as u64)),
-                                ("first_logical_time", Json::UInt(b.first_logical_time)),
-                                ("first_seq", Json::UInt(b.first_seq)),
-                                ("offset", Json::UInt(b.offset)),
-                                ("raw_len", Json::UInt(b.raw_len as u64)),
-                                ("switch_count", Json::UInt(b.switch_count as u64)),
-                            ])
-                        })
-                        .collect();
-                    Json::obj(vec![
-                        ("format", Json::Str("block".into())),
-                        ("budget", Json::UInt(bf.budget as u64)),
-                        ("paranoid", Json::Bool(bf.paranoid)),
-                        ("blocks", Json::Arr(blocks)),
-                        ("stats", bf.stats().to_json()),
-                    ])
-                }
-                Err(e) => {
-                    eprintln!("{path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            doc.canonicalize();
-            println!("{doc}");
+                            for rb in &raws {
+                                total_blocks += 1;
+                                total_raw += rb.raw.len() as u64;
+                                seen.insert(
+                                    codec::digest128(&rb.raw).hex(),
+                                    rb.raw.len() as u64,
+                                );
+                            }
+                        }
+                        Json::obj(vec![
+                            ("format", Json::Str("flat".into())),
+                            ("stats", trace.stats().to_json()),
+                        ])
+                    }
+                    Ok(TraceFormat::Block) => {
+                        let bf = match BlockFile::parse(bytes) {
+                            Ok(bf) => bf,
+                            Err(e) => {
+                                eprintln!("{path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        let crc_ok = bf.crc_status();
+                        let blocks: Vec<Json> = bf
+                            .index
+                            .iter()
+                            .enumerate()
+                            .zip(&crc_ok)
+                            .map(|((i, b), &ok)| {
+                                // Per-block compression accounting: how well the
+                                // block squeezed and which compressor won its
+                                // encode-time race (corrupt method bytes keep the
+                                // inspection total, like `crc_ok: false` does).
+                                let permille = if b.raw_len == 0 {
+                                    1000
+                                } else {
+                                    b.comp_len as u64 * 1000 / b.raw_len as u64
+                                };
+                                let compressor = bf.block_compressor(i).unwrap_or("corrupt");
+                                // The store's content key; corrupt payloads
+                                // keep the inspection total like crc_ok does.
+                                let digest = match bf.block_raw(i) {
+                                    Ok(raw) => {
+                                        if dedup && ok {
+                                            total_blocks += 1;
+                                            total_raw += raw.len() as u64;
+                                            seen.insert(
+                                                codec::digest128(&raw).hex(),
+                                                raw.len() as u64,
+                                            );
+                                        }
+                                        codec::digest128(&raw).hex()
+                                    }
+                                    Err(_) => "corrupt".into(),
+                                };
+                                Json::obj(vec![
+                                    ("comp_len", Json::UInt(b.comp_len as u64)),
+                                    ("compression_permille", Json::UInt(permille)),
+                                    ("compressor", Json::Str(compressor.into())),
+                                    ("crc_ok", Json::Bool(ok)),
+                                    ("digest", Json::Str(digest)),
+                                    ("event_count", Json::UInt(b.event_count as u64)),
+                                    ("first_logical_time", Json::UInt(b.first_logical_time)),
+                                    ("first_seq", Json::UInt(b.first_seq)),
+                                    ("offset", Json::UInt(b.offset)),
+                                    ("raw_len", Json::UInt(b.raw_len as u64)),
+                                    ("switch_count", Json::UInt(b.switch_count as u64)),
+                                ])
+                            })
+                            .collect();
+                        Json::obj(vec![
+                            ("format", Json::Str("block".into())),
+                            ("budget", Json::UInt(bf.budget as u64)),
+                            ("paranoid", Json::Bool(bf.paranoid)),
+                            ("blocks", Json::Arr(blocks)),
+                            ("stats", bf.stats().to_json()),
+                        ])
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                doc.canonicalize();
+                println!("{doc}");
+            }
+            if dedup {
+                let unique_raw: u64 = seen.values().sum();
+                let ratio = if unique_raw == 0 {
+                    0
+                } else {
+                    total_raw * 1000 / unique_raw
+                };
+                let mut summary = Json::obj(vec![
+                    ("blocks", Json::UInt(total_blocks)),
+                    ("dedup_ratio_milli", Json::UInt(ratio)),
+                    ("files", Json::UInt(paths.len() as u64)),
+                    ("raw_bytes", Json::UInt(total_raw)),
+                    ("unique_blocks", Json::UInt(seen.len() as u64)),
+                    ("unique_raw_bytes", Json::UInt(unique_raw)),
+                ]);
+                summary.canonicalize();
+                println!("{summary}");
+            }
             ExitCode::SUCCESS
         }
         Some("stats") if fleet_addr.is_some() => {
@@ -792,6 +903,148 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("store") => {
+            // Content-addressed trace store (crates/store). Uniform exit
+            // codes: StoreError::code() maps corruption/IO to 1 and
+            // fingerprint divergence to 2, same classes as `replay`.
+            let fail = |e: store::StoreError| {
+                eprintln!("store: {e}");
+                ExitCode::from(e.code())
+            };
+            let Some(dir) = args.get(2) else {
+                return usage();
+            };
+            let st = match store::Store::open(std::path::Path::new(dir)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("store open {dir}: {e}");
+                    return ExitCode::from(e.code());
+                }
+            };
+            match args.get(1).map(String::as_str) {
+                Some("put") => {
+                    let (Some(w), Some(seed), Some(path)) = (
+                        args.get(3).and_then(|n| find(n)),
+                        args.get(4).and_then(|s| s.parse::<u64>().ok()),
+                        args.get(5),
+                    ) else {
+                        return usage();
+                    };
+                    let bytes = match std::fs::read(path) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("read {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    // Verified by default: the fingerprint cataloged with a
+                    // run is one an actual replay produced, cross-checked
+                    // against a fresh record — never taken on faith.
+                    let mut fingerprint = 0u64;
+                    if !no_verify {
+                        let trace = match decode_any(&bytes) {
+                            Ok((t, _)) => t,
+                            Err(e) => {
+                                eprintln!("{path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        let spec = spec_of(&w, seed);
+                        let (rep, desyncs) = replay_run(&spec, trace, SymmetryConfig::full());
+                        let (rec, _) = record_run(&spec, w.natives, SymmetryConfig::full(), true);
+                        if !(rec.matches(&rep) && desyncs.is_empty()) {
+                            eprintln!(
+                                "store put: {path} does not replay accurately as {}/{seed} \
+                                 ({} desyncs) — refusing to catalog a verified fingerprint",
+                                w.name,
+                                desyncs.len()
+                            );
+                            return ExitCode::from(EXIT_DIVERGED);
+                        }
+                        fingerprint = rep.fingerprint;
+                    }
+                    match st.put_bytes(&w.name, seed, &bytes, fingerprint, &policy) {
+                        Ok(out) => {
+                            let mut doc = out.to_json();
+                            doc.canonicalize();
+                            println!("{doc}");
+                            eprintln!(
+                                "[store put {}: {} blocks ({} new), {}]",
+                                out.entry,
+                                out.blocks_total,
+                                out.blocks_new,
+                                if no_verify { "unverified" } else { "verified" }
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => fail(e),
+                    }
+                }
+                Some("get") => {
+                    let (Some(id), Some(out)) = (args.get(3), args.get(4)) else {
+                        return usage();
+                    };
+                    match st.get_bytes(id) {
+                        Ok(bytes) => {
+                            if let Err(e) = std::fs::write(out, &bytes) {
+                                eprintln!("write {out}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("[store get {id}: {} bytes]", bytes.len());
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => fail(e),
+                    }
+                }
+                Some("ls") => match st.entries() {
+                    Ok(entries) => {
+                        for e in entries {
+                            let mut line = codec::Json::obj(vec![
+                                ("blocks", codec::Json::UInt(e.blocks.len() as u64)),
+                                ("file_bytes", codec::Json::UInt(e.file_bytes)),
+                                ("fingerprint", codec::Json::UInt(e.fingerprint)),
+                                ("id", codec::Json::Str(e.identity())),
+                                ("puts", codec::Json::UInt(e.puts)),
+                                ("seed", codec::Json::UInt(e.seed)),
+                                ("workload", codec::Json::Str(e.workload)),
+                            ]);
+                            line.canonicalize();
+                            println!("{line}");
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                },
+                Some("gc") => match st.gc() {
+                    Ok(report) => {
+                        let mut doc = report.to_json();
+                        doc.canonicalize();
+                        println!("{doc}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                },
+                Some("compact") => match st.compact(cold) {
+                    Ok(report) => {
+                        let mut doc = report.to_json();
+                        doc.canonicalize();
+                        println!("{doc}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                },
+                Some("stats") => match st.disk_stats() {
+                    Ok(stats) => {
+                        let mut doc = stats;
+                        doc.canonicalize();
+                        println!("{doc}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(e),
+                },
+                _ => usage(),
+            }
+        }
         Some("serve") => {
             let (Some(w), Some(seed), Some(port)) = (
                 args.get(1).and_then(|n| find(n)),
@@ -830,6 +1083,7 @@ fn main() -> ExitCode {
             let config = fleet::FleetConfig {
                 workers,
                 shutdown_token: fleet_token,
+                store_root: store_root.map(std::path::PathBuf::from),
                 ..fleet::FleetConfig::default()
             };
             let server = match fleet::FleetServer::start(&format!("127.0.0.1:{port}"), config) {

@@ -15,4 +15,5 @@ pub use dejavu;
 pub use djvm;
 pub use fleet;
 pub use reflect;
+pub use store;
 pub use workloads;

@@ -104,6 +104,90 @@ fn checkjson_contract() {
 }
 
 #[test]
+fn store_subcommand_exit_classes() {
+    let dir = scratch("store-classes");
+    let root = dir.join("store");
+    let trace = dir.join("t.djvb");
+    assert_eq!(
+        run(&[
+            "record",
+            "racy_counter",
+            "1",
+            trace.to_str().unwrap(),
+            "--trace-format",
+            "block",
+        ])
+        .0,
+        0
+    );
+    let root_s = root.to_str().unwrap();
+    let trace_s = trace.to_str().unwrap();
+
+    // Usage class.
+    assert_eq!(run(&["store"]).0, 1);
+    assert_eq!(run(&["store", "put", root_s]).0, 1);
+    assert_eq!(run(&["store", "no-such-op", root_s]).0, 1);
+
+    // Verified put: exit 0 and a canonical-JSON outcome with the entry id.
+    let out = cli()
+        .args(["store", "put", root_s, "racy_counter", "1", trace_s])
+        .output()
+        .expect("spawn dejavu-cli");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let doc = dejavu_repro::codec::Json::parse(stdout.trim()).expect("put outcome json");
+    let entry = doc.field("entry").unwrap().as_str().unwrap().to_string();
+    // Repeated put of the same run dedups and still succeeds.
+    assert_eq!(run(&["store", "put", root_s, "racy_counter", "1", trace_s]).0, 0);
+
+    // Divergence class: claiming the wrong seed is exit 2, like `replay`.
+    let (code, err) = run(&["store", "put", root_s, "racy_counter", "2", trace_s]);
+    assert_eq!(code, 2, "{err}");
+
+    // Corrupt-input class: junk bytes fail decode before cataloging.
+    let junk = dir.join("junk.djvb");
+    std::fs::write(&junk, b"not a trace").unwrap();
+    assert_eq!(
+        run(&["store", "put", root_s, "racy_counter", "1", junk.to_str().unwrap()]).0,
+        1
+    );
+
+    // Reconstruction: byte-exact, exit 0; bogus entry id is exit 1.
+    let back = dir.join("back.djvb");
+    assert_eq!(
+        run(&["store", "get", root_s, &entry, back.to_str().unwrap()]).0,
+        0
+    );
+    assert_eq!(std::fs::read(&back).unwrap(), std::fs::read(&trace).unwrap());
+    let bogus = "f".repeat(32);
+    assert_eq!(
+        run(&["store", "get", root_s, &bogus, back.to_str().unwrap()]).0,
+        1
+    );
+
+    // Maintenance + stats on a healthy store: all exit 0.
+    for op in ["ls", "gc", "compact", "stats"] {
+        let (code, err) = run(&["store", op, root_s]);
+        assert_eq!(code, 0, "store {op}: {err}");
+    }
+
+    // Injected block damage: get degrades to the corrupt class, no panic.
+    let mut smashed = false;
+    for shard in std::fs::read_dir(root.join("blocks")).unwrap() {
+        for blk in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+            std::fs::write(blk.unwrap().path(), b"").unwrap();
+            smashed = true;
+        }
+    }
+    assert!(smashed, "store held no block files");
+    assert_eq!(
+        run(&["store", "get", root_s, &entry, back.to_str().unwrap()]).0,
+        1
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn check_subcommand_exit_classes() {
     let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     // Pass: the committed corpus.

@@ -19,7 +19,7 @@ fn gen_request(g: &mut Gen) -> Request {
             .map(|_| char::from(g.u64_in(32, 126) as u8))
             .collect::<String>()
     };
-    match g.usize_in(0, 10) {
+    match g.usize_in(0, 11) {
         0 => Request::Open {
             workload: s(g),
             seed: g.any_u64(),
@@ -54,6 +54,7 @@ fn gen_request(g: &mut Gen) -> Request {
             command: s(g),
         },
         9 => Request::Stats,
+        10 => Request::OpenStored { entry: s(g) },
         _ => Request::Shutdown { token: s(g) },
     }
 }

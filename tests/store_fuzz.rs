@@ -1,0 +1,263 @@
+//! Fuzz oracle for the trace-store read path: build a real store with
+//! `put_bytes`, apply seeded byte mutations — bit flips, truncations,
+//! overwrites, insertions — to one on-disk artifact (a catalog manifest,
+//! a block record, or the heat file), then drive every read entry point
+//! and assert "typed `StoreError` or success, never panic".
+//!
+//! Same contract the DJVB fuzz gives the corpus gate: a corrupt store
+//! must surface as exit 1 from the CLI, and that only holds if nothing
+//! in `open`/`get_bytes`/`open_trace`/`gc`/`compact` can abort.
+
+use dejavu_repro::dejavu::{encode_trace, DataRec, SwitchRec, Trace, TraceFormat};
+use dejavu_repro::qc::{check, Gen};
+use dejavu_repro::qc_assert;
+use dejavu_repro::store::{Store, DEFAULT_COLD_THRESHOLD};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// A structurally valid random trace: the corpus the store is seeded with.
+fn gen_trace(g: &mut Gen) -> Trace {
+    let paranoid = g.bool();
+    let switches = g.vec_of(1, 30, |g| SwitchRec {
+        nyp: g.u64_in(0, 50_000),
+        check_tid: if paranoid {
+            g.u64_in(0, 5) as u32
+        } else {
+            u32::MAX
+        },
+    });
+    let data = g.vec_of(0, 20, |g| {
+        if g.bool() {
+            DataRec::Clock(g.i64_in(-5, 2_000_000))
+        } else {
+            DataRec::Native {
+                ret: g.any_i64(),
+                callbacks: vec![],
+            }
+        }
+    });
+    Trace {
+        paranoid,
+        switches,
+        data,
+    }
+}
+
+/// Apply one seeded mutation to `bytes` (no-op on empty input).
+fn mutate(g: &mut Gen, bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        return;
+    }
+    match g.usize_in(0, 3) {
+        0 => {
+            let i = g.usize_in(0, bytes.len() - 1);
+            bytes[i] ^= 1 << g.usize_in(0, 7);
+        }
+        1 => {
+            let i = g.usize_in(0, bytes.len() - 1);
+            bytes[i] = [0x00, 0xFF, 0x7F, 0x80][g.usize_in(0, 3)];
+        }
+        2 => {
+            let keep = g.usize_in(0, bytes.len() - 1);
+            bytes.truncate(keep);
+        }
+        _ => {
+            let i = g.usize_in(0, bytes.len());
+            bytes.insert(i, g.u64_in(0, 255) as u8);
+        }
+    }
+}
+
+/// Every regular file under `root`, sorted for seed determinism.
+fn store_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Seed a fresh store with a couple of runs; returns the catalog ids.
+fn seed_store(g: &mut Gen, root: &Path) -> Vec<String> {
+    let store = Store::open(root).expect("open fresh store");
+    let runs = g.usize_in(1, 3);
+    let mut ids = Vec::new();
+    for i in 0..runs {
+        let trace = gen_trace(g);
+        let budget = [24, 48, 4096][g.usize_in(0, 2)];
+        let bytes = encode_trace(&trace, TraceFormat::Block, budget);
+        let out = store
+            .put_bytes(
+                ["wa", "wb", "wc"][i],
+                g.u64_in(0, 9),
+                &bytes,
+                g.u64_in(1, u64::MAX),
+                "",
+            )
+            .expect("seed put");
+        ids.push(out.entry);
+    }
+    drop(store); // flush heat + caches so the mutation hits cold state
+    ids
+}
+
+/// Drive every read/maintenance entry point; the closure's only job is
+/// to not panic — every failure must be a typed `StoreError`.
+fn exercise_store(root: &Path, ids: &[String]) {
+    let Ok(store) = Store::open(root) else {
+        return;
+    };
+    if let Ok(entries) = store.entries() {
+        for e in &entries {
+            let _ = store.entry(&e.identity());
+        }
+    }
+    for id in ids {
+        if let Ok(bytes) = store.get_bytes(id) {
+            let _ = bytes.len();
+        }
+        if let Ok(stored) = store.open_trace(id) {
+            let _ = stored.trace.stats();
+            let _ = stored.boundaries.len();
+        }
+    }
+    let _ = store.disk_stats();
+    let _ = store.gc();
+    let _ = store.compact(DEFAULT_COLD_THRESHOLD);
+}
+
+#[test]
+fn mutated_store_files_never_panic() {
+    let base = std::env::temp_dir().join(format!("djv-store-fuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut iter = 0u64;
+    check("mutated_store_files_never_panic", 120, |g| {
+        iter += 1;
+        let root = base.join(format!("it{iter}"));
+        let ids = seed_store(g, &root);
+
+        // Mutate one on-disk artifact — catalog manifest, block record,
+        // or heat file — with 1..8 seeded corruptions.
+        let files = store_files(&root);
+        qc_assert!(!files.is_empty(), "seeded store produced no files");
+        let victim = &files[g.usize_in(0, files.len() - 1)];
+        let mut bytes = std::fs::read(victim).map_err(|e| e.to_string())?;
+        for _ in 0..g.usize_in(1, 8) {
+            mutate(g, &mut bytes);
+        }
+        std::fs::write(victim, &bytes).map_err(|e| e.to_string())?;
+
+        let ok = catch_unwind(AssertUnwindSafe(|| exercise_store(&root, &ids))).is_ok();
+        let _ = std::fs::remove_dir_all(&root);
+        qc_assert!(
+            ok,
+            "store panicked after mutating {}",
+            victim.display()
+        );
+        Ok(())
+    });
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn unmutated_store_round_trips() {
+    // Control arm: without mutations the same pipeline reconstructs the
+    // exact put bytes (so the fuzz arm corrupts real stores, not ones
+    // that were already broken).
+    let base = std::env::temp_dir().join(format!("djv-store-ctl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut iter = 0u64;
+    check("unmutated_store_round_trips", 40, |g| {
+        iter += 1;
+        let root = base.join(format!("it{iter}"));
+        let trace = gen_trace(g);
+        let bytes = encode_trace(&trace, TraceFormat::Block, 48);
+        let store = Store::open(&root).map_err(|e| e.to_string())?;
+        let out = store
+            .put_bytes("wa", g.u64_in(0, 9), &bytes, 7, "")
+            .map_err(|e| e.to_string())?;
+        drop(store);
+        let store = Store::open(&root).map_err(|e| e.to_string())?;
+        let back = store.get_bytes(&out.entry).map_err(|e| e.to_string())?;
+        qc_assert!(back == bytes, "reopen + get changed the bytes");
+        let opened = store.open_trace(&out.entry).map_err(|e| e.to_string())?;
+        qc_assert!(opened.trace == trace, "open_trace changed the trace");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&root);
+        Ok(())
+    });
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Deterministic extremes beside the random sweep: a block record
+/// truncated to nothing, a deleted block record, and a catalog manifest
+/// overwritten with non-JSON garbage. Each must read back as a typed
+/// error with the CLI "corrupt artifact" code, never a panic.
+#[test]
+fn crafted_store_damage_is_typed() {
+    let root = std::env::temp_dir().join(format!("djv-store-crafted-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let trace = Trace {
+        paranoid: false,
+        switches: (0..40)
+            .map(|i| SwitchRec {
+                nyp: i * 17,
+                check_tid: u32::MAX,
+            })
+            .collect(),
+        data: vec![DataRec::Clock(42)],
+    };
+    let bytes = encode_trace(&trace, TraceFormat::Block, 24);
+    let store = Store::open(&root).expect("open");
+    let id = store.put_bytes("wa", 1, &bytes, 9, "").expect("put").entry;
+    drop(store);
+
+    let blocks: Vec<PathBuf> = store_files(&root)
+        .into_iter()
+        .filter(|p| p.extension().is_some_and(|e| e == "blk"))
+        .collect();
+    assert!(!blocks.is_empty(), "crafted trace produced no block files");
+
+    // Truncated block record.
+    std::fs::write(&blocks[0], b"").expect("truncate block");
+    let store = Store::open(&root).expect("reopen");
+    let err = store.get_bytes(&id).expect_err("truncated block must fail");
+    assert_eq!(err.code(), 1, "corrupt block is CLI code 1, got {err}");
+    drop(store);
+
+    // Missing block record.
+    std::fs::remove_file(&blocks[0]).expect("delete block");
+    let store = Store::open(&root).expect("reopen");
+    assert_eq!(
+        store.open_trace(&id).expect_err("missing block").code(),
+        1
+    );
+    drop(store);
+
+    // Garbage catalog manifest.
+    let catalog = root.join("catalog").join(format!("{id}.json"));
+    std::fs::write(&catalog, b"\xFF\xFEnot json at all").expect("smash catalog");
+    let store = Store::open(&root).expect("reopen");
+    let ok = catch_unwind(AssertUnwindSafe(|| {
+        let _ = store.entries();
+        let _ = store.entry(&id);
+        let _ = store.disk_stats();
+        let _ = store.gc();
+    }))
+    .is_ok();
+    assert!(ok, "garbage catalog manifest caused a panic");
+    drop(store);
+    let _ = std::fs::remove_dir_all(&root);
+}
